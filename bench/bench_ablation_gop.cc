@@ -1,0 +1,32 @@
+// Ablation (beyond the paper): GOP size vs decode amplification vs SAND's
+// benefit. Larger GOPs compress better but make random access costlier,
+// which is exactly the redundancy SAND's decode-once chunks remove.
+
+#include "bench/bench_common.h"
+
+using namespace sand;
+
+int main() {
+  PrintBenchHeader("Ablation: GOP size sweep",
+                   "design-choice study: codec GOP vs amplification vs SAND gain");
+
+  ModelProfile profile = SlowFastProfile();
+  const int64_t epochs = 4;
+  std::printf("%-8s %-14s %-16s %-16s %-12s\n", "gop", "container(KB)", "od-cpu decoded",
+              "sand decoded", "cpu/sand");
+  PrintRule();
+  for (int gop : {1, 4, 8, 16}) {
+    BenchEnv env = MakeBenchEnv(/*videos=*/8, /*frames=*/48, /*height=*/48, /*width=*/64, gop);
+    PipelineRun cpu = RunCpuPipeline(env, profile, epochs);
+    PipelineRun sand = RunSandPipeline(env, profile, epochs, BenchServiceOptions(epochs));
+    std::printf("%-8d %-14llu %-16llu %-16llu %-12.2f\n", gop,
+                static_cast<unsigned long long>(env.meta.encoded_bytes_per_video / 1024),
+                static_cast<unsigned long long>(cpu.frames_decoded),
+                static_cast<unsigned long long>(sand.frames_decoded),
+                static_cast<double>(cpu.frames_decoded) /
+                    static_cast<double>(std::max<uint64_t>(sand.frames_decoded, 1)));
+  }
+  std::printf("\nexpected: bigger GOP -> smaller containers but more amplification for\n"
+              "the on-demand baseline; SAND's one-sweep decoding is nearly flat.\n");
+  return 0;
+}

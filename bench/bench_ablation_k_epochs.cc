@@ -1,0 +1,43 @@
+// Ablation (beyond the paper): the pre-materialization horizon k.
+//
+// Small k re-decodes often (chunk refresh overhead); large k amortizes
+// decoding across more epochs but needs more cache and planning memory.
+// DESIGN.md calls this the central tuning knob of the chunked planner.
+
+#include "bench/bench_common.h"
+
+#include "src/common/units.h"
+
+using namespace sand;
+
+int main() {
+  BenchEnv env = MakeBenchEnv();
+  ModelProfile profile = SlowFastProfile();
+  const int64_t epochs = 8;
+
+  PrintBenchHeader("Ablation: pre-materialization horizon k",
+                   "design-choice study: k-epoch chunking vs decode work and cache size");
+
+  std::printf("%-6s %-14s %-14s %-14s %-14s\n", "k", "frames dec.", "wall (ms)",
+              "cache bytes", "chunks");
+  PrintRule();
+  for (int k : {1, 2, 4, 8}) {
+    ServiceOptions options = BenchServiceOptions(epochs);
+    options.k_epochs = k;
+    // Cold run (no warmup): the chunk-refresh overhead is what k trades.
+    PipelineRun run = RunSandPipeline(env, profile, epochs, options);
+    // Cache footprint of one chunk at this k (planner estimate).
+    std::vector<TaskConfig> tasks = {MakeTaskConfig(profile, env.meta.path, "bench")};
+    PlannerOptions planner;
+    planner.k_epochs = k;
+    auto plan = BuildMaterializationPlan(env.meta, tasks, 0, planner);
+    uint64_t cache_bytes = plan.ok() ? plan->CachedBytes() : 0;
+    std::printf("%-6d %-14llu %-14.0f %-14s %-14d\n", k,
+                static_cast<unsigned long long>(run.frames_decoded),
+                ToMillis(run.metrics.wall_ns), FormatBytes(cache_bytes).c_str(),
+                static_cast<int>((epochs + k - 1) / k));
+  }
+  std::printf("\nexpected: decode work and wall time fall as k grows (fewer chunk\n"
+              "refreshes), while the per-chunk cache footprint rises ~linearly in k.\n");
+  return 0;
+}

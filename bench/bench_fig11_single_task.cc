@@ -1,0 +1,49 @@
+// Fig. 11 — single-task training across the four models.
+//
+// (a) end-to-end training time, normalized to the on-demand GPU baseline
+//     (paper: SAND 2.4-5.6x faster than CPU, 1.4-1.7x faster than GPU).
+// (b) GPU utilization (paper: SAND 2.5-5.7x over CPU, 1.4-1.7x over GPU).
+// Plus the naive-cache strawman (paper: ~2.7% speedup over on-demand).
+
+#include "bench/bench_common.h"
+
+using namespace sand;
+
+int main() {
+  BenchEnv env = MakeBenchEnv();
+  const int64_t epochs = 8;
+
+  PrintBenchHeader("Fig. 11: single-task training time and GPU utilization",
+                   "Fig. 11(a)+(b), plus the naive-caching comparison of §7.2");
+
+  std::printf("%-10s %-9s %-9s %-9s %-9s %-9s | %-7s %-7s %-7s\n", "model", "cpu",
+              "naive", "gpu", "sand", "ideal", "sand/", "cpu/", "gpu/");
+  std::printf("%-10s %-9s %-9s %-9s %-9s %-9s | %-7s %-7s %-7s\n", "", "(ms)", "(ms)",
+              "(ms)", "(ms)", "(ms)", "ideal", "sand", "sand");
+  PrintRule();
+
+  for (const ModelProfile& profile : AllModelProfiles()) {
+    PipelineRun cpu = RunCpuPipeline(env, profile, epochs);
+    PipelineRun naive = RunCpuPipeline(env, profile, epochs, /*naive_cache=*/true);
+    PipelineRun gpu = RunGpuPipeline(env, profile, epochs);
+    PipelineRun sand = RunSandPipeline(env, profile, epochs, {}, nullptr,
+                                       /*warmup_epochs=*/epochs);
+    PipelineRun ideal = RunIdealPipeline(env, profile, epochs);
+
+    auto ms = [](const PipelineRun& run) { return ToMillis(run.metrics.wall_ns); };
+    std::printf("%-10s %-9.0f %-9.0f %-9.0f %-9.0f %-9.0f | %-7.2f %-7.2f %-7.2f\n",
+                profile.name.c_str(), ms(cpu), ms(naive), ms(gpu), ms(sand), ms(ideal),
+                ms(sand) / ms(ideal), ms(cpu) / ms(sand), ms(gpu) / ms(sand));
+    std::printf("%-10s util: %-8.2f %-9.2f %-8.2f %-9.2f %-7.2f | util gains: %.1fx vs cpu, "
+                "%.1fx vs gpu\n",
+                "", cpu.metrics.GpuUtilization(), naive.metrics.GpuUtilization(),
+                gpu.metrics.GpuUtilization(), sand.metrics.GpuUtilization(),
+                ideal.metrics.GpuUtilization(),
+                sand.metrics.GpuUtilization() / cpu.metrics.GpuUtilization(),
+                sand.metrics.GpuUtilization() / gpu.metrics.GpuUtilization());
+  }
+  std::printf(
+      "\npaper shape: sand 2.4-5.6x faster than cpu, 1.4-1.7x faster than gpu;\n"
+      "utilization 2.5-5.7x (cpu) / 1.4-1.7x (gpu); naive cache barely helps.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Fig. 16 — number of operations in one training epoch with and without
+// materialization planning (SlowFast + MAE multi-task).
+//
+// Paper: planning removes 50.3% of decode operations and 33.1% of random
+// crop augmentations; GPU utilization rises 2.64-2.78x.
+
+#include "bench/bench_common.h"
+
+using namespace sand;
+
+int main() {
+  BenchEnv env = MakeBenchEnv();
+  PrintBenchHeader("Fig. 16: operations per epoch, with vs without planning",
+                   "Fig. 16: decode/crop op counts in SlowFast+MAE multi-task");
+
+  std::vector<TaskConfig> tasks = {
+      MakeTaskConfig(SlowFastProfile(), env.meta.path, "slowfast"),
+      MakeTaskConfig(MaeProfile(), env.meta.path, "mae")};
+
+  PlannerOptions coordinated;
+  coordinated.k_epochs = 1;
+  coordinated.coordinate = true;
+  PlannerOptions independent = coordinated;
+  independent.coordinate = false;
+
+  auto with = BuildMaterializationPlan(env.meta, tasks, 0, coordinated);
+  auto without = BuildMaterializationPlan(env.meta, tasks, 0, independent);
+  if (!with.ok() || !without.ok()) {
+    std::fprintf(stderr, "planning failed\n");
+    return 1;
+  }
+  OpCounts planned = with->CountOps();
+  OpCounts naive = without->CountOps();
+
+  // Decode *work* includes the GOP dependency: a forward decode sweep over
+  // a video's needed frames reconstructs everything from the first GOP
+  // start to the last needed frame. Without planning each task sweeps
+  // separately; with planning the merged frame pool is swept once.
+  auto decode_work = [&](const MaterializationPlan& plan, bool per_task) {
+    uint64_t total = 0;
+    for (const VideoObjectGraph& graph : plan.videos) {
+      // frames needed per (task set or merged) per epoch
+      std::map<std::pair<int, int64_t>, std::pair<int64_t, int64_t>> spans;  // min,max
+      for (const ConcreteNode& node : graph.nodes) {
+        if (node.op.type != ConcreteOpType::kDecode) {
+          continue;
+        }
+        for (const Consumer& consumer : node.consumers) {
+          int slot = per_task ? consumer.task : 0;
+          auto key = std::make_pair(slot, consumer.epoch);
+          auto it = spans.find(key);
+          if (it == spans.end()) {
+            spans[key] = {node.op.frame_index, node.op.frame_index};
+          } else {
+            it->second.first = std::min(it->second.first, node.op.frame_index);
+            it->second.second = std::max(it->second.second, node.op.frame_index);
+          }
+        }
+      }
+      for (const auto& [key, span] : spans) {
+        int64_t gop_start = (span.first / plan.dataset.gop_size) * plan.dataset.gop_size;
+        total += static_cast<uint64_t>(span.second - gop_start + 1);
+      }
+    }
+    return total;
+  };
+  uint64_t work_with = decode_work(*with, /*per_task=*/false);
+  uint64_t work_without = decode_work(*without, /*per_task=*/true);
+
+  std::printf("%-24s %-16s %-16s %-12s\n", "operation", "w/o planning", "w/ planning",
+              "reduction");
+  PrintRule();
+  std::printf("%-24s %-16llu %-16llu %-11.1f%%\n", "decode (frames)",
+              static_cast<unsigned long long>(work_without),
+              static_cast<unsigned long long>(work_with),
+              100.0 * (1.0 - static_cast<double>(work_with) /
+                                 static_cast<double>(work_without)));
+  std::printf("%-24s %-16llu %-16llu %-11.1f%%\n", "decode (unique nodes)",
+              static_cast<unsigned long long>(naive.decode_unique),
+              static_cast<unsigned long long>(planned.decode_unique),
+              100.0 * (1.0 - static_cast<double>(planned.decode_unique) /
+                                 static_cast<double>(naive.decode_unique)));
+  std::printf("%-24s %-16llu %-16llu %-11.1f%%\n", "random crop",
+              static_cast<unsigned long long>(naive.crop_unique),
+              static_cast<unsigned long long>(planned.crop_unique),
+              100.0 * (1.0 - static_cast<double>(planned.crop_unique) /
+                                 static_cast<double>(naive.crop_unique)));
+  std::printf("%-24s %-16llu %-16llu %-11.1f%%\n", "all augmentations",
+              static_cast<unsigned long long>(naive.aug_unique),
+              static_cast<unsigned long long>(planned.aug_unique),
+              100.0 * (1.0 - static_cast<double>(planned.aug_unique) /
+                                 static_cast<double>(naive.aug_unique)));
+  std::printf("\npaper shape: ~50.3%% fewer decodes, ~33.1%% fewer random crops.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Table 3 — lines of code required for video preprocessing.
+//
+// Paper: SlowFast's official preprocessing is 2,254 LoC and HD-VILA's 297;
+// with SAND both become <= 8 lines (open/read/getxattr/close + config).
+//
+// Here we count real code in this repository: the from-scratch baseline
+// preprocessing implementation a user would otherwise own (decoding,
+// augmentation ops, sampling, batch assembly — everything behind
+// OnDemandCpuSource) versus the SAND user code of the Fig. 6 loop.
+
+#include <fstream>
+
+#include "bench/bench_common.h"
+
+#include "src/common/strings.h"
+
+using namespace sand;
+
+namespace {
+
+// Counts non-blank, non-comment-only lines of a source file.
+int CountLoc(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return -1;
+  }
+  int count = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || StartsWith(trimmed, "//")) {
+      continue;
+    }
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace
+
+int main() {
+  PrintBenchHeader("Table 3: lines of code for video preprocessing",
+                   "Table 3: user-owned preprocessing LoC, baseline vs SAND");
+
+  // What a user owns WITHOUT SAND: the full preprocessing pipeline. These
+  // are the modules OnDemandCpuSource needs that SAND otherwise hides.
+  const std::vector<std::string> baseline_files = {
+      "src/codec/video_codec.cc",   "src/compress/lossless.cc", "src/tensor/image_ops.cc",
+      "src/tensor/frame.cc",        "src/graph/coordination.cc", "src/core/batch_format.cc",
+      "src/baselines/sources.cc",
+  };
+  int baseline_total = 0;
+  std::printf("%-36s %-8s\n", "baseline pipeline module", "LoC");
+  PrintRule();
+  for (const std::string& file : baseline_files) {
+    int loc = CountLoc(file);
+    if (loc < 0) {
+      std::printf("%-36s (missing — run from the repo root)\n", file.c_str());
+      continue;
+    }
+    baseline_total += loc;
+    std::printf("%-36s %-8d\n", file.c_str(), loc);
+  }
+  PrintRule();
+  std::printf("%-36s %-8d\n", "baseline total", baseline_total);
+
+  // WITH SAND the user writes the Fig. 6 loop (and a YAML config). The
+  // loop is exactly these lines (see examples/quickstart.cpp):
+  const std::vector<std::string> sand_loop = {
+      "int session = *fs.Open(\"/train\");",
+      "int fd = *fs.Open(path);",
+      "std::vector<uint8_t> batch = *fs.ReadAll(fd);",
+      "std::string shape = *fs.GetXattr(fd, \"shape\");",
+      "(void)fs.Close(fd);",
+      "// model.forward(batch) ...",
+      "(void)fs.Close(session);",
+  };
+  std::printf("\nwith SAND, the user-owned preprocessing is the Fig. 6 loop:\n");
+  for (const std::string& line : sand_loop) {
+    std::printf("    %s\n", line.c_str());
+  }
+  int yaml_lines =
+      static_cast<int>(Split(MakeTaskConfigYaml(SlowFastProfile(), "/d", "t"), '\n').size());
+  std::printf("\n%-36s %-8zu\n", "SAND user code (loop)", sand_loop.size());
+  std::printf("%-36s %-8d\n", "SAND task config (YAML)", yaml_lines);
+  std::printf("\nreduction: %d LoC -> %zu LoC of code (+%d declarative YAML)\n",
+              baseline_total, sand_loop.size(), yaml_lines);
+  std::printf("paper shape: 2,254 -> 8 LoC (SlowFast), 297 -> 7 LoC (HD-VILA).\n");
+  return 0;
+}

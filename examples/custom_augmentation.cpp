@@ -1,0 +1,133 @@
+// Extensibility (paper §5.5): registering a custom augmentation function
+// and referencing it by name from the YAML configuration, including the
+// conditional/random branch types of Fig. 9.
+
+#include <cstdio>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+#include "src/common/units.h"
+
+#include "src/core/batch_format.h"
+#include "src/core/sand_service.h"
+#include "src/workloads/synthetic.h"
+
+using namespace sand;
+
+// A user-defined op: emphasize edges with a cheap gradient filter.
+static Result<Frame> EdgeBoost(const Frame& input) {
+  Frame out = input;
+  for (int y = 1; y < input.height(); ++y) {
+    for (int x = 1; x < input.width(); ++x) {
+      for (int c = 0; c < input.channels(); ++c) {
+        int dx = input.At(y, x, c) - input.At(y, x - 1, c);
+        int dy = input.At(y, x, c) - input.At(y - 1, x, c);
+        int v = input.At(y, x, c) + (dx + dy) / 2;
+        out.At(y, x, c) = static_cast<uint8_t>(std::clamp(v, 0, 255));
+      }
+    }
+  }
+  return out;
+}
+
+static const char* kConfig = R"(
+dataset:
+  tag: "train"
+  input_source: file
+  video_dataset_path: /dataset/train
+  sampling:
+    videos_per_batch: 2
+    frames_per_video: 4
+    frame_stride: 2
+  augmentation:
+  - name: "resize"
+    branch_type: "single"
+    inputs: ["frame"]
+    outputs: ["aug0"]
+    config:
+    - resize:
+        shape: [32, 48]
+  - name: "warmup_then_edges"        # conditional: plain early, edges later
+    branch_type: "conditional"
+    inputs: ["aug0"]
+    outputs: ["aug1"]
+    branches:
+    - condition: "iteration > 2"
+      config:
+      - edge_boost: None             # <- the custom op, by registered name
+    - condition: "else"
+      config: None
+  - name: "stochastic_flip"
+    branch_type: "random"
+    inputs: ["aug1"]
+    outputs: ["aug2"]
+    branches:
+    - prob: 0.5
+      config:
+      - flip:
+          flip_prob: 1.0
+    - prob: 0.5
+      config: None
+)";
+
+int main() {
+  SetLogLevel(LogLevel::kWarning);
+
+  // Register the user function under the name the config references. In the
+  // paper this can also live in a separate process behind the RPC service
+  // boundary; here it runs in-process through the same registry interface.
+  if (auto status = CustomOpRegistry::Get().Register("edge_boost", &EdgeBoost); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  auto dataset_store = std::make_shared<MemoryStore>();
+  SyntheticDatasetOptions dataset;
+  dataset.num_videos = 4;
+  dataset.frames_per_video = 32;
+  dataset.height = 40;
+  dataset.width = 56;
+  auto meta = BuildSyntheticDataset(*dataset_store, dataset);
+  if (!meta.ok()) {
+    std::fprintf(stderr, "%s\n", meta.status().ToString().c_str());
+    return 1;
+  }
+
+  auto task = ParseTaskConfigText(kConfig);
+  if (!task.ok()) {
+    std::fprintf(stderr, "config: %s\n", task.status().ToString().c_str());
+    return 1;
+  }
+
+  auto cache = std::make_shared<TieredCache>(std::make_shared<MemoryStore>(128ULL * kMiB),
+                                             std::make_shared<MemoryStore>(512ULL * kMiB));
+  ServiceOptions options;
+  options.k_epochs = 3;
+  options.total_epochs = 3;
+  SandService service(dataset_store, *meta, cache, {*task}, options);
+  if (auto status = service.Start(); !status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // Iterate past the conditional threshold so both branches execute.
+  for (int64_t epoch = 0; epoch < 3; ++epoch) {
+    for (int64_t iteration = 0; iteration < 2; ++iteration) {
+      int64_t global_iteration = epoch * 2 + iteration;
+      auto fd = service.fs().Open(ViewPath::Batch("train", epoch, iteration).Format());
+      auto bytes = service.fs().ReadAll(*fd);
+      if (!bytes.ok()) {
+        std::fprintf(stderr, "%s\n", bytes.status().ToString().c_str());
+        return 1;
+      }
+      auto header = ParseBatchHeader(*bytes);
+      std::printf("iter %lld: %u clips of %ux%ux%u, branch: %s\n",
+                  static_cast<long long>(global_iteration), header->n_clips, header->height,
+                  header->width, header->channels,
+                  global_iteration > 2 ? "edge_boost (custom)" : "pass-through");
+      (void)service.fs().Close(*fd);
+    }
+  }
+  std::printf("\ncustom op executed inside SAND's planner/executor with full reuse.\n");
+  return 0;
+}

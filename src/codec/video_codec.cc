@@ -1,0 +1,237 @@
+#include "src/codec/video_codec.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "src/common/strings.h"
+#include "src/compress/lossless.h"
+
+namespace sand {
+namespace {
+
+constexpr std::array<uint8_t, 4> kMagic = {'S', 'V', 'C', '1'};
+constexpr uint16_t kVersion = 1;
+constexpr size_t kHeaderSize = 4 + 2 + 2 + 2 + 1 + 1 + 4;
+constexpr size_t kIndexEntrySize = 1 + 8 + 4;
+
+void PutU16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  PutU16(out, static_cast<uint16_t>(v));
+  PutU16(out, static_cast<uint16_t>(v >> 16));
+}
+
+void PutU64(std::vector<uint8_t>& out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+uint16_t GetU16(std::span<const uint8_t> in, size_t offset) {
+  return static_cast<uint16_t>(in[offset]) |
+         static_cast<uint16_t>(static_cast<uint16_t>(in[offset + 1]) << 8);
+}
+
+uint32_t GetU32(std::span<const uint8_t> in, size_t offset) {
+  return static_cast<uint32_t>(GetU16(in, offset)) |
+         (static_cast<uint32_t>(GetU16(in, offset + 2)) << 16);
+}
+
+uint64_t GetU64(std::span<const uint8_t> in, size_t offset) {
+  return static_cast<uint64_t>(GetU32(in, offset)) |
+         (static_cast<uint64_t>(GetU32(in, offset + 4)) << 32);
+}
+
+// Per-byte wraparound difference; deltas of smooth motion are near zero and
+// compress well with the lossless stage.
+std::vector<uint8_t> TemporalDelta(const Frame& cur, const Frame& prev) {
+  std::vector<uint8_t> delta(cur.size_bytes());
+  auto cur_data = cur.data();
+  auto prev_data = prev.data();
+  for (size_t i = 0; i < delta.size(); ++i) {
+    delta[i] = static_cast<uint8_t>(cur_data[i] - prev_data[i]);
+  }
+  return delta;
+}
+
+void ApplyTemporalDelta(Frame& target, std::span<const uint8_t> delta) {
+  auto data = target.data();
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<uint8_t>(data[i] + delta[i]);
+  }
+}
+
+}  // namespace
+
+VideoEncoder::VideoEncoder(int height, int width, int channels, VideoEncoderOptions options)
+    : height_(height), width_(width), channels_(channels), options_(options) {
+  if (options_.gop_size < 1) {
+    options_.gop_size = 1;
+  }
+}
+
+Status VideoEncoder::AddFrame(const Frame& frame) {
+  if (finished_) {
+    return FailedPrecondition("encoder already finished");
+  }
+  if (frame.height() != height_ || frame.width() != width_ || frame.channels() != channels_) {
+    return InvalidArgument("frame shape does not match encoder configuration");
+  }
+  const size_t stride = static_cast<size_t>(width_) * channels_;
+  const bool intra = (index_.size() % static_cast<size_t>(options_.gop_size)) == 0;
+
+  Result<std::vector<uint8_t>> compressed =
+      intra ? LosslessCompress(frame.data(), stride)
+            : LosslessCompress(TemporalDelta(frame, previous_), stride);
+  if (!compressed.ok()) {
+    return compressed.status();
+  }
+  index_.push_back(IndexEntry{intra ? FrameType::kIntra : FrameType::kDelta,
+                              static_cast<uint64_t>(payload_.size()),
+                              static_cast<uint32_t>(compressed->size())});
+  payload_.insert(payload_.end(), compressed->begin(), compressed->end());
+  previous_ = frame;
+  return Status::Ok();
+}
+
+Result<std::vector<uint8_t>> VideoEncoder::Finish() {
+  if (finished_) {
+    return FailedPrecondition("encoder already finished");
+  }
+  if (index_.empty()) {
+    return FailedPrecondition("no frames added");
+  }
+  finished_ = true;
+  std::vector<uint8_t> out;
+  out.reserve(kHeaderSize + index_.size() * kIndexEntrySize + payload_.size());
+  out.insert(out.end(), kMagic.begin(), kMagic.end());
+  PutU16(out, kVersion);
+  PutU16(out, static_cast<uint16_t>(width_));
+  PutU16(out, static_cast<uint16_t>(height_));
+  out.push_back(static_cast<uint8_t>(channels_));
+  out.push_back(static_cast<uint8_t>(options_.gop_size));
+  PutU32(out, static_cast<uint32_t>(index_.size()));
+  for (const IndexEntry& entry : index_) {
+    out.push_back(static_cast<uint8_t>(entry.type));
+    PutU64(out, entry.offset);
+    PutU32(out, entry.size);
+  }
+  out.insert(out.end(), payload_.begin(), payload_.end());
+  return out;
+}
+
+Result<VideoDecoder> VideoDecoder::Open(std::vector<uint8_t> container) {
+  if (container.size() < kHeaderSize ||
+      !std::equal(kMagic.begin(), kMagic.end(), container.begin())) {
+    return DataLoss("not an SVC1 container");
+  }
+  std::span<const uint8_t> bytes(container);
+  uint16_t version = GetU16(bytes, 4);
+  if (version != kVersion) {
+    return DataLoss(StrFormat("unsupported container version %u", version));
+  }
+  VideoDecoder decoder;
+  decoder.width_ = GetU16(bytes, 6);
+  decoder.height_ = GetU16(bytes, 8);
+  decoder.channels_ = bytes[10];
+  decoder.gop_size_ = bytes[11];
+  uint32_t frame_count = GetU32(bytes, 12);
+  if (decoder.gop_size_ < 1 || frame_count == 0) {
+    return DataLoss("corrupt container header");
+  }
+  size_t index_bytes = static_cast<size_t>(frame_count) * kIndexEntrySize;
+  if (container.size() < kHeaderSize + index_bytes) {
+    return DataLoss("container index truncated");
+  }
+  decoder.index_.reserve(frame_count);
+  size_t pos = kHeaderSize;
+  for (uint32_t i = 0; i < frame_count; ++i) {
+    IndexEntry entry;
+    entry.type = static_cast<FrameType>(bytes[pos]);
+    entry.offset = GetU64(bytes, pos + 1);
+    entry.size = GetU32(bytes, pos + 9);
+    if (entry.type != FrameType::kIntra && entry.type != FrameType::kDelta) {
+      return DataLoss("corrupt frame type");
+    }
+    decoder.index_.push_back(entry);
+    pos += kIndexEntrySize;
+  }
+  decoder.payload_base_ = pos;
+  const IndexEntry& last = decoder.index_.back();
+  if (container.size() < decoder.payload_base_ + last.offset + last.size) {
+    return DataLoss("container payload truncated");
+  }
+  decoder.container_ = std::move(container);
+  return decoder;
+}
+
+Result<int64_t> VideoDecoder::GopStart(int64_t index) const {
+  if (index < 0 || index >= frame_count()) {
+    return OutOfRange(StrFormat("frame %lld out of range", static_cast<long long>(index)));
+  }
+  int64_t i = index;
+  while (index_[static_cast<size_t>(i)].type != FrameType::kIntra) {
+    --i;  // frame 0 is always intra, so this terminates
+  }
+  return i;
+}
+
+Status VideoDecoder::DecodeIntoCursor(int64_t index) {
+  const IndexEntry& entry = index_[static_cast<size_t>(index)];
+  std::span<const uint8_t> payload(container_.data() + payload_base_ + entry.offset, entry.size);
+  stats_.bytes_read += entry.size;
+  Result<std::vector<uint8_t>> raw = LosslessDecompress(payload);
+  if (!raw.ok()) {
+    return raw.status();
+  }
+  if (entry.type == FrameType::kIntra) {
+    cursor_frame_ = Frame(height_, width_, channels_, raw.TakeValue());
+  } else {
+    ApplyTemporalDelta(cursor_frame_, *raw);
+  }
+  cursor_index_ = index;
+  ++stats_.frames_decoded;
+  return Status::Ok();
+}
+
+Result<Frame> VideoDecoder::DecodeFrame(int64_t index) {
+  if (index < 0 || index >= frame_count()) {
+    return OutOfRange(StrFormat("frame %lld out of range", static_cast<long long>(index)));
+  }
+  ++stats_.frames_requested;
+  if (cursor_index_ && *cursor_index_ == index) {
+    return cursor_frame_;  // repeat request; no decode work
+  }
+  SAND_ASSIGN_OR_RETURN(int64_t gop_start, GopStart(index));
+  int64_t start;
+  if (cursor_index_ && *cursor_index_ < index && *cursor_index_ >= gop_start) {
+    start = *cursor_index_ + 1;  // continue the current forward run
+  } else {
+    start = gop_start;
+    ++stats_.seeks;
+  }
+  for (int64_t i = start; i <= index; ++i) {
+    SAND_RETURN_IF_ERROR(DecodeIntoCursor(i));
+  }
+  return cursor_frame_;
+}
+
+Result<std::vector<Frame>> VideoDecoder::DecodeFrames(std::span<const int64_t> indices) {
+  std::vector<size_t> order(indices.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return indices[a] < indices[b]; });
+  std::vector<Frame> out(indices.size());
+  for (size_t slot : order) {
+    SAND_ASSIGN_OR_RETURN(Frame frame, DecodeFrame(indices[slot]));
+    out[slot] = std::move(frame);
+  }
+  return out;
+}
+
+}  // namespace sand

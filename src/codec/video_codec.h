@@ -1,0 +1,141 @@
+// A from-scratch GOP-structured video codec.
+//
+// Stands in for libvpx/openh264 in the paper's pipeline. The essential
+// property SAND exploits — and this codec reproduces — is inter-frame
+// dependency: frames are grouped into GOPs of `gop_size`; each GOP starts
+// with an intra-coded I-frame and continues with temporally delta-coded
+// P-frames. Randomly accessing frame i therefore requires decoding forward
+// from the preceding I-frame, so sparse frame selection decodes many more
+// frames than it uses (decode amplification), at real CPU cost.
+//
+// Container layout ("SVC1"):
+//   header  : magic(4) ver(u16) width(u16) height(u16) channels(u8)
+//             gop(u8) frame_count(u32)
+//   index   : frame_count x { type(u8) offset(u64) size(u32) }
+//   payload : per-frame compressed bytes (lossless; I = intra, P = delta
+//             against the previous reconstructed frame)
+
+#ifndef SAND_CODEC_VIDEO_CODEC_H_
+#define SAND_CODEC_VIDEO_CODEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/tensor/frame.h"
+
+namespace sand {
+
+enum class FrameType : uint8_t {
+  kIntra = 0,  // I-frame: self-contained
+  kDelta = 1,  // P-frame: depends on the previous frame
+};
+
+struct VideoEncoderOptions {
+  int gop_size = 8;  // frames per GOP (>= 1); 1 = all-intra
+};
+
+// Streaming encoder: feed frames in display order, then Finish().
+class VideoEncoder {
+ public:
+  VideoEncoder(int height, int width, int channels, VideoEncoderOptions options = {});
+
+  // All frames must share the shape given at construction.
+  Status AddFrame(const Frame& frame);
+
+  // Produces the container bytes. The encoder is spent afterwards.
+  Result<std::vector<uint8_t>> Finish();
+
+  int frame_count() const { return static_cast<int>(index_.size()); }
+
+ private:
+  struct IndexEntry {
+    FrameType type;
+    uint64_t offset;
+    uint32_t size;
+  };
+
+  int height_;
+  int width_;
+  int channels_;
+  VideoEncoderOptions options_;
+  Frame previous_;  // last reconstructed frame (== source frame: codec is lossless)
+  std::vector<IndexEntry> index_;
+  std::vector<uint8_t> payload_;
+  bool finished_ = false;
+};
+
+// Cumulative decoder-side counters; the source of the "frames decoded vs
+// frames used" numbers in Fig. 3 / Fig. 16.
+struct DecodeStats {
+  uint64_t frames_requested = 0;  // frames the caller asked for
+  uint64_t frames_decoded = 0;    // frames actually reconstructed
+  uint64_t bytes_read = 0;        // compressed payload bytes consumed
+  uint64_t seeks = 0;             // cursor restarts at an I-frame
+
+  double Amplification() const {
+    return frames_requested == 0
+               ? 0.0
+               : static_cast<double>(frames_decoded) / static_cast<double>(frames_requested);
+  }
+};
+
+// Random-access decoder with a single forward cursor. Decoding frame i
+// restarts at the preceding I-frame unless the cursor already sits at or
+// before i within the same GOP run.
+class VideoDecoder {
+ public:
+  static Result<VideoDecoder> Open(std::vector<uint8_t> container);
+
+  int height() const { return height_; }
+  int width() const { return width_; }
+  int channels() const { return channels_; }
+  int gop_size() const { return gop_size_; }
+  int64_t frame_count() const { return static_cast<int64_t>(index_.size()); }
+
+  // Decodes a single frame by display index.
+  Result<Frame> DecodeFrame(int64_t index);
+
+  // Decodes a set of indices (need not be sorted; duplicates allowed).
+  // Sorted internally so one forward pass per GOP run suffices.
+  Result<std::vector<Frame>> DecodeFrames(std::span<const int64_t> indices);
+
+  // Index of the I-frame at or before `index`.
+  Result<int64_t> GopStart(int64_t index) const;
+
+  const DecodeStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = DecodeStats{}; }
+
+ private:
+  struct IndexEntry {
+    FrameType type;
+    uint64_t offset;
+    uint32_t size;
+  };
+
+  VideoDecoder() = default;
+
+  // Reconstructs frame `index` assuming the cursor holds frame index-1 (for
+  // delta frames) or nothing (for intra frames).
+  Status DecodeIntoCursor(int64_t index);
+
+  int height_ = 0;
+  int width_ = 0;
+  int channels_ = 0;
+  int gop_size_ = 0;
+  std::vector<IndexEntry> index_;
+  std::vector<uint8_t> container_;
+  size_t payload_base_ = 0;
+
+  // Forward cursor: the most recently reconstructed frame.
+  std::optional<int64_t> cursor_index_;
+  Frame cursor_frame_;
+
+  DecodeStats stats_;
+};
+
+}  // namespace sand
+
+#endif  // SAND_CODEC_VIDEO_CODEC_H_

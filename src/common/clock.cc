@@ -1,0 +1,25 @@
+#include "src/common/clock.h"
+
+#include <chrono>
+
+namespace sand {
+
+Nanos WallClock::Now() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+WallClock& WallClock::Get() {
+  static WallClock clock;
+  return clock;
+}
+
+void ManualClock::AdvanceTo(Nanos t) {
+  Nanos current = now_.load(std::memory_order_relaxed);
+  while (t > current &&
+         !now_.compare_exchange_weak(current, t, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace sand

@@ -1,0 +1,76 @@
+// Time sources.
+//
+// SAND mixes real CPU work (decode, augmentation — measured with a wall
+// clock) with modeled GPU work (advanced on a virtual timeline). Both are
+// expressed against the Clock interface so schedulers and trackers are
+// agnostic to which one drives an experiment.
+
+#ifndef SAND_COMMON_CLOCK_H_
+#define SAND_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace sand {
+
+using Nanos = int64_t;
+
+constexpr Nanos kNanosPerMicro = 1000;
+constexpr Nanos kNanosPerMilli = 1000 * 1000;
+constexpr Nanos kNanosPerSecond = 1000 * 1000 * 1000;
+
+constexpr double ToSeconds(Nanos ns) { return static_cast<double>(ns) / kNanosPerSecond; }
+constexpr double ToMillis(Nanos ns) { return static_cast<double>(ns) / kNanosPerMilli; }
+constexpr Nanos FromMillis(double ms) { return static_cast<Nanos>(ms * kNanosPerMilli); }
+constexpr Nanos FromSeconds(double s) { return static_cast<Nanos>(s * kNanosPerSecond); }
+
+// Monotonic time source.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual Nanos Now() const = 0;
+};
+
+// Real monotonic clock (std::chrono::steady_clock).
+class WallClock : public Clock {
+ public:
+  Nanos Now() const override;
+
+  // Process-wide instance.
+  static WallClock& Get();
+};
+
+// Manually advanced virtual clock used by the discrete simulators. Thread
+// safe: Advance and Now may race benignly (monotonicity is preserved).
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(Nanos start = 0) : now_(start) {}
+
+  Nanos Now() const override { return now_.load(std::memory_order_relaxed); }
+
+  void Advance(Nanos delta) { now_.fetch_add(delta, std::memory_order_relaxed); }
+
+  // Moves the clock forward to `t` if it is later than the current time.
+  void AdvanceTo(Nanos t);
+
+ private:
+  std::atomic<Nanos> now_;
+};
+
+// RAII stopwatch over an arbitrary clock.
+class Stopwatch {
+ public:
+  explicit Stopwatch(const Clock& clock = WallClock::Get())
+      : clock_(clock), start_(clock.Now()) {}
+
+  Nanos Elapsed() const { return clock_.Now() - start_; }
+  void Reset() { start_ = clock_.Now(); }
+
+ private:
+  const Clock& clock_;
+  Nanos start_;
+};
+
+}  // namespace sand
+
+#endif  // SAND_COMMON_CLOCK_H_

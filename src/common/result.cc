@@ -1,0 +1,63 @@
+#include "src/common/result.h"
+
+namespace sand {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "OK";
+    case ErrorCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case ErrorCode::kNotFound:
+      return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case ErrorCode::kOutOfRange:
+      return "OUT_OF_RANGE";
+    case ErrorCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case ErrorCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case ErrorCode::kUnavailable:
+      return "UNAVAILABLE";
+    case ErrorCode::kDataLoss:
+      return "DATA_LOSS";
+    case ErrorCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) {
+    return "OK";
+  }
+  std::string out = ErrorCodeName(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status InvalidArgument(std::string message) {
+  return Status(ErrorCode::kInvalidArgument, std::move(message));
+}
+Status NotFound(std::string message) { return Status(ErrorCode::kNotFound, std::move(message)); }
+Status AlreadyExists(std::string message) {
+  return Status(ErrorCode::kAlreadyExists, std::move(message));
+}
+Status OutOfRange(std::string message) { return Status(ErrorCode::kOutOfRange, std::move(message)); }
+Status ResourceExhausted(std::string message) {
+  return Status(ErrorCode::kResourceExhausted, std::move(message));
+}
+Status FailedPrecondition(std::string message) {
+  return Status(ErrorCode::kFailedPrecondition, std::move(message));
+}
+Status Unavailable(std::string message) {
+  return Status(ErrorCode::kUnavailable, std::move(message));
+}
+Status DataLoss(std::string message) { return Status(ErrorCode::kDataLoss, std::move(message)); }
+Status Internal(std::string message) { return Status(ErrorCode::kInternal, std::move(message)); }
+
+}  // namespace sand

@@ -1,0 +1,64 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in SAND (temporal frame selection, spatial crop windows,
+// augmentation branches) flows through seeded Rng instances so that plans,
+// tests, and benches are reproducible bit-for-bit.
+
+#ifndef SAND_COMMON_RNG_H_
+#define SAND_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace sand {
+
+// xoshiro256** with a splitmix64 seeder. Not cryptographic; fast and
+// high-quality for simulation use.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5a4d5fbeefULL);
+
+  // Uniform 64-bit value.
+  uint64_t Next();
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Bernoulli trial with success probability p in [0, 1].
+  bool NextBool(double p);
+
+  // Gaussian via Box-Muller, mean 0, stddev 1.
+  double NextGaussian();
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(NextBounded(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  // Samples `count` distinct indices from [0, population) in increasing
+  // order (selection sampling). Requires count <= population.
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t population, uint64_t count);
+
+  // Derives an independent child generator (for per-task / per-epoch
+  // streams) without perturbing this generator's sequence more than once.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace sand
+
+#endif  // SAND_COMMON_RNG_H_

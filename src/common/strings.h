@@ -1,0 +1,36 @@
+// Small string utilities used by the config parser and path layer.
+
+#ifndef SAND_COMMON_STRINGS_H_
+#define SAND_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sand {
+
+// Splits on `sep`; empty fields are kept ("a//b" -> {"a", "", "b"}).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view text);
+
+// Joins with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+// Strict numeric parsing (whole string must be consumed).
+std::optional<int64_t> ParseInt(std::string_view text);
+std::optional<double> ParseDouble(std::string_view text);
+std::optional<bool> ParseBool(std::string_view text);  // true/false/yes/no/on/off
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace sand
+
+#endif  // SAND_COMMON_STRINGS_H_

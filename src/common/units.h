@@ -1,0 +1,24 @@
+// Byte-size units and formatting helpers.
+
+#ifndef SAND_COMMON_UNITS_H_
+#define SAND_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace sand {
+
+constexpr uint64_t kKiB = 1024ULL;
+constexpr uint64_t kMiB = 1024ULL * kKiB;
+constexpr uint64_t kGiB = 1024ULL * kMiB;
+constexpr uint64_t kTiB = 1024ULL * kGiB;
+
+// "1.50 GiB", "320 B" — for logs and bench tables.
+std::string FormatBytes(uint64_t bytes);
+
+// "12.3 ms", "1.20 s" — for logs and bench tables.
+std::string FormatDuration(double seconds);
+
+}  // namespace sand
+
+#endif  // SAND_COMMON_UNITS_H_

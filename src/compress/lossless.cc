@@ -1,0 +1,556 @@
+#include "src/compress/lossless.h"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+namespace sand {
+namespace {
+
+constexpr std::array<uint8_t, 4> kMagic = {'S', 'L', 'Z', '1'};
+constexpr size_t kHeaderSize = 4 + 4 + 4 + 1;  // magic + raw_size + stride + bpp
+constexpr size_t kMaxWindow = 65535;
+constexpr size_t kMinMatch = 3;
+constexpr size_t kMaxMatch = 130;
+constexpr size_t kMaxLiteralRun = 128;
+
+enum Filter : uint8_t {
+  kNone = 0,
+  kSub = 1,
+  kUp = 2,
+  kAverage = 3,
+  kPaeth = 4,
+};
+
+uint8_t PaethPredict(int a, int b, int c) {
+  int p = a + b - c;
+  int pa = std::abs(p - a);
+  int pb = std::abs(p - b);
+  int pc = std::abs(p - c);
+  if (pa <= pb && pa <= pc) {
+    return static_cast<uint8_t>(a);
+  }
+  if (pb <= pc) {
+    return static_cast<uint8_t>(b);
+  }
+  return static_cast<uint8_t>(c);
+}
+
+// Applies `filter` to one row; prev is the prior raw row (empty for row 0).
+void FilterRow(Filter filter, std::span<const uint8_t> row, std::span<const uint8_t> prev,
+               size_t bpp, std::vector<uint8_t>& out) {
+  for (size_t i = 0; i < row.size(); ++i) {
+    int left = i >= bpp ? row[i - bpp] : 0;
+    int up = !prev.empty() ? prev[i] : 0;
+    int up_left = (!prev.empty() && i >= bpp) ? prev[i - bpp] : 0;
+    int pred = 0;
+    switch (filter) {
+      case kNone:
+        pred = 0;
+        break;
+      case kSub:
+        pred = left;
+        break;
+      case kUp:
+        pred = up;
+        break;
+      case kAverage:
+        pred = (left + up) / 2;
+        break;
+      case kPaeth:
+        pred = PaethPredict(left, up, up_left);
+        break;
+    }
+    out.push_back(static_cast<uint8_t>(row[i] - pred));
+  }
+}
+
+// Inverse of FilterRow, reconstructing raw bytes in place.
+void UnfilterRow(Filter filter, std::span<uint8_t> row, std::span<const uint8_t> prev,
+                 size_t bpp) {
+  for (size_t i = 0; i < row.size(); ++i) {
+    int left = i >= bpp ? row[i - bpp] : 0;
+    int up = !prev.empty() ? prev[i] : 0;
+    int up_left = (!prev.empty() && i >= bpp) ? prev[i - bpp] : 0;
+    int pred = 0;
+    switch (filter) {
+      case kNone:
+        pred = 0;
+        break;
+      case kSub:
+        pred = left;
+        break;
+      case kUp:
+        pred = up;
+        break;
+      case kAverage:
+        pred = (left + up) / 2;
+        break;
+      case kPaeth:
+        pred = PaethPredict(left, up, up_left);
+        break;
+    }
+    row[i] = static_cast<uint8_t>(row[i] + pred);
+  }
+}
+
+// Sum of absolute signed residuals; the standard PNG filter heuristic.
+uint64_t ResidualCost(std::span<const uint8_t> filtered, size_t begin, size_t len) {
+  uint64_t cost = 0;
+  for (size_t i = begin; i < begin + len; ++i) {
+    int8_t s = static_cast<int8_t>(filtered[i]);
+    cost += static_cast<uint64_t>(s < 0 ? -s : s);
+  }
+  return cost;
+}
+
+// --- LZ+RLE entropy stage -------------------------------------------------
+//
+// Token stream:
+//   control byte c:
+//     c < 0x80  -> literal run of (c + 1) bytes follows            [1..128]
+//     c >= 0x80 -> match of length ((c & 0x7f) + kMinMatch)        [3..130]
+//                  followed by a 2-byte little-endian distance     [1..65535]
+
+uint32_t Hash3(const uint8_t* p) {
+  uint32_t v = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+               (static_cast<uint32_t>(p[2]) << 16);
+  return (v * 2654435761u) >> 18;  // 14-bit table
+}
+
+std::vector<uint8_t> LzCompress(std::span<const uint8_t> in) {
+  std::vector<uint8_t> out;
+  out.reserve(in.size() / 2 + 16);
+  constexpr size_t kTableSize = 1 << 14;
+  std::vector<int64_t> table(kTableSize, -1);
+
+  size_t literal_start = 0;
+  auto flush_literals = [&](size_t end) {
+    size_t pos = literal_start;
+    while (pos < end) {
+      size_t run = std::min(end - pos, kMaxLiteralRun);
+      out.push_back(static_cast<uint8_t>(run - 1));
+      out.insert(out.end(), in.begin() + pos, in.begin() + pos + run);
+      pos += run;
+    }
+  };
+
+  size_t i = 0;
+  while (i + kMinMatch <= in.size()) {
+    uint32_t h = Hash3(&in[i]);
+    int64_t cand = table[h];
+    table[h] = static_cast<int64_t>(i);
+    size_t match_len = 0;
+    if (cand >= 0 && i - static_cast<size_t>(cand) <= kMaxWindow) {
+      size_t dist = i - static_cast<size_t>(cand);
+      size_t limit = std::min(kMaxMatch, in.size() - i);
+      while (match_len < limit && in[cand + match_len] == in[i + match_len]) {
+        ++match_len;
+      }
+      if (match_len >= kMinMatch) {
+        flush_literals(i);
+        out.push_back(static_cast<uint8_t>(0x80 | (match_len - kMinMatch)));
+        out.push_back(static_cast<uint8_t>(dist & 0xff));
+        out.push_back(static_cast<uint8_t>(dist >> 8));
+        i += match_len;
+        literal_start = i;
+        continue;
+      }
+    }
+    ++i;
+  }
+  flush_literals(in.size());
+  return out;
+}
+
+Result<std::vector<uint8_t>> LzDecompress(std::span<const uint8_t> in, size_t expected_size) {
+  std::vector<uint8_t> out;
+  out.reserve(expected_size);
+  size_t i = 0;
+  while (i < in.size()) {
+    uint8_t ctrl = in[i++];
+    if (ctrl < 0x80) {
+      size_t run = static_cast<size_t>(ctrl) + 1;
+      if (i + run > in.size()) {
+        return DataLoss("lz literal run truncated");
+      }
+      out.insert(out.end(), in.begin() + i, in.begin() + i + run);
+      i += run;
+    } else {
+      size_t len = static_cast<size_t>(ctrl & 0x7f) + kMinMatch;
+      if (i + 2 > in.size()) {
+        return DataLoss("lz match header truncated");
+      }
+      size_t dist = static_cast<size_t>(in[i]) | (static_cast<size_t>(in[i + 1]) << 8);
+      i += 2;
+      if (dist == 0 || dist > out.size()) {
+        return DataLoss("lz match distance out of range");
+      }
+      size_t src = out.size() - dist;
+      for (size_t k = 0; k < len; ++k) {
+        out.push_back(out[src + k]);  // overlapping copies are intentional
+      }
+    }
+  }
+  if (out.size() != expected_size) {
+    return DataLoss("lz output size mismatch");
+  }
+  return out;
+}
+
+// --- Order-0 canonical Huffman stage ---------------------------------------
+//
+// The LZ stage leaves filter residuals mostly as literal runs; their
+// distribution is heavily skewed toward small magnitudes, which a Huffman
+// pass converts into the 2-4x ratios a real PNG-class codec reaches on
+// video frames. Format: flag byte (0 = stored raw, 1 = huffman), u32
+// payload size, 256 nibble-packed code lengths (huffman only), bitstream.
+
+constexpr int kMaxCodeLength = 15;
+
+// Computes depth-limited code lengths for the symbol histogram by
+// repeatedly halving frequencies until the Huffman tree fits (zlib trick).
+std::array<uint8_t, 256> HuffmanCodeLengths(std::array<uint64_t, 256> freq) {
+  std::array<uint8_t, 256> lengths{};
+  while (true) {
+    // Build the tree with a simple two-array merge over node indices.
+    struct Node {
+      uint64_t weight;
+      int left = -1;
+      int right = -1;
+      int symbol = -1;
+    };
+    std::vector<Node> nodes;
+    std::vector<int> heap;  // indices, maintained as a min-heap by weight
+    auto cmp = [&nodes](int a, int b) { return nodes[a].weight > nodes[b].weight; };
+    for (int s = 0; s < 256; ++s) {
+      if (freq[s] > 0) {
+        nodes.push_back(Node{freq[s], -1, -1, s});
+        heap.push_back(static_cast<int>(nodes.size()) - 1);
+      }
+    }
+    if (heap.empty()) {
+      return lengths;
+    }
+    if (heap.size() == 1) {
+      lengths[static_cast<size_t>(nodes[heap[0]].symbol)] = 1;
+      return lengths;
+    }
+    std::make_heap(heap.begin(), heap.end(), cmp);
+    while (heap.size() > 1) {
+      std::pop_heap(heap.begin(), heap.end(), cmp);
+      int a = heap.back();
+      heap.pop_back();
+      std::pop_heap(heap.begin(), heap.end(), cmp);
+      int b = heap.back();
+      heap.pop_back();
+      nodes.push_back(Node{nodes[a].weight + nodes[b].weight, a, b, -1});
+      heap.push_back(static_cast<int>(nodes.size()) - 1);
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    }
+    // Depths by DFS from the root.
+    int max_depth = 0;
+    std::array<uint8_t, 256> tentative{};
+    std::vector<std::pair<int, int>> stack = {{heap[0], 0}};
+    while (!stack.empty()) {
+      auto [node, depth] = stack.back();
+      stack.pop_back();
+      if (nodes[node].symbol >= 0) {
+        tentative[static_cast<size_t>(nodes[node].symbol)] =
+            static_cast<uint8_t>(std::max(depth, 1));
+        max_depth = std::max(max_depth, std::max(depth, 1));
+      } else {
+        stack.push_back({nodes[node].left, depth + 1});
+        stack.push_back({nodes[node].right, depth + 1});
+      }
+    }
+    if (max_depth <= kMaxCodeLength) {
+      return tentative;
+    }
+    for (auto& f : freq) {
+      if (f > 1) {
+        f = (f + 1) / 2;
+      }
+    }
+  }
+}
+
+// Canonical code assignment from lengths (shorter codes first, then symbol
+// order). Returns per-symbol (code, length).
+std::array<std::pair<uint16_t, uint8_t>, 256> CanonicalCodes(
+    const std::array<uint8_t, 256>& lengths) {
+  std::array<std::pair<uint16_t, uint8_t>, 256> codes{};
+  uint16_t code = 0;
+  for (int len = 1; len <= kMaxCodeLength; ++len) {
+    for (int s = 0; s < 256; ++s) {
+      if (lengths[static_cast<size_t>(s)] == len) {
+        codes[static_cast<size_t>(s)] = {code, static_cast<uint8_t>(len)};
+        ++code;
+      }
+    }
+    code <<= 1;
+  }
+  return codes;
+}
+
+std::vector<uint8_t> EntropyEncode(std::span<const uint8_t> in) {
+  std::vector<uint8_t> out;
+  out.reserve(in.size() / 2 + 160);
+  out.push_back(1);  // huffman flag (candidate)
+  out.push_back(static_cast<uint8_t>(in.size()));
+  out.push_back(static_cast<uint8_t>(in.size() >> 8));
+  out.push_back(static_cast<uint8_t>(in.size() >> 16));
+  out.push_back(static_cast<uint8_t>(in.size() >> 24));
+
+  std::array<uint64_t, 256> freq{};
+  for (uint8_t byte : in) {
+    ++freq[byte];
+  }
+  std::array<uint8_t, 256> lengths = HuffmanCodeLengths(freq);
+  for (int s = 0; s < 256; s += 2) {
+    out.push_back(static_cast<uint8_t>(lengths[static_cast<size_t>(s)] |
+                                       (lengths[static_cast<size_t>(s + 1)] << 4)));
+  }
+  auto codes = CanonicalCodes(lengths);
+  uint64_t bit_buffer = 0;
+  int bit_count = 0;
+  for (uint8_t byte : in) {
+    auto [code, len] = codes[byte];
+    bit_buffer = (bit_buffer << len) | code;
+    bit_count += len;
+    while (bit_count >= 8) {
+      out.push_back(static_cast<uint8_t>(bit_buffer >> (bit_count - 8)));
+      bit_count -= 8;
+    }
+  }
+  if (bit_count > 0) {
+    out.push_back(static_cast<uint8_t>(bit_buffer << (8 - bit_count)));
+  }
+  if (out.size() >= in.size() + 5) {
+    // Incompressible: store raw.
+    out.clear();
+    out.push_back(0);
+    out.push_back(static_cast<uint8_t>(in.size()));
+    out.push_back(static_cast<uint8_t>(in.size() >> 8));
+    out.push_back(static_cast<uint8_t>(in.size() >> 16));
+    out.push_back(static_cast<uint8_t>(in.size() >> 24));
+    out.insert(out.end(), in.begin(), in.end());
+  }
+  return out;
+}
+
+Result<std::vector<uint8_t>> EntropyDecode(std::span<const uint8_t> in) {
+  if (in.size() < 5) {
+    return DataLoss("entropy stream truncated");
+  }
+  uint8_t flag = in[0];
+  size_t raw_size = static_cast<size_t>(in[1]) | (static_cast<size_t>(in[2]) << 8) |
+                    (static_cast<size_t>(in[3]) << 16) | (static_cast<size_t>(in[4]) << 24);
+  if (flag == 0) {
+    if (in.size() - 5 != raw_size) {
+      return DataLoss("stored block size mismatch");
+    }
+    return std::vector<uint8_t>(in.begin() + 5, in.end());
+  }
+  if (flag != 1 || in.size() < 5 + 128) {
+    return DataLoss("bad entropy block header");
+  }
+  std::array<uint8_t, 256> lengths{};
+  for (int s = 0; s < 256; s += 2) {
+    uint8_t packed = in[5 + static_cast<size_t>(s) / 2];
+    lengths[static_cast<size_t>(s)] = packed & 0x0f;
+    lengths[static_cast<size_t>(s + 1)] = packed >> 4;
+  }
+  // Decode table: (length, code) -> symbol, via first-code arithmetic
+  // over the canonical code assignment.
+  std::array<uint16_t, kMaxCodeLength + 2> first_code{};
+  std::array<uint16_t, kMaxCodeLength + 2> first_index{};
+  std::vector<uint8_t> symbols_by_code;
+  {
+    uint16_t code = 0;
+    uint16_t index = 0;
+    for (int len = 1; len <= kMaxCodeLength; ++len) {
+      first_code[static_cast<size_t>(len)] = code;
+      first_index[static_cast<size_t>(len)] = index;
+      for (int s = 0; s < 256; ++s) {
+        if (lengths[static_cast<size_t>(s)] == len) {
+          symbols_by_code.push_back(static_cast<uint8_t>(s));
+          ++code;
+          ++index;
+        }
+      }
+      code <<= 1;
+    }
+  }
+  std::array<uint16_t, kMaxCodeLength + 1> count_at_len{};
+  for (int s = 0; s < 256; ++s) {
+    if (lengths[static_cast<size_t>(s)] > 0) {
+      ++count_at_len[lengths[static_cast<size_t>(s)]];
+    }
+  }
+
+  std::vector<uint8_t> out;
+  out.reserve(raw_size);
+  size_t pos = 5 + 128;
+  uint32_t bits = 0;
+  int have = 0;
+  uint16_t code = 0;
+  int len = 0;
+  while (out.size() < raw_size) {
+    if (have == 0) {
+      if (pos >= in.size()) {
+        return DataLoss("entropy bitstream truncated");
+      }
+      bits = in[pos++];
+      have = 8;
+    }
+    code = static_cast<uint16_t>((code << 1) | ((bits >> (have - 1)) & 1));
+    --have;
+    ++len;
+    if (len > kMaxCodeLength) {
+      return DataLoss("invalid huffman code");
+    }
+    uint16_t offset = code - first_code[static_cast<size_t>(len)];
+    if (count_at_len[static_cast<size_t>(len)] > 0 &&
+        code >= first_code[static_cast<size_t>(len)] &&
+        offset < count_at_len[static_cast<size_t>(len)]) {
+      out.push_back(symbols_by_code[first_index[static_cast<size_t>(len)] + offset]);
+      code = 0;
+      len = 0;
+    }
+  }
+  return out;
+}
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+uint32_t GetU32(std::span<const uint8_t> in, size_t offset) {
+  return static_cast<uint32_t>(in[offset]) | (static_cast<uint32_t>(in[offset + 1]) << 8) |
+         (static_cast<uint32_t>(in[offset + 2]) << 16) |
+         (static_cast<uint32_t>(in[offset + 3]) << 24);
+}
+
+Result<std::vector<uint8_t>> CompressImpl(std::span<const uint8_t> data, size_t stride,
+                                          size_t bpp) {
+  if (stride == 0 || data.size() % stride != 0) {
+    return InvalidArgument("LosslessCompress: stride must divide data size");
+  }
+  if (bpp == 0 || bpp > 255) {
+    return InvalidArgument("LosslessCompress: bad bpp");
+  }
+  const size_t rows = data.size() / stride;
+
+  // Per row: pick the filter with the smallest residual cost, emit the
+  // filter id followed by the filtered bytes.
+  std::vector<uint8_t> filtered;
+  filtered.reserve(data.size() + rows);
+  std::vector<uint8_t> scratch;
+  scratch.reserve(stride * 5);
+  for (size_t r = 0; r < rows; ++r) {
+    std::span<const uint8_t> row = data.subspan(r * stride, stride);
+    std::span<const uint8_t> prev =
+        r > 0 ? data.subspan((r - 1) * stride, stride) : std::span<const uint8_t>();
+    scratch.clear();
+    uint64_t best_cost = UINT64_MAX;
+    Filter best = kNone;
+    for (Filter f : {kNone, kSub, kUp, kAverage, kPaeth}) {
+      size_t begin = scratch.size();
+      FilterRow(f, row, prev, bpp, scratch);
+      uint64_t cost = ResidualCost(scratch, begin, stride);
+      if (cost < best_cost) {
+        best_cost = cost;
+        best = f;
+      }
+    }
+    filtered.push_back(static_cast<uint8_t>(best));
+    size_t offset = static_cast<size_t>(best) * stride;
+    filtered.insert(filtered.end(), scratch.begin() + offset, scratch.begin() + offset + stride);
+  }
+
+  std::vector<uint8_t> out;
+  out.insert(out.end(), kMagic.begin(), kMagic.end());
+  PutU32(out, static_cast<uint32_t>(data.size()));
+  PutU32(out, static_cast<uint32_t>(stride));
+  out.push_back(static_cast<uint8_t>(bpp));
+  std::vector<uint8_t> entropy = EntropyEncode(LzCompress(filtered));
+  out.insert(out.end(), entropy.begin(), entropy.end());
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> LosslessCompress(std::span<const uint8_t> data, size_t stride) {
+  return CompressImpl(data, stride, 1);
+}
+
+Result<std::vector<uint8_t>> LosslessDecompress(std::span<const uint8_t> compressed) {
+  if (compressed.size() < kHeaderSize ||
+      !std::equal(kMagic.begin(), kMagic.end(), compressed.begin())) {
+    return DataLoss("LosslessDecompress: bad header");
+  }
+  size_t raw_size = GetU32(compressed, 4);
+  size_t stride = GetU32(compressed, 8);
+  size_t bpp = compressed[12];
+  if (stride == 0 || bpp == 0 || raw_size % stride != 0) {
+    return DataLoss("LosslessDecompress: corrupt header");
+  }
+  const size_t rows = raw_size / stride;
+  SAND_ASSIGN_OR_RETURN(std::vector<uint8_t> lz_stream,
+                        EntropyDecode(compressed.subspan(kHeaderSize)));
+  SAND_ASSIGN_OR_RETURN(std::vector<uint8_t> filtered,
+                        LzDecompress(lz_stream, raw_size + rows));
+
+  std::vector<uint8_t> out(raw_size);
+  for (size_t r = 0; r < rows; ++r) {
+    uint8_t filter_id = filtered[r * (stride + 1)];
+    if (filter_id > kPaeth) {
+      return DataLoss("LosslessDecompress: bad filter id");
+    }
+    std::memcpy(&out[r * stride], &filtered[r * (stride + 1) + 1], stride);
+    std::span<uint8_t> row(&out[r * stride], stride);
+    std::span<const uint8_t> prev =
+        r > 0 ? std::span<const uint8_t>(&out[(r - 1) * stride], stride)
+              : std::span<const uint8_t>();
+    UnfilterRow(static_cast<Filter>(filter_id), row, prev, bpp);
+  }
+  return out;
+}
+
+Result<std::vector<uint8_t>> CompressFrame(const Frame& frame) {
+  if (frame.empty()) {
+    return InvalidArgument("CompressFrame: empty frame");
+  }
+  // Prefix the compressed pixels with the frame shape so DecompressFrame is
+  // self-contained.
+  size_t stride = static_cast<size_t>(frame.width()) * frame.channels();
+  SAND_ASSIGN_OR_RETURN(std::vector<uint8_t> pixels,
+                        CompressImpl(frame.data(), stride, frame.channels()));
+  std::vector<uint8_t> out;
+  PutU32(out, static_cast<uint32_t>(frame.height()));
+  PutU32(out, static_cast<uint32_t>(frame.width()));
+  PutU32(out, static_cast<uint32_t>(frame.channels()));
+  out.insert(out.end(), pixels.begin(), pixels.end());
+  return out;
+}
+
+Result<Frame> DecompressFrame(std::span<const uint8_t> compressed) {
+  if (compressed.size() < 12) {
+    return DataLoss("DecompressFrame: truncated");
+  }
+  int h = static_cast<int>(GetU32(compressed, 0));
+  int w = static_cast<int>(GetU32(compressed, 4));
+  int c = static_cast<int>(GetU32(compressed, 8));
+  SAND_ASSIGN_OR_RETURN(std::vector<uint8_t> pixels,
+                        LosslessDecompress(compressed.subspan(12)));
+  if (pixels.size() != static_cast<size_t>(h) * w * c) {
+    return DataLoss("DecompressFrame: pixel count mismatch");
+  }
+  return Frame(h, w, c, std::move(pixels));
+}
+
+}  // namespace sand

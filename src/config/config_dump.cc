@@ -1,0 +1,142 @@
+#include "src/config/config_dump.h"
+
+#include "src/common/strings.h"
+
+namespace sand {
+namespace {
+
+std::string DumpOp(const AugOp& op, const std::string& indent) {
+  switch (op.kind) {
+    case OpKind::kResize:
+      return StrFormat("%s- resize:\n%s    shape: [%d, %d]\n%s    interpolation: [\"%s\"]\n",
+                       indent.c_str(), indent.c_str(), op.out_h, op.out_w, indent.c_str(),
+                       op.interp == Interpolation::kBilinear ? "bilinear" : "nearest");
+    case OpKind::kRandomCrop:
+      return StrFormat("%s- random_crop:\n%s    shape: [%d, %d]\n", indent.c_str(),
+                       indent.c_str(), op.out_h, op.out_w);
+    case OpKind::kCenterCrop:
+      return StrFormat("%s- center_crop:\n%s    shape: [%d, %d]\n", indent.c_str(),
+                       indent.c_str(), op.out_h, op.out_w);
+    case OpKind::kFlip:
+      return StrFormat("%s- flip:\n%s    flip_prob: %g\n", indent.c_str(), indent.c_str(),
+                       op.prob);
+    case OpKind::kColorJitter:
+      return StrFormat("%s- color_jitter:\n%s    max_delta: %d\n%s    max_contrast: %g\n",
+                       indent.c_str(), indent.c_str(), op.max_delta, indent.c_str(),
+                       op.max_contrast);
+    case OpKind::kBlur:
+      return StrFormat("%s- blur:\n%s    kernel: %d\n", indent.c_str(), indent.c_str(),
+                       op.kernel);
+    case OpKind::kRotate90:
+      return StrFormat("%s- rotate90: true\n", indent.c_str());
+    case OpKind::kInvert:
+      return StrFormat("%s- inv_sample: true\n", indent.c_str());
+    case OpKind::kCustom:
+      return StrFormat("%s- %s: None\n", indent.c_str(), op.custom_name.c_str());
+  }
+  return "";
+}
+
+std::string DumpOps(const std::vector<AugOp>& ops, const std::string& indent) {
+  if (ops.empty()) {
+    // "config: None" is emitted by the caller.
+    return "";
+  }
+  std::string out;
+  for (const AugOp& op : ops) {
+    out += DumpOp(op, indent);
+  }
+  return out;
+}
+
+std::string DumpStringList(const std::vector<std::string>& items) {
+  std::string out = "[";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) {
+      out += ", ";
+    }
+    out += "\"" + items[i] + "\"";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+std::string FormatCondition(const Condition& condition) {
+  if (condition.is_else) {
+    return "else";
+  }
+  const char* variable =
+      condition.variable == Condition::Variable::kIteration ? "iteration" : "epoch";
+  const char* comparison = ">";
+  switch (condition.comparison) {
+    case Condition::Comparison::kLess:
+      comparison = "<";
+      break;
+    case Condition::Comparison::kLessEqual:
+      comparison = "<=";
+      break;
+    case Condition::Comparison::kGreater:
+      comparison = ">";
+      break;
+    case Condition::Comparison::kGreaterEqual:
+      comparison = ">=";
+      break;
+    case Condition::Comparison::kEqual:
+      comparison = "==";
+      break;
+  }
+  return StrFormat("%s %s %lld", variable, comparison,
+                   static_cast<long long>(condition.threshold));
+}
+
+std::string DumpTaskConfigYaml(const TaskConfig& config) {
+  std::string out = "dataset:\n";
+  out += StrFormat("  tag: \"%s\"\n", config.tag.c_str());
+  out += StrFormat("  input_source: %s\n",
+                   config.input_source == InputSource::kFile ? "file" : "streaming");
+  out += StrFormat("  video_dataset_path: %s\n", config.dataset_path.c_str());
+  out += "  sampling:\n";
+  out += StrFormat("    videos_per_batch: %d\n", config.sampling.videos_per_batch);
+  out += StrFormat("    frames_per_video: %d\n", config.sampling.frames_per_video);
+  out += StrFormat("    frame_stride: %d\n", config.sampling.frame_stride);
+  out += StrFormat("    samples_per_video: %d\n", config.sampling.samples_per_video);
+  if (config.augmentation.empty()) {
+    return out;
+  }
+  out += "  augmentation:\n";
+  for (const AugStage& stage : config.augmentation) {
+    out += StrFormat("  - name: \"%s\"\n", stage.name.c_str());
+    out += StrFormat("    branch_type: \"%s\"\n", BranchTypeName(stage.type));
+    out += StrFormat("    inputs: %s\n", DumpStringList(stage.inputs).c_str());
+    out += StrFormat("    outputs: %s\n", DumpStringList(stage.outputs).c_str());
+    if (stage.type == BranchType::kSingle || stage.type == BranchType::kMulti) {
+      if (stage.ops.empty()) {
+        out += "    config: None\n";
+      } else {
+        out += "    config:\n";
+        out += DumpOps(stage.ops, "    ");
+      }
+    } else if (stage.type == BranchType::kConditional || stage.type == BranchType::kRandom) {
+      out += "    branches:\n";
+      for (const BranchOption& option : stage.branches) {
+        if (stage.type == BranchType::kConditional) {
+          out += StrFormat("    - condition: \"%s\"\n",
+                           FormatCondition(option.condition).c_str());
+        } else {
+          out += StrFormat("    - prob: %g\n", option.prob);
+        }
+        if (option.ops.empty()) {
+          out += "      config: None\n";
+        } else {
+          out += "      config:\n";
+          out += DumpOps(option.ops, "      ");
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sand

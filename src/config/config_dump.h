@@ -1,0 +1,24 @@
+// Serializes a TaskConfig back to the Fig. 9 YAML dialect.
+//
+// Round-trip guarantee: ParseTaskConfigText(DumpTaskConfigYaml(c)) produces
+// a config equivalent to c. Used by metadata checkpoints (§5.5 fault
+// tolerance): SAND persists configurations, not graphs — plans regenerate
+// deterministically from them.
+
+#ifndef SAND_CONFIG_CONFIG_DUMP_H_
+#define SAND_CONFIG_CONFIG_DUMP_H_
+
+#include <string>
+
+#include "src/config/pipeline_config.h"
+
+namespace sand {
+
+std::string DumpTaskConfigYaml(const TaskConfig& config);
+
+// The condition grammar's inverse ("iteration > 10000", "else").
+std::string FormatCondition(const Condition& condition);
+
+}  // namespace sand
+
+#endif  // SAND_CONFIG_CONFIG_DUMP_H_

@@ -1,0 +1,397 @@
+#include "src/config/yaml.h"
+
+#include <cassert>
+
+#include "src/common/strings.h"
+
+namespace sand {
+namespace {
+
+struct Line {
+  int indent;
+  std::string content;  // trimmed, comments removed
+  int number;           // 1-based source line, for error messages
+};
+
+// Removes a trailing comment ('#' outside quotes) and returns the line.
+std::string StripComment(std::string_view text) {
+  bool in_single = false;
+  bool in_double = false;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '\'' && !in_double) {
+      in_single = !in_single;
+    } else if (c == '"' && !in_single) {
+      in_double = !in_double;
+    } else if (c == '#' && !in_single && !in_double) {
+      return std::string(text.substr(0, i));
+    }
+  }
+  return std::string(text);
+}
+
+// Finds the first ':' that separates a key from a value (outside quotes and
+// flow brackets, followed by space or end of line). Returns npos if none.
+size_t FindKeySeparator(std::string_view text) {
+  bool in_single = false;
+  bool in_double = false;
+  int bracket_depth = 0;
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '\'' && !in_double) {
+      in_single = !in_single;
+    } else if (c == '"' && !in_single) {
+      in_double = !in_double;
+    } else if (!in_single && !in_double) {
+      if (c == '[') {
+        ++bracket_depth;
+      } else if (c == ']') {
+        --bracket_depth;
+      } else if (c == ':' && bracket_depth == 0 &&
+                 (i + 1 == text.size() || text[i + 1] == ' ')) {
+        return i;
+      }
+    }
+  }
+  return std::string_view::npos;
+}
+
+std::string Unquote(std::string_view text) {
+  std::string_view t = Trim(text);
+  if (t.size() >= 2 && ((t.front() == '"' && t.back() == '"') ||
+                        (t.front() == '\'' && t.back() == '\''))) {
+    return std::string(t.substr(1, t.size() - 2));
+  }
+  return std::string(t);
+}
+
+bool IsNullScalar(std::string_view text) {
+  return text == "None" || text == "null" || text == "~" || text.empty();
+}
+
+// Splits a flow list body ("a, b, [..]" without the outer brackets) at
+// top-level commas.
+std::vector<std::string> SplitFlowItems(std::string_view body) {
+  std::vector<std::string> out;
+  bool in_single = false;
+  bool in_double = false;
+  int depth = 0;
+  size_t start = 0;
+  for (size_t i = 0; i < body.size(); ++i) {
+    char c = body[i];
+    if (c == '\'' && !in_double) {
+      in_single = !in_single;
+    } else if (c == '"' && !in_single) {
+      in_double = !in_double;
+    } else if (!in_single && !in_double) {
+      if (c == '[') {
+        ++depth;
+      } else if (c == ']') {
+        --depth;
+      } else if (c == ',' && depth == 0) {
+        out.emplace_back(Trim(body.substr(start, i - start)));
+        start = i + 1;
+      }
+    }
+  }
+  std::string_view last = Trim(body.substr(start));
+  if (!last.empty() || !out.empty()) {
+    out.emplace_back(last);
+  }
+  return out;
+}
+
+Result<YamlNode> ParseValueText(std::string_view text);
+
+// "[a, b, [c]]" -> list node.
+Result<YamlNode> ParseFlowList(std::string_view text) {
+  std::string_view t = Trim(text);
+  if (t.size() < 2 || t.front() != '[' || t.back() != ']') {
+    return InvalidArgument("yaml: malformed flow list: " + std::string(text));
+  }
+  YamlNode node = YamlNode::List();
+  for (const std::string& item : SplitFlowItems(t.substr(1, t.size() - 2))) {
+    if (item.empty()) {
+      continue;
+    }
+    SAND_ASSIGN_OR_RETURN(YamlNode child, ParseValueText(item));
+    node.Append(std::move(child));
+  }
+  return node;
+}
+
+Result<YamlNode> ParseValueText(std::string_view text) {
+  std::string_view t = Trim(text);
+  if (!t.empty() && t.front() == '[') {
+    return ParseFlowList(t);
+  }
+  if (IsNullScalar(t)) {
+    return YamlNode();
+  }
+  return YamlNode::Scalar(Unquote(t));
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Line> lines) : lines_(std::move(lines)) {}
+
+  Result<YamlNode> Parse() {
+    if (lines_.empty()) {
+      return YamlNode();
+    }
+    SAND_ASSIGN_OR_RETURN(YamlNode root, ParseBlock(lines_[0].indent));
+    if (pos_ < lines_.size()) {
+      return InvalidArgument(
+          StrFormat("yaml: unexpected content at line %d", lines_[pos_].number));
+    }
+    return root;
+  }
+
+ private:
+  Result<YamlNode> ParseBlock(int indent) {
+    assert(pos_ < lines_.size());
+    if (lines_[pos_].indent != indent) {
+      return InvalidArgument(
+          StrFormat("yaml: inconsistent indentation at line %d", lines_[pos_].number));
+    }
+    if (StartsWith(lines_[pos_].content, "- ") || lines_[pos_].content == "-") {
+      return ParseListBlock(indent);
+    }
+    if (FindKeySeparator(lines_[pos_].content) == std::string_view::npos) {
+      // A bare scalar block (Fig. 9 writes "inv_sample:" with the value on
+      // the following, deeper line).
+      Result<YamlNode> value = ParseValueText(lines_[pos_].content);
+      ++pos_;
+      return value;
+    }
+    return ParseMapBlock(indent);
+  }
+
+  Result<YamlNode> ParseListBlock(int indent) {
+    YamlNode node = YamlNode::List();
+    while (pos_ < lines_.size() && lines_[pos_].indent == indent &&
+           (StartsWith(lines_[pos_].content, "- ") || lines_[pos_].content == "-")) {
+      Line& line = lines_[pos_];
+      std::string rest = line.content == "-" ? "" : std::string(Trim(line.content.substr(2)));
+      if (rest.empty()) {
+        // "- " alone: nested block on following deeper lines, or null.
+        ++pos_;
+        if (pos_ < lines_.size() && lines_[pos_].indent > indent) {
+          SAND_ASSIGN_OR_RETURN(YamlNode child, ParseBlock(lines_[pos_].indent));
+          node.Append(std::move(child));
+        } else {
+          node.Append(YamlNode());
+        }
+      } else if (FindKeySeparator(rest) != std::string_view::npos) {
+        // "- key: ..." — the item is a map whose first entry sits on this
+        // line; rewrite the line as that entry at the item's indent level
+        // (column of the content after "- ").
+        line.indent = indent + 2;
+        line.content = rest;
+        SAND_ASSIGN_OR_RETURN(YamlNode child, ParseMapBlock(indent + 2));
+        node.Append(std::move(child));
+      } else {
+        SAND_ASSIGN_OR_RETURN(YamlNode child, ParseValueText(rest));
+        node.Append(std::move(child));
+        ++pos_;
+      }
+    }
+    return node;
+  }
+
+  Result<YamlNode> ParseMapBlock(int indent) {
+    YamlNode node = YamlNode::Map();
+    while (pos_ < lines_.size() && lines_[pos_].indent == indent &&
+           !StartsWith(lines_[pos_].content, "- ") && lines_[pos_].content != "-") {
+      const Line& line = lines_[pos_];
+      size_t sep = FindKeySeparator(line.content);
+      if (sep == std::string_view::npos) {
+        return InvalidArgument(
+            StrFormat("yaml: expected 'key:' at line %d", line.number));
+      }
+      std::string key = Unquote(std::string_view(line.content).substr(0, sep));
+      std::string_view rest = Trim(std::string_view(line.content).substr(sep + 1));
+      if (!rest.empty()) {
+        SAND_ASSIGN_OR_RETURN(YamlNode value, ParseValueText(rest));
+        node.Add(std::move(key), std::move(value));
+        ++pos_;
+      } else {
+        ++pos_;
+        // Nested block: strictly deeper lines, or a list at the same indent
+        // (YAML allows list dashes at the parent key's indentation).
+        if (pos_ < lines_.size() &&
+            (lines_[pos_].indent > indent ||
+             (lines_[pos_].indent == indent &&
+              (StartsWith(lines_[pos_].content, "- ") || lines_[pos_].content == "-")))) {
+          SAND_ASSIGN_OR_RETURN(YamlNode value, ParseBlock(lines_[pos_].indent));
+          node.Add(std::move(key), std::move(value));
+        } else {
+          node.Add(std::move(key), YamlNode());
+        }
+      }
+    }
+    return node;
+  }
+
+  std::vector<Line> lines_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+YamlNode YamlNode::Scalar(std::string value) {
+  YamlNode node;
+  node.kind_ = Kind::kScalar;
+  node.scalar_ = std::move(value);
+  return node;
+}
+
+YamlNode YamlNode::Map() {
+  YamlNode node;
+  node.kind_ = Kind::kMap;
+  return node;
+}
+
+YamlNode YamlNode::List() {
+  YamlNode node;
+  node.kind_ = Kind::kList;
+  return node;
+}
+
+const YamlNode* YamlNode::Find(std::string_view key) const {
+  for (const auto& [k, v] : map_) {
+    if (k == key) {
+      return &v;
+    }
+  }
+  return nullptr;
+}
+
+void YamlNode::Add(std::string key, YamlNode value) {
+  assert(kind_ == Kind::kMap);
+  map_.emplace_back(std::move(key), std::move(value));
+}
+
+void YamlNode::Append(YamlNode value) {
+  assert(kind_ == Kind::kList);
+  list_.push_back(std::move(value));
+}
+
+Result<std::string> YamlNode::AsString() const {
+  if (kind_ != Kind::kScalar) {
+    return InvalidArgument("yaml: node is not a scalar");
+  }
+  return scalar_;
+}
+
+Result<int64_t> YamlNode::AsInt() const {
+  if (kind_ != Kind::kScalar) {
+    return InvalidArgument("yaml: node is not a scalar");
+  }
+  auto value = ParseInt(scalar_);
+  if (!value) {
+    return InvalidArgument("yaml: not an integer: " + scalar_);
+  }
+  return *value;
+}
+
+Result<double> YamlNode::AsDouble() const {
+  if (kind_ != Kind::kScalar) {
+    return InvalidArgument("yaml: node is not a scalar");
+  }
+  auto value = ParseDouble(scalar_);
+  if (!value) {
+    return InvalidArgument("yaml: not a number: " + scalar_);
+  }
+  return *value;
+}
+
+Result<bool> YamlNode::AsBool() const {
+  if (kind_ != Kind::kScalar) {
+    return InvalidArgument("yaml: node is not a scalar");
+  }
+  auto value = ParseBool(scalar_);
+  if (!value) {
+    return InvalidArgument("yaml: not a boolean: " + scalar_);
+  }
+  return *value;
+}
+
+Result<std::string> YamlNode::GetString(std::string_view key) const {
+  const YamlNode* node = Find(key);
+  if (node == nullptr) {
+    return NotFound("yaml: missing key: " + std::string(key));
+  }
+  return node->AsString();
+}
+
+Result<int64_t> YamlNode::GetInt(std::string_view key) const {
+  const YamlNode* node = Find(key);
+  if (node == nullptr) {
+    return NotFound("yaml: missing key: " + std::string(key));
+  }
+  return node->AsInt();
+}
+
+Result<double> YamlNode::GetDouble(std::string_view key) const {
+  const YamlNode* node = Find(key);
+  if (node == nullptr) {
+    return NotFound("yaml: missing key: " + std::string(key));
+  }
+  return node->AsDouble();
+}
+
+Result<bool> YamlNode::GetBool(std::string_view key) const {
+  const YamlNode* node = Find(key);
+  if (node == nullptr) {
+    return NotFound("yaml: missing key: " + std::string(key));
+  }
+  return node->AsBool();
+}
+
+std::string YamlNode::GetStringOr(std::string_view key, std::string fallback) const {
+  Result<std::string> value = GetString(key);
+  return value.ok() ? *value : std::move(fallback);
+}
+
+int64_t YamlNode::GetIntOr(std::string_view key, int64_t fallback) const {
+  Result<int64_t> value = GetInt(key);
+  return value.ok() ? *value : fallback;
+}
+
+double YamlNode::GetDoubleOr(std::string_view key, double fallback) const {
+  Result<double> value = GetDouble(key);
+  return value.ok() ? *value : fallback;
+}
+
+bool YamlNode::GetBoolOr(std::string_view key, bool fallback) const {
+  Result<bool> value = GetBool(key);
+  return value.ok() ? *value : fallback;
+}
+
+Result<YamlNode> ParseYaml(std::string_view text) {
+  std::vector<Line> lines;
+  int number = 0;
+  for (std::string_view raw : Split(text, '\n')) {
+    ++number;
+    std::string without_comment = StripComment(raw);
+    std::string_view body = Trim(without_comment);
+    if (body.empty()) {
+      continue;
+    }
+    int indent = 0;
+    for (char c : without_comment) {
+      if (c == ' ') {
+        ++indent;
+      } else if (c == '\t') {
+        return InvalidArgument(StrFormat("yaml: tab indentation at line %d", number));
+      } else {
+        break;
+      }
+    }
+    lines.push_back(Line{indent, std::string(body), number});
+  }
+  return Parser(std::move(lines)).Parse();
+}
+
+}  // namespace sand

@@ -1,0 +1,82 @@
+// Mini-YAML parser.
+//
+// SAND's user-facing configuration (Fig. 9 in the paper) is YAML. This
+// parser implements the subset that configuration needs — block maps and
+// lists by indentation, inline flow lists ([a, b]), quoted scalars,
+// comments, None/null — with no external dependency. It is not a general
+// YAML implementation (no anchors, multi-line scalars, or flow maps).
+
+#ifndef SAND_CONFIG_YAML_H_
+#define SAND_CONFIG_YAML_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace sand {
+
+class YamlNode {
+ public:
+  enum class Kind {
+    kNull,
+    kScalar,
+    kMap,
+    kList,
+  };
+
+  YamlNode() : kind_(Kind::kNull) {}
+  static YamlNode Scalar(std::string value);
+  static YamlNode Map();
+  static YamlNode List();
+
+  Kind kind() const { return kind_; }
+  bool IsNull() const { return kind_ == Kind::kNull; }
+  bool IsScalar() const { return kind_ == Kind::kScalar; }
+  bool IsMap() const { return kind_ == Kind::kMap; }
+  bool IsList() const { return kind_ == Kind::kList; }
+
+  // Map access. Returns nullptr when absent or not a map.
+  const YamlNode* Find(std::string_view key) const;
+  // Map entries in document order.
+  const std::vector<std::pair<std::string, YamlNode>>& entries() const { return map_; }
+  void Add(std::string key, YamlNode value);
+
+  // List access.
+  const std::vector<YamlNode>& items() const { return list_; }
+  void Append(YamlNode value);
+
+  // Scalar access with type conversion. Fail on wrong kind or bad format.
+  const std::string& scalar() const { return scalar_; }
+  Result<std::string> AsString() const;
+  Result<int64_t> AsInt() const;
+  Result<double> AsDouble() const;
+  Result<bool> AsBool() const;
+
+  // Typed map lookups: Get*(key) errors if missing; Get*Or returns fallback.
+  Result<std::string> GetString(std::string_view key) const;
+  Result<int64_t> GetInt(std::string_view key) const;
+  Result<double> GetDouble(std::string_view key) const;
+  Result<bool> GetBool(std::string_view key) const;
+  std::string GetStringOr(std::string_view key, std::string fallback) const;
+  int64_t GetIntOr(std::string_view key, int64_t fallback) const;
+  double GetDoubleOr(std::string_view key, double fallback) const;
+  bool GetBoolOr(std::string_view key, bool fallback) const;
+
+ private:
+  Kind kind_;
+  std::string scalar_;
+  std::vector<std::pair<std::string, YamlNode>> map_;
+  std::vector<YamlNode> list_;
+};
+
+// Parses a document into its root node (a map, list, scalar, or null for an
+// empty document).
+Result<YamlNode> ParseYaml(std::string_view text);
+
+}  // namespace sand
+
+#endif  // SAND_CONFIG_YAML_H_

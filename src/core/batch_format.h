@@ -1,0 +1,47 @@
+// Wire format of a materialized training batch as returned by
+// SandFs::Read on a batch view.
+//
+//   header : n_clips(u32) frames_per_clip(u32) h(u32) w(u32) c(u32)
+//   pixels : n_clips * frames_per_clip raw frames, clip-major, row-major
+//
+// Training loops parse this with ParseBatch; SAND and the baselines both
+// emit it so end-to-end comparisons consume identical inputs.
+
+#ifndef SAND_CORE_BATCH_FORMAT_H_
+#define SAND_CORE_BATCH_FORMAT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/tensor/frame.h"
+
+namespace sand {
+
+struct BatchHeader {
+  uint32_t n_clips = 0;
+  uint32_t frames_per_clip = 0;
+  uint32_t height = 0;
+  uint32_t width = 0;
+  uint32_t channels = 0;
+
+  uint64_t PixelBytes() const {
+    return static_cast<uint64_t>(n_clips) * frames_per_clip * height * width * channels;
+  }
+};
+
+constexpr size_t kBatchHeaderBytes = 20;
+
+// Serializes clips (all same length and frame shape) into the wire format.
+Result<std::vector<uint8_t>> SerializeBatch(const std::vector<Clip>& clips);
+
+// Parses the header; `out_pixels` points into `bytes` after the header.
+Result<BatchHeader> ParseBatchHeader(std::span<const uint8_t> bytes);
+
+// Full parse back into clips (used by tests and the trainable model).
+Result<std::vector<Clip>> ParseBatch(std::span<const uint8_t> bytes);
+
+}  // namespace sand
+
+#endif  // SAND_CORE_BATCH_FORMAT_H_

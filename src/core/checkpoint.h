@@ -1,0 +1,50 @@
+// Metadata checkpointing (paper §5.5, fault tolerance).
+//
+// SAND's recovery model: concrete plans are deterministic functions of the
+// task configurations and planner options, so the checkpoint persists only
+// those plus training progress — small, written every k epochs — and the
+// disk cache keeps the expensive objects. On restart, the service reloads
+// the checkpoint, rebuilds the active chunk's plan bit-for-bit, rescans the
+// disk tier, and recomputes only what is missing.
+//
+// Wire format: a YAML document combining a `service:` section with one
+// Fig. 9 `dataset:` document per task.
+
+#ifndef SAND_CORE_CHECKPOINT_H_
+#define SAND_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/config/pipeline_config.h"
+#include "src/storage/object_store.h"
+
+namespace sand {
+
+struct ServiceCheckpoint {
+  // Planner identity: these five values make plans reproducible.
+  uint64_t seed = 0;
+  int k_epochs = 0;
+  int64_t total_epochs = 0;
+  bool coordinate = true;
+  std::vector<TaskConfig> tasks;
+
+  // Progress at checkpoint time (next global iteration per task).
+  std::vector<int64_t> task_progress;
+
+  std::string ToYaml() const;
+  static Result<ServiceCheckpoint> FromYaml(std::string_view text);
+
+  // Persists under / loads from a well-known key in the given store.
+  Status Save(ObjectStore& store, const std::string& key = kDefaultKey) const;
+  static Result<ServiceCheckpoint> Load(ObjectStore& store,
+                                        const std::string& key = kDefaultKey);
+
+  static constexpr const char* kDefaultKey = "sand/checkpoint.yaml";
+};
+
+}  // namespace sand
+
+#endif  // SAND_CORE_CHECKPOINT_H_

@@ -1,0 +1,38 @@
+#include "src/core/container_cache.h"
+
+namespace sand {
+
+Result<std::shared_ptr<const std::vector<uint8_t>>> ContainerCache::Fetch(
+    const std::string& key) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++hits_;
+      return it->second->second;
+    }
+  }
+  // Fetch outside the lock: remote stores may block for transfer time.
+  Result<std::vector<uint8_t>> bytes = source_->Get(key);
+  if (!bytes.ok()) {
+    return bytes.status();
+  }
+  auto shared = std::make_shared<const std::vector<uint8_t>>(bytes.TakeValue());
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Raced with another fetcher; keep theirs.
+    return it->second->second;
+  }
+  ++misses_;
+  lru_.emplace_front(key, shared);
+  index_[key] = lru_.begin();
+  while (lru_.size() > max_entries_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  return shared;
+}
+
+}  // namespace sand

@@ -1,0 +1,267 @@
+#include "src/core/executor.h"
+
+#include <algorithm>
+
+#include "src/common/strings.h"
+#include "src/compress/lossless.h"
+#include "src/tensor/image_ops.h"
+
+namespace sand {
+
+CustomOpRegistry& CustomOpRegistry::Get() {
+  static CustomOpRegistry registry;
+  return registry;
+}
+
+Status CustomOpRegistry::Register(const std::string& name, CustomOpFn fn) {
+  if (!fn) {
+    return InvalidArgument("custom op fn must not be null");
+  }
+  auto [it, inserted] = fns_.emplace(name, std::move(fn));
+  if (!inserted) {
+    return AlreadyExists("custom op already registered: " + name);
+  }
+  return Status::Ok();
+}
+
+Result<CustomOpFn> CustomOpRegistry::Lookup(const std::string& name) const {
+  auto it = fns_.find(name);
+  if (it == fns_.end()) {
+    return NotFound("no custom op registered: " + name);
+  }
+  return it->second;
+}
+
+std::string NodeCacheKey(const VideoObjectGraph& graph, const ConcreteNode& node) {
+  // A flat namespace: "cache/<video>/<node-key>"; node keys are already
+  // deterministic chains of resolved op signatures, but contain characters
+  // awkward for file paths, so hash them and keep a readable prefix.
+  uint64_t h = HashCombine(0x53414e44ULL, node.key);
+  return StrFormat("cache/%s/n%016llx", graph.video_name.c_str(),
+                   static_cast<unsigned long long>(h));
+}
+
+SubtreeExecutor::SubtreeExecutor(const VideoObjectGraph& graph, ContainerCache* containers,
+                                 TieredCache* cache, CpuMeter* meter)
+    : graph_(graph), containers_(containers), cache_(cache), meter_(meter) {}
+
+Result<Frame> SubtreeExecutor::Decode(int64_t frame_index) {
+  if (!decoder_.has_value()) {
+    if (containers_ == nullptr) {
+      return FailedPrecondition("executor has no container source");
+    }
+    SAND_ASSIGN_OR_RETURN(auto container, containers_->Fetch(graph_.video_key));
+    // The decoder owns a copy of the container bytes; one copy per subtree
+    // unit keeps concurrent jobs independent.
+    SAND_ASSIGN_OR_RETURN(VideoDecoder decoder, VideoDecoder::Open(*container));
+    decoder_.emplace(std::move(decoder));
+  }
+  uint64_t before = decoder_->stats().frames_decoded;
+  Result<Frame> frame = [&] {
+    if (meter_ != nullptr) {
+      ScopedCpuWork work(*meter_, CpuWorkKind::kDecode);
+      return decoder_->DecodeFrame(frame_index);
+    }
+    return decoder_->DecodeFrame(frame_index);
+  }();
+  stats_.frames_decoded += decoder_->stats().frames_decoded - before;
+  ++stats_.decode_ops;
+  return frame;
+}
+
+Result<Frame> SubtreeExecutor::Augment(const ConcreteNode& node, const Frame& input) {
+  std::optional<ScopedCpuWork> work;
+  if (meter_ != nullptr) {
+    work.emplace(*meter_, CpuWorkKind::kAugment);
+  }
+  ++stats_.aug_ops;
+  const ConcreteOp& op = node.op;
+  const AugOp& aug = op.aug;
+  switch (aug.kind) {
+    case OpKind::kResize:
+      return Resize(input, aug.out_h, aug.out_w, aug.interp);
+    case OpKind::kRandomCrop:
+      ++stats_.crop_ops;
+      return Crop(input, op.crop.y, op.crop.x, op.crop.h, op.crop.w);
+    case OpKind::kCenterCrop:
+      return CenterCrop(input, std::min(aug.out_h, input.height()),
+                        std::min(aug.out_w, input.width()));
+    case OpKind::kFlip:
+      // Planner only creates flip nodes when the coin landed on "apply".
+      return FlipHorizontal(input);
+    case OpKind::kColorJitter:
+      return AdjustContrast(AdjustBrightness(input, op.jitter_delta), op.jitter_contrast);
+    case OpKind::kBlur:
+      return BoxBlur(input, aug.kernel);
+    case OpKind::kRotate90:
+      return Rotate90(input);
+    case OpKind::kInvert:
+      return Invert(input);
+    case OpKind::kCustom: {
+      SAND_ASSIGN_OR_RETURN(CustomOpFn fn, CustomOpRegistry::Get().Lookup(aug.custom_name));
+      return fn(input);
+    }
+  }
+  return Internal("unhandled augmentation kind");
+}
+
+Result<Frame> SubtreeExecutor::Produce(int node_id, bool allow_cache_store) {
+  auto memo_it = memo_.find(node_id);
+  if (memo_it != memo_.end()) {
+    return memo_it->second;
+  }
+  const ConcreteNode& node = graph_.node(node_id);
+  if (node.op.type == ConcreteOpType::kSource) {
+    return InvalidArgument("cannot produce the video source node as a frame");
+  }
+
+  // Cached object? Load it. Objects destined for the memory tier are kept
+  // raw; the disk tier holds losslessly compressed frames (§6: libpng-class
+  // codec for persisted objects). The two are distinguished by size: a raw
+  // object is exactly header + h*w*c bytes.
+  if (node.cache && cache_ != nullptr) {
+    std::string key = NodeCacheKey(graph_, node);
+    if (cache_->Contains(key)) {
+      Result<std::vector<uint8_t>> bytes = cache_->Get(key);
+      if (bytes.ok()) {
+        bool raw = bytes->size() == 12 + node.RawBytes();
+        Result<Frame> frame = [&]() -> Result<Frame> {
+          if (raw) {
+            return Frame::Deserialize(*bytes);
+          }
+          if (meter_ != nullptr) {
+            ScopedCpuWork work(*meter_, CpuWorkKind::kCompress);
+            return DecompressFrame(*bytes);
+          }
+          return DecompressFrame(*bytes);
+        }();
+        if (frame.ok()) {
+          ++stats_.cache_hits;
+          memo_[node_id] = *frame;
+          return frame;
+        }
+        // Corrupt cache entry: fall through and recompute.
+        (void)cache_->Delete(key);
+      }
+    }
+  }
+
+  Frame produced;
+  switch (node.op.type) {
+    case ConcreteOpType::kDecode: {
+      SAND_ASSIGN_OR_RETURN(produced, Decode(node.op.frame_index));
+      break;
+    }
+    case ConcreteOpType::kAugment: {
+      SAND_ASSIGN_OR_RETURN(Frame input, Produce(node.parents[0], allow_cache_store));
+      SAND_ASSIGN_OR_RETURN(produced, Augment(node, input));
+      break;
+    }
+    case ConcreteOpType::kMerge: {
+      // Pixel-wise average of all parents (they share one shape by
+      // construction of the merge stage).
+      SAND_ASSIGN_OR_RETURN(Frame first, Produce(node.parents[0], allow_cache_store));
+      std::vector<Frame> rest;
+      for (size_t p = 1; p < node.parents.size(); ++p) {
+        SAND_ASSIGN_OR_RETURN(Frame parent, Produce(node.parents[p], allow_cache_store));
+        if (!parent.SameShape(first)) {
+          return InvalidArgument("merge stage inputs disagree in shape");
+        }
+        rest.push_back(std::move(parent));
+      }
+      std::optional<ScopedCpuWork> work;
+      if (meter_ != nullptr) {
+        work.emplace(*meter_, CpuWorkKind::kAugment);
+      }
+      ++stats_.aug_ops;
+      produced = first;
+      auto out = produced.data();
+      for (size_t i = 0; i < out.size(); ++i) {
+        uint32_t total = out[i];
+        for (const Frame& parent : rest) {
+          total += parent.data()[i];
+        }
+        out[i] = static_cast<uint8_t>(total / (rest.size() + 1));
+      }
+      break;
+    }
+    case ConcreteOpType::kSource:
+      return Internal("unreachable");
+  }
+
+  if (node.cache && allow_cache_store && cache_ != nullptr) {
+    std::string key = NodeCacheKey(graph_, node);
+    if (!cache_->Contains(key)) {
+      // Leaves live hot in memory, raw; everything spilled to the disk
+      // tier is losslessly compressed first.
+      Tier tier = node.is_leaf ? Tier::kMemory : Tier::kDisk;
+      Result<std::vector<uint8_t>> bytes = [&]() -> Result<std::vector<uint8_t>> {
+        if (tier == Tier::kMemory) {
+          return produced.Serialize();
+        }
+        if (meter_ != nullptr) {
+          ScopedCpuWork work(*meter_, CpuWorkKind::kCompress);
+          return CompressFrame(produced);
+        }
+        return CompressFrame(produced);
+      }();
+      if (bytes.ok() && cache_->Put(key, *bytes, tier).ok()) {
+        ++stats_.cache_stores;
+      }
+    }
+  }
+  memo_[node_id] = produced;
+  return produced;
+}
+
+Status SubtreeExecutor::MaterializeFlagged() {
+  // Which flagged nodes still need work?
+  std::vector<int> todo;
+  for (const ConcreteNode& node : graph_.nodes) {
+    if (!node.cache || node.op.type == ConcreteOpType::kSource) {
+      continue;
+    }
+    if (cache_ != nullptr && cache_->Contains(NodeCacheKey(graph_, node))) {
+      continue;  // already persisted (recovery or a racing job)
+    }
+    todo.push_back(node.id);
+  }
+  if (todo.empty()) {
+    return Status::Ok();
+  }
+  // Decode pass first, in ascending frame order: the chunk spans many
+  // epochs whose clips interleave arbitrarily, and producing them in plan
+  // order would restart the GOP cursor constantly. One forward sweep
+  // decodes every needed source frame exactly once (this is the paper's
+  // "decode once per k epochs"; the decoded frames pinned here are what
+  // the SJF memory-pressure policy in the scheduler bounds).
+  std::vector<int> decode_nodes;
+  for (const ConcreteNode& node : graph_.nodes) {
+    if (node.op.type == ConcreteOpType::kDecode) {
+      decode_nodes.push_back(node.id);
+    }
+  }
+  std::sort(decode_nodes.begin(), decode_nodes.end(), [this](int a, int b) {
+    return graph_.node(a).op.frame_index < graph_.node(b).op.frame_index;
+  });
+  for (int node : decode_nodes) {
+    SAND_RETURN_IF_ERROR(Produce(node, /*allow_cache_store=*/true).status());
+  }
+  for (int node : todo) {
+    SAND_RETURN_IF_ERROR(Produce(node, /*allow_cache_store=*/true).status());
+  }
+  return Status::Ok();
+}
+
+int64_t SubtreeExecutor::RemainingFlagged() const {
+  int64_t remaining = 0;
+  for (const ConcreteNode& node : graph_.nodes) {
+    if (node.cache && node.op.type != ConcreteOpType::kSource &&
+        (cache_ == nullptr || !cache_->Contains(NodeCacheKey(graph_, node)))) {
+      ++remaining;
+    }
+  }
+  return remaining;
+}
+
+}  // namespace sand

@@ -1,0 +1,89 @@
+// SubtreeExecutor: turns concrete-graph nodes into pixels.
+//
+// One executor is created per materialization unit (a pre-materialization
+// subtree job, or the demand path assembling a batch's clips from one
+// video). It memoizes produced frames for the duration of the unit, reuses
+// a single forward-cursor decoder per video, consults the tiered cache for
+// nodes flagged `cache`, and stores freshly produced flagged nodes back.
+
+#ifndef SAND_CORE_EXECUTOR_H_
+#define SAND_CORE_EXECUTOR_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/codec/video_codec.h"
+#include "src/core/container_cache.h"
+#include "src/graph/concrete_graph.h"
+#include "src/sim/cpu_meter.h"
+#include "src/storage/object_store.h"
+
+namespace sand {
+
+// Counters aggregated into service stats.
+struct ExecutorStats {
+  uint64_t frames_decoded = 0;     // frames reconstructed by the codec
+  uint64_t decode_ops = 0;         // decode-node materializations
+  uint64_t aug_ops = 0;            // augmentation-node materializations
+  uint64_t crop_ops = 0;           // random-crop subset of aug_ops
+  uint64_t cache_hits = 0;         // nodes served from the tiered cache
+  uint64_t cache_stores = 0;       // nodes persisted to the tiered cache
+};
+
+// Custom augmentation registry (§5.5 extensibility): user functions are
+// looked up by name for OpKind::kCustom nodes. A CustomOpFn may run
+// in-process or proxy to a separate worker process (src/core/rpc_ops.h).
+using CustomOpFn = std::function<Result<Frame>(const Frame& input)>;
+class CustomOpRegistry {
+ public:
+  static CustomOpRegistry& Get();
+  Status Register(const std::string& name, CustomOpFn fn);
+  Result<CustomOpFn> Lookup(const std::string& name) const;
+
+ private:
+  std::map<std::string, CustomOpFn> fns_;
+};
+
+class SubtreeExecutor {
+ public:
+  // `cache` may be null (pure on-demand pipelines). `meter` may be null.
+  SubtreeExecutor(const VideoObjectGraph& graph, ContainerCache* containers,
+                  TieredCache* cache, CpuMeter* meter);
+
+  // Produces the frame for `node_id`, recursively producing parents.
+  // `allow_cache_store`: persist flagged nodes produced along the way.
+  Result<Frame> Produce(int node_id, bool allow_cache_store);
+
+  // Produces and persists every cache-flagged node of the graph (the
+  // pre-materialization job body). Skips nodes already in the cache.
+  Status MaterializeFlagged();
+
+  // Number of cache-flagged nodes not yet present in the cache — the
+  // scheduler's remaining-work (SJF) key.
+  int64_t RemainingFlagged() const;
+
+  const ExecutorStats& stats() const { return stats_; }
+
+ private:
+  Result<Frame> Decode(int64_t frame_index);
+  Result<Frame> Augment(const ConcreteNode& node, const Frame& input);
+
+  const VideoObjectGraph& graph_;
+  ContainerCache* containers_;
+  TieredCache* cache_;
+  CpuMeter* meter_;
+  std::optional<VideoDecoder> decoder_;
+  std::map<int, Frame> memo_;
+  ExecutorStats stats_;
+};
+
+// The cache key of a node's materialized object: deterministic across
+// restarts (fault-tolerance recovery relies on this).
+std::string NodeCacheKey(const VideoObjectGraph& graph, const ConcreteNode& node);
+
+}  // namespace sand
+
+#endif  // SAND_CORE_EXECUTOR_H_

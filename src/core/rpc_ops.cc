@@ -1,0 +1,139 @@
+#include "src/core/rpc_ops.h"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace sand {
+namespace {
+
+// Full-buffer read/write helpers over raw fds (pipes deliver partial
+// chunks for large frames).
+bool WriteAll(int fd, const void* data, size_t size) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  while (size > 0) {
+    ssize_t n = ::write(fd, p, size);
+    if (n <= 0) {
+      return false;
+    }
+    p += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool ReadAllBytes(int fd, void* data, size_t size) {
+  uint8_t* p = static_cast<uint8_t*>(data);
+  while (size > 0) {
+    ssize_t n = ::read(fd, p, size);
+    if (n <= 0) {
+      return false;
+    }
+    p += n;
+    size -= static_cast<size_t>(n);
+  }
+  return true;
+}
+
+bool WriteMessage(int fd, const std::vector<uint8_t>& payload) {
+  uint32_t length = static_cast<uint32_t>(payload.size());
+  if (!WriteAll(fd, &length, sizeof(length))) {
+    return false;
+  }
+  return payload.empty() || WriteAll(fd, payload.data(), payload.size());
+}
+
+// Returns false on EOF/pipe error. An empty payload means "op failed".
+bool ReadMessage(int fd, std::vector<uint8_t>& payload) {
+  uint32_t length = 0;
+  if (!ReadAllBytes(fd, &length, sizeof(length))) {
+    return false;
+  }
+  payload.resize(length);
+  return length == 0 || ReadAllBytes(fd, payload.data(), length);
+}
+
+}  // namespace
+
+void RunOpWorkerLoop(int fd_in, int fd_out, const CustomOpFn& fn) {
+  std::vector<uint8_t> request;
+  while (ReadMessage(fd_in, request)) {
+    std::vector<uint8_t> response;
+    Result<Frame> input = Frame::Deserialize(request);
+    if (input.ok()) {
+      Result<Frame> output = fn(*input);
+      if (output.ok()) {
+        response = output->Serialize();
+      }
+    }
+    if (!WriteMessage(fd_out, response)) {
+      return;
+    }
+  }
+}
+
+Result<std::unique_ptr<SubprocessOpRunner>> SubprocessOpRunner::Spawn(CustomOpFn fn) {
+  int to_worker[2];
+  int from_worker[2];
+  if (::pipe(to_worker) != 0) {
+    return Unavailable("pipe() failed");
+  }
+  if (::pipe(from_worker) != 0) {
+    ::close(to_worker[0]);
+    ::close(to_worker[1]);
+    return Unavailable("pipe() failed");
+  }
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(to_worker[0]);
+    ::close(to_worker[1]);
+    ::close(from_worker[0]);
+    ::close(from_worker[1]);
+    return Unavailable("fork() failed");
+  }
+  if (pid == 0) {
+    // Worker: serve until the parent closes its end, then exit without
+    // running parent-side destructors (we share its address space copy).
+    ::close(to_worker[1]);
+    ::close(from_worker[0]);
+    RunOpWorkerLoop(to_worker[0], from_worker[1], fn);
+    ::_exit(0);
+  }
+  ::close(to_worker[0]);
+  ::close(from_worker[1]);
+  return std::unique_ptr<SubprocessOpRunner>(
+      new SubprocessOpRunner(pid, to_worker[1], from_worker[0]));
+}
+
+SubprocessOpRunner::~SubprocessOpRunner() {
+  ::close(to_worker_);
+  ::close(from_worker_);
+  int status = 0;
+  ::waitpid(pid_, &status, 0);
+}
+
+Result<Frame> SubprocessOpRunner::Apply(const Frame& input) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!WriteMessage(to_worker_, input.Serialize())) {
+    return Unavailable("op worker pipe closed (write)");
+  }
+  std::vector<uint8_t> response;
+  if (!ReadMessage(from_worker_, response)) {
+    return Unavailable("op worker pipe closed (read)");
+  }
+  if (response.empty()) {
+    return Internal("op worker reported failure");
+  }
+  ++round_trips_;
+  return Frame::Deserialize(response);
+}
+
+Status SubprocessOpRunner::RegisterAsCustomOp(const std::string& name,
+                                              std::unique_ptr<SubprocessOpRunner> runner) {
+  auto shared = std::shared_ptr<SubprocessOpRunner>(std::move(runner));
+  return CustomOpRegistry::Get().Register(
+      name, [shared](const Frame& input) { return shared->Apply(input); });
+}
+
+}  // namespace sand

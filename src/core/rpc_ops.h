@@ -1,0 +1,72 @@
+// Out-of-process custom augmentation (paper §5.5).
+//
+// "Supporting external libraries often involves running processes with
+//  dependencies or runtimes not present in the core environment. SAND
+//  addresses this by offering an RPC service mechanism, enabling custom
+//  functions to be executed in separate processes."
+//
+// SubprocessOpRunner owns one worker process and speaks a framed pipe
+// protocol with it:
+//
+//   request  : u32 length | serialized Frame (src/tensor/frame.h layout)
+//   response : u32 length | serialized Frame     (length 0 = op error)
+//
+// Spawn() forks the worker (production deployments would exec a separate
+// binary; the protocol is the boundary either way — RunOpWorkerLoop is the
+// reusable server side). The runner's Apply() is thread-safe (serialized
+// over the single pipe pair) and registers cleanly as a CustomOpFn.
+
+#ifndef SAND_CORE_RPC_OPS_H_
+#define SAND_CORE_RPC_OPS_H_
+
+#include <sys/types.h>
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/core/executor.h"
+#include "src/tensor/frame.h"
+
+namespace sand {
+
+// Server side: serves requests from fd_in, writes responses to fd_out,
+// returns when the peer closes the pipe. Runs inside the worker process.
+void RunOpWorkerLoop(int fd_in, int fd_out, const CustomOpFn& fn);
+
+class SubprocessOpRunner {
+ public:
+  // Forks a worker process that serves `fn` over the pipe protocol.
+  static Result<std::unique_ptr<SubprocessOpRunner>> Spawn(CustomOpFn fn);
+
+  ~SubprocessOpRunner();  // closes the pipes and reaps the worker
+
+  SubprocessOpRunner(const SubprocessOpRunner&) = delete;
+  SubprocessOpRunner& operator=(const SubprocessOpRunner&) = delete;
+
+  // One round trip: send the frame, receive the transformed frame.
+  Result<Frame> Apply(const Frame& input);
+
+  // Registers `runner` (taking ownership) in the global registry under
+  // `name`; the executor then transparently RPCs for OpKind::kCustom nodes
+  // with that name.
+  static Status RegisterAsCustomOp(const std::string& name,
+                                   std::unique_ptr<SubprocessOpRunner> runner);
+
+  pid_t worker_pid() const { return pid_; }
+  uint64_t round_trips() const { return round_trips_; }
+
+ private:
+  SubprocessOpRunner(pid_t pid, int to_worker, int from_worker)
+      : pid_(pid), to_worker_(to_worker), from_worker_(from_worker) {}
+
+  pid_t pid_;
+  int to_worker_;
+  int from_worker_;
+  std::mutex mutex_;
+  uint64_t round_trips_ = 0;
+};
+
+}  // namespace sand
+
+#endif  // SAND_CORE_RPC_OPS_H_

@@ -1,0 +1,35 @@
+// Dataset metadata consumed by the materialization planner.
+//
+// Produced by the workload generator (or by scanning a directory of SVC1
+// containers). The planner only needs shape/count information; pixel data
+// stays on disk until materialization.
+
+#ifndef SAND_GRAPH_DATASET_META_H_
+#define SAND_GRAPH_DATASET_META_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sand {
+
+struct DatasetMeta {
+  std::string path;                      // dataset root (store key prefix)
+  std::vector<std::string> video_names;  // e.g. "vid000", "vid001", ...
+  int64_t frames_per_video = 0;
+  int height = 0;
+  int width = 0;
+  int channels = 0;
+  int gop_size = 0;
+  uint64_t encoded_bytes_per_video = 0;  // average container size
+
+  int num_videos() const { return static_cast<int>(video_names.size()); }
+
+  uint64_t RawFrameBytes() const {
+    return static_cast<uint64_t>(height) * width * channels;
+  }
+};
+
+}  // namespace sand
+
+#endif  // SAND_GRAPH_DATASET_META_H_

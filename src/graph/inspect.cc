@@ -1,0 +1,120 @@
+#include "src/graph/inspect.h"
+
+#include "src/common/strings.h"
+#include "src/common/units.h"
+
+namespace sand {
+namespace {
+
+// Escapes a label for DOT output.
+std::string DotEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+std::string ConcreteNodeLabel(const ConcreteNode& node) {
+  switch (node.op.type) {
+    case ConcreteOpType::kSource:
+      return "video";
+    case ConcreteOpType::kDecode:
+      return StrFormat("frame %lld", static_cast<long long>(node.op.frame_index));
+    case ConcreteOpType::kMerge:
+      return "merge";
+    case ConcreteOpType::kAugment:
+      return node.op.aug.Signature();
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string AbstractGraphToDot(const AbstractViewGraph& graph) {
+  std::string out = "digraph abstract_view_graph {\n  rankdir=LR;\n  node [shape=box];\n";
+  for (size_t i = 0; i < graph.nodes().size(); ++i) {
+    const AbstractNode& node = graph.nodes()[i];
+    out += StrFormat("  n%zu [label=\"%s\\n%s\"];\n", i, ViewTypeName(node.type),
+                     DotEscape(node.stream).c_str());
+  }
+  for (const AbstractEdge& edge : graph.edges()) {
+    out += StrFormat("  n%d -> n%d [label=\"%s\"];\n", edge.from, edge.to,
+                     DotEscape(edge.op_signature).c_str());
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string ConcreteGraphToDot(const VideoObjectGraph& graph, size_t max_nodes) {
+  std::string out = StrFormat("digraph concrete_%s {\n  rankdir=LR;\n", graph.video_name.c_str());
+  size_t count = std::min(graph.nodes.size(), max_nodes);
+  for (size_t i = 0; i < count; ++i) {
+    const ConcreteNode& node = graph.nodes[i];
+    std::string attrs;
+    if (node.cache) {
+      attrs += " style=filled fillcolor=lightblue";
+    }
+    if (node.is_leaf) {
+      attrs += " peripheries=2";
+    }
+    out += StrFormat("  n%d [label=\"%s\\n%dx%d\"%s];\n", node.id,
+                     DotEscape(ConcreteNodeLabel(node)).c_str(), node.height, node.width,
+                     attrs.c_str());
+  }
+  for (size_t i = 0; i < count; ++i) {
+    for (int parent : graph.nodes[i].parents) {
+      if (static_cast<size_t>(parent) < count) {
+        out += StrFormat("  n%d -> n%zu;\n", parent, i);
+      }
+    }
+  }
+  if (count < graph.nodes.size()) {
+    out += StrFormat("  truncated [label=\"... %zu more nodes\" shape=plaintext];\n",
+                     graph.nodes.size() - count);
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string SummarizePlan(const MaterializationPlan& plan) {
+  std::string out = StrFormat("materialization plan: epochs [%lld, %lld), %zu task(s), %d "
+                              "video(s)\n",
+                              static_cast<long long>(plan.epoch_begin),
+                              static_cast<long long>(plan.epoch_end), plan.tasks.size(),
+                              plan.dataset.num_videos());
+  size_t total_nodes = 0;
+  size_t total_cached = 0;
+  for (const VideoObjectGraph& graph : plan.videos) {
+    total_nodes += graph.nodes.size();
+    for (const ConcreteNode& node : graph.nodes) {
+      if (node.cache) {
+        ++total_cached;
+      }
+    }
+  }
+  out += StrFormat("  %zu concrete nodes, %zu flagged for caching (%s)\n", total_nodes,
+                   total_cached, FormatBytes(plan.CachedBytes()).c_str());
+  OpCounts counts = plan.CountOps();
+  out += StrFormat("  ops: %llu decode / %llu augment unique (requested %llu / %llu; "
+                   "reuse saves %.1f%% / %.1f%%)\n",
+                   static_cast<unsigned long long>(counts.decode_unique),
+                   static_cast<unsigned long long>(counts.aug_unique),
+                   static_cast<unsigned long long>(counts.decode_requested),
+                   static_cast<unsigned long long>(counts.aug_requested),
+                   OpCounts::Reduction(counts.decode_requested, counts.decode_unique) * 100,
+                   OpCounts::Reduction(counts.aug_requested, counts.aug_unique) * 100);
+  out += StrFormat("  %zu planned batches", plan.batches.size());
+  if (!plan.batches.empty()) {
+    out += StrFormat(" (e.g. %s with %zu clips)", plan.batches[0].view_path.c_str(),
+                     plan.batches[0].clips.size());
+  }
+  out += "\n";
+  return out;
+}
+
+}  // namespace sand

@@ -1,0 +1,29 @@
+// Human-readable views of SAND's planning structures: Graphviz DOT exports
+// of abstract and concrete graphs, and text summaries of plans. Used by the
+// sand_inspect example and by anyone debugging a materialization plan.
+
+#ifndef SAND_GRAPH_INSPECT_H_
+#define SAND_GRAPH_INSPECT_H_
+
+#include <string>
+
+#include "src/graph/abstract_graph.h"
+#include "src/graph/concrete_graph.h"
+
+namespace sand {
+
+// DOT digraph of the per-task abstract view dependency graph (Fig. 10 left).
+std::string AbstractGraphToDot(const AbstractViewGraph& graph);
+
+// DOT digraph of one video's concrete object graph (Fig. 10 right). Cached
+// nodes are drawn filled; leaves double-circled. Intended for small graphs;
+// truncates beyond `max_nodes`.
+std::string ConcreteGraphToDot(const VideoObjectGraph& graph, size_t max_nodes = 200);
+
+// Multi-line text summary of a plan: per-video node/edge counts, cache
+// footprint, op counts, batches.
+std::string SummarizePlan(const MaterializationPlan& plan);
+
+}  // namespace sand
+
+#endif  // SAND_GRAPH_INSPECT_H_

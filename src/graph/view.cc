@@ -1,0 +1,135 @@
+#include "src/graph/view.h"
+
+#include "src/common/strings.h"
+
+namespace sand {
+
+const char* ViewTypeName(ViewType type) {
+  switch (type) {
+    case ViewType::kVideo:
+      return "video";
+    case ViewType::kFrame:
+      return "frame";
+    case ViewType::kAugFrame:
+      return "aug_frame";
+    case ViewType::kBatchView:
+      return "view";
+  }
+  return "unknown";
+}
+
+std::string ViewPath::Format() const {
+  switch (type) {
+    case ViewType::kVideo:
+      return StrFormat("/%s/%s.mp4", task.c_str(), video.c_str());
+    case ViewType::kFrame:
+      return StrFormat("/%s/%s/frame%lld", task.c_str(), video.c_str(),
+                       static_cast<long long>(frame_index));
+    case ViewType::kAugFrame:
+      return StrFormat("/%s/%s/frame%lld/aug%d", task.c_str(), video.c_str(),
+                       static_cast<long long>(frame_index), aug_depth);
+    case ViewType::kBatchView:
+      return StrFormat("/%s/%lld/%lld/view", task.c_str(), static_cast<long long>(epoch),
+                       static_cast<long long>(iteration));
+  }
+  return "";
+}
+
+Result<ViewPath> ViewPath::Parse(std::string_view path) {
+  if (path.empty() || path.front() != '/') {
+    return InvalidArgument("view path must start with '/': " + std::string(path));
+  }
+  std::vector<std::string> parts = Split(path.substr(1), '/');
+  if (parts.size() < 2) {
+    return InvalidArgument("view path too short: " + std::string(path));
+  }
+  ViewPath view;
+  view.task = parts[0];
+
+  // /{task}/{epoch}/{iteration}/view
+  if (parts.size() == 4 && parts[3] == "view") {
+    auto epoch = ParseInt(parts[1]);
+    auto iteration = ParseInt(parts[2]);
+    if (!epoch || !iteration) {
+      return InvalidArgument("bad batch view path: " + std::string(path));
+    }
+    view.type = ViewType::kBatchView;
+    view.epoch = *epoch;
+    view.iteration = *iteration;
+    return view;
+  }
+  // /{task}/{video}.mp4
+  if (parts.size() == 2) {
+    if (!EndsWith(parts[1], ".mp4")) {
+      return InvalidArgument("video path must end with .mp4: " + std::string(path));
+    }
+    view.type = ViewType::kVideo;
+    view.video = parts[1].substr(0, parts[1].size() - 4);
+    return view;
+  }
+  // /{task}/{video}/frame{index}[/aug{depth}]
+  if (parts.size() == 3 || parts.size() == 4) {
+    if (!StartsWith(parts[2], "frame")) {
+      return InvalidArgument("expected frame component: " + std::string(path));
+    }
+    auto index = ParseInt(std::string_view(parts[2]).substr(5));
+    if (!index || *index < 0) {
+      return InvalidArgument("bad frame index: " + std::string(path));
+    }
+    view.video = parts[1];
+    view.frame_index = *index;
+    if (parts.size() == 3) {
+      view.type = ViewType::kFrame;
+      return view;
+    }
+    if (!StartsWith(parts[3], "aug")) {
+      return InvalidArgument("expected aug component: " + std::string(path));
+    }
+    auto depth = ParseInt(std::string_view(parts[3]).substr(3));
+    if (!depth || *depth < 0) {
+      return InvalidArgument("bad aug depth: " + std::string(path));
+    }
+    view.type = ViewType::kAugFrame;
+    view.aug_depth = static_cast<int>(*depth);
+    return view;
+  }
+  return InvalidArgument("unrecognized view path: " + std::string(path));
+}
+
+ViewPath ViewPath::Video(std::string task, std::string video) {
+  ViewPath view;
+  view.type = ViewType::kVideo;
+  view.task = std::move(task);
+  view.video = std::move(video);
+  return view;
+}
+
+ViewPath ViewPath::Frame(std::string task, std::string video, int64_t index) {
+  ViewPath view;
+  view.type = ViewType::kFrame;
+  view.task = std::move(task);
+  view.video = std::move(video);
+  view.frame_index = index;
+  return view;
+}
+
+ViewPath ViewPath::AugFrame(std::string task, std::string video, int64_t index, int depth) {
+  ViewPath view;
+  view.type = ViewType::kAugFrame;
+  view.task = std::move(task);
+  view.video = std::move(video);
+  view.frame_index = index;
+  view.aug_depth = depth;
+  return view;
+}
+
+ViewPath ViewPath::Batch(std::string task, int64_t epoch, int64_t iteration) {
+  ViewPath view;
+  view.type = ViewType::kBatchView;
+  view.task = std::move(task);
+  view.epoch = epoch;
+  view.iteration = iteration;
+  return view;
+}
+
+}  // namespace sand

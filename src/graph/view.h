@@ -1,0 +1,56 @@
+// View types and the Table 1 path scheme.
+//
+// Every SAND object — encoded video, decoded frame, augmented frame,
+// training batch view — is addressed by a unique path:
+//
+//   Video      /{task}/{video}.mp4
+//   Frame      /{task}/{video}/frame{index}
+//   Aug frame  /{task}/{video}/frame{index}/aug{depth}
+//   View       /{task}/{epoch}/{iteration}/view
+//
+// These strings are simultaneously the POSIX paths users open through
+// SandFs and the keys under which materialized objects live in the cache.
+
+#ifndef SAND_GRAPH_VIEW_H_
+#define SAND_GRAPH_VIEW_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+
+namespace sand {
+
+enum class ViewType {
+  kVideo,
+  kFrame,
+  kAugFrame,
+  kBatchView,
+};
+
+const char* ViewTypeName(ViewType type);
+
+// A parsed Table 1 path.
+struct ViewPath {
+  ViewType type = ViewType::kVideo;
+  std::string task;
+  std::string video;     // video name (without .mp4), for video/frame/aug paths
+  int64_t frame_index = -1;  // frame/aug paths
+  int aug_depth = -1;        // aug paths
+  int64_t epoch = -1;        // batch views
+  int64_t iteration = -1;    // batch views
+
+  std::string Format() const;
+
+  static Result<ViewPath> Parse(std::string_view path);
+
+  static ViewPath Video(std::string task, std::string video);
+  static ViewPath Frame(std::string task, std::string video, int64_t index);
+  static ViewPath AugFrame(std::string task, std::string video, int64_t index, int depth);
+  static ViewPath Batch(std::string task, int64_t epoch, int64_t iteration);
+};
+
+}  // namespace sand
+
+#endif  // SAND_GRAPH_VIEW_H_

@@ -1,0 +1,50 @@
+// Object graph pruning under a storage budget (paper §5.3, Algorithm 1).
+//
+// The plan starts with every leaf (final training object) flagged for
+// caching. When that exceeds the budget, pruning walks bottom-up: for each
+// per-video graph it collects the parents of currently cached nodes, ranks
+// them by subtree edge weight (cheapest recomputation first), and collapses
+// the first subtree whose parent is smaller than the cached objects beneath
+// it — caching the parent instead and re-deriving the children on demand.
+// Rounds continue across videos until the cached set fits.
+//
+// Collapsing all the way to the video root caches nothing for that video
+// (the encoded source is already on disk), so any budget >= 0 is reachable.
+
+#ifndef SAND_PRUNING_GRAPH_PRUNING_H_
+#define SAND_PRUNING_GRAPH_PRUNING_H_
+
+#include <cstdint>
+
+#include "src/graph/concrete_graph.h"
+
+namespace sand {
+
+struct PruningReport {
+  uint64_t budget_bytes = 0;
+  uint64_t initial_bytes = 0;  // cache footprint before pruning (all leaves)
+  uint64_t final_bytes = 0;    // footprint after pruning
+  int subtrees_pruned = 0;
+  int rounds = 0;
+  bool fits_budget = false;
+  // Work that must be redone on access because it is no longer cached: the
+  // op costs of non-cached nodes weighted by their consumer counts.
+  double estimated_recompute_ns = 0;
+};
+
+// Prunes one graph by one subtree: picks the cheapest-to-recompute parent
+// whose collapse saves space, flips cache flags, and returns the bytes
+// saved (0 when no profitable collapse exists).
+uint64_t PruneGraphOnce(VideoObjectGraph& graph);
+
+// Runs pruning rounds over all per-video graphs until the cached footprint
+// fits `budget_bytes` (or no further pruning is possible). Mutates the
+// plan's cache flags.
+PruningReport PruneToBudget(MaterializationPlan& plan, uint64_t budget_bytes);
+
+// Recompute estimate for the current cache flags (see PruningReport).
+double EstimatedRecomputeNs(const MaterializationPlan& plan);
+
+}  // namespace sand
+
+#endif  // SAND_PRUNING_GRAPH_PRUNING_H_

@@ -1,0 +1,324 @@
+#include "src/ray/mini_ray.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+
+namespace sand {
+
+double TrialScore(uint64_t trial_seed, int64_t epochs) {
+  Rng rng(trial_seed);
+  double asymptote = 0.55 + rng.NextDouble() * 0.4;  // trial quality
+  double speed = 0.4 + rng.NextDouble() * 1.2;       // learning speed
+  double x = static_cast<double>(epochs);
+  return asymptote * (1.0 - std::exp(-speed * x));
+}
+
+int64_t TuneResult::TotalEpochsRun() const {
+  int64_t total = 0;
+  for (const TrialOutcome& trial : trials) {
+    total += trial.epochs_run;
+  }
+  return total;
+}
+
+namespace {
+
+// Shared ASHA state: scores recorded at each rung.
+class AshaState {
+ public:
+  AshaState(int64_t grace, double eta, int64_t max_epochs) : eta_(eta) {
+    for (int64_t rung = grace; rung < max_epochs; rung = std::max<int64_t>(
+             rung + 1, static_cast<int64_t>(static_cast<double>(rung) * eta))) {
+      rungs_.push_back(rung);
+    }
+  }
+
+  bool IsRung(int64_t epochs_done) const {
+    return std::find(rungs_.begin(), rungs_.end(), epochs_done) != rungs_.end();
+  }
+
+  // Records the score; returns true if the trial should continue.
+  bool RecordAndDecide(int64_t rung, double score) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<double>& scores = scores_[rung];
+    scores.push_back(score);
+    if (scores.size() < static_cast<size_t>(std::ceil(eta_))) {
+      return true;  // not enough evidence yet: promote optimistically
+    }
+    // Keep the top 1/eta fraction.
+    std::vector<double> sorted = scores;
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    size_t keep = std::max<size_t>(1, static_cast<size_t>(
+                                          static_cast<double>(sorted.size()) / eta_));
+    return score >= sorted[keep - 1];
+  }
+
+ private:
+  double eta_;
+  std::vector<int64_t> rungs_;
+  std::mutex mutex_;
+  std::map<int64_t, std::vector<double>> scores_;
+};
+
+}  // namespace
+
+Result<TuneResult> TuneRunner::Run(const SourceFactory& factory, const ModelProfile& profile,
+                                   std::vector<GpuModel*> gpus, CpuMeter* meter) {
+  if (gpus.empty()) {
+    return InvalidArgument("tune: no GPUs");
+  }
+  TuneResult result;
+  result.trials.resize(static_cast<size_t>(options_.num_trials));
+  AshaState asha(options_.grace_epochs, options_.eta, options_.max_epochs);
+
+  std::atomic<int> next_trial{0};
+  std::mutex result_mutex;
+  Status first_error = Status::Ok();
+
+  Nanos cpu_before = meter != nullptr ? meter->TotalBusy() : 0;
+  for (GpuModel* gpu : gpus) {
+    gpu->BeginRun();
+  }
+  Stopwatch wall;
+
+  auto worker = [&](int gpu_slot) {
+    while (true) {
+      int trial = next_trial.fetch_add(1);
+      if (trial >= options_.num_trials) {
+        return;
+      }
+      uint64_t trial_seed = options_.seed * 7919 + static_cast<uint64_t>(trial);
+      Result<std::unique_ptr<BatchSource>> source = factory(trial, gpu_slot);
+      if (!source.ok()) {
+        std::lock_guard<std::mutex> lock(result_mutex);
+        if (first_error.ok()) {
+          first_error = source.status();
+        }
+        return;
+      }
+      TrialOutcome outcome;
+      outcome.trial = trial;
+      GpuModel* gpu = gpus[static_cast<size_t>(gpu_slot)];
+      int64_t ipe = (*source)->IterationsPerEpoch();
+      Stopwatch trial_watch;
+      for (int64_t epoch = 0; epoch < options_.max_epochs; ++epoch) {
+        for (int64_t iter = 0; iter < ipe; ++iter) {
+          Result<std::vector<uint8_t>> batch = (*source)->NextBatch(epoch, iter);
+          if (!batch.ok()) {
+            std::lock_guard<std::mutex> lock(result_mutex);
+            if (first_error.ok()) {
+              first_error = batch.status();
+            }
+            return;
+          }
+          outcome.metrics.bytes_consumed += batch->size();
+          gpu->TrainStep(profile.gpu_step);
+          ++outcome.metrics.batches;
+        }
+        ++outcome.epochs_run;
+        outcome.final_score = TrialScore(trial_seed, outcome.epochs_run);
+        if (asha.IsRung(outcome.epochs_run) &&
+            !asha.RecordAndDecide(outcome.epochs_run, outcome.final_score)) {
+          outcome.early_stopped = true;  // ASHA: stop the laggard
+          break;
+        }
+      }
+      (*source)->Finish();
+      outcome.metrics.wall_ns = trial_watch.Elapsed();
+      std::lock_guard<std::mutex> lock(result_mutex);
+      result.trials[static_cast<size_t>(trial)] = std::move(outcome);
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(gpus.size());
+  for (size_t g = 0; g < gpus.size(); ++g) {
+    threads.emplace_back(worker, static_cast<int>(g));
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  result.wall_ns = wall.Elapsed();
+  for (GpuModel* gpu : gpus) {
+    gpu->EndRun();
+  }
+  if (!first_error.ok()) {
+    return first_error;
+  }
+
+  Nanos gpu_busy_total = 0;
+  Nanos nvdec_total = 0;
+  double util_sum = 0;
+  for (GpuModel* gpu : gpus) {
+    GpuRunStats stats = gpu->run_stats();
+    gpu_busy_total += stats.busy_ns;
+    nvdec_total += stats.nvdec_ns;
+    util_sum += stats.Utilization();
+  }
+  result.avg_gpu_utilization = util_sum / static_cast<double>(gpus.size());
+  result.cpu_busy_ns = meter != nullptr ? meter->TotalBusy() - cpu_before : 0;
+  result.energy =
+      ComputeEnergy(options_.power, result.wall_ns, result.cpu_busy_ns, options_.cpu_cores,
+                    gpu_busy_total, nvdec_total, static_cast<int>(gpus.size()));
+
+  double best_score = -1;
+  for (const TrialOutcome& trial : result.trials) {
+    if (trial.final_score > best_score) {
+      best_score = trial.final_score;
+      result.best_trial = trial.trial;
+    }
+  }
+  return result;
+}
+
+Result<MultiTaskResult> RunMultiTask(std::vector<MultiTaskJob> jobs, int64_t epochs,
+                                     int cpu_cores, const PowerSpec& power, CpuMeter* meter) {
+  if (jobs.empty()) {
+    return InvalidArgument("multitask: no jobs");
+  }
+  MultiTaskResult result;
+  result.per_task.resize(jobs.size());
+  std::mutex error_mutex;
+  Status first_error = Status::Ok();
+
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  threads.reserve(jobs.size());
+  for (size_t j = 0; j < jobs.size(); ++j) {
+    threads.emplace_back([&, j] {
+      TrainRunOptions options;
+      options.epochs = epochs;
+      options.cpu_cores = cpu_cores;
+      options.power = power;
+      Result<RunMetrics> metrics =
+          RunTraining(*jobs[j].source, *jobs[j].gpu, jobs[j].profile, options, nullptr);
+      if (metrics.ok()) {
+        result.per_task[j] = metrics.TakeValue();
+      } else {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error.ok()) {
+          first_error = metrics.status();
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  result.wall_ns = wall.Elapsed();
+  if (!first_error.ok()) {
+    return first_error;
+  }
+  if (meter != nullptr) {
+    // Aggregate energy over the shared window, attributed evenly.
+    Nanos gpu_busy = 0;
+    Nanos nvdec = 0;
+    for (const RunMetrics& metrics : result.per_task) {
+      gpu_busy += metrics.gpu_busy_ns;
+      nvdec += metrics.gpu_nvdec_ns;
+    }
+    EnergyBreakdown energy =
+        ComputeEnergy(power, result.wall_ns, meter->TotalBusy(), cpu_cores, gpu_busy, nvdec,
+                      static_cast<int>(jobs.size()));
+    for (RunMetrics& metrics : result.per_task) {
+      metrics.energy = energy;
+    }
+  }
+  return result;
+}
+
+Result<DdpResult> RunDdp(std::vector<MultiTaskJob> ranks, const DdpOptions& options,
+                         CpuMeter* meter) {
+  (void)meter;
+  if (ranks.empty() || static_cast<int>(ranks.size()) != options.world_size) {
+    return InvalidArgument("ddp: ranks must match world_size");
+  }
+  const int world = options.world_size;
+  DdpResult result;
+  result.per_rank.resize(ranks.size());
+
+  // Per-step barrier standing in for the gradient allreduce.
+  std::mutex barrier_mutex;
+  std::condition_variable barrier_cv;
+  int barrier_count = 0;
+  int64_t barrier_generation = 0;
+  auto arrive_and_wait = [&] {
+    std::unique_lock<std::mutex> lock(barrier_mutex);
+    int64_t generation = barrier_generation;
+    if (++barrier_count == world) {
+      barrier_count = 0;
+      ++barrier_generation;
+      barrier_cv.notify_all();
+    } else {
+      barrier_cv.wait(lock, [&] { return barrier_generation != generation; });
+    }
+  };
+
+  std::mutex error_mutex;
+  Status first_error = Status::Ok();
+  int64_t ipe_global = ranks[0].source->IterationsPerEpoch();
+  int64_t steps_per_epoch = ipe_global / world;
+
+  for (MultiTaskJob& rank : ranks) {
+    rank.gpu->BeginRun();
+  }
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  threads.reserve(ranks.size());
+  for (int r = 0; r < world; ++r) {
+    threads.emplace_back([&, r] {
+      MultiTaskJob& rank = ranks[static_cast<size_t>(r)];
+      RunMetrics& metrics = result.per_rank[static_cast<size_t>(r)];
+      Stopwatch rank_watch;
+      for (int64_t epoch = 0; epoch < options.epochs; ++epoch) {
+        for (int64_t step = 0; step < steps_per_epoch; ++step) {
+          int64_t iteration = step * world + r;  // rank-private shard
+          Stopwatch stall;
+          Result<std::vector<uint8_t>> batch = rank.source->NextBatch(epoch, iteration);
+          if (!batch.ok()) {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (first_error.ok()) {
+              first_error = batch.status();
+            }
+            // Keep hitting barriers so peers do not deadlock.
+            batch = std::vector<uint8_t>{};
+          }
+          metrics.stall_ns += stall.Elapsed();
+          metrics.bytes_consumed += batch->size();
+          rank.gpu->TrainStep(rank.profile.gpu_step);
+          ++metrics.batches;
+          arrive_and_wait();
+        }
+      }
+      rank.source->Finish();
+      metrics.wall_ns = rank_watch.Elapsed();
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  result.wall_ns = wall.Elapsed();
+  double util_sum = 0;
+  for (size_t r = 0; r < ranks.size(); ++r) {
+    ranks[r].gpu->EndRun();
+    GpuRunStats stats = ranks[r].gpu->run_stats();
+    result.per_rank[r].gpu_busy_ns = stats.busy_ns;
+    result.per_rank[r].gpu_nvdec_ns = stats.nvdec_ns;
+    util_sum += stats.Utilization();
+  }
+  result.avg_gpu_utilization = util_sum / static_cast<double>(ranks.size());
+  if (!first_error.ok()) {
+    return first_error;
+  }
+  return result;
+}
+
+}  // namespace sand

@@ -1,0 +1,120 @@
+// Mini-Ray: the multi-job execution layer for the paper's shared-dataset
+// scenarios (§7.1).
+//
+//   TuneRunner      - Ray-Tune-style hyperparameter search with the ASHA
+//                     early-stopping scheduler across N simulated GPUs
+//   MultiTaskRunner - heterogeneous tasks (e.g. SlowFast + MAE) training
+//                     concurrently on separate GPUs over one dataset
+//   DdpRunner       - data-parallel ranks with a per-iteration barrier
+//                     (allreduce stand-in), dataset on remote storage
+//
+// All runners are source-agnostic: a factory supplies each job's
+// BatchSource, so the same harness drives SAND and every baseline.
+
+#ifndef SAND_RAY_MINI_RAY_H_
+#define SAND_RAY_MINI_RAY_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/sim/gpu_model.h"
+#include "src/workloads/models.h"
+#include "src/workloads/trainer.h"
+
+namespace sand {
+
+// Pseudo-validation score of a trial after `epochs` epochs: a seeded,
+// monotone-ish learning curve with trial-specific asymptote. Drives ASHA
+// decisions deterministically.
+double TrialScore(uint64_t trial_seed, int64_t epochs);
+
+struct TuneOptions {
+  int num_trials = 8;
+  int num_gpus = 4;
+  int64_t max_epochs = 4;
+  int64_t grace_epochs = 1;  // ASHA rung 0
+  double eta = 2.0;          // ASHA reduction factor
+  uint64_t seed = 1234;
+  int cpu_cores = 4;  // for energy accounting
+  PowerSpec power;
+};
+
+struct TrialOutcome {
+  int trial = 0;
+  int64_t epochs_run = 0;
+  bool early_stopped = false;
+  double final_score = 0;
+  RunMetrics metrics;
+};
+
+struct TuneResult {
+  Nanos wall_ns = 0;
+  std::vector<TrialOutcome> trials;
+  double avg_gpu_utilization = 0;  // mean over GPUs of busy/wall
+  EnergyBreakdown energy;          // aggregate over the search
+  Nanos cpu_busy_ns = 0;
+  int best_trial = -1;
+
+  int64_t TotalEpochsRun() const;
+};
+
+// Creates the batch source for a given trial running on a given GPU slot.
+using SourceFactory =
+    std::function<Result<std::unique_ptr<BatchSource>>(int trial, int gpu_slot)>;
+
+class TuneRunner {
+ public:
+  explicit TuneRunner(TuneOptions options) : options_(std::move(options)) {}
+
+  // Runs the search: trials are dispatched to `gpus` (one concurrent trial
+  // per GPU) until all have finished or been ASHA-stopped. `meter` observes
+  // preprocessing CPU (shared across trials), may be null.
+  Result<TuneResult> Run(const SourceFactory& factory, const ModelProfile& profile,
+                         std::vector<GpuModel*> gpus, CpuMeter* meter);
+
+ private:
+  TuneOptions options_;
+};
+
+// --- Multi-task --------------------------------------------------------------
+
+struct MultiTaskJob {
+  ModelProfile profile;
+  std::unique_ptr<BatchSource> source;
+  GpuModel* gpu = nullptr;
+};
+
+struct MultiTaskResult {
+  Nanos wall_ns = 0;
+  std::vector<RunMetrics> per_task;
+};
+
+// Runs all jobs concurrently (one thread each) for `epochs` epochs.
+Result<MultiTaskResult> RunMultiTask(std::vector<MultiTaskJob> jobs, int64_t epochs,
+                                     int cpu_cores, const PowerSpec& power, CpuMeter* meter);
+
+// --- Distributed data parallel ----------------------------------------------
+
+struct DdpOptions {
+  int world_size = 2;
+  int64_t epochs = 4;
+  int cpu_cores_per_node = 4;
+  PowerSpec power;
+};
+
+struct DdpResult {
+  Nanos wall_ns = 0;
+  std::vector<RunMetrics> per_rank;
+  double avg_gpu_utilization = 0;
+};
+
+// Each rank trains its shard of every epoch's iterations with a barrier per
+// step (the allreduce). Rank r's source serves iterations r, r+W, r+2W, ...
+Result<DdpResult> RunDdp(std::vector<MultiTaskJob> ranks, const DdpOptions& options,
+                         CpuMeter* meter);
+
+}  // namespace sand
+
+#endif  // SAND_RAY_MINI_RAY_H_

@@ -1,0 +1,123 @@
+#include "src/sched/scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace sand {
+
+MaterializationScheduler::MaterializationScheduler(Options options)
+    : options_(std::move(options)) {
+  if (options_.num_threads < 1) {
+    options_.num_threads = 1;
+  }
+  workers_.reserve(static_cast<size_t>(options_.num_threads));
+  for (int i = 0; i < options_.num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+MaterializationScheduler::~MaterializationScheduler() { Shutdown(); }
+
+void MaterializationScheduler::Submit(MaterializationJob job) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    assert(!shutdown_ && "Submit after Shutdown");
+    queue_.push_back(std::move(job));
+  }
+  wake_.notify_one();
+}
+
+MaterializationJob MaterializationScheduler::PopLocked() {
+  assert(!queue_.empty());
+  auto best = queue_.begin();
+  if (!options_.disable_priorities) {
+    // Demand-feeding first (FIFO among themselves).
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->demand_feeding) {
+        best = it;
+        break;
+      }
+    }
+    if (!best->demand_feeding) {
+      double pressure = options_.memory_pressure ? options_.memory_pressure() : 0.0;
+      bool use_sjf = pressure >= options_.sjf_watermark;
+      if (use_sjf) {
+        ++stats_.sjf_pops;
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+          if (it->remaining_work < best->remaining_work) {
+            best = it;
+          }
+        }
+      } else {
+        ++stats_.deadline_pops;
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+          if (it->deadline < best->deadline) {
+            best = it;
+          }
+        }
+      }
+    }
+  }
+  MaterializationJob job = std::move(*best);
+  queue_.erase(best);
+  return job;
+}
+
+void MaterializationScheduler::WorkerLoop() {
+  while (true) {
+    MaterializationJob job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return;  // shutdown with nothing left
+      }
+      job = PopLocked();
+      ++active_;
+      ++stats_.jobs_run;
+      if (job.demand_feeding) {
+        ++stats_.demand_jobs_run;
+      }
+    }
+    job.run();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+    }
+    idle_.notify_all();
+  }
+}
+
+void MaterializationScheduler::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void MaterializationScheduler::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) {
+      return;
+    }
+    shutdown_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+  workers_.clear();
+}
+
+SchedulerStats MaterializationScheduler::stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+size_t MaterializationScheduler::PendingCount() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace sand

@@ -1,0 +1,92 @@
+// Priority-based materialization scheduling (paper §5.4).
+//
+// Two worker classes share one CPU thread pool:
+//   demand-feeding      - prepares the batch the GPU needs *now*; always
+//                         wins over background work
+//   pre-materialization - produces objects for upcoming iterations/epochs
+//
+// Background jobs are ordered earliest-deadline-first, where a job's
+// deadline is the global iteration at which its object is consumed. When
+// memory pressure crosses a watermark the policy flips to shortest-job-
+// first (fewest unprocessed edges), draining almost-done subtrees so their
+// pinned decoded frames can be freed (paper: SJF above ~80% memory use).
+
+#ifndef SAND_SCHED_SCHEDULER_H_
+#define SAND_SCHED_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sand {
+
+struct MaterializationJob {
+  // Smaller = needed sooner. Deadlines are global iteration numbers.
+  int64_t deadline = 0;
+  // Unprocessed edges left in this job's subtree; the SJF key.
+  int64_t remaining_work = 0;
+  // Demand-feeding jobs preempt (in queue order) all background work.
+  bool demand_feeding = false;
+  std::function<void()> run;
+};
+
+struct SchedulerStats {
+  uint64_t jobs_run = 0;
+  uint64_t demand_jobs_run = 0;
+  uint64_t deadline_pops = 0;  // background pops under the EDF policy
+  uint64_t sjf_pops = 0;       // background pops under the SJF policy
+};
+
+class MaterializationScheduler {
+ public:
+  struct Options {
+    int num_threads = 4;
+    // Current memory pressure in [0, 1]; polled at each pop. Defaults to
+    // "no pressure".
+    std::function<double()> memory_pressure;
+    double sjf_watermark = 0.8;
+    // Disables prioritization entirely (FIFO pops) — the Fig. 18 ablation.
+    bool disable_priorities = false;
+  };
+
+  explicit MaterializationScheduler(Options options);
+  ~MaterializationScheduler();
+
+  MaterializationScheduler(const MaterializationScheduler&) = delete;
+  MaterializationScheduler& operator=(const MaterializationScheduler&) = delete;
+
+  void Submit(MaterializationJob job);
+
+  // Blocks until the queue is empty and all workers are idle.
+  void WaitIdle();
+
+  // Stops accepting work and joins workers (pending jobs are completed).
+  void Shutdown();
+
+  SchedulerStats stats();
+  size_t PendingCount();
+
+ private:
+  void WorkerLoop();
+  // Extracts the next job per the current policy. Caller holds mutex_ and
+  // has verified the queue is non-empty.
+  MaterializationJob PopLocked();
+
+  Options options_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  std::list<MaterializationJob> queue_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;
+  bool shutdown_ = false;
+  SchedulerStats stats_;
+};
+
+}  // namespace sand
+
+#endif  // SAND_SCHED_SCHEDULER_H_

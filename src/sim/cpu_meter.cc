@@ -1,0 +1,21 @@
+#include "src/sim/cpu_meter.h"
+
+namespace sand {
+
+const char* CpuWorkKindName(CpuWorkKind kind) {
+  switch (kind) {
+    case CpuWorkKind::kDecode:
+      return "decode";
+    case CpuWorkKind::kAugment:
+      return "augment";
+    case CpuWorkKind::kCompress:
+      return "compress";
+    case CpuWorkKind::kIo:
+      return "io";
+    case CpuWorkKind::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+}  // namespace sand

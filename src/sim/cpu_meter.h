@@ -1,0 +1,75 @@
+// CPU busy-time accounting for preprocessing threads.
+//
+// Worker threads bracket real preprocessing work with ScopedCpuWork so the
+// energy model and the Fig. 2/5 benches can attribute CPU time per
+// component (decode, augment, compress, io).
+
+#ifndef SAND_SIM_CPU_METER_H_
+#define SAND_SIM_CPU_METER_H_
+
+#include <array>
+#include <atomic>
+
+#include "src/common/clock.h"
+
+namespace sand {
+
+enum class CpuWorkKind : int {
+  kDecode = 0,
+  kAugment = 1,
+  kCompress = 2,
+  kIo = 3,
+  kOther = 4,
+};
+constexpr int kNumCpuWorkKinds = 5;
+
+const char* CpuWorkKindName(CpuWorkKind kind);
+
+// Thread-safe accumulator of busy nanoseconds per work kind.
+class CpuMeter {
+ public:
+  void Add(CpuWorkKind kind, Nanos duration) {
+    busy_[static_cast<int>(kind)].fetch_add(duration, std::memory_order_relaxed);
+  }
+
+  Nanos Busy(CpuWorkKind kind) const {
+    return busy_[static_cast<int>(kind)].load(std::memory_order_relaxed);
+  }
+
+  Nanos TotalBusy() const {
+    Nanos total = 0;
+    for (const auto& slot : busy_) {
+      total += slot.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (auto& slot : busy_) {
+      slot.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  std::array<std::atomic<Nanos>, kNumCpuWorkKinds> busy_{};
+};
+
+// RAII: measures the enclosed scope with a wall clock and books it.
+class ScopedCpuWork {
+ public:
+  ScopedCpuWork(CpuMeter& meter, CpuWorkKind kind)
+      : meter_(meter), kind_(kind), start_(WallClock::Get().Now()) {}
+  ~ScopedCpuWork() { meter_.Add(kind_, WallClock::Get().Now() - start_); }
+
+  ScopedCpuWork(const ScopedCpuWork&) = delete;
+  ScopedCpuWork& operator=(const ScopedCpuWork&) = delete;
+
+ private:
+  CpuMeter& meter_;
+  CpuWorkKind kind_;
+  Nanos start_;
+};
+
+}  // namespace sand
+
+#endif  // SAND_SIM_CPU_METER_H_

@@ -1,0 +1,27 @@
+#include "src/sim/energy_model.h"
+
+#include <algorithm>
+
+namespace sand {
+
+EnergyBreakdown ComputeEnergy(const PowerSpec& spec, Nanos wall_ns, Nanos cpu_busy_core_ns,
+                              int cpu_cores, Nanos gpu_busy_ns, Nanos nvdec_busy_ns,
+                              int gpu_count) {
+  EnergyBreakdown out;
+  double wall_s = ToSeconds(std::max<Nanos>(wall_ns, 0));
+  double cpu_busy_s = std::min(ToSeconds(std::max<Nanos>(cpu_busy_core_ns, 0)),
+                               wall_s * cpu_cores);
+  double cpu_idle_s = wall_s * cpu_cores - cpu_busy_s;
+  out.cpu_joules = cpu_busy_s * spec.cpu_core_busy_watts + cpu_idle_s * spec.cpu_core_idle_watts;
+
+  double gpu_busy_s = std::min(ToSeconds(std::max<Nanos>(gpu_busy_ns, 0)), wall_s * gpu_count);
+  double gpu_idle_s = wall_s * gpu_count - gpu_busy_s;
+  out.gpu_compute_joules =
+      gpu_busy_s * spec.gpu_busy_watts + gpu_idle_s * spec.gpu_idle_watts;
+
+  double nvdec_s = std::min(ToSeconds(std::max<Nanos>(nvdec_busy_ns, 0)), wall_s * gpu_count);
+  out.gpu_decode_joules = nvdec_s * spec.nvdec_watts;
+  return out;
+}
+
+}  // namespace sand

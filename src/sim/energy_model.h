@@ -1,0 +1,45 @@
+// Component-wise energy accounting (Fig. 5 / Fig. 15).
+//
+// Energy is integrated post-hoc from busy/idle durations: each component
+// draws busy power while active and idle power otherwise over the run's
+// wall time. The paper's relative results (CPU share of training energy,
+// savings from eliminating redundant decode) depend only on these ratios.
+
+#ifndef SAND_SIM_ENERGY_MODEL_H_
+#define SAND_SIM_ENERGY_MODEL_H_
+
+#include "src/common/clock.h"
+
+namespace sand {
+
+struct PowerSpec {
+  // Per-core CPU power (active preprocessing vs idle).
+  double cpu_core_busy_watts = 18.0;
+  double cpu_core_idle_watts = 1.5;
+  // Whole-GPU power.
+  double gpu_busy_watts = 330.0;
+  double gpu_idle_watts = 55.0;
+  // NVDEC block adds this on top of GPU idle/busy while decoding.
+  double nvdec_watts = 65.0;
+};
+
+struct EnergyBreakdown {
+  double cpu_joules = 0;
+  double gpu_compute_joules = 0;
+  double gpu_decode_joules = 0;
+  double Total() const { return cpu_joules + gpu_compute_joules + gpu_decode_joules; }
+  double CpuShare() const { return Total() <= 0 ? 0.0 : cpu_joules / Total(); }
+};
+
+// Computes the energy of a run given component busy times.
+//
+// cpu_busy_core_ns: total CPU busy time summed over cores (i.e. 2 cores
+// busy for 1s = 2s). wall_ns spans the run; idle power is charged for the
+// remainder on all `cpu_cores` cores and on the GPU.
+EnergyBreakdown ComputeEnergy(const PowerSpec& spec, Nanos wall_ns, Nanos cpu_busy_core_ns,
+                              int cpu_cores, Nanos gpu_busy_ns, Nanos nvdec_busy_ns,
+                              int gpu_count = 1);
+
+}  // namespace sand
+
+#endif  // SAND_SIM_ENERGY_MODEL_H_

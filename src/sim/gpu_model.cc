@@ -1,0 +1,90 @@
+#include "src/sim/gpu_model.h"
+
+#include <chrono>
+#include <thread>
+
+#include "src/common/strings.h"
+
+namespace sand {
+
+GpuModel::GpuModel(GpuSpec spec) : spec_(std::move(spec)) {}
+
+void GpuModel::SleepScaled(Nanos duration) {
+  Nanos scaled = static_cast<Nanos>(static_cast<double>(duration) * spec_.time_scale);
+  if (scaled > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(scaled));
+  }
+}
+
+void GpuModel::BeginRun() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_ = GpuRunStats{};
+  run_start_ = WallClock::Get().Now();
+  running_ = true;
+}
+
+void GpuModel::EndRun() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) {
+    stats_.wall_ns = WallClock::Get().Now() - run_start_;
+    running_ = false;
+  }
+}
+
+GpuRunStats GpuModel::run_stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  GpuRunStats stats = stats_;
+  if (running_) {
+    stats.wall_ns = WallClock::Get().Now() - run_start_;
+  }
+  return stats;
+}
+
+void GpuModel::TrainStep(Nanos duration) {
+  SleepScaled(duration);
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.busy_ns += static_cast<Nanos>(static_cast<double>(duration) * spec_.time_scale);
+  ++stats_.steps;
+}
+
+void GpuModel::DecodeOnGpu(uint64_t compressed_bytes, uint64_t frames) {
+  Nanos duration = 0;
+  if (spec_.nvdec_bytes_per_sec > 0) {
+    duration = static_cast<Nanos>(static_cast<double>(compressed_bytes) /
+                                  spec_.nvdec_bytes_per_sec * kNanosPerSecond);
+  }
+  SleepScaled(duration);
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.nvdec_ns += static_cast<Nanos>(static_cast<double>(duration) * spec_.time_scale);
+  stats_.frames_decoded += frames;
+}
+
+Status GpuModel::AllocateMemory(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (used_memory_ + bytes > spec_.memory_bytes) {
+    return ResourceExhausted(
+        StrFormat("GPU OOM: %llu + %llu > %llu",
+                  static_cast<unsigned long long>(used_memory_),
+                  static_cast<unsigned long long>(bytes),
+                  static_cast<unsigned long long>(spec_.memory_bytes)));
+  }
+  used_memory_ += bytes;
+  return Status::Ok();
+}
+
+void GpuModel::FreeMemory(uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  used_memory_ = bytes > used_memory_ ? 0 : used_memory_ - bytes;
+}
+
+uint64_t GpuModel::used_memory() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return used_memory_;
+}
+
+uint64_t GpuModel::available_memory() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return spec_.memory_bytes - used_memory_;
+}
+
+}  // namespace sand

@@ -1,0 +1,90 @@
+// GPU simulator.
+//
+// No physical GPU exists in this environment, so training compute, NVDEC
+// hardware decode, and device memory are modeled. Time is kept consistent
+// with the (real) CPU-side preprocessing work by making modeled GPU
+// operations occupy real wall-clock time (scaled down to milliseconds):
+// TrainStep(d) sleeps for d and books d of busy time. Utilization and stall
+// figures then fall out of plain wall-clock arithmetic, exactly as they
+// would with a real device.
+
+#ifndef SAND_SIM_GPU_MODEL_H_
+#define SAND_SIM_GPU_MODEL_H_
+
+#include <mutex>
+#include <string>
+
+#include "src/common/clock.h"
+#include "src/common/result.h"
+
+namespace sand {
+
+struct GpuSpec {
+  std::string name = "sim-a100";
+  // Device memory, scaled: the real A100 has 40 GiB; the simulated datasets
+  // are ~1000x smaller, so the default is scaled accordingly.
+  uint64_t memory_bytes = 48ULL * 1024 * 1024;
+  // NVDEC-style hardware decoder throughput (compressed bytes/sec).
+  double nvdec_bytes_per_sec = 256.0 * 1024 * 1024;
+  // Extra device memory the hardware decode path pins per decode session
+  // (bitstream + reference-frame buffers).
+  uint64_t nvdec_session_bytes = 8ULL * 1024 * 1024;
+  // Multiplies every modeled duration; tests use small values to run fast.
+  double time_scale = 1.0;
+};
+
+// Cumulative per-run counters.
+struct GpuRunStats {
+  Nanos busy_ns = 0;        // time spent in TrainStep
+  Nanos nvdec_ns = 0;       // time spent in hardware decode
+  Nanos wall_ns = 0;        // BeginRun..EndRun (or ..now)
+  uint64_t steps = 0;       // TrainStep invocations
+  uint64_t frames_decoded = 0;
+
+  // Fraction of wall time the SMs were busy training.
+  double Utilization() const {
+    return wall_ns <= 0 ? 0.0 : static_cast<double>(busy_ns) / static_cast<double>(wall_ns);
+  }
+  Nanos StallNs() const { return wall_ns - busy_ns - nvdec_ns; }
+};
+
+class GpuModel {
+ public:
+  explicit GpuModel(GpuSpec spec = {});
+
+  const GpuSpec& spec() const { return spec_; }
+
+  // Marks the start of a measured run; resets counters.
+  void BeginRun();
+  // Freezes wall time for the run. Stats keep accumulating if more work is
+  // issued, but normal usage is Begin..work..End.
+  void EndRun();
+  GpuRunStats run_stats();
+
+  // Synchronous training step of modeled duration `duration` (pre-scaling).
+  void TrainStep(Nanos duration);
+
+  // Hardware (NVDEC-like) decode of `compressed_bytes`, producing `frames`
+  // frames. Occupies the decoder for bytes/throughput seconds.
+  void DecodeOnGpu(uint64_t compressed_bytes, uint64_t frames);
+
+  // Device memory accounting.
+  Status AllocateMemory(uint64_t bytes);
+  void FreeMemory(uint64_t bytes);
+  uint64_t used_memory();
+  uint64_t available_memory();
+
+ private:
+  void SleepScaled(Nanos duration);
+
+  const GpuSpec spec_;
+  std::mutex mutex_;
+  GpuRunStats stats_;
+  Nanos run_start_ = 0;
+  bool running_ = false;
+  uint64_t used_memory_ = 0;
+};
+
+}  // namespace sand
+
+#endif  // SAND_SIM_GPU_MODEL_H_

@@ -1,0 +1,92 @@
+#include "src/storage/live_ingest.h"
+
+namespace sand {
+
+bool LiveIngestStore::VisibleLocked(const std::string& key) const {
+  auto it = publish_times_.find(key);
+  return it != publish_times_.end() && it->second <= now_;
+}
+
+Status LiveIngestStore::PutAt(const std::string& key, std::span<const uint8_t> data,
+                              Nanos publish_at) {
+  SAND_RETURN_IF_ERROR(backing_->Put(key, data));
+  std::lock_guard<std::mutex> lock(mutex_);
+  publish_times_[key] = publish_at;
+  return Status::Ok();
+}
+
+Nanos LiveIngestStore::Now() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return now_;
+}
+
+void LiveIngestStore::AdvanceTo(Nanos time) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  now_ = std::max(now_, time);
+}
+
+std::vector<std::string> LiveIngestStore::PendingKeys() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& [key, publish_at] : publish_times_) {
+    if (publish_at > now_) {
+      out.push_back(key);
+    }
+  }
+  return out;
+}
+
+Status LiveIngestStore::Put(const std::string& key, std::span<const uint8_t> data) {
+  Nanos at;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    at = now_;
+  }
+  return PutAt(key, data, at);
+}
+
+Result<std::vector<uint8_t>> LiveIngestStore::Get(const std::string& key) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!VisibleLocked(key)) {
+      return NotFound("not yet ingested: " + key);
+    }
+  }
+  return backing_->Get(key);
+}
+
+bool LiveIngestStore::Contains(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return VisibleLocked(key);
+}
+
+Result<uint64_t> LiveIngestStore::SizeOf(const std::string& key) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!VisibleLocked(key)) {
+      return NotFound("not yet ingested: " + key);
+    }
+  }
+  return backing_->SizeOf(key);
+}
+
+Status LiveIngestStore::Delete(const std::string& key) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    publish_times_.erase(key);
+  }
+  return backing_->Delete(key);
+}
+
+std::vector<std::string> LiveIngestStore::ListKeys() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  for (const auto& [key, publish_at] : publish_times_) {
+    if (publish_at <= now_) {
+      out.push_back(key);
+    }
+  }
+  return out;
+}
+
+}  // namespace sand

@@ -1,0 +1,59 @@
+// Live video ingestion (paper §5.1, input_source: streaming).
+//
+// Online-learning pipelines train on video that keeps arriving (live
+// streams, upload queues). LiveIngestStore wraps a backing store and makes
+// objects visible only after their publish time on a manual ingest clock —
+// the planner then snapshots the visible set per k-epoch chunk, so each
+// chunk trains on everything that has arrived so far.
+
+#ifndef SAND_STORAGE_LIVE_INGEST_H_
+#define SAND_STORAGE_LIVE_INGEST_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "src/common/clock.h"
+#include "src/storage/object_store.h"
+
+namespace sand {
+
+class LiveIngestStore : public ObjectStore {
+ public:
+  explicit LiveIngestStore(std::shared_ptr<ObjectStore> backing)
+      : backing_(std::move(backing)) {}
+
+  // Publishes `key` at ingest-clock time `publish_at`. The object is
+  // stored immediately but invisible until the clock reaches that time.
+  Status PutAt(const std::string& key, std::span<const uint8_t> data, Nanos publish_at);
+
+  // The ingest clock. Advancing it makes pending objects visible.
+  Nanos Now();
+  void AdvanceTo(Nanos time);
+
+  // Keys that are stored but not yet visible.
+  std::vector<std::string> PendingKeys();
+
+  // --- ObjectStore (visibility-filtered) -----------------------------------
+  // Put() publishes immediately (publish_at = current time).
+  Status Put(const std::string& key, std::span<const uint8_t> data) override;
+  Result<std::vector<uint8_t>> Get(const std::string& key) override;
+  bool Contains(const std::string& key) override;
+  Result<uint64_t> SizeOf(const std::string& key) override;
+  Status Delete(const std::string& key) override;
+  uint64_t UsedBytes() override { return backing_->UsedBytes(); }
+  uint64_t CapacityBytes() override { return backing_->CapacityBytes(); }
+  std::vector<std::string> ListKeys() override;
+
+ private:
+  bool VisibleLocked(const std::string& key) const;
+
+  std::shared_ptr<ObjectStore> backing_;
+  std::mutex mutex_;
+  Nanos now_ = 0;
+  std::map<std::string, Nanos> publish_times_;
+};
+
+}  // namespace sand
+
+#endif  // SAND_STORAGE_LIVE_INGEST_H_

@@ -1,0 +1,344 @@
+#include "src/storage/object_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "src/common/strings.h"
+
+namespace sand {
+
+namespace fs = std::filesystem;
+
+// --- MemoryStore -----------------------------------------------------------
+
+MemoryStore::MemoryStore(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+
+Status MemoryStore::Put(const std::string& key, std::span<const uint8_t> data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t existing = 0;
+  auto it = objects_.find(key);
+  if (it != objects_.end()) {
+    existing = it->second.size();
+  }
+  if (used_ - existing + data.size() > capacity_) {
+    return ResourceExhausted(StrFormat("memory store over capacity (%llu + %zu > %llu)",
+                                       static_cast<unsigned long long>(used_ - existing),
+                                       data.size(),
+                                       static_cast<unsigned long long>(capacity_)));
+  }
+  used_ = used_ - existing + data.size();
+  objects_[key] = std::vector<uint8_t>(data.begin(), data.end());
+  return Status::Ok();
+}
+
+Result<std::vector<uint8_t>> MemoryStore::Get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return NotFound("no object: " + key);
+  }
+  return it->second;
+}
+
+bool MemoryStore::Contains(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return objects_.count(key) > 0;
+}
+
+Result<uint64_t> MemoryStore::SizeOf(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return NotFound("no object: " + key);
+  }
+  return static_cast<uint64_t>(it->second.size());
+}
+
+Status MemoryStore::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = objects_.find(key);
+  if (it == objects_.end()) {
+    return NotFound("no object: " + key);
+  }
+  used_ -= it->second.size();
+  objects_.erase(it);
+  return Status::Ok();
+}
+
+uint64_t MemoryStore::UsedBytes() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return used_;
+}
+
+std::vector<std::string> MemoryStore::ListKeys() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> keys;
+  keys.reserve(objects_.size());
+  for (const auto& [key, value] : objects_) {
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+// --- DiskStore ---------------------------------------------------------------
+
+DiskStore::DiskStore(std::string root, uint64_t capacity_bytes)
+    : root_(std::move(root)), capacity_(capacity_bytes) {}
+
+Result<std::unique_ptr<DiskStore>> DiskStore::Open(const std::string& root,
+                                                   uint64_t capacity_bytes) {
+  std::error_code ec;
+  fs::create_directories(root, ec);
+  if (ec) {
+    return Unavailable("cannot create store root " + root + ": " + ec.message());
+  }
+  auto store = std::unique_ptr<DiskStore>(new DiskStore(root, capacity_bytes));
+  Status status = store->Rescan();
+  if (!status.ok()) {
+    return status;
+  }
+  return store;
+}
+
+std::string DiskStore::PathFor(const std::string& key) const {
+  // Keys may contain '/'; they map to subdirectories. Leading slashes are
+  // stripped so keys remain inside the root.
+  std::string clean;
+  clean.reserve(key.size());
+  for (char c : key) {
+    if (clean.empty() && c == '/') {
+      continue;
+    }
+    clean.push_back(c);
+  }
+  return root_ + "/" + clean;
+}
+
+Status DiskStore::Put(const std::string& key, std::span<const uint8_t> data) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t existing = 0;
+  auto it = sizes_.find(key);
+  if (it != sizes_.end()) {
+    existing = it->second;
+  }
+  if (used_ - existing + data.size() > capacity_) {
+    return ResourceExhausted("disk store over capacity");
+  }
+  std::string path = PathFor(key);
+  std::error_code ec;
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  if (ec) {
+    return Unavailable("mkdir failed for " + path + ": " + ec.message());
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Unavailable("cannot open " + path + " for writing");
+  }
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) {
+    return DataLoss("short write to " + path);
+  }
+  used_ = used_ - existing + data.size();
+  sizes_[key] = data.size();
+  return Status::Ok();
+}
+
+Result<std::vector<uint8_t>> DiskStore::Get(const std::string& key) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (sizes_.find(key) == sizes_.end()) {
+      return NotFound("no object: " + key);
+    }
+  }
+  std::ifstream in(PathFor(key), std::ios::binary);
+  if (!in) {
+    return DataLoss("object file missing: " + key);
+  }
+  std::vector<uint8_t> data((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+  return data;
+}
+
+bool DiskStore::Contains(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sizes_.count(key) > 0;
+}
+
+Result<uint64_t> DiskStore::SizeOf(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sizes_.find(key);
+  if (it == sizes_.end()) {
+    return NotFound("no object: " + key);
+  }
+  return it->second;
+}
+
+Status DiskStore::Delete(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = sizes_.find(key);
+  if (it == sizes_.end()) {
+    return NotFound("no object: " + key);
+  }
+  std::error_code ec;
+  fs::remove(PathFor(key), ec);
+  used_ -= it->second;
+  sizes_.erase(it);
+  return Status::Ok();
+}
+
+uint64_t DiskStore::UsedBytes() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return used_;
+}
+
+std::vector<std::string> DiskStore::ListKeys() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> keys;
+  keys.reserve(sizes_.size());
+  for (const auto& [key, size] : sizes_) {
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+Status DiskStore::Rescan() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sizes_.clear();
+  used_ = 0;
+  std::error_code ec;
+  for (auto it = fs::recursive_directory_iterator(root_, ec);
+       !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    if (!it->is_regular_file(ec)) {
+      continue;
+    }
+    std::string rel = fs::relative(it->path(), root_, ec).generic_string();
+    uint64_t size = static_cast<uint64_t>(it->file_size(ec));
+    sizes_[rel] = size;
+    used_ += size;
+  }
+  if (ec) {
+    return Unavailable("rescan failed: " + ec.message());
+  }
+  return Status::Ok();
+}
+
+// --- RemoteStore -------------------------------------------------------------
+
+RemoteStore::RemoteStore(std::shared_ptr<ObjectStore> backing, double bandwidth_bytes_per_sec,
+                         Nanos latency_per_op)
+    : backing_(std::move(backing)), bandwidth_(bandwidth_bytes_per_sec), latency_(latency_per_op) {}
+
+void RemoteStore::ChargeTransfer(uint64_t bytes) {
+  Nanos transfer = latency_;
+  if (bandwidth_ > 0) {
+    transfer += static_cast<Nanos>(static_cast<double>(bytes) / bandwidth_ * kNanosPerSecond);
+  }
+  if (transfer > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(transfer));
+  }
+}
+
+Status RemoteStore::Put(const std::string& key, std::span<const uint8_t> data) {
+  ChargeTransfer(data.size());
+  Status status = backing_->Put(key, data);
+  if (status.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    traffic_.bytes_written += data.size();
+    ++traffic_.write_ops;
+  }
+  return status;
+}
+
+Result<std::vector<uint8_t>> RemoteStore::Get(const std::string& key) {
+  Result<std::vector<uint8_t>> result = backing_->Get(key);
+  if (result.ok()) {
+    ChargeTransfer(result->size());
+    std::lock_guard<std::mutex> lock(mutex_);
+    traffic_.bytes_read += result->size();
+    ++traffic_.read_ops;
+  }
+  return result;
+}
+
+bool RemoteStore::Contains(const std::string& key) { return backing_->Contains(key); }
+
+Result<uint64_t> RemoteStore::SizeOf(const std::string& key) { return backing_->SizeOf(key); }
+
+Status RemoteStore::Delete(const std::string& key) { return backing_->Delete(key); }
+
+uint64_t RemoteStore::UsedBytes() { return backing_->UsedBytes(); }
+
+uint64_t RemoteStore::CapacityBytes() { return backing_->CapacityBytes(); }
+
+std::vector<std::string> RemoteStore::ListKeys() { return backing_->ListKeys(); }
+
+RemoteTraffic RemoteStore::traffic() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return traffic_;
+}
+
+void RemoteStore::ResetTraffic() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  traffic_ = RemoteTraffic{};
+}
+
+// --- TieredCache -------------------------------------------------------------
+
+TieredCache::TieredCache(std::shared_ptr<ObjectStore> memory, std::shared_ptr<ObjectStore> disk)
+    : memory_(std::move(memory)), disk_(std::move(disk)) {}
+
+Status TieredCache::Put(const std::string& key, std::span<const uint8_t> data, Tier tier) {
+  if (tier == Tier::kMemory) {
+    Status status = memory_->Put(key, data);
+    if (status.ok()) {
+      return status;
+    }
+    // Memory full: fall through to disk rather than failing the pipeline.
+  }
+  return disk_->Put(key, data);
+}
+
+Result<std::vector<uint8_t>> TieredCache::Get(const std::string& key) {
+  Result<std::vector<uint8_t>> hot = memory_->Get(key);
+  if (hot.ok()) {
+    return hot;
+  }
+  Result<std::vector<uint8_t>> cold = disk_->Get(key);
+  if (cold.ok()) {
+    // Best-effort promotion; ignore failure (memory may be full).
+    (void)memory_->Put(key, *cold);
+  }
+  return cold;
+}
+
+bool TieredCache::Contains(const std::string& key) {
+  return memory_->Contains(key) || disk_->Contains(key);
+}
+
+Status TieredCache::Delete(const std::string& key) {
+  bool any = false;
+  if (memory_->Contains(key)) {
+    (void)memory_->Delete(key);
+    any = true;
+  }
+  if (disk_->Contains(key)) {
+    (void)disk_->Delete(key);
+    any = true;
+  }
+  return any ? Status::Ok() : NotFound("no object: " + key);
+}
+
+Status TieredCache::Demote(const std::string& key) {
+  Result<std::vector<uint8_t>> data = memory_->Get(key);
+  if (!data.ok()) {
+    return data.status();
+  }
+  SAND_RETURN_IF_ERROR(disk_->Put(key, *data));
+  return memory_->Delete(key);
+}
+
+}  // namespace sand

@@ -1,0 +1,187 @@
+// Object storage substrate.
+//
+// SAND treats training objects (encoded videos, cached frames, batches) as
+// key-addressed blobs. This module provides the stores the paper's
+// environment offers:
+//   MemoryStore  - instance RAM (fast, small)
+//   DiskStore    - local NVMe (real files under a root dir, capacity-capped)
+//   RemoteStore  - Filestore/S3-like remote volume (bandwidth-throttled
+//                  wrapper with traffic accounting)
+//   TieredCache  - memory over disk, the physical home of materialized views
+
+#ifndef SAND_STORAGE_OBJECT_STORE_H_
+#define SAND_STORAGE_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/result.h"
+
+namespace sand {
+
+// Abstract key-value blob store. Implementations are thread-safe.
+class ObjectStore {
+ public:
+  virtual ~ObjectStore() = default;
+
+  // Stores `data` under `key`, replacing any existing object. Fails with
+  // RESOURCE_EXHAUSTED when the store is over capacity.
+  virtual Status Put(const std::string& key, std::span<const uint8_t> data) = 0;
+
+  virtual Result<std::vector<uint8_t>> Get(const std::string& key) = 0;
+
+  virtual bool Contains(const std::string& key) = 0;
+
+  // Size of the stored object, or NOT_FOUND.
+  virtual Result<uint64_t> SizeOf(const std::string& key) = 0;
+
+  virtual Status Delete(const std::string& key) = 0;
+
+  virtual uint64_t UsedBytes() = 0;
+  virtual uint64_t CapacityBytes() = 0;
+
+  // All keys, sorted. Intended for recovery scans and tests.
+  virtual std::vector<std::string> ListKeys() = 0;
+
+  // Re-synchronizes in-memory accounting with durable state (no-op for
+  // volatile stores). The crash-recovery hook.
+  virtual Status Rescan() { return Status::Ok(); }
+};
+
+// In-memory store.
+class MemoryStore : public ObjectStore {
+ public:
+  explicit MemoryStore(uint64_t capacity_bytes = UINT64_MAX);
+
+  Status Put(const std::string& key, std::span<const uint8_t> data) override;
+  Result<std::vector<uint8_t>> Get(const std::string& key) override;
+  bool Contains(const std::string& key) override;
+  Result<uint64_t> SizeOf(const std::string& key) override;
+  Status Delete(const std::string& key) override;
+  uint64_t UsedBytes() override;
+  uint64_t CapacityBytes() override { return capacity_; }
+  std::vector<std::string> ListKeys() override;
+
+ private:
+  const uint64_t capacity_;
+  std::mutex mutex_;
+  std::map<std::string, std::vector<uint8_t>> objects_;
+  uint64_t used_ = 0;
+};
+
+// Filesystem-backed store. Keys map to files under `root`; slashes in keys
+// become directories. Usage is tracked in memory and rebuilt by Rescan().
+class DiskStore : public ObjectStore {
+ public:
+  // Creates `root` if missing and scans any existing objects.
+  static Result<std::unique_ptr<DiskStore>> Open(const std::string& root,
+                                                 uint64_t capacity_bytes);
+
+  Status Put(const std::string& key, std::span<const uint8_t> data) override;
+  Result<std::vector<uint8_t>> Get(const std::string& key) override;
+  bool Contains(const std::string& key) override;
+  Result<uint64_t> SizeOf(const std::string& key) override;
+  Status Delete(const std::string& key) override;
+  uint64_t UsedBytes() override;
+  uint64_t CapacityBytes() override { return capacity_; }
+  std::vector<std::string> ListKeys() override;
+
+  // Re-walks the directory tree and rebuilds the key/size map; the recovery
+  // path after a crash (paper §5.5).
+  Status Rescan() override;
+
+  const std::string& root() const { return root_; }
+
+ private:
+  DiskStore(std::string root, uint64_t capacity_bytes);
+
+  std::string PathFor(const std::string& key) const;
+
+  const std::string root_;
+  const uint64_t capacity_;
+  std::mutex mutex_;
+  std::map<std::string, uint64_t> sizes_;
+  uint64_t used_ = 0;
+};
+
+// Traffic counters for RemoteStore (Fig. 14's network-savings metric).
+struct RemoteTraffic {
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+  uint64_t read_ops = 0;
+  uint64_t write_ops = 0;
+};
+
+// Wraps a backing store behind a bandwidth/latency model; each transfer
+// sleeps for its modeled duration (scaled-down WAN link).
+class RemoteStore : public ObjectStore {
+ public:
+  RemoteStore(std::shared_ptr<ObjectStore> backing, double bandwidth_bytes_per_sec,
+              Nanos latency_per_op = 0);
+
+  Status Put(const std::string& key, std::span<const uint8_t> data) override;
+  Result<std::vector<uint8_t>> Get(const std::string& key) override;
+  bool Contains(const std::string& key) override;
+  Result<uint64_t> SizeOf(const std::string& key) override;
+  Status Delete(const std::string& key) override;
+  uint64_t UsedBytes() override;
+  uint64_t CapacityBytes() override;
+  std::vector<std::string> ListKeys() override;
+
+  RemoteTraffic traffic();
+  void ResetTraffic();
+
+ private:
+  void ChargeTransfer(uint64_t bytes);
+
+  std::shared_ptr<ObjectStore> backing_;
+  const double bandwidth_;
+  const Nanos latency_;
+  std::mutex mutex_;
+  RemoteTraffic traffic_;
+};
+
+// Which tier a cached object should land in.
+enum class Tier {
+  kMemory,
+  kDisk,
+};
+
+// Two-level cache: a MemoryStore in front of a disk (or any) store. Reads
+// check memory first and promote on hit from below. The eviction *policy*
+// lives in the SAND core; this class only provides the mechanics.
+class TieredCache {
+ public:
+  TieredCache(std::shared_ptr<ObjectStore> memory, std::shared_ptr<ObjectStore> disk);
+
+  Status Put(const std::string& key, std::span<const uint8_t> data, Tier tier);
+  Result<std::vector<uint8_t>> Get(const std::string& key);
+  bool Contains(const std::string& key);
+  Status Delete(const std::string& key);
+
+  // Moves an object from memory to disk (spill) keeping it cached.
+  Status Demote(const std::string& key);
+
+  uint64_t MemoryUsedBytes() { return memory_->UsedBytes(); }
+  uint64_t DiskUsedBytes() { return disk_->UsedBytes(); }
+  uint64_t MemoryCapacityBytes() { return memory_->CapacityBytes(); }
+  uint64_t DiskCapacityBytes() { return disk_->CapacityBytes(); }
+
+  ObjectStore& memory() { return *memory_; }
+  ObjectStore& disk() { return *disk_; }
+
+ private:
+  std::shared_ptr<ObjectStore> memory_;
+  std::shared_ptr<ObjectStore> disk_;
+};
+
+}  // namespace sand
+
+#endif  // SAND_STORAGE_OBJECT_STORE_H_

@@ -1,0 +1,60 @@
+#include "src/tensor/frame.h"
+
+namespace sand {
+namespace {
+
+void PutU32(std::vector<uint8_t>& out, uint32_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+  out.push_back(static_cast<uint8_t>(v >> 16));
+  out.push_back(static_cast<uint8_t>(v >> 24));
+}
+
+uint32_t GetU32(std::span<const uint8_t> in, size_t offset) {
+  return static_cast<uint32_t>(in[offset]) | (static_cast<uint32_t>(in[offset + 1]) << 8) |
+         (static_cast<uint32_t>(in[offset + 2]) << 16) |
+         (static_cast<uint32_t>(in[offset + 3]) << 24);
+}
+
+}  // namespace
+
+double Frame::MeanIntensity() const {
+  if (data_.empty()) {
+    return 0.0;
+  }
+  uint64_t sum = 0;
+  for (uint8_t v : data_) {
+    sum += v;
+  }
+  return static_cast<double>(sum) / static_cast<double>(data_.size());
+}
+
+std::vector<uint8_t> Frame::Serialize() const {
+  std::vector<uint8_t> out;
+  out.reserve(12 + data_.size());
+  PutU32(out, static_cast<uint32_t>(height_));
+  PutU32(out, static_cast<uint32_t>(width_));
+  PutU32(out, static_cast<uint32_t>(channels_));
+  out.insert(out.end(), data_.begin(), data_.end());
+  return out;
+}
+
+Result<Frame> Frame::Deserialize(std::span<const uint8_t> bytes) {
+  if (bytes.size() < 12) {
+    return DataLoss("frame header truncated");
+  }
+  int h = static_cast<int>(GetU32(bytes, 0));
+  int w = static_cast<int>(GetU32(bytes, 4));
+  int c = static_cast<int>(GetU32(bytes, 8));
+  if (h < 0 || w < 0 || c < 0 || c > 16) {
+    return DataLoss("frame header corrupt");
+  }
+  size_t expected = static_cast<size_t>(h) * w * c;
+  if (bytes.size() - 12 != expected) {
+    return DataLoss("frame payload size mismatch");
+  }
+  std::vector<uint8_t> data(bytes.begin() + 12, bytes.end());
+  return Frame(h, w, c, std::move(data));
+}
+
+}  // namespace sand

@@ -1,0 +1,88 @@
+// Frame: a dense H x W x C uint8 image tensor.
+//
+// This is the unit of data flowing through SAND's preprocessing pipeline:
+// decoded video frames, augmented frames, and (stacked) training batches all
+// use Frame as their storage. Interleaved channel layout, row-major.
+
+#ifndef SAND_TENSOR_FRAME_H_
+#define SAND_TENSOR_FRAME_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace sand {
+
+class Frame {
+ public:
+  Frame() : height_(0), width_(0), channels_(0) {}
+  Frame(int height, int width, int channels)
+      : height_(height),
+        width_(width),
+        channels_(channels),
+        data_(static_cast<size_t>(height) * width * channels, 0) {}
+  Frame(int height, int width, int channels, std::vector<uint8_t> data)
+      : height_(height), width_(width), channels_(channels), data_(std::move(data)) {}
+
+  int height() const { return height_; }
+  int width() const { return width_; }
+  int channels() const { return channels_; }
+  bool empty() const { return data_.empty(); }
+  size_t size_bytes() const { return data_.size(); }
+
+  uint8_t& At(int y, int x, int c) {
+    return data_[(static_cast<size_t>(y) * width_ + x) * channels_ + c];
+  }
+  uint8_t At(int y, int x, int c) const {
+    return data_[(static_cast<size_t>(y) * width_ + x) * channels_ + c];
+  }
+
+  std::span<uint8_t> data() { return data_; }
+  std::span<const uint8_t> data() const { return data_; }
+  std::vector<uint8_t>& storage() { return data_; }
+  const std::vector<uint8_t>& storage() const { return data_; }
+
+  bool SameShape(const Frame& other) const {
+    return height_ == other.height_ && width_ == other.width_ && channels_ == other.channels_;
+  }
+
+  bool operator==(const Frame& other) const {
+    return SameShape(other) && data_ == other.data_;
+  }
+
+  // Mean pixel intensity over all channels; used by tests and the tiny
+  // trainable model as a cheap feature.
+  double MeanIntensity() const;
+
+  // Serializes shape + raw pixels (no compression); inverse of Deserialize.
+  std::vector<uint8_t> Serialize() const;
+  static Result<Frame> Deserialize(std::span<const uint8_t> bytes);
+
+ private:
+  int height_;
+  int width_;
+  int channels_;
+  std::vector<uint8_t> data_;
+};
+
+// A clip is an ordered sequence of frames sampled from one video. Training
+// batches stack multiple clips.
+struct Clip {
+  std::vector<Frame> frames;
+  std::vector<int64_t> frame_indices;  // source frame index per entry
+
+  size_t size_bytes() const {
+    size_t total = 0;
+    for (const auto& f : frames) {
+      total += f.size_bytes();
+    }
+    return total;
+  }
+};
+
+}  // namespace sand
+
+#endif  // SAND_TENSOR_FRAME_H_

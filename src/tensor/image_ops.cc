@@ -1,0 +1,218 @@
+#include "src/tensor/image_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sand {
+namespace {
+
+uint8_t Saturate(int v) { return static_cast<uint8_t>(std::clamp(v, 0, 255)); }
+
+uint8_t SaturateD(double v) {
+  return static_cast<uint8_t>(std::clamp(v, 0.0, 255.0) + 0.5);
+}
+
+}  // namespace
+
+Result<Frame> Resize(const Frame& in, int out_h, int out_w, Interpolation interp) {
+  if (in.empty()) {
+    return InvalidArgument("Resize: empty input");
+  }
+  if (out_h <= 0 || out_w <= 0) {
+    return InvalidArgument("Resize: non-positive output size");
+  }
+  const int c = in.channels();
+  Frame out(out_h, out_w, c);
+  const double scale_y = static_cast<double>(in.height()) / out_h;
+  const double scale_x = static_cast<double>(in.width()) / out_w;
+  for (int y = 0; y < out_h; ++y) {
+    for (int x = 0; x < out_w; ++x) {
+      if (interp == Interpolation::kNearest) {
+        int sy = std::min(static_cast<int>(y * scale_y), in.height() - 1);
+        int sx = std::min(static_cast<int>(x * scale_x), in.width() - 1);
+        for (int ch = 0; ch < c; ++ch) {
+          out.At(y, x, ch) = in.At(sy, sx, ch);
+        }
+      } else {
+        double fy = (y + 0.5) * scale_y - 0.5;
+        double fx = (x + 0.5) * scale_x - 0.5;
+        int y0 = std::clamp(static_cast<int>(std::floor(fy)), 0, in.height() - 1);
+        int x0 = std::clamp(static_cast<int>(std::floor(fx)), 0, in.width() - 1);
+        int y1 = std::min(y0 + 1, in.height() - 1);
+        int x1 = std::min(x0 + 1, in.width() - 1);
+        double wy = std::clamp(fy - y0, 0.0, 1.0);
+        double wx = std::clamp(fx - x0, 0.0, 1.0);
+        for (int ch = 0; ch < c; ++ch) {
+          double top = in.At(y0, x0, ch) * (1 - wx) + in.At(y0, x1, ch) * wx;
+          double bot = in.At(y1, x0, ch) * (1 - wx) + in.At(y1, x1, ch) * wx;
+          out.At(y, x, ch) = SaturateD(top * (1 - wy) + bot * wy);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Result<Frame> Crop(const Frame& in, int y, int x, int h, int w) {
+  if (h <= 0 || w <= 0) {
+    return InvalidArgument("Crop: non-positive size");
+  }
+  if (y < 0 || x < 0 || y + h > in.height() || x + w > in.width()) {
+    return OutOfRange("Crop: rectangle outside frame");
+  }
+  const int c = in.channels();
+  Frame out(h, w, c);
+  for (int row = 0; row < h; ++row) {
+    const uint8_t* src = &in.data()[((static_cast<size_t>(y) + row) * in.width() + x) * c];
+    uint8_t* dst = &out.data()[static_cast<size_t>(row) * w * c];
+    std::memcpy(dst, src, static_cast<size_t>(w) * c);
+  }
+  return out;
+}
+
+Result<Frame> CenterCrop(const Frame& in, int h, int w) {
+  int y = (in.height() - h) / 2;
+  int x = (in.width() - w) / 2;
+  return Crop(in, y, x, h, w);
+}
+
+Frame FlipHorizontal(const Frame& in) {
+  const int c = in.channels();
+  Frame out(in.height(), in.width(), c);
+  for (int y = 0; y < in.height(); ++y) {
+    for (int x = 0; x < in.width(); ++x) {
+      for (int ch = 0; ch < c; ++ch) {
+        out.At(y, x, ch) = in.At(y, in.width() - 1 - x, ch);
+      }
+    }
+  }
+  return out;
+}
+
+Frame Rotate90(const Frame& in) {
+  const int c = in.channels();
+  Frame out(in.width(), in.height(), c);
+  for (int y = 0; y < in.height(); ++y) {
+    for (int x = 0; x < in.width(); ++x) {
+      for (int ch = 0; ch < c; ++ch) {
+        out.At(x, in.height() - 1 - y, ch) = in.At(y, x, ch);
+      }
+    }
+  }
+  return out;
+}
+
+Frame AdjustBrightness(const Frame& in, int delta) {
+  Frame out = in;
+  for (uint8_t& v : out.storage()) {
+    v = Saturate(static_cast<int>(v) + delta);
+  }
+  return out;
+}
+
+Frame AdjustContrast(const Frame& in, double factor) {
+  double mean = in.MeanIntensity();
+  Frame out = in;
+  for (uint8_t& v : out.storage()) {
+    v = SaturateD(mean + (static_cast<double>(v) - mean) * factor);
+  }
+  return out;
+}
+
+Frame ColorJitter(const Frame& in, Rng& rng, int max_delta, double max_contrast) {
+  int delta = static_cast<int>(rng.NextInRange(-max_delta, max_delta));
+  double factor = 1.0 + (rng.NextDouble() * 2.0 - 1.0) * max_contrast;
+  return AdjustContrast(AdjustBrightness(in, delta), factor);
+}
+
+Result<Frame> BoxBlur(const Frame& in, int k) {
+  if (k <= 0 || k % 2 == 0) {
+    return InvalidArgument("BoxBlur: kernel must be positive odd");
+  }
+  if (k == 1) {
+    return in;
+  }
+  const int c = in.channels();
+  const int r = k / 2;
+  Frame out(in.height(), in.width(), c);
+  for (int y = 0; y < in.height(); ++y) {
+    for (int x = 0; x < in.width(); ++x) {
+      for (int ch = 0; ch < c; ++ch) {
+        int sum = 0;
+        int count = 0;
+        for (int dy = -r; dy <= r; ++dy) {
+          for (int dx = -r; dx <= r; ++dx) {
+            int sy = y + dy;
+            int sx = x + dx;
+            if (sy >= 0 && sy < in.height() && sx >= 0 && sx < in.width()) {
+              sum += in.At(sy, sx, ch);
+              ++count;
+            }
+          }
+        }
+        out.At(y, x, ch) = static_cast<uint8_t>(sum / count);
+      }
+    }
+  }
+  return out;
+}
+
+Frame Invert(const Frame& in) {
+  Frame out = in;
+  for (uint8_t& v : out.storage()) {
+    v = static_cast<uint8_t>(255 - v);
+  }
+  return out;
+}
+
+std::array<double, 4> ChannelMeans(const Frame& in) {
+  std::array<double, 4> means{0, 0, 0, 0};
+  if (in.empty()) {
+    return means;
+  }
+  std::array<uint64_t, 4> sums{0, 0, 0, 0};
+  const int c = std::min(in.channels(), 4);
+  for (int y = 0; y < in.height(); ++y) {
+    for (int x = 0; x < in.width(); ++x) {
+      for (int ch = 0; ch < c; ++ch) {
+        sums[ch] += in.At(y, x, ch);
+      }
+    }
+  }
+  double pixels = static_cast<double>(in.height()) * in.width();
+  for (int ch = 0; ch < c; ++ch) {
+    means[ch] = sums[ch] / pixels;
+  }
+  return means;
+}
+
+Result<std::vector<uint8_t>> StackBatch(const std::vector<Clip>& clips) {
+  if (clips.empty()) {
+    return InvalidArgument("StackBatch: no clips");
+  }
+  const size_t t = clips[0].frames.size();
+  if (t == 0) {
+    return InvalidArgument("StackBatch: empty clip");
+  }
+  const Frame& ref = clips[0].frames[0];
+  for (const auto& clip : clips) {
+    if (clip.frames.size() != t) {
+      return InvalidArgument("StackBatch: clip length mismatch");
+    }
+    for (const auto& frame : clip.frames) {
+      if (!frame.SameShape(ref)) {
+        return InvalidArgument("StackBatch: frame shape mismatch");
+      }
+    }
+  }
+  std::vector<uint8_t> out;
+  out.reserve(clips.size() * t * ref.size_bytes());
+  for (const auto& clip : clips) {
+    for (const auto& frame : clip.frames) {
+      out.insert(out.end(), frame.data().begin(), frame.data().end());
+    }
+  }
+  return out;
+}
+
+}  // namespace sand

@@ -1,0 +1,179 @@
+#include "src/vfs/sand_fs.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/common/strings.h"
+
+namespace sand {
+
+Result<int> SandFs::Open(const std::string& path) {
+  if (path.empty() || path.front() != '/') {
+    return InvalidArgument("open: path must be absolute: " + path);
+  }
+  // "/{task}" with no further components is a session handle.
+  std::vector<std::string> parts = Split(std::string_view(path).substr(1), '/');
+  if (parts.size() == 1 && !parts[0].empty()) {
+    SAND_RETURN_IF_ERROR(provider_->OnSessionOpen(parts[0]));
+    std::lock_guard<std::mutex> lock(mutex_);
+    int fd = next_fd_++;
+    FdEntry entry;
+    entry.is_session = true;
+    entry.session_task = parts[0];
+    fds_[fd] = std::move(entry);
+    ++stats_.opens;
+    return fd;
+  }
+  SAND_ASSIGN_OR_RETURN(ViewPath view, ViewPath::Parse(path));
+  std::lock_guard<std::mutex> lock(mutex_);
+  int fd = next_fd_++;
+  FdEntry entry;
+  entry.path = std::move(view);
+  fds_[fd] = std::move(entry);
+  ++stats_.opens;
+  return fd;
+}
+
+Status SandFs::EnsureData(int fd) {
+  ViewPath path;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = fds_.find(fd);
+    if (it == fds_.end()) {
+      return InvalidArgument(StrFormat("bad fd %d", fd));
+    }
+    if (it->second.is_session) {
+      return InvalidArgument("read on a session fd");
+    }
+    if (it->second.data != nullptr) {
+      return Status::Ok();
+    }
+    path = it->second.path;
+  }
+  // Materialize outside the lock: this may block on preprocessing.
+  Result<std::shared_ptr<const std::vector<uint8_t>>> data = provider_->Materialize(path);
+  if (!data.ok()) {
+    return data.status();
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return InvalidArgument(StrFormat("fd %d closed during read", fd));
+  }
+  if (it->second.data == nullptr) {
+    it->second.data = data.TakeValue();
+  }
+  return Status::Ok();
+}
+
+Result<size_t> SandFs::Read(int fd, std::span<uint8_t> buffer) {
+  SAND_RETURN_IF_ERROR(EnsureData(fd));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return InvalidArgument(StrFormat("bad fd %d", fd));
+  }
+  FdEntry& entry = it->second;
+  const std::vector<uint8_t>& data = *entry.data;
+  if (entry.cursor >= data.size()) {
+    return static_cast<size_t>(0);
+  }
+  size_t count = std::min(buffer.size(), data.size() - static_cast<size_t>(entry.cursor));
+  std::memcpy(buffer.data(), data.data() + entry.cursor, count);
+  entry.cursor += count;
+  ++stats_.reads;
+  stats_.bytes_read += count;
+  return count;
+}
+
+Result<size_t> SandFs::PRead(int fd, std::span<uint8_t> buffer, uint64_t offset) {
+  SAND_RETURN_IF_ERROR(EnsureData(fd));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return InvalidArgument(StrFormat("bad fd %d", fd));
+  }
+  const std::vector<uint8_t>& data = *it->second.data;
+  if (offset >= data.size()) {
+    return static_cast<size_t>(0);
+  }
+  size_t count = std::min(buffer.size(), data.size() - static_cast<size_t>(offset));
+  std::memcpy(buffer.data(), data.data() + offset, count);
+  ++stats_.reads;
+  stats_.bytes_read += count;
+  return count;
+}
+
+Result<std::vector<uint8_t>> SandFs::ReadAll(int fd) {
+  SAND_RETURN_IF_ERROR(EnsureData(fd));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return InvalidArgument(StrFormat("bad fd %d", fd));
+  }
+  ++stats_.reads;
+  stats_.bytes_read += it->second.data->size();
+  return *it->second.data;
+}
+
+Result<uint64_t> SandFs::SizeOf(int fd) {
+  SAND_RETURN_IF_ERROR(EnsureData(fd));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return InvalidArgument(StrFormat("bad fd %d", fd));
+  }
+  return static_cast<uint64_t>(it->second.data->size());
+}
+
+Result<std::string> SandFs::GetXattr(int fd, const std::string& name) {
+  ViewPath path;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = fds_.find(fd);
+    if (it == fds_.end()) {
+      return InvalidArgument(StrFormat("bad fd %d", fd));
+    }
+    if (it->second.is_session) {
+      return InvalidArgument("getxattr on a session fd");
+    }
+    path = it->second.path;
+    ++stats_.xattrs;
+  }
+  return provider_->GetMetadata(path, name);
+}
+
+Result<std::vector<std::string>> SandFs::ListDir(const std::string& path) {
+  if (path.empty() || path.front() != '/') {
+    return InvalidArgument("listdir: path must be absolute: " + path);
+  }
+  SAND_ASSIGN_OR_RETURN(std::vector<std::string> children, provider_->ListChildren(path));
+  std::sort(children.begin(), children.end());
+  return children;
+}
+
+Status SandFs::Close(int fd) {
+  FdEntry entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = fds_.find(fd);
+    if (it == fds_.end()) {
+      return InvalidArgument(StrFormat("bad fd %d", fd));
+    }
+    entry = std::move(it->second);
+    fds_.erase(it);
+    ++stats_.closes;
+  }
+  if (entry.is_session) {
+    return provider_->OnSessionClose(entry.session_task);
+  }
+  provider_->OnViewClose(entry.path);
+  return Status::Ok();
+}
+
+SandFsStats SandFs::stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace sand

@@ -1,0 +1,120 @@
+// SandFs: the POSIX-style view filesystem (paper §5.1, Tables 1-2).
+//
+// The paper mounts SAND through FUSE so unmodified applications reach views
+// with open/read/getxattr/close. This repository keeps the identical verb
+// surface and path grammar but serves it in-process: applications link the
+// library and call SandFs, which forwards to a ViewProvider (the SAND core
+// service) for materialization. Every training framework interaction in the
+// examples and benches goes through this API only.
+//
+// Semantics:
+//   Open("/{task}")                    -> session fd (task start signal)
+//   Open("/{task}/{epoch}/{iter}/view")-> batch view fd
+//   Open(frame / aug-frame paths)      -> intermediate object fd
+//   Read/PRead(fd)                     -> materializes on first access, then
+//                                         copies out of the object buffer
+//   GetXattr(fd, name)                 -> view metadata (shape, timestamps)
+//   Close(fd)                          -> releases the buffer (and signals
+//                                         task end for session fds)
+
+#ifndef SAND_VFS_SAND_FS_H_
+#define SAND_VFS_SAND_FS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/graph/view.h"
+
+namespace sand {
+
+// The materialization backend SandFs delegates to.
+class ViewProvider {
+ public:
+  virtual ~ViewProvider() = default;
+
+  // Produces (or fetches from cache) the object's bytes. Blocks until the
+  // object is ready — this is the demand-feeding path.
+  virtual Result<std::shared_ptr<const std::vector<uint8_t>>> Materialize(
+      const ViewPath& path) = 0;
+
+  // Metadata lookup (Table 2 getxattr).
+  virtual Result<std::string> GetMetadata(const ViewPath& path, const std::string& name) = 0;
+
+  // Task session lifecycle (the open/close task signals of §7.3).
+  virtual Status OnSessionOpen(const std::string& task) = 0;
+  virtual Status OnSessionClose(const std::string& task) = 0;
+
+  // The object's fd was closed; the provider may release memory.
+  virtual void OnViewClose(const ViewPath& path) { (void)path; }
+
+  // readdir analogue: names under `path` ("/" lists tasks, "/{task}" lists
+  // epochs and videos, ...). Optional; default: not supported.
+  virtual Result<std::vector<std::string>> ListChildren(const std::string& path) {
+    return Unavailable("listing not supported: " + path);
+  }
+};
+
+struct SandFsStats {
+  uint64_t opens = 0;
+  uint64_t reads = 0;
+  uint64_t closes = 0;
+  uint64_t xattrs = 0;
+  uint64_t bytes_read = 0;
+};
+
+class SandFs {
+ public:
+  explicit SandFs(ViewProvider* provider) : provider_(provider) {}
+
+  // Opens a view or session path; returns a file descriptor.
+  Result<int> Open(const std::string& path);
+
+  // Sequential read from the fd's cursor. Returns bytes copied; 0 at EOF.
+  Result<size_t> Read(int fd, std::span<uint8_t> buffer);
+
+  // Positional read.
+  Result<size_t> PRead(int fd, std::span<uint8_t> buffer, uint64_t offset);
+
+  // Reads the whole object (materializing if needed).
+  Result<std::vector<uint8_t>> ReadAll(int fd);
+
+  // Size of the object behind fd (materializes if needed).
+  Result<uint64_t> SizeOf(int fd);
+
+  Result<std::string> GetXattr(int fd, const std::string& name);
+
+  // Lists directory entries (readdir analogue), sorted.
+  Result<std::vector<std::string>> ListDir(const std::string& path);
+
+  Status Close(int fd);
+
+  SandFsStats stats();
+
+ private:
+  struct FdEntry {
+    bool is_session = false;
+    std::string session_task;
+    ViewPath path;
+    uint64_t cursor = 0;
+    std::shared_ptr<const std::vector<uint8_t>> data;  // after first access
+  };
+
+  // Ensures entry.data is materialized. Caller must NOT hold mutex_.
+  Status EnsureData(int fd);
+
+  ViewProvider* provider_;
+  std::mutex mutex_;
+  std::map<int, FdEntry> fds_;
+  int next_fd_ = 3;  // skip stdin/stdout/stderr numbers for familiarity
+  SandFsStats stats_;
+};
+
+}  // namespace sand
+
+#endif  // SAND_VFS_SAND_FS_H_

@@ -1,0 +1,85 @@
+#include "src/workloads/calibrate.h"
+
+#include "src/codec/video_codec.h"
+#include "src/common/clock.h"
+#include "src/common/rng.h"
+#include "src/compress/lossless.h"
+#include "src/tensor/image_ops.h"
+#include "src/workloads/synthetic.h"
+
+namespace sand {
+namespace {
+
+// Wall time of `fn` repeated `reps` times, divided by reps.
+template <typename Fn>
+Nanos TimeOf(int reps, Fn&& fn) {
+  Stopwatch watch;
+  for (int i = 0; i < reps; ++i) {
+    fn();
+  }
+  return watch.Elapsed() / reps;
+}
+
+}  // namespace
+
+Result<CostModel> CalibrateCostModel(const CalibrationOptions& options) {
+  const int h = options.probe_height;
+  const int w = options.probe_width;
+  const double pixels = static_cast<double>(h) * w * 3;
+  CostModel model;
+
+  // Probe video.
+  VideoEncoderOptions encoder_options;
+  encoder_options.gop_size = options.gop_size;
+  VideoEncoder encoder(h, w, 3, encoder_options);
+  for (int64_t t = 0; t < options.probe_frames; ++t) {
+    SAND_RETURN_IF_ERROR(encoder.AddFrame(SynthesizeFrame(options.seed, t, h, w, 3)));
+  }
+  SAND_ASSIGN_OR_RETURN(std::vector<uint8_t> container, encoder.Finish());
+
+  // Decode: sequential sweep cost per frame (what the chunk sweep pays).
+  Nanos decode_total = TimeOf(options.repetitions, [&] {
+    auto decoder = VideoDecoder::Open(container);
+    for (int64_t t = 0; t < options.probe_frames; ++t) {
+      (void)decoder->DecodeFrame(t);
+    }
+  });
+  model.decode_ns_per_pixel =
+      static_cast<double>(decode_total) / options.probe_frames / pixels;
+
+  Frame probe = SynthesizeFrame(options.seed, 3, h, w, 3);
+  const int reps = options.repetitions * 4;
+
+  Nanos resize_ns = TimeOf(reps, [&] { (void)Resize(probe, h * 3 / 4, w * 3 / 4); });
+  model.resize_ns_per_pixel =
+      static_cast<double>(resize_ns) / (pixels * 9.0 / 16.0);
+
+  Nanos crop_ns = TimeOf(reps, [&] { (void)Crop(probe, 4, 4, h / 2, w / 2); });
+  model.crop_ns_per_pixel = static_cast<double>(crop_ns) / (pixels / 4.0);
+
+  Nanos flip_ns = TimeOf(reps, [&] { (void)FlipHorizontal(probe); });
+  model.flip_ns_per_pixel = static_cast<double>(flip_ns) / pixels;
+
+  Rng rng(options.seed);
+  Nanos jitter_ns = TimeOf(reps, [&] { (void)ColorJitter(probe, rng, 20, 0.2); });
+  model.jitter_ns_per_pixel = static_cast<double>(jitter_ns) / pixels;
+
+  Nanos blur_ns = TimeOf(options.repetitions, [&] { (void)BoxBlur(probe, 3); });
+  model.blur_ns_per_pixel = static_cast<double>(blur_ns) / pixels / 3.0;
+
+  Nanos rotate_ns = TimeOf(reps, [&] { (void)Rotate90(probe); });
+  model.rotate_ns_per_pixel = static_cast<double>(rotate_ns) / pixels;
+
+  Nanos invert_ns = TimeOf(reps, [&] { (void)Invert(probe); });
+  model.invert_ns_per_pixel = static_cast<double>(invert_ns) / pixels;
+
+  // Cache codec: cost per raw byte and the measured compression ratio.
+  SAND_ASSIGN_OR_RETURN(std::vector<uint8_t> compressed, CompressFrame(probe));
+  Nanos compress_ns = TimeOf(options.repetitions, [&] { (void)CompressFrame(probe); });
+  model.compress_ns_per_byte = static_cast<double>(compress_ns) / pixels;
+  model.cache_compress_ratio =
+      static_cast<double>(probe.size_bytes()) / static_cast<double>(compressed.size());
+  return model;
+}
+
+}  // namespace sand

@@ -1,0 +1,30 @@
+// Cost-model calibration: measures the substrate's real per-op costs on a
+// probe workload and returns a CostModel whose coefficients reflect this
+// machine, so pruning's cache-vs-recompute decisions use measured weights
+// rather than defaults.
+
+#ifndef SAND_WORKLOADS_CALIBRATE_H_
+#define SAND_WORKLOADS_CALIBRATE_H_
+
+#include "src/common/result.h"
+#include "src/graph/cost_model.h"
+
+namespace sand {
+
+struct CalibrationOptions {
+  int probe_height = 64;
+  int probe_width = 96;
+  int probe_frames = 24;
+  int gop_size = 8;
+  int repetitions = 3;
+  uint64_t seed = 99;
+};
+
+// Runs the probe workload (encode, decode, every augmentation, the cache
+// codec) and returns measured coefficients. Takes a few tens of
+// milliseconds at the default size.
+Result<CostModel> CalibrateCostModel(const CalibrationOptions& options = {});
+
+}  // namespace sand
+
+#endif  // SAND_WORKLOADS_CALIBRATE_H_

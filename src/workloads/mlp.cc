@@ -1,0 +1,124 @@
+#include "src/workloads/mlp.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace sand {
+
+std::vector<double> ClipFeatures(const Clip& clip) {
+  std::vector<double> features(kClipFeatureDim, 0.0);
+  if (clip.frames.empty()) {
+    return features;
+  }
+  for (const Frame& frame : clip.frames) {
+    const int half_h = std::max(frame.height() / 2, 1);
+    const int half_w = std::max(frame.width() / 2, 1);
+    const int channels = std::min(frame.channels(), 3);
+    for (int region = 0; region < 4; ++region) {
+      int y0 = (region / 2) * half_h;
+      int x0 = (region % 2) * half_w;
+      int y1 = std::min(y0 + half_h, frame.height());
+      int x1 = std::min(x0 + half_w, frame.width());
+      for (int c = 0; c < channels; ++c) {
+        double sum = 0;
+        int count = 0;
+        for (int y = y0; y < y1; ++y) {
+          for (int x = x0; x < x1; ++x) {
+            sum += frame.At(y, x, c);
+            ++count;
+          }
+        }
+        features[static_cast<size_t>(region * 3 + c)] +=
+            count > 0 ? sum / count / 255.0 : 0.0;
+      }
+    }
+  }
+  for (double& f : features) {
+    f /= static_cast<double>(clip.frames.size());
+  }
+  return features;
+}
+
+MlpRegressor::MlpRegressor(int in_features, int hidden, uint64_t seed)
+    : in_features_(in_features), hidden_(hidden) {
+  Rng rng(seed);
+  double scale1 = 1.0 / std::sqrt(static_cast<double>(in_features));
+  double scale2 = 1.0 / std::sqrt(static_cast<double>(hidden));
+  w1_.resize(static_cast<size_t>(hidden) * in_features);
+  for (double& w : w1_) {
+    w = rng.NextGaussian() * scale1;
+  }
+  b1_.assign(static_cast<size_t>(hidden), 0.0);
+  w2_.resize(static_cast<size_t>(hidden));
+  for (double& w : w2_) {
+    w = rng.NextGaussian() * scale2;
+  }
+  b2_ = 0.0;
+}
+
+double MlpRegressor::Predict(std::span<const double> features) const {
+  assert(static_cast<int>(features.size()) == in_features_);
+  double out = b2_;
+  for (int h = 0; h < hidden_; ++h) {
+    double z = b1_[static_cast<size_t>(h)];
+    for (int i = 0; i < in_features_; ++i) {
+      z += w1_[static_cast<size_t>(h) * in_features_ + i] * features[static_cast<size_t>(i)];
+    }
+    out += w2_[static_cast<size_t>(h)] * std::tanh(z);
+  }
+  return out;
+}
+
+double MlpRegressor::TrainBatch(std::span<const std::vector<double>> features,
+                                std::span<const double> labels, double learning_rate) {
+  assert(features.size() == labels.size());
+  if (features.empty()) {
+    return 0.0;
+  }
+  const size_t n = features.size();
+  std::vector<double> grad_w1(w1_.size(), 0.0);
+  std::vector<double> grad_b1(b1_.size(), 0.0);
+  std::vector<double> grad_w2(w2_.size(), 0.0);
+  double grad_b2 = 0.0;
+  double loss = 0.0;
+
+  std::vector<double> hidden_act(static_cast<size_t>(hidden_));
+  for (size_t s = 0; s < n; ++s) {
+    const std::vector<double>& x = features[s];
+    double out = b2_;
+    for (int h = 0; h < hidden_; ++h) {
+      double z = b1_[static_cast<size_t>(h)];
+      for (int i = 0; i < in_features_; ++i) {
+        z += w1_[static_cast<size_t>(h) * in_features_ + i] * x[static_cast<size_t>(i)];
+      }
+      hidden_act[static_cast<size_t>(h)] = std::tanh(z);
+      out += w2_[static_cast<size_t>(h)] * hidden_act[static_cast<size_t>(h)];
+    }
+    double err = out - labels[s];
+    loss += err * err;
+    grad_b2 += 2.0 * err;
+    for (int h = 0; h < hidden_; ++h) {
+      double a = hidden_act[static_cast<size_t>(h)];
+      grad_w2[static_cast<size_t>(h)] += 2.0 * err * a;
+      double dz = 2.0 * err * w2_[static_cast<size_t>(h)] * (1.0 - a * a);
+      grad_b1[static_cast<size_t>(h)] += dz;
+      for (int i = 0; i < in_features_; ++i) {
+        grad_w1[static_cast<size_t>(h) * in_features_ + i] += dz * x[static_cast<size_t>(i)];
+      }
+    }
+  }
+  double inv_n = 1.0 / static_cast<double>(n);
+  for (size_t i = 0; i < w1_.size(); ++i) {
+    w1_[i] -= learning_rate * grad_w1[i] * inv_n;
+  }
+  for (size_t i = 0; i < b1_.size(); ++i) {
+    b1_[i] -= learning_rate * grad_b1[i] * inv_n;
+  }
+  for (size_t i = 0; i < w2_.size(); ++i) {
+    w2_[i] -= learning_rate * grad_w2[i] * inv_n;
+  }
+  b2_ -= learning_rate * grad_b2 * inv_n;
+  return loss * inv_n;
+}
+
+}  // namespace sand

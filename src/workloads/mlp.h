@@ -1,0 +1,46 @@
+// A small trainable model.
+//
+// The Fig. 20 experiment needs a real learner to show that SAND's
+// coordinated randomization does not change convergence. This MLP
+// regresses each video's synthetic label (its base brightness) from
+// region-mean pixel features of a clip, trained with plain SGD on MSE.
+
+#ifndef SAND_WORKLOADS_MLP_H_
+#define SAND_WORKLOADS_MLP_H_
+
+#include <span>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/tensor/frame.h"
+
+namespace sand {
+
+// Fixed-length feature vector of a clip: per-channel means over a 2x2
+// spatial grid, averaged across the clip's frames, scaled to [0, 1].
+std::vector<double> ClipFeatures(const Clip& clip);
+constexpr int kClipFeatureDim = 12;  // 2*2 regions x 3 channels
+
+class MlpRegressor {
+ public:
+  MlpRegressor(int in_features, int hidden, uint64_t seed);
+
+  double Predict(std::span<const double> features) const;
+
+  // One SGD step over the batch; returns the batch MSE loss (pre-update).
+  double TrainBatch(std::span<const std::vector<double>> features,
+                    std::span<const double> labels, double learning_rate);
+
+ private:
+  int in_features_;
+  int hidden_;
+  // Layer 1: hidden x in (+bias); layer 2: 1 x hidden (+bias).
+  std::vector<double> w1_;
+  std::vector<double> b1_;
+  std::vector<double> w2_;
+  double b2_;
+};
+
+}  // namespace sand
+
+#endif  // SAND_WORKLOADS_MLP_H_

@@ -1,0 +1,179 @@
+#include "src/workloads/models.h"
+
+#include "src/common/strings.h"
+
+namespace sand {
+
+ModelProfile SlowFastProfile() {
+  ModelProfile profile;
+  profile.name = "slowfast";
+  profile.gpu_step = FromMillis(9.0);
+  profile.model_memory_bytes = 10ULL * 1024 * 1024;
+  profile.memory_per_clip_bytes = 512ULL * 1024;
+  profile.videos_per_batch = 4;
+  profile.frames_per_video = 8;
+  profile.frame_stride = 4;
+  profile.resize_h = 48;
+  profile.resize_w = 64;
+  profile.crop_h = 40;
+  profile.crop_w = 40;
+  return profile;
+}
+
+ModelProfile MaeProfile() {
+  ModelProfile profile;
+  profile.name = "mae";
+  profile.gpu_step = FromMillis(8.0);
+  profile.model_memory_bytes = 12ULL * 1024 * 1024;
+  profile.memory_per_clip_bytes = 384ULL * 1024;
+  profile.videos_per_batch = 4;
+  profile.frames_per_video = 16;  // VideoMAE: dense clips
+  profile.frame_stride = 2;       // SlowFast's stride-4 grid nests inside
+  profile.resize_h = 48;
+  profile.resize_w = 64;
+  profile.crop_h = 40;
+  profile.crop_w = 40;
+  return profile;
+}
+
+ModelProfile HdVilaProfile() {
+  ModelProfile profile;
+  profile.name = "hdvila";
+  profile.gpu_step = FromMillis(10.0);
+  profile.model_memory_bytes = 14ULL * 1024 * 1024;
+  profile.memory_per_clip_bytes = 640ULL * 1024;
+  profile.videos_per_batch = 4;
+  profile.frames_per_video = 12;  // captioning: longer clips
+  profile.frame_stride = 2;
+  profile.resize_h = 44;
+  profile.resize_w = 60;
+  profile.crop_h = 40;
+  profile.crop_w = 40;
+  profile.color_jitter = true;
+  return profile;
+}
+
+ModelProfile BasicVsrProfile() {
+  ModelProfile profile;
+  profile.name = "basicvsr";
+  profile.gpu_step = FromMillis(5.0);
+  profile.model_memory_bytes = 16ULL * 1024 * 1024;
+  profile.memory_per_clip_bytes = 1024ULL * 1024;
+  profile.videos_per_batch = 3;   // super-resolution: small batches
+  profile.frames_per_video = 10;  // consecutive high-res frames
+  profile.frame_stride = 1;
+  profile.resize_h = 56;
+  profile.resize_w = 80;  // minimal downscale: SR keeps resolution high
+  profile.crop_h = 48;
+  profile.crop_w = 48;
+  return profile;
+}
+
+std::vector<ModelProfile> AllModelProfiles() {
+  return {SlowFastProfile(), MaeProfile(), HdVilaProfile(), BasicVsrProfile()};
+}
+
+TaskConfig MakeTaskConfig(const ModelProfile& profile, const std::string& dataset_path,
+                          const std::string& tag) {
+  TaskConfig config;
+  config.tag = tag;
+  config.input_source = InputSource::kFile;
+  config.dataset_path = dataset_path;
+  config.sampling.videos_per_batch = profile.videos_per_batch;
+  config.sampling.frames_per_video = profile.frames_per_video;
+  config.sampling.frame_stride = profile.frame_stride;
+  config.sampling.samples_per_video = profile.samples_per_video;
+
+  AugStage resize;
+  resize.name = "resize";
+  resize.type = BranchType::kSingle;
+  resize.inputs = {"frame"};
+  resize.outputs = {"aug0"};
+  AugOp resize_op;
+  resize_op.kind = OpKind::kResize;
+  resize_op.out_h = profile.resize_h;
+  resize_op.out_w = profile.resize_w;
+  resize.ops.push_back(resize_op);
+  config.augmentation.push_back(std::move(resize));
+
+  AugStage crop;
+  crop.name = "crop_flip";
+  crop.type = BranchType::kSingle;
+  crop.inputs = {"aug0"};
+  crop.outputs = {"aug1"};
+  AugOp crop_op;
+  crop_op.kind = OpKind::kRandomCrop;
+  crop_op.out_h = profile.crop_h;
+  crop_op.out_w = profile.crop_w;
+  crop.ops.push_back(crop_op);
+  AugOp flip_op;
+  flip_op.kind = OpKind::kFlip;
+  flip_op.prob = 0.5;
+  crop.ops.push_back(flip_op);
+  config.augmentation.push_back(std::move(crop));
+
+  if (profile.color_jitter) {
+    AugStage jitter;
+    jitter.name = "jitter";
+    jitter.type = BranchType::kSingle;
+    jitter.inputs = {"aug1"};
+    jitter.outputs = {"aug2"};
+    AugOp jitter_op;
+    jitter_op.kind = OpKind::kColorJitter;
+    jitter_op.max_delta = 16;
+    jitter_op.max_contrast = 0.15;
+    jitter.ops.push_back(jitter_op);
+    config.augmentation.push_back(std::move(jitter));
+  }
+  return config;
+}
+
+std::string MakeTaskConfigYaml(const ModelProfile& profile, const std::string& dataset_path,
+                               const std::string& tag) {
+  std::string yaml = StrFormat(
+      "dataset:\n"
+      "  tag: \"%s\"\n"
+      "  input_source: file\n"
+      "  video_dataset_path: %s\n"
+      "  sampling:\n"
+      "    videos_per_batch: %d\n"
+      "    frames_per_video: %d\n"
+      "    frame_stride: %d\n"
+      "    samples_per_video: %d\n"
+      "  augmentation:\n"
+      "  - name: \"resize\"\n"
+      "    branch_type: \"single\"\n"
+      "    inputs: [\"frame\"]\n"
+      "    outputs: [\"aug0\"]\n"
+      "    config:\n"
+      "    - resize:\n"
+      "        shape: [%d, %d]\n"
+      "        interpolation: [\"bilinear\"]\n"
+      "  - name: \"crop_flip\"\n"
+      "    branch_type: \"single\"\n"
+      "    inputs: [\"aug0\"]\n"
+      "    outputs: [\"aug1\"]\n"
+      "    config:\n"
+      "    - random_crop:\n"
+      "        shape: [%d, %d]\n"
+      "    - flip:\n"
+      "        flip_prob: 0.5\n",
+      tag.c_str(), dataset_path.c_str(), profile.videos_per_batch, profile.frames_per_video,
+      profile.frame_stride, profile.samples_per_video, profile.resize_h, profile.resize_w,
+      profile.crop_h, profile.crop_w);
+  if (profile.color_jitter) {
+    yaml += StrFormat(
+        "  - name: \"jitter\"\n"
+        "    branch_type: \"single\"\n"
+        "    inputs: [\"aug1\"]\n"
+        "    outputs: [\"aug2\"]\n"
+        "    config:\n"
+        "    - color_jitter:\n"
+        "        max_delta: %d\n"
+        "        max_contrast: %.2f\n",
+        16, 0.15);
+  }
+  return yaml;
+}
+
+}  // namespace sand

@@ -1,0 +1,63 @@
+// Model cost profiles for the paper's four evaluation workloads.
+//
+// The profiles capture each model's *data demand* (clip geometry, batch
+// size, sampling stride) and *compute shape* (GPU step time, device memory)
+// at the repository's scaled-down size. Relative relationships follow the
+// paper's setup: SlowFast and MAE are action-recognition models over
+// Kinetics-style clips, HD-VILA is a captioning model with longer clips,
+// BasicVSR++ is super-resolution over high-resolution frames (the heaviest
+// preprocessing per step).
+
+#ifndef SAND_WORKLOADS_MODELS_H_
+#define SAND_WORKLOADS_MODELS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/config/pipeline_config.h"
+
+namespace sand {
+
+struct ModelProfile {
+  std::string name;
+  // GPU compute per training step (already at simulation scale).
+  Nanos gpu_step = FromMillis(4.0);
+  // Device memory the model itself pins (weights/optimizer/activations
+  // base), in the simulated GPU's scaled memory space.
+  uint64_t model_memory_bytes = 8ULL * 1024 * 1024;
+  // Additional device memory per clip in the batch.
+  uint64_t memory_per_clip_bytes = 512ULL * 1024;
+  // Sampling / augmentation geometry.
+  int videos_per_batch = 4;
+  int frames_per_video = 8;
+  int frame_stride = 4;
+  int samples_per_video = 1;
+  int resize_h = 48;
+  int resize_w = 64;
+  int crop_h = 40;
+  int crop_w = 40;
+  bool color_jitter = false;
+};
+
+// The four evaluation models (Fig. 11/12 x-axis).
+ModelProfile SlowFastProfile();
+ModelProfile MaeProfile();
+ModelProfile HdVilaProfile();
+ModelProfile BasicVsrProfile();
+std::vector<ModelProfile> AllModelProfiles();
+
+// Builds the SAND task configuration equivalent to the model's standard
+// preprocessing pipeline (resize -> random crop -> flip [-> jitter]).
+TaskConfig MakeTaskConfig(const ModelProfile& profile, const std::string& dataset_path,
+                          const std::string& tag);
+
+// The same configuration rendered as the Fig. 9 YAML text (what a user
+// would actually write); ParseTaskConfigText(MakeTaskConfigYaml(...)) ==
+// MakeTaskConfig(...).
+std::string MakeTaskConfigYaml(const ModelProfile& profile, const std::string& dataset_path,
+                               const std::string& tag);
+
+}  // namespace sand
+
+#endif  // SAND_WORKLOADS_MODELS_H_

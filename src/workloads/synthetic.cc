@@ -1,0 +1,144 @@
+#include "src/workloads/synthetic.h"
+
+#include <cmath>
+
+#include "src/codec/video_codec.h"
+#include "src/common/rng.h"
+#include "src/common/strings.h"
+
+namespace sand {
+namespace {
+
+// Per-video motion parameters derived from the seed.
+struct SceneParams {
+  double base;        // background brightness (encodes the label)
+  double drift_x;     // background gradient drift per frame
+  double drift_y;
+  double box_speed;   // moving box velocity
+  int box_size;
+  double noise;       // additive noise amplitude
+  double phase;
+};
+
+SceneParams SceneFromSeed(uint64_t seed) {
+  Rng rng(seed);
+  SceneParams params;
+  params.base = 40.0 + rng.NextDouble() * 160.0;  // label-bearing brightness
+  params.drift_x = (rng.NextDouble() - 0.5) * 2.0;
+  params.drift_y = (rng.NextDouble() - 0.5) * 2.0;
+  params.box_speed = 0.5 + rng.NextDouble() * 2.0;
+  params.box_size = 8 + static_cast<int>(rng.NextBounded(12));
+  params.noise = 1.0 + rng.NextDouble() * 3.0;
+  params.phase = rng.NextDouble() * 2.0 * M_PI;
+  return params;
+}
+
+uint8_t Clamp255(double v) {
+  if (v < 0) {
+    return 0;
+  }
+  if (v > 255) {
+    return 255;
+  }
+  return static_cast<uint8_t>(v);
+}
+
+}  // namespace
+
+double SyntheticLabel(uint64_t video_seed) {
+  return (SceneFromSeed(video_seed).base - 40.0) / 160.0;
+}
+
+uint64_t VideoSeed(uint64_t dataset_seed, int video_index) {
+  Rng rng(dataset_seed);
+  uint64_t seed = dataset_seed;
+  for (int i = 0; i <= video_index; ++i) {
+    seed = rng.Next();
+  }
+  return seed;
+}
+
+Frame SynthesizeFrame(uint64_t video_seed, int64_t t, int height, int width, int channels) {
+  SceneParams params = SceneFromSeed(video_seed);
+  // Deterministic per-(video, frame) noise.
+  Rng noise_rng(video_seed ^ (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(t + 1)));
+
+  Frame frame(height, width, channels);
+  double ox = params.drift_x * static_cast<double>(t);
+  double oy = params.drift_y * static_cast<double>(t);
+  // Moving box position (bounces around the frame).
+  double span_x = std::max(width - params.box_size, 1);
+  double span_y = std::max(height - params.box_size, 1);
+  double pos = params.box_speed * static_cast<double>(t) + params.phase * 10.0;
+  int box_x = static_cast<int>(std::fabs(std::fmod(pos * 7.3, 2.0 * span_x) - span_x));
+  int box_y = static_cast<int>(std::fabs(std::fmod(pos * 4.1, 2.0 * span_y) - span_y));
+
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      double gradient = params.base +
+                        25.0 * std::sin((x + ox) * 0.07 + params.phase) +
+                        25.0 * std::cos((y + oy) * 0.05);
+      bool in_box = x >= box_x && x < box_x + params.box_size && y >= box_y &&
+                    y < box_y + params.box_size;
+      for (int c = 0; c < channels; ++c) {
+        double value = gradient + (in_box ? 60.0 - 15.0 * c : 0.0) + 8.0 * c;
+        value += (noise_rng.NextDouble() - 0.5) * params.noise;
+        frame.At(y, x, c) = Clamp255(value);
+      }
+    }
+  }
+  return frame;
+}
+
+Status AppendSyntheticVideo(ObjectStore& store, const SyntheticDatasetOptions& options,
+                            DatasetMeta& meta) {
+  int index = meta.num_videos();
+  uint64_t video_seed = VideoSeed(options.seed, index);
+  VideoEncoderOptions encoder_options;
+  encoder_options.gop_size = meta.gop_size;
+  VideoEncoder encoder(meta.height, meta.width, meta.channels, encoder_options);
+  for (int64_t t = 0; t < meta.frames_per_video; ++t) {
+    SAND_RETURN_IF_ERROR(encoder.AddFrame(
+        SynthesizeFrame(video_seed, t, meta.height, meta.width, meta.channels)));
+  }
+  SAND_ASSIGN_OR_RETURN(std::vector<uint8_t> container, encoder.Finish());
+  std::string name = StrFormat("vid%03d", index);
+  SAND_RETURN_IF_ERROR(store.Put(meta.path + "/" + name + ".svc", container));
+  meta.video_names.push_back(std::move(name));
+  return Status::Ok();
+}
+
+Result<DatasetMeta> BuildSyntheticDataset(ObjectStore& store,
+                                          const SyntheticDatasetOptions& options) {
+  if (options.num_videos <= 0 || options.frames_per_video <= 0) {
+    return InvalidArgument("synthetic dataset: sizes must be positive");
+  }
+  DatasetMeta meta;
+  meta.path = options.path;
+  meta.frames_per_video = options.frames_per_video;
+  meta.height = options.height;
+  meta.width = options.width;
+  meta.channels = options.channels;
+  meta.gop_size = options.gop_size;
+
+  uint64_t total_bytes = 0;
+  for (int v = 0; v < options.num_videos; ++v) {
+    uint64_t video_seed = VideoSeed(options.seed, v);
+    VideoEncoderOptions encoder_options;
+    encoder_options.gop_size = options.gop_size;
+    VideoEncoder encoder(options.height, options.width, options.channels, encoder_options);
+    for (int64_t t = 0; t < options.frames_per_video; ++t) {
+      SAND_RETURN_IF_ERROR(encoder.AddFrame(
+          SynthesizeFrame(video_seed, t, options.height, options.width, options.channels)));
+    }
+    SAND_ASSIGN_OR_RETURN(std::vector<uint8_t> container, encoder.Finish());
+    total_bytes += container.size();
+    std::string name = StrFormat("vid%03d", v);
+    SAND_RETURN_IF_ERROR(store.Put(options.path + "/" + name + ".svc", container));
+    meta.video_names.push_back(std::move(name));
+  }
+  meta.encoded_bytes_per_video = total_bytes / static_cast<uint64_t>(options.num_videos);
+  return meta;
+}
+
+}  // namespace sand

@@ -1,0 +1,60 @@
+// Synthetic video dataset generation.
+//
+// Stands in for Kinetics-400 / HD-VILA / YouTube-1080p. Videos are
+// procedurally generated (drifting gradient background + moving textured
+// boxes + mild noise, all per-video seeded) so that:
+//   - content is temporally smooth -> P-frame deltas compress like real
+//     video, giving the codec its GOP-dependent cost profile
+//   - every video is distinct and reconstructible from its seed
+//   - per-video labels exist (a deterministic function of the seed) for
+//     the trainable-model experiment (Fig. 20)
+
+#ifndef SAND_WORKLOADS_SYNTHETIC_H_
+#define SAND_WORKLOADS_SYNTHETIC_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/graph/dataset_meta.h"
+#include "src/storage/object_store.h"
+#include "src/tensor/frame.h"
+
+namespace sand {
+
+struct SyntheticDatasetOptions {
+  std::string path = "/dataset/train";  // key prefix inside the store
+  int num_videos = 16;
+  int frames_per_video = 48;
+  int height = 64;
+  int width = 96;
+  int channels = 3;
+  int gop_size = 8;
+  uint64_t seed = 7;
+};
+
+// One procedurally generated frame of video `video_seed` at time t.
+Frame SynthesizeFrame(uint64_t video_seed, int64_t t, int height, int width, int channels);
+
+// The ground-truth regression label of a video (in [0, 1]), a smooth
+// function of its seed. Learnable from pixels: it controls the video's
+// base brightness.
+double SyntheticLabel(uint64_t video_seed);
+
+// Seed of the i-th video of a dataset.
+uint64_t VideoSeed(uint64_t dataset_seed, int video_index);
+
+// Generates, encodes, and stores all videos under
+// "{path}/{name}.svc"; returns the dataset metadata the planner consumes.
+Result<DatasetMeta> BuildSyntheticDataset(ObjectStore& store,
+                                          const SyntheticDatasetOptions& options);
+
+// Appends one more procedurally generated video (the next index after
+// meta.video_names) to the store and to `meta`. Streaming / online-learning
+// scenarios use this to grow the dataset between chunks.
+Status AppendSyntheticVideo(ObjectStore& store, const SyntheticDatasetOptions& options,
+                            DatasetMeta& meta);
+
+}  // namespace sand
+
+#endif  // SAND_WORKLOADS_SYNTHETIC_H_

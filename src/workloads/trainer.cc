@@ -1,0 +1,37 @@
+#include "src/workloads/trainer.h"
+
+namespace sand {
+
+Result<RunMetrics> RunTraining(BatchSource& source, GpuModel& gpu, const ModelProfile& profile,
+                               const TrainRunOptions& options, CpuMeter* meter) {
+  RunMetrics metrics;
+  Nanos cpu_busy_before = meter != nullptr ? meter->TotalBusy() : 0;
+  gpu.BeginRun();
+  Stopwatch run_watch;
+  const int64_t iterations = source.IterationsPerEpoch();
+  for (int64_t epoch = options.epoch_begin; epoch < options.epoch_begin + options.epochs;
+       ++epoch) {
+    for (int64_t iter = 0; iter < iterations; ++iter) {
+      Stopwatch stall_watch;
+      SAND_ASSIGN_OR_RETURN(std::vector<uint8_t> batch, source.NextBatch(epoch, iter));
+      metrics.stall_ns += stall_watch.Elapsed();
+      metrics.bytes_consumed += batch.size();
+      gpu.TrainStep(profile.gpu_step);
+      ++metrics.batches;
+    }
+  }
+  source.Finish();
+  gpu.EndRun();
+  GpuRunStats gpu_stats = gpu.run_stats();
+  metrics.wall_ns = run_watch.Elapsed();
+  metrics.gpu_busy_ns = gpu_stats.busy_ns;
+  metrics.gpu_nvdec_ns = gpu_stats.nvdec_ns;
+  metrics.cpu_busy_ns =
+      meter != nullptr ? meter->TotalBusy() - cpu_busy_before : 0;
+  metrics.energy =
+      ComputeEnergy(options.power, metrics.wall_ns, metrics.cpu_busy_ns, options.cpu_cores,
+                    metrics.gpu_busy_ns, metrics.gpu_nvdec_ns);
+  return metrics;
+}
+
+}  // namespace sand

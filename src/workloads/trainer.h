@@ -1,0 +1,67 @@
+// Training-loop driver.
+//
+// Runs the canonical VDL loop — fetch batch, train step — against any
+// BatchSource (SAND through SandFs, or one of the baselines) and a
+// simulated GPU, collecting the metrics every end-to-end figure reports:
+// wall time, GPU utilization, stall time, CPU busy time, and energy.
+
+#ifndef SAND_WORKLOADS_TRAINER_H_
+#define SAND_WORKLOADS_TRAINER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/sim/cpu_meter.h"
+#include "src/sim/energy_model.h"
+#include "src/sim/gpu_model.h"
+#include "src/workloads/models.h"
+
+namespace sand {
+
+// Supplies training batches. NextBatch blocks until the batch for
+// (epoch, iteration) is available — whatever preprocessing that takes is
+// the source's business.
+class BatchSource {
+ public:
+  virtual ~BatchSource() = default;
+  virtual Result<std::vector<uint8_t>> NextBatch(int64_t epoch, int64_t iteration) = 0;
+  virtual int64_t IterationsPerEpoch() const = 0;
+  // Called once when the training loop finishes (lets sources flush/close).
+  virtual void Finish() {}
+};
+
+struct RunMetrics {
+  Nanos wall_ns = 0;
+  Nanos gpu_busy_ns = 0;
+  Nanos gpu_nvdec_ns = 0;
+  Nanos stall_ns = 0;        // data-loading waits observed by the loop
+  Nanos cpu_busy_ns = 0;     // preprocessing CPU time (all worker threads)
+  uint64_t batches = 0;
+  uint64_t bytes_consumed = 0;
+  EnergyBreakdown energy;
+
+  double GpuUtilization() const {
+    return wall_ns <= 0 ? 0.0 : static_cast<double>(gpu_busy_ns) / static_cast<double>(wall_ns);
+  }
+  double AvgIterationMs() const {
+    return batches == 0 ? 0.0 : ToMillis(wall_ns) / static_cast<double>(batches);
+  }
+};
+
+struct TrainRunOptions {
+  int64_t epochs = 4;
+  int64_t epoch_begin = 0;  // first epoch index to request from the source
+  int cpu_cores = 4;        // for energy accounting
+  PowerSpec power;
+};
+
+// Runs `epochs` x IterationsPerEpoch steps. `meter` (may be null) supplies
+// the CPU-busy figure; pass the meter the source's workers write to.
+Result<RunMetrics> RunTraining(BatchSource& source, GpuModel& gpu, const ModelProfile& profile,
+                               const TrainRunOptions& options, CpuMeter* meter);
+
+}  // namespace sand
+
+#endif  // SAND_WORKLOADS_TRAINER_H_

@@ -1,0 +1,187 @@
+// Tests for the baseline batch sources and the training-loop driver.
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/sources.h"
+#include "src/core/batch_format.h"
+#include "src/workloads/synthetic.h"
+#include "src/workloads/trainer.h"
+
+namespace sand {
+namespace {
+
+struct Env {
+  std::shared_ptr<MemoryStore> store;
+  DatasetMeta meta;
+  TaskConfig task;
+  ModelProfile profile;
+};
+
+Env MakeEnv() {
+  Env env;
+  env.store = std::make_shared<MemoryStore>();
+  SyntheticDatasetOptions options;
+  options.num_videos = 4;
+  options.frames_per_video = 24;
+  options.height = 24;
+  options.width = 32;
+  options.gop_size = 4;
+  auto meta = BuildSyntheticDataset(*env.store, options);
+  EXPECT_TRUE(meta.ok());
+  env.meta = meta.TakeValue();
+  env.profile.videos_per_batch = 2;
+  env.profile.frames_per_video = 3;
+  env.profile.frame_stride = 2;
+  env.profile.resize_h = 20;
+  env.profile.resize_w = 28;
+  env.profile.crop_h = 16;
+  env.profile.crop_w = 16;
+  env.profile.gpu_step = FromMillis(1.0);
+  env.task = MakeTaskConfig(env.profile, env.meta.path, "cpu");
+  return env;
+}
+
+TEST(OnDemandCpuSourceTest, ProducesWellFormedBatches) {
+  Env env = MakeEnv();
+  OnDemandCpuSource::Options options;
+  options.num_threads = 2;
+  CpuMeter meter;
+  OnDemandCpuSource source(env.store, env.meta, env.task, options, &meter);
+  EXPECT_EQ(source.IterationsPerEpoch(), 2);
+  for (int64_t epoch = 0; epoch < 2; ++epoch) {
+    for (int64_t iter = 0; iter < 2; ++iter) {
+      auto bytes = source.NextBatch(epoch, iter);
+      ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+      auto header = ParseBatchHeader(*bytes);
+      ASSERT_TRUE(header.ok());
+      EXPECT_EQ(header->n_clips, 2u);
+      EXPECT_EQ(header->frames_per_clip, 3u);
+      EXPECT_EQ(header->height, 16u);
+    }
+  }
+  EXPECT_GT(source.exec_stats().frames_decoded, 0u);
+  EXPECT_GT(meter.Busy(CpuWorkKind::kDecode), 0);
+}
+
+TEST(OnDemandCpuSourceTest, NeverReusesAcrossEpochs) {
+  Env env = MakeEnv();
+  OnDemandCpuSource::Options options;
+  options.num_threads = 2;
+  options.prefetch = false;
+  OnDemandCpuSource source(env.store, env.meta, env.task, options, nullptr);
+  ASSERT_TRUE(source.NextBatch(0, 0).ok());
+  ASSERT_TRUE(source.NextBatch(0, 1).ok());
+  uint64_t decode_epoch0 = source.exec_stats().decode_ops;
+  ASSERT_TRUE(source.NextBatch(1, 0).ok());
+  ASSERT_TRUE(source.NextBatch(1, 1).ok());
+  uint64_t decode_epoch1 = source.exec_stats().decode_ops - decode_epoch0;
+  EXPECT_GE(decode_epoch1, decode_epoch0)
+      << "epoch 2 must redo all decoding (no reuse in the baseline)";
+}
+
+TEST(OnDemandCpuSourceTest, NaiveCacheReducesSecondVisit) {
+  Env env = MakeEnv();
+  OnDemandCpuSource::Options options;
+  options.num_threads = 2;
+  options.prefetch = false;
+  options.naive_cache = std::make_shared<TieredCache>(
+      std::make_shared<MemoryStore>(512ULL << 20),
+      std::make_shared<MemoryStore>(512ULL << 20));
+  OnDemandCpuSource source(env.store, env.meta, env.task, options, nullptr);
+  for (int64_t iter = 0; iter < 2; ++iter) {
+    ASSERT_TRUE(source.NextBatch(0, iter).ok());
+  }
+  EXPECT_GT(source.exec_stats().cache_stores, 0u) << "decoded frames must be cached";
+}
+
+TEST(OnDemandGpuSourceTest, ModelsDecodeTimeAndMemory) {
+  Env env = MakeEnv();
+  GpuSpec spec;
+  spec.nvdec_bytes_per_sec = 64.0 * 1024 * 1024;
+  GpuModel gpu(spec);
+  OnDemandGpuSource source(env.store, env.meta, env.profile, &gpu);
+  ASSERT_TRUE(source.Reserve().ok());
+  EXPECT_GT(gpu.used_memory(), 0u);
+  gpu.BeginRun();
+  auto bytes = source.NextBatch(0, 0);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_TRUE(ParseBatchHeader(*bytes).ok());
+  gpu.EndRun();
+  GpuRunStats stats = gpu.run_stats();
+  EXPECT_GT(stats.nvdec_ns, 0);
+  EXPECT_GT(stats.frames_decoded, 0u);
+  source.Release();
+  EXPECT_EQ(gpu.used_memory(), 0u);
+}
+
+TEST(OnDemandGpuSourceTest, FeasibleBatchShrinksWithGpuDecode) {
+  Env env = MakeEnv();
+  GpuSpec spec;
+  spec.memory_bytes = 24ULL * 1024 * 1024;
+  GpuModel gpu(spec);
+  uint64_t frame_bytes = env.meta.RawFrameBytes();
+  int without = OnDemandGpuSource::MaxFeasibleClips(gpu, env.profile, frame_bytes, false);
+  int with = OnDemandGpuSource::MaxFeasibleClips(gpu, env.profile, frame_bytes, true);
+  EXPECT_LT(with, without) << "NVDEC buffers must shrink the feasible batch (Fig. 4)";
+  EXPECT_GT(with, 0);
+}
+
+TEST(IdealSourceTest, ReturnsStoredBatch) {
+  std::vector<uint8_t> batch = {1, 2, 3};
+  IdealSource source(batch, 5);
+  EXPECT_EQ(source.IterationsPerEpoch(), 5);
+  EXPECT_EQ(*source.NextBatch(0, 0), batch);
+  EXPECT_EQ(*source.NextBatch(3, 4), batch);
+}
+
+TEST(TrainerTest, CollectsMetrics) {
+  std::vector<uint8_t> batch(1000, 0);
+  IdealSource source(batch, 3);
+  GpuModel gpu;
+  ModelProfile profile;
+  profile.gpu_step = FromMillis(1.0);
+  TrainRunOptions options;
+  options.epochs = 2;
+  auto metrics = RunTraining(source, gpu, profile, options, nullptr);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->batches, 6u);
+  EXPECT_EQ(metrics->bytes_consumed, 6000u);
+  EXPECT_GE(metrics->gpu_busy_ns, FromMillis(6));
+  EXPECT_GT(metrics->GpuUtilization(), 0.5) << "ideal source must not stall";
+  EXPECT_GT(metrics->energy.Total(), 0.0);
+}
+
+TEST(TrainerTest, StallsLowerUtilization) {
+  // A deliberately slow source: preprocessing takes 3x the GPU step.
+  class SlowSource : public BatchSource {
+   public:
+    Result<std::vector<uint8_t>> NextBatch(int64_t, int64_t) override {
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+      return std::vector<uint8_t>(10, 0);
+    }
+    int64_t IterationsPerEpoch() const override { return 4; }
+  };
+  SlowSource source;
+  GpuModel gpu;
+  ModelProfile profile;
+  profile.gpu_step = FromMillis(1.0);
+  TrainRunOptions options;
+  options.epochs = 1;
+  auto metrics = RunTraining(source, gpu, profile, options, nullptr);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_LT(metrics->GpuUtilization(), 0.5);
+  EXPECT_GT(metrics->stall_ns, metrics->gpu_busy_ns);
+}
+
+TEST(IterationsPerEpochForTest, DropLast) {
+  DatasetMeta meta;
+  meta.video_names = {"a", "b", "c", "d", "e"};
+  SamplingConfig sampling;
+  sampling.videos_per_batch = 2;
+  EXPECT_EQ(IterationsPerEpochFor(meta, sampling), 2);  // 5/2, drop last
+  sampling.videos_per_batch = 10;
+  EXPECT_EQ(IterationsPerEpochFor(meta, sampling), 1);  // clamp to dataset
+}
+
+}  // namespace
+}  // namespace sand

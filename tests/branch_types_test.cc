@@ -1,0 +1,265 @@
+// End-to-end coverage of the three structural branch types the model zoo
+// does not exercise: multi (fan-out), merge (join), and conditional
+// branches flowing through the planner and executor to real pixels.
+
+#include <gtest/gtest.h>
+
+#include "src/core/batch_format.h"
+#include "src/core/sand_service.h"
+#include "src/tensor/image_ops.h"
+#include "src/workloads/synthetic.h"
+
+namespace sand {
+namespace {
+
+struct Env {
+  std::shared_ptr<MemoryStore> store;
+  DatasetMeta meta;
+};
+
+Env MakeEnv() {
+  Env env;
+  env.store = std::make_shared<MemoryStore>();
+  SyntheticDatasetOptions options;
+  options.num_videos = 2;
+  options.frames_per_video = 16;
+  options.height = 16;
+  options.width = 24;
+  options.gop_size = 4;
+  options.seed = 55;
+  auto meta = BuildSyntheticDataset(*env.store, options);
+  EXPECT_TRUE(meta.ok());
+  env.meta = meta.TakeValue();
+  return env;
+}
+
+TaskConfig BaseTask(const std::string& dataset_path) {
+  TaskConfig config;
+  config.tag = "branchy";
+  config.dataset_path = dataset_path;
+  config.sampling.videos_per_batch = 2;
+  config.sampling.frames_per_video = 2;
+  config.sampling.frame_stride = 2;
+  return config;
+}
+
+AugOp ResizeOp(int h, int w) {
+  AugOp op;
+  op.kind = OpKind::kResize;
+  op.out_h = h;
+  op.out_w = w;
+  return op;
+}
+
+AugOp SimpleOp(OpKind kind) {
+  AugOp op;
+  op.kind = kind;
+  return op;
+}
+
+// Serves batch (0,0) for the given task and parses it.
+Result<std::vector<Clip>> ServeBatch(const Env& env, const TaskConfig& task) {
+  auto cache = std::make_shared<TieredCache>(std::make_shared<MemoryStore>(64ULL << 20),
+                                             std::make_shared<MemoryStore>(64ULL << 20));
+  ServiceOptions options;
+  options.k_epochs = 1;
+  options.total_epochs = 1;
+  options.num_threads = 2;
+  SandService service(env.store, env.meta, cache, {task}, options);
+  SAND_RETURN_IF_ERROR(service.Start());
+  SAND_ASSIGN_OR_RETURN(int fd, service.fs().Open("/branchy/0/0/view"));
+  SAND_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, service.fs().ReadAll(fd));
+  return ParseBatch(bytes);
+}
+
+TEST(BranchTypesTest, MultiFansOutToParallelStreams) {
+  Env env = MakeEnv();
+  TaskConfig task = BaseTask(env.meta.path);
+  AugStage resize;
+  resize.name = "resize";
+  resize.type = BranchType::kSingle;
+  resize.inputs = {"frame"};
+  resize.outputs = {"base"};
+  resize.ops = {ResizeOp(12, 16)};
+  task.augmentation.push_back(resize);
+
+  AugStage multi;
+  multi.name = "fanout";
+  multi.type = BranchType::kMulti;
+  multi.inputs = {"base"};
+  multi.outputs = {"left", "right"};  // two parallel streams
+  task.augmentation.push_back(multi);
+
+  // Only "left" is transformed further; both terminate the DAG, so each
+  // selected frame contributes two leaves to the clip.
+  AugStage invert;
+  invert.name = "invert_left";
+  invert.type = BranchType::kSingle;
+  invert.inputs = {"left"};
+  invert.outputs = {"left_inv"};
+  invert.ops = {SimpleOp(OpKind::kInvert)};
+  task.augmentation.push_back(invert);
+
+  ASSERT_TRUE(task.Validate().ok()) << task.Validate().ToString();
+  auto clips = ServeBatch(env, task);
+  ASSERT_TRUE(clips.ok()) << clips.status().ToString();
+  // 2 frames x 2 terminal streams (left_inv, right) = 4 leaves per clip.
+  ASSERT_EQ((*clips)[0].frames.size(), 4u);
+  // Terminal order is declaration order: left_inv then right per frame...
+  // verify the invert relationship holds between paired leaves.
+  const std::vector<Frame>& frames = (*clips)[0].frames;
+  bool found_pair = false;
+  for (size_t i = 0; i < frames.size(); ++i) {
+    for (size_t j = 0; j < frames.size(); ++j) {
+      if (i != j && Invert(frames[i]) == frames[j]) {
+        found_pair = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_pair) << "one stream must be the inversion of the other";
+}
+
+TEST(BranchTypesTest, MergeBlendsParallelStreams) {
+  Env env = MakeEnv();
+  TaskConfig task = BaseTask(env.meta.path);
+  AugStage resize;
+  resize.name = "resize";
+  resize.type = BranchType::kSingle;
+  resize.inputs = {"frame"};
+  resize.outputs = {"base"};
+  resize.ops = {ResizeOp(12, 16)};
+  task.augmentation.push_back(resize);
+
+  AugStage multi;
+  multi.name = "fanout";
+  multi.type = BranchType::kMulti;
+  multi.inputs = {"base"};
+  multi.outputs = {"a", "b"};
+  task.augmentation.push_back(multi);
+
+  AugStage invert;
+  invert.name = "invert_b";
+  invert.type = BranchType::kSingle;
+  invert.inputs = {"b"};
+  invert.outputs = {"b_inv"};
+  invert.ops = {SimpleOp(OpKind::kInvert)};
+  task.augmentation.push_back(invert);
+
+  AugStage merge;
+  merge.name = "join";
+  merge.type = BranchType::kMerge;
+  merge.inputs = {"a", "b_inv"};
+  merge.outputs = {"merged"};
+  task.augmentation.push_back(merge);
+
+  ASSERT_TRUE(task.Validate().ok()) << task.Validate().ToString();
+  auto clips = ServeBatch(env, task);
+  ASSERT_TRUE(clips.ok()) << clips.status().ToString();
+  // Merge is the single terminal: 2 frames -> 2 leaves.
+  ASSERT_EQ((*clips)[0].frames.size(), 2u);
+  // avg(x, 255-x) ~ 127 everywhere (integer division truncation allows 127).
+  for (const Frame& frame : (*clips)[0].frames) {
+    for (uint8_t v : frame.data()) {
+      EXPECT_NEAR(v, 127, 1);
+    }
+  }
+}
+
+TEST(BranchTypesTest, ConditionalSwitchesByIteration) {
+  Env env = MakeEnv();
+  TaskConfig task = BaseTask(env.meta.path);
+  AugStage resize;
+  resize.name = "resize";
+  resize.type = BranchType::kSingle;
+  resize.inputs = {"frame"};
+  resize.outputs = {"base"};
+  resize.ops = {ResizeOp(12, 16)};
+  task.augmentation.push_back(resize);
+
+  AugStage conditional;
+  conditional.name = "flip_late";
+  conditional.type = BranchType::kConditional;
+  conditional.inputs = {"base"};
+  conditional.outputs = {"out"};
+  BranchOption late;
+  late.condition = *ParseCondition("iteration >= 1");
+  late.ops = {SimpleOp(OpKind::kInvert)};
+  BranchOption early;
+  early.condition = *ParseCondition("else");
+  conditional.branches = {late, early};
+  task.augmentation.push_back(conditional);
+  ASSERT_TRUE(task.Validate().ok());
+
+  // Plan only (cheaper than serving): iteration 0 must take the else
+  // branch (no invert nodes), iteration 1 the invert branch.
+  PlannerOptions options;
+  options.k_epochs = 1;
+  std::vector<TaskConfig> tasks = {task};
+  // 2 videos / 2 per batch = 1 iteration per epoch; use 2 epochs so global
+  // iterations 0 and 1 both exist.
+  options.k_epochs = 2;
+  auto plan = BuildMaterializationPlan(env.meta, tasks, 0, options);
+  ASSERT_TRUE(plan.ok());
+  int invert_nodes_iter0 = 0;
+  int invert_nodes_iter1 = 0;
+  for (const VideoObjectGraph& graph : plan->videos) {
+    for (const ConcreteNode& node : graph.nodes) {
+      if (node.op.type == ConcreteOpType::kAugment &&
+          node.op.aug.kind == OpKind::kInvert) {
+        for (const Consumer& consumer : node.consumers) {
+          if (consumer.global_iteration == 0) {
+            ++invert_nodes_iter0;
+          } else {
+            ++invert_nodes_iter1;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_EQ(invert_nodes_iter0, 0) << "iteration 0 takes the else branch";
+  EXPECT_GT(invert_nodes_iter1, 0) << "iteration 1 takes the invert branch";
+}
+
+TEST(BranchTypesTest, RandomBranchDistribution) {
+  Env env = MakeEnv();
+  TaskConfig task = BaseTask(env.meta.path);
+  AugStage random;
+  random.name = "coin";
+  random.type = BranchType::kRandom;
+  random.inputs = {"frame"};
+  random.outputs = {"out"};
+  BranchOption heads;
+  heads.prob = 0.5;
+  heads.ops = {SimpleOp(OpKind::kInvert)};
+  BranchOption tails;
+  tails.prob = 0.5;
+  random.branches = {heads, tails};
+  task.augmentation.push_back(random);
+  ASSERT_TRUE(task.Validate().ok());
+
+  PlannerOptions options;
+  options.k_epochs = 16;  // many draws
+  std::vector<TaskConfig> tasks = {task};
+  auto plan = BuildMaterializationPlan(env.meta, tasks, 0, options);
+  ASSERT_TRUE(plan.ok());
+  int invert_uses = 0;
+  int total_uses = 0;
+  for (const VideoObjectGraph& graph : plan->videos) {
+    for (const ConcreteNode& node : graph.nodes) {
+      if (node.op.type == ConcreteOpType::kDecode) {
+        total_uses += static_cast<int>(node.consumers.size());
+      }
+      if (node.op.type == ConcreteOpType::kAugment &&
+          node.op.aug.kind == OpKind::kInvert) {
+        invert_uses += static_cast<int>(node.consumers.size());
+      }
+    }
+  }
+  ASSERT_GT(total_uses, 0);
+  double rate = static_cast<double>(invert_uses) / total_uses;
+  EXPECT_GT(rate, 0.25) << "the invert branch must fire sometimes";
+  EXPECT_LT(rate, 0.75) << "...but not always";
+}
+
+}  // namespace
+}  // namespace sand

@@ -1,0 +1,209 @@
+// Unit and property tests for the GOP video codec.
+
+#include <gtest/gtest.h>
+
+#include "src/codec/video_codec.h"
+#include "src/common/rng.h"
+
+namespace sand {
+namespace {
+
+// Smooth synthetic motion: base gradient shifting over time plus noise.
+Frame MotionFrame(int64_t t, int h, int w, int c, uint64_t seed) {
+  Frame frame(h, w, c);
+  Rng rng(seed ^ static_cast<uint64_t>(t * 2654435761ULL));
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      for (int ch = 0; ch < c; ++ch) {
+        int v = (x * 3 + y * 2 + static_cast<int>(t) * 4 + ch * 9) % 256;
+        // Sparse sensor noise: real video noise is spatially correlated, so
+        // per-pixel white noise would be unrealistically incompressible.
+        if (x % 4 == 0 && y % 4 == 0) {
+          v += static_cast<int>(rng.NextBounded(3));
+        }
+        frame.At(y, x, ch) = static_cast<uint8_t>(v % 256);
+      }
+    }
+  }
+  return frame;
+}
+
+std::vector<uint8_t> EncodeVideo(int frames, int gop, int h = 16, int w = 24, int c = 3,
+                                 uint64_t seed = 1) {
+  VideoEncoderOptions options;
+  options.gop_size = gop;
+  VideoEncoder encoder(h, w, c, options);
+  for (int64_t t = 0; t < frames; ++t) {
+    EXPECT_TRUE(encoder.AddFrame(MotionFrame(t, h, w, c, seed)).ok());
+  }
+  auto container = encoder.Finish();
+  EXPECT_TRUE(container.ok());
+  return container.TakeValue();
+}
+
+TEST(EncoderTest, RejectsShapeMismatch) {
+  VideoEncoder encoder(8, 8, 3);
+  EXPECT_FALSE(encoder.AddFrame(Frame(8, 9, 3)).ok());
+  EXPECT_FALSE(encoder.AddFrame(Frame(8, 8, 1)).ok());
+}
+
+TEST(EncoderTest, RejectsEmptyFinish) {
+  VideoEncoder encoder(8, 8, 3);
+  EXPECT_FALSE(encoder.Finish().ok());
+}
+
+TEST(EncoderTest, RejectsUseAfterFinish) {
+  VideoEncoder encoder(8, 8, 3);
+  ASSERT_TRUE(encoder.AddFrame(Frame(8, 8, 3)).ok());
+  ASSERT_TRUE(encoder.Finish().ok());
+  EXPECT_FALSE(encoder.AddFrame(Frame(8, 8, 3)).ok());
+  EXPECT_FALSE(encoder.Finish().ok());
+}
+
+TEST(DecoderTest, HeaderFieldsMatch) {
+  auto container = EncodeVideo(20, 5, 16, 24, 3);
+  auto decoder = VideoDecoder::Open(std::move(container));
+  ASSERT_TRUE(decoder.ok());
+  EXPECT_EQ(decoder->height(), 16);
+  EXPECT_EQ(decoder->width(), 24);
+  EXPECT_EQ(decoder->channels(), 3);
+  EXPECT_EQ(decoder->gop_size(), 5);
+  EXPECT_EQ(decoder->frame_count(), 20);
+}
+
+TEST(DecoderTest, SequentialDecodeIsLossless) {
+  auto container = EncodeVideo(24, 8);
+  auto decoder = VideoDecoder::Open(std::move(container));
+  ASSERT_TRUE(decoder.ok());
+  for (int64_t t = 0; t < 24; ++t) {
+    auto frame = decoder->DecodeFrame(t);
+    ASSERT_TRUE(frame.ok());
+    EXPECT_EQ(*frame, MotionFrame(t, 16, 24, 3, 1)) << "frame " << t;
+  }
+}
+
+TEST(DecoderTest, RandomAccessMatchesSequential) {
+  auto container = EncodeVideo(32, 8);
+  auto sequential = VideoDecoder::Open(container);
+  auto random = VideoDecoder::Open(container);
+  ASSERT_TRUE(sequential.ok());
+  ASSERT_TRUE(random.ok());
+  std::vector<Frame> reference;
+  for (int64_t t = 0; t < 32; ++t) {
+    reference.push_back(*sequential->DecodeFrame(t));
+  }
+  Rng rng(77);
+  for (int i = 0; i < 50; ++i) {
+    int64_t t = static_cast<int64_t>(rng.NextBounded(32));
+    auto frame = random->DecodeFrame(t);
+    ASSERT_TRUE(frame.ok());
+    EXPECT_EQ(*frame, reference[static_cast<size_t>(t)]);
+  }
+}
+
+TEST(DecoderTest, GopStartFindsIntra) {
+  auto container = EncodeVideo(20, 6);
+  auto decoder = VideoDecoder::Open(std::move(container));
+  ASSERT_TRUE(decoder.ok());
+  EXPECT_EQ(*decoder->GopStart(0), 0);
+  EXPECT_EQ(*decoder->GopStart(5), 0);
+  EXPECT_EQ(*decoder->GopStart(6), 6);
+  EXPECT_EQ(*decoder->GopStart(11), 6);
+  EXPECT_EQ(*decoder->GopStart(19), 18);
+  EXPECT_FALSE(decoder->GopStart(20).ok());
+  EXPECT_FALSE(decoder->GopStart(-1).ok());
+}
+
+TEST(DecoderTest, DecodeAmplificationFromSparseAccess) {
+  auto container = EncodeVideo(32, 8);
+  auto decoder = VideoDecoder::Open(std::move(container));
+  ASSERT_TRUE(decoder.ok());
+  // Requesting the last frame of each GOP forces decoding the whole GOP.
+  for (int64_t t : {7, 15, 23, 31}) {
+    ASSERT_TRUE(decoder->DecodeFrame(t).ok());
+  }
+  const DecodeStats& stats = decoder->stats();
+  EXPECT_EQ(stats.frames_requested, 4u);
+  EXPECT_EQ(stats.frames_decoded, 32u);  // 4 GOPs x 8 frames
+  EXPECT_DOUBLE_EQ(stats.Amplification(), 8.0);
+}
+
+TEST(DecoderTest, ForwardCursorAvoidsRestart) {
+  auto container = EncodeVideo(16, 8);
+  auto decoder = VideoDecoder::Open(std::move(container));
+  ASSERT_TRUE(decoder.ok());
+  ASSERT_TRUE(decoder->DecodeFrame(2).ok());  // decodes 0,1,2
+  ASSERT_TRUE(decoder->DecodeFrame(5).ok());  // continues 3,4,5
+  EXPECT_EQ(decoder->stats().frames_decoded, 6u);
+  EXPECT_EQ(decoder->stats().seeks, 1u);
+  ASSERT_TRUE(decoder->DecodeFrame(1).ok());  // backwards: restart at 0
+  EXPECT_EQ(decoder->stats().seeks, 2u);
+}
+
+TEST(DecoderTest, RepeatRequestIsFree) {
+  auto container = EncodeVideo(8, 4);
+  auto decoder = VideoDecoder::Open(std::move(container));
+  ASSERT_TRUE(decoder.ok());
+  ASSERT_TRUE(decoder->DecodeFrame(3).ok());
+  uint64_t decoded = decoder->stats().frames_decoded;
+  ASSERT_TRUE(decoder->DecodeFrame(3).ok());
+  EXPECT_EQ(decoder->stats().frames_decoded, decoded);
+}
+
+TEST(DecoderTest, DecodeFramesPreservesRequestOrder) {
+  auto container = EncodeVideo(24, 8);
+  auto decoder = VideoDecoder::Open(container);
+  ASSERT_TRUE(decoder.ok());
+  std::vector<int64_t> indices = {20, 3, 11, 3};
+  auto frames = decoder->DecodeFrames(indices);
+  ASSERT_TRUE(frames.ok());
+  ASSERT_EQ(frames->size(), 4u);
+  auto reference = VideoDecoder::Open(container);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    EXPECT_EQ((*frames)[i], *reference->DecodeFrame(indices[i])) << "slot " << i;
+  }
+}
+
+TEST(DecoderTest, RejectsCorruptContainer) {
+  EXPECT_FALSE(VideoDecoder::Open({1, 2, 3}).ok());
+  auto container = EncodeVideo(8, 4);
+  container.resize(container.size() / 2);
+  EXPECT_FALSE(VideoDecoder::Open(std::move(container)).ok());
+}
+
+TEST(DecoderTest, CompressionIsEffective) {
+  auto container = EncodeVideo(32, 8, 32, 48, 3);
+  size_t raw = 32u * 32 * 48 * 3;
+  EXPECT_LT(container.size(), raw / 2) << "temporal+spatial prediction must pay off";
+}
+
+TEST(DecoderTest, AllIntraGopOne) {
+  auto container = EncodeVideo(8, 1);
+  auto decoder = VideoDecoder::Open(std::move(container));
+  ASSERT_TRUE(decoder.ok());
+  ASSERT_TRUE(decoder->DecodeFrame(7).ok());
+  EXPECT_EQ(decoder->stats().frames_decoded, 1u);  // random access is free
+}
+
+// Property sweep: lossless round-trip across GOP sizes and frame counts,
+// including GOP boundaries and non-multiple frame counts.
+class CodecSweepTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CodecSweepTest, LosslessEverywhere) {
+  auto [frames, gop] = GetParam();
+  auto container = EncodeVideo(frames, gop, 8, 12, 3, 99);
+  auto decoder = VideoDecoder::Open(std::move(container));
+  ASSERT_TRUE(decoder.ok());
+  for (int64_t t = frames - 1; t >= 0; --t) {  // worst-case backwards order
+    auto frame = decoder->DecodeFrame(t);
+    ASSERT_TRUE(frame.ok());
+    EXPECT_EQ(*frame, MotionFrame(t, 8, 12, 3, 99)) << "frame " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, CodecSweepTest,
+                         ::testing::Combine(::testing::Values(1, 5, 16, 17),
+                                            ::testing::Values(1, 4, 8, 32)));
+
+}  // namespace
+}  // namespace sand

@@ -1,0 +1,143 @@
+// Unit and property tests for the lossless cache codec.
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/compress/lossless.h"
+
+namespace sand {
+namespace {
+
+std::vector<uint8_t> SmoothRows(size_t rows, size_t stride, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> data(rows * stride);
+  double value = 128;
+  for (auto& byte : data) {
+    value += (rng.NextDouble() - 0.5) * 6;
+    if (value < 0) {
+      value = 0;
+    }
+    if (value > 255) {
+      value = 255;
+    }
+    byte = static_cast<uint8_t>(value);
+  }
+  return data;
+}
+
+TEST(LosslessTest, RoundTripSmooth) {
+  auto data = SmoothRows(16, 64, 1);
+  auto compressed = LosslessCompress(data, 64);
+  ASSERT_TRUE(compressed.ok());
+  auto restored = LosslessDecompress(*compressed);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, data);
+}
+
+TEST(LosslessTest, CompressesSmoothData) {
+  auto data = SmoothRows(64, 128, 2);
+  auto compressed = LosslessCompress(data, 128);
+  ASSERT_TRUE(compressed.ok());
+  EXPECT_LT(compressed->size(), data.size()) << "smooth data must shrink";
+}
+
+TEST(LosslessTest, RoundTripConstant) {
+  std::vector<uint8_t> data(1024, 42);
+  auto compressed = LosslessCompress(data, 32);
+  ASSERT_TRUE(compressed.ok());
+  EXPECT_LT(compressed->size(), 100u);  // extreme redundancy compresses hard
+  auto restored = LosslessDecompress(*compressed);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, data);
+}
+
+TEST(LosslessTest, RoundTripRandomNoise) {
+  Rng rng(3);
+  std::vector<uint8_t> data(2048);
+  for (auto& byte : data) {
+    byte = static_cast<uint8_t>(rng.Next());
+  }
+  auto compressed = LosslessCompress(data, 64);
+  ASSERT_TRUE(compressed.ok());
+  auto restored = LosslessDecompress(*compressed);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, data);
+}
+
+TEST(LosslessTest, RejectsBadStride) {
+  std::vector<uint8_t> data(100);
+  EXPECT_FALSE(LosslessCompress(data, 0).ok());
+  EXPECT_FALSE(LosslessCompress(data, 33).ok());  // does not divide 100
+}
+
+TEST(LosslessTest, RejectsTruncated) {
+  auto data = SmoothRows(8, 32, 4);
+  auto compressed = LosslessCompress(data, 32);
+  ASSERT_TRUE(compressed.ok());
+  std::vector<uint8_t> cut(compressed->begin(), compressed->begin() + 8);
+  EXPECT_FALSE(LosslessDecompress(cut).ok());
+}
+
+TEST(LosslessTest, RejectsBadMagic) {
+  std::vector<uint8_t> junk = {'X', 'X', 'X', 'X', 0, 0, 0, 0, 0, 0, 0, 0, 1};
+  EXPECT_FALSE(LosslessDecompress(junk).ok());
+}
+
+TEST(FrameCompressTest, RoundTrip) {
+  Frame frame(24, 32, 3);
+  Rng rng(5);
+  double v = 100;
+  for (auto& byte : frame.storage()) {
+    v += (rng.NextDouble() - 0.5) * 4;
+    byte = static_cast<uint8_t>(v);
+  }
+  auto compressed = CompressFrame(frame);
+  ASSERT_TRUE(compressed.ok());
+  auto restored = DecompressFrame(*compressed);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, frame);
+}
+
+TEST(FrameCompressTest, RejectsEmptyFrame) {
+  EXPECT_FALSE(CompressFrame(Frame()).ok());
+}
+
+TEST(FrameCompressTest, RejectsTruncated) {
+  Frame frame(4, 4, 1);
+  auto compressed = CompressFrame(frame);
+  ASSERT_TRUE(compressed.ok());
+  std::vector<uint8_t> cut(compressed->begin(), compressed->begin() + 6);
+  EXPECT_FALSE(DecompressFrame(cut).ok());
+}
+
+TEST(CompressionStatsTest, Ratio) {
+  CompressionStats stats;
+  stats.raw_bytes = 1000;
+  stats.compressed_bytes = 250;
+  EXPECT_DOUBLE_EQ(stats.Ratio(), 4.0);
+  stats.compressed_bytes = 0;
+  EXPECT_DOUBLE_EQ(stats.Ratio(), 0.0);
+}
+
+// Property sweep: round-trip over a grid of (rows, stride, content seed).
+class LosslessSweepTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t, uint64_t>> {};
+
+TEST_P(LosslessSweepTest, RoundTripExact) {
+  auto [rows, stride, seed] = GetParam();
+  auto data = SmoothRows(rows, stride, seed);
+  auto compressed = LosslessCompress(data, stride);
+  ASSERT_TRUE(compressed.ok());
+  auto restored = LosslessDecompress(*compressed);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(*restored, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, LosslessSweepTest,
+    ::testing::Combine(::testing::Values<size_t>(1, 7, 33),
+                       ::testing::Values<size_t>(1, 16, 61, 256),
+                       ::testing::Values<uint64_t>(11, 12, 13)));
+
+}  // namespace
+}  // namespace sand

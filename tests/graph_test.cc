@@ -1,0 +1,519 @@
+// Tests for src/graph: abstract graphs, coordinated randomization, and the
+// concrete k-epoch materialization plan.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/graph/abstract_graph.h"
+#include "src/graph/concrete_graph.h"
+#include "src/graph/coordination.h"
+#include "src/graph/view.h"
+#include "src/workloads/models.h"
+
+namespace sand {
+namespace {
+
+DatasetMeta TestMeta(int videos = 8, int frames = 48) {
+  DatasetMeta meta;
+  meta.path = "/dataset/train";
+  for (int v = 0; v < videos; ++v) {
+    meta.video_names.push_back("vid" + std::to_string(v));
+  }
+  meta.frames_per_video = frames;
+  meta.height = 32;
+  meta.width = 48;
+  meta.channels = 3;
+  meta.gop_size = 8;
+  meta.encoded_bytes_per_video = 10000;
+  return meta;
+}
+
+TaskConfig SimpleTask(const std::string& tag, int stride = 4, int frames = 4, int crop = 24) {
+  ModelProfile profile;
+  profile.videos_per_batch = 2;
+  profile.frames_per_video = frames;
+  profile.frame_stride = stride;
+  profile.resize_h = 28;
+  profile.resize_w = 40;
+  profile.crop_h = crop;
+  profile.crop_w = crop;
+  return MakeTaskConfig(profile, "/dataset/train", tag);
+}
+
+// --- ViewPath ---------------------------------------------------------------
+
+TEST(ViewPathTest, FormatMatchesTable1) {
+  EXPECT_EQ(ViewPath::Video("train", "vid1").Format(), "/train/vid1.mp4");
+  EXPECT_EQ(ViewPath::Frame("train", "vid1", 17).Format(), "/train/vid1/frame17");
+  EXPECT_EQ(ViewPath::AugFrame("train", "vid1", 17, 2).Format(), "/train/vid1/frame17/aug2");
+  EXPECT_EQ(ViewPath::Batch("train", 3, 9).Format(), "/train/3/9/view");
+}
+
+TEST(ViewPathTest, ParseRoundTrip) {
+  for (const ViewPath& original :
+       {ViewPath::Video("t", "v"), ViewPath::Frame("t", "v", 5),
+        ViewPath::AugFrame("t", "v", 5, 1), ViewPath::Batch("t", 2, 7)}) {
+    auto parsed = ViewPath::Parse(original.Format());
+    ASSERT_TRUE(parsed.ok()) << original.Format();
+    EXPECT_EQ(parsed->Format(), original.Format());
+    EXPECT_EQ(parsed->type, original.type);
+  }
+}
+
+TEST(ViewPathTest, RejectsMalformed) {
+  EXPECT_FALSE(ViewPath::Parse("relative/path").ok());
+  EXPECT_FALSE(ViewPath::Parse("/task").ok());
+  EXPECT_FALSE(ViewPath::Parse("/task/video.avi").ok());
+  EXPECT_FALSE(ViewPath::Parse("/t/v/frameX").ok());
+  EXPECT_FALSE(ViewPath::Parse("/t/v/frame1/augY").ok());
+  EXPECT_FALSE(ViewPath::Parse("/t/a/b/c/d").ok());
+}
+
+// --- AbstractViewGraph -------------------------------------------------------
+
+TEST(AbstractGraphTest, ChainStructure) {
+  TaskConfig config = SimpleTask("t");
+  auto graph = AbstractViewGraph::Build(config);
+  ASSERT_TRUE(graph.ok());
+  // video -> frame -> aug0 -> aug1 -> view
+  ASSERT_EQ(graph->nodes().size(), 5u);
+  EXPECT_EQ(graph->nodes()[0].type, ViewType::kVideo);
+  EXPECT_EQ(graph->nodes()[1].type, ViewType::kFrame);
+  EXPECT_EQ(graph->nodes()[2].type, ViewType::kAugFrame);
+  EXPECT_EQ(graph->nodes().back().type, ViewType::kBatchView);
+  EXPECT_EQ(graph->root_label(), "/dataset/train");
+  EXPECT_EQ(graph->TerminalStreams(), (std::vector<std::string>{"aug1"}));
+}
+
+TEST(AbstractGraphTest, IdenticalTasksShareSignature) {
+  auto a = AbstractViewGraph::Build(SimpleTask("a"));
+  auto b = AbstractViewGraph::Build(SimpleTask("b"));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->PathSignature(), b->PathSignature())
+      << "the tag must not affect the operation-path signature";
+  auto c = AbstractViewGraph::Build(SimpleTask("c", 4, 4, 16));
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->PathSignature(), c->PathSignature());
+}
+
+TEST(AbstractGraphTest, NoAugmentationFeedsFramesToView) {
+  TaskConfig config = SimpleTask("t");
+  config.augmentation.clear();
+  auto graph = AbstractViewGraph::Build(config);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->TerminalStreams(), (std::vector<std::string>{"frame"}));
+}
+
+// --- Coordination ------------------------------------------------------------
+
+TEST(CoordinationTest, GridStrideIsGcd) {
+  SamplingConfig a;
+  a.frame_stride = 4;
+  SamplingConfig b;
+  b.frame_stride = 6;
+  std::vector<SamplingConfig> tasks = {a, b};
+  EXPECT_EQ(CommonGridStride(tasks), 2);
+  EXPECT_EQ(CommonGridStride({}), 1);
+}
+
+TEST(CoordinationTest, MaxClipSpan) {
+  SamplingConfig a;
+  a.frames_per_video = 8;
+  a.frame_stride = 4;  // span 29
+  SamplingConfig b;
+  b.frames_per_video = 16;
+  b.frame_stride = 1;  // span 16
+  std::vector<SamplingConfig> tasks = {a, b};
+  EXPECT_EQ(MaxClipSpan(tasks), 29);
+}
+
+TEST(CoordinationTest, PoolDrawsAreWithinVideo) {
+  SamplingConfig task;
+  task.frames_per_video = 8;
+  task.frame_stride = 4;
+  std::vector<SamplingConfig> tasks = {task};
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    FramePool pool = PlanFramePool(seed, 48, tasks);
+    for (int64_t index : DrawTaskFrames(pool, task)) {
+      EXPECT_GE(index, 0);
+      EXPECT_LT(index, 48);
+    }
+  }
+}
+
+TEST(CoordinationTest, TaskDrawsKeepStride) {
+  SamplingConfig task;
+  task.frames_per_video = 4;
+  task.frame_stride = 6;
+  std::vector<SamplingConfig> tasks = {task};
+  FramePool pool = PlanFramePool(11, 100, tasks);
+  std::vector<int64_t> frames = DrawTaskFrames(pool, task);
+  ASSERT_EQ(frames.size(), 4u);
+  for (size_t i = 1; i < frames.size(); ++i) {
+    EXPECT_EQ(frames[i] - frames[i - 1], 6);
+  }
+}
+
+TEST(CoordinationTest, SameSeedSharesFrames) {
+  // Two tasks with compatible strides drawing from the same pool overlap.
+  SamplingConfig dense;
+  dense.frames_per_video = 8;
+  dense.frame_stride = 2;
+  SamplingConfig sparse;
+  sparse.frames_per_video = 4;
+  sparse.frame_stride = 4;
+  std::vector<SamplingConfig> tasks = {dense, sparse};
+  FramePool pool = PlanFramePool(99, 64, tasks);
+  std::vector<int64_t> a = DrawTaskFrames(pool, dense);
+  std::vector<int64_t> b = DrawTaskFrames(pool, sparse);
+  std::set<int64_t> dense_set(a.begin(), a.end());
+  for (int64_t frame : b) {
+    EXPECT_TRUE(dense_set.count(frame) > 0)
+        << "stride-4 frames must be a subset of stride-2 frames from one pool";
+  }
+}
+
+TEST(CoordinationTest, RandomnessPreservedAcrossEpochs) {
+  SamplingConfig task;
+  task.frames_per_video = 4;
+  task.frame_stride = 4;
+  std::vector<SamplingConfig> tasks = {task};
+  std::set<int64_t> starts;
+  for (int64_t epoch = 0; epoch < 32; ++epoch) {
+    uint64_t seed = HashCombine(HashCombine(1ULL, "vid0"), epoch);
+    starts.insert(PlanFramePool(seed, 200, tasks).start);
+  }
+  EXPECT_GT(starts.size(), 20u) << "pool starts must vary across epochs";
+}
+
+TEST(CoordinationTest, PhaseDrawsStayInsidePool) {
+  SamplingConfig task;
+  task.frames_per_video = 4;
+  task.frame_stride = 4;
+  std::vector<SamplingConfig> tasks = {task};
+  FramePool pool = PlanFramePool(3, 200, tasks, /*span_slack=*/2);
+  for (uint64_t phase_seed = 0; phase_seed < 40; ++phase_seed) {
+    std::vector<int64_t> frames = DrawTaskFramesWithPhase(pool, task, phase_seed);
+    ASSERT_EQ(frames.size(), 4u);
+    for (int64_t frame : frames) {
+      EXPECT_GE(frame, pool.start);
+      EXPECT_LT(frame, pool.start + pool.span);
+    }
+    for (size_t i = 1; i < frames.size(); ++i) {
+      EXPECT_EQ(frames[i] - frames[i - 1], 4) << "stride preserved";
+    }
+  }
+}
+
+TEST(CoordinationTest, PhasesVaryAcrossSeeds) {
+  SamplingConfig task;
+  task.frames_per_video = 4;
+  task.frame_stride = 2;
+  std::vector<SamplingConfig> tasks = {task};
+  FramePool pool = PlanFramePool(3, 200, tasks, 3);
+  std::set<int64_t> starts;
+  for (uint64_t phase_seed = 0; phase_seed < 64; ++phase_seed) {
+    starts.insert(DrawTaskFramesWithPhase(pool, task, phase_seed)[0]);
+  }
+  EXPECT_GT(starts.size(), 3u) << "per-epoch phases must vary";
+}
+
+TEST(CoordinationTest, TinyVideoClampsPhases) {
+  SamplingConfig task;
+  task.frames_per_video = 8;
+  task.frame_stride = 4;  // span 29 > 16-frame video
+  std::vector<SamplingConfig> tasks = {task};
+  FramePool pool = PlanFramePool(7, 16, tasks);
+  EXPECT_EQ(pool.span, 16);
+  std::vector<int64_t> frames = DrawTaskFramesWithPhase(pool, task, 1);
+  for (int64_t frame : frames) {
+    EXPECT_GE(frame, 0);
+    EXPECT_LT(frame, 16);  // wrapped into the video
+  }
+}
+
+TEST(CoordinationTest, SharedWindowNestsSubCrops) {
+  CropWindow window = PlanSharedWindow(7, 100, 100, 50, 50);
+  EXPECT_GE(window.y, 0);
+  EXPECT_LE(window.y + window.h, 100);
+  CropWindow small = SubCrop(window, 30, 30);
+  EXPECT_GE(small.y, window.y);
+  EXPECT_LE(small.y + small.h, window.y + window.h);
+  EXPECT_GE(small.x, window.x);
+  EXPECT_LE(small.x + small.w, window.x + window.w);
+  // Equal sizes are bit-identical.
+  EXPECT_EQ(SubCrop(window, 40, 40), SubCrop(window, 40, 40));
+}
+
+TEST(CoordinationTest, WindowClampsToParent) {
+  CropWindow window = PlanSharedWindow(3, 20, 30, 50, 50);
+  EXPECT_EQ(window.h, 20);
+  EXPECT_EQ(window.w, 30);
+  EXPECT_EQ(window.y, 0);
+  EXPECT_EQ(window.x, 0);
+}
+
+TEST(CoordinationTest, MaxCropDimsScansBranches) {
+  TaskConfig config = SimpleTask("t", 4, 4, 24);
+  std::vector<TaskConfig> tasks = {config, SimpleTask("u", 4, 4, 30)};
+  MaxCropDims dims = MaxRandomCropDims(tasks);
+  EXPECT_EQ(dims.h, 30);
+  EXPECT_EQ(dims.w, 30);
+}
+
+// --- Concrete plan ----------------------------------------------------------
+
+PlannerOptions Options(bool coordinate = true, int k = 2) {
+  PlannerOptions options;
+  options.k_epochs = k;
+  options.coordinate = coordinate;
+  options.seed = 31;
+  return options;
+}
+
+TEST(ConcretePlanTest, EveryVideoOncePerEpochPerTask) {
+  DatasetMeta meta = TestMeta(8);
+  std::vector<TaskConfig> tasks = {SimpleTask("a")};
+  auto plan = BuildMaterializationPlan(meta, tasks, 0, Options());
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  // 8 videos / 2 per batch = 4 iterations per epoch.
+  EXPECT_EQ(plan->IterationsPerEpoch(0), 4);
+  for (int64_t epoch = 0; epoch < 2; ++epoch) {
+    std::multiset<int> used;
+    for (const BatchPlan& batch : plan->batches) {
+      if (batch.epoch != epoch) {
+        continue;
+      }
+      for (const ClipRef& clip : batch.clips) {
+        used.insert(clip.video_index);
+      }
+    }
+    EXPECT_EQ(used.size(), 8u);
+    for (int v = 0; v < 8; ++v) {
+      EXPECT_EQ(used.count(v), 1u) << "video " << v << " epoch " << epoch;
+    }
+  }
+}
+
+TEST(ConcretePlanTest, LeafShapeFollowsPipeline) {
+  DatasetMeta meta = TestMeta();
+  std::vector<TaskConfig> tasks = {SimpleTask("a", 4, 4, 24)};
+  auto plan = BuildMaterializationPlan(meta, tasks, 0, Options());
+  ASSERT_TRUE(plan.ok());
+  for (const VideoObjectGraph& graph : plan->videos) {
+    for (int leaf : graph.LeafIds()) {
+      EXPECT_EQ(graph.node(leaf).height, 24);
+      EXPECT_EQ(graph.node(leaf).width, 24);
+      EXPECT_EQ(graph.node(leaf).channels, 3);
+    }
+  }
+}
+
+TEST(ConcretePlanTest, IdenticalTasksMergeEverything) {
+  DatasetMeta meta = TestMeta(4);
+  std::vector<TaskConfig> tasks = {SimpleTask("a"), SimpleTask("b")};
+  auto plan = BuildMaterializationPlan(meta, tasks, 0, Options(true, 1));
+  ASSERT_TRUE(plan.ok());
+  OpCounts counts = plan->CountOps();
+  // Two identical tasks with coordinated draws -> every op requested twice,
+  // materialized once: a 50% reduction.
+  EXPECT_NEAR(OpCounts::Reduction(counts.decode_requested, counts.decode_unique), 0.5, 1e-9);
+  EXPECT_NEAR(OpCounts::Reduction(counts.aug_requested, counts.aug_unique), 0.5, 0.02);
+}
+
+TEST(ConcretePlanTest, UncoordinatedTasksBarelyMerge) {
+  DatasetMeta meta = TestMeta(4);
+  std::vector<TaskConfig> tasks = {SimpleTask("a"), SimpleTask("b")};
+  auto plan = BuildMaterializationPlan(meta, tasks, 0, Options(false, 1));
+  ASSERT_TRUE(plan.ok());
+  OpCounts counts = plan->CountOps();
+  EXPECT_LT(OpCounts::Reduction(counts.decode_requested, counts.decode_unique), 0.35)
+      << "independent draws must not collide much";
+}
+
+TEST(ConcretePlanTest, CoordinationBeatsIndependenceOnSharedFrames) {
+  DatasetMeta meta = TestMeta(4);
+  std::vector<TaskConfig> tasks = {SimpleTask("a", 2, 8), SimpleTask("b", 4, 4)};
+  auto coordinated = BuildMaterializationPlan(meta, tasks, 0, Options(true, 1));
+  auto independent = BuildMaterializationPlan(meta, tasks, 0, Options(false, 1));
+  ASSERT_TRUE(coordinated.ok());
+  ASSERT_TRUE(independent.ok());
+  OpCounts with = coordinated->CountOps();
+  OpCounts without = independent->CountOps();
+  EXPECT_LT(with.decode_unique, without.decode_unique)
+      << "shared pool must reduce distinct decoded frames";
+}
+
+TEST(ConcretePlanTest, RandomnessPreservedAcrossEpochsInPlan) {
+  DatasetMeta meta = TestMeta(2, 96);
+  std::vector<TaskConfig> tasks = {SimpleTask("a")};
+  auto plan = BuildMaterializationPlan(meta, tasks, 0, Options(true, 4));
+  ASSERT_TRUE(plan.ok());
+  // Collect the frame sets per epoch for video 0; they should differ
+  // between most epoch pairs (temporal randomness).
+  std::map<int64_t, std::set<int64_t>> per_epoch;
+  for (const VideoObjectGraph& graph : plan->videos) {
+    if (graph.video_index != 0) {
+      continue;
+    }
+    for (const ConcreteNode& node : graph.nodes) {
+      if (node.op.type == ConcreteOpType::kDecode) {
+        for (const Consumer& consumer : node.consumers) {
+          per_epoch[consumer.epoch].insert(node.op.frame_index);
+        }
+      }
+    }
+  }
+  ASSERT_EQ(per_epoch.size(), 4u);
+  int distinct_pairs = 0;
+  for (auto a = per_epoch.begin(); a != per_epoch.end(); ++a) {
+    for (auto b = std::next(a); b != per_epoch.end(); ++b) {
+      if (a->second != b->second) {
+        ++distinct_pairs;
+      }
+    }
+  }
+  // Within a chunk, epochs draw different phases of one shared pool, so
+  // selections vary but can occasionally coincide.
+  EXPECT_GE(distinct_pairs, 3) << "frame selections must vary across epochs";
+
+  // Across chunks the pool itself is re-drawn: chunk 1's selections for
+  // video 0 should differ from chunk 0's.
+  auto plan1 = BuildMaterializationPlan(meta, tasks, 4, Options(true, 4));
+  ASSERT_TRUE(plan1.ok());
+  std::set<int64_t> chunk0_frames;
+  for (const auto& [epoch, frames] : per_epoch) {
+    chunk0_frames.insert(frames.begin(), frames.end());
+  }
+  std::set<int64_t> chunk1_frames;
+  for (const ConcreteNode& node : plan1->videos[0].nodes) {
+    if (node.op.type == ConcreteOpType::kDecode) {
+      chunk1_frames.insert(node.op.frame_index);
+    }
+  }
+  EXPECT_NE(chunk0_frames, chunk1_frames) << "pools must be re-drawn per chunk";
+}
+
+TEST(ConcretePlanTest, ConsumersCarryDeadlines) {
+  DatasetMeta meta = TestMeta(4);
+  std::vector<TaskConfig> tasks = {SimpleTask("a")};
+  auto plan = BuildMaterializationPlan(meta, tasks, 0, Options(true, 2));
+  ASSERT_TRUE(plan.ok());
+  for (const VideoObjectGraph& graph : plan->videos) {
+    for (int leaf : graph.LeafIds()) {
+      EXPECT_FALSE(graph.node(leaf).consumers.empty());
+      EXPECT_LT(graph.EarliestDeadline(leaf), 2 * plan->IterationsPerEpoch(0));
+    }
+  }
+}
+
+TEST(ConcretePlanTest, ResetCacheFlagsMarksExactlyLeaves) {
+  DatasetMeta meta = TestMeta(2);
+  std::vector<TaskConfig> tasks = {SimpleTask("a")};
+  auto plan = BuildMaterializationPlan(meta, tasks, 0, Options());
+  ASSERT_TRUE(plan.ok());
+  for (const VideoObjectGraph& graph : plan->videos) {
+    for (const ConcreteNode& node : graph.nodes) {
+      EXPECT_EQ(node.cache, node.is_leaf) << graph.video_name << " node " << node.id;
+    }
+  }
+  EXPECT_GT(plan->CachedBytes(), 0u);
+}
+
+TEST(ConcretePlanTest, FindBatchAndViewPaths) {
+  DatasetMeta meta = TestMeta(4);
+  std::vector<TaskConfig> tasks = {SimpleTask("mytask")};
+  auto plan = BuildMaterializationPlan(meta, tasks, 0, Options());
+  ASSERT_TRUE(plan.ok());
+  const BatchPlan* batch = plan->FindBatch(0, 1, 0);
+  ASSERT_NE(batch, nullptr);
+  EXPECT_EQ(batch->view_path, "/mytask/1/0/view");
+  EXPECT_EQ(plan->FindBatch(0, 99, 0), nullptr);
+}
+
+TEST(ConcretePlanTest, FrameSelectionCountsMatchConsumers) {
+  DatasetMeta meta = TestMeta(2);
+  std::vector<TaskConfig> tasks = {SimpleTask("a")};
+  auto plan = BuildMaterializationPlan(meta, tasks, 0, Options(true, 2));
+  ASSERT_TRUE(plan.ok());
+  std::vector<int> counts = FrameSelectionCounts(*plan);
+  ASSERT_EQ(counts.size(), static_cast<size_t>(2 * 48));
+  int64_t total = 0;
+  for (int count : counts) {
+    total += count;
+  }
+  // 2 epochs x 2 videos x 4 frames per clip = 16 selections.
+  EXPECT_EQ(total, 16);
+}
+
+TEST(ConcretePlanTest, RejectsForeignDataset) {
+  DatasetMeta meta = TestMeta();
+  TaskConfig task = SimpleTask("a");
+  task.dataset_path = "/other/place";
+  std::vector<TaskConfig> tasks = {task};
+  EXPECT_FALSE(BuildMaterializationPlan(meta, tasks, 0, Options()).ok());
+}
+
+TEST(ConcretePlanTest, SamplesPerVideoMultiplyClips) {
+  DatasetMeta meta = TestMeta(4);
+  TaskConfig task = SimpleTask("a");
+  task.sampling.samples_per_video = 3;
+  std::vector<TaskConfig> tasks = {task};
+  auto plan = BuildMaterializationPlan(meta, tasks, 0, Options(true, 1));
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->batches[0].clips.size(), 2u * 3u);  // vpb * samples
+}
+
+TEST(ConcretePlanTest, DeterministicAcrossRebuilds) {
+  DatasetMeta meta = TestMeta(4);
+  std::vector<TaskConfig> tasks = {SimpleTask("a")};
+  auto plan1 = BuildMaterializationPlan(meta, tasks, 0, Options());
+  auto plan2 = BuildMaterializationPlan(meta, tasks, 0, Options());
+  ASSERT_TRUE(plan1.ok());
+  ASSERT_TRUE(plan2.ok());
+  ASSERT_EQ(plan1->videos.size(), plan2->videos.size());
+  for (size_t v = 0; v < plan1->videos.size(); ++v) {
+    ASSERT_EQ(plan1->videos[v].nodes.size(), plan2->videos[v].nodes.size());
+    for (size_t n = 0; n < plan1->videos[v].nodes.size(); ++n) {
+      EXPECT_EQ(plan1->videos[v].nodes[n].key, plan2->videos[v].nodes[n].key);
+    }
+  }
+}
+
+// Property sweep: plan invariants hold over a grid of task shapes.
+class PlanSweepTest : public ::testing::TestWithParam<std::tuple<int, int, int, bool>> {};
+
+TEST_P(PlanSweepTest, StructuralInvariants) {
+  auto [stride, frames, videos, coordinate] = GetParam();
+  DatasetMeta meta = TestMeta(videos, 64);
+  std::vector<TaskConfig> tasks = {SimpleTask("a", stride, frames)};
+  auto plan = BuildMaterializationPlan(meta, tasks, 0, Options(coordinate, 2));
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  for (const VideoObjectGraph& graph : plan->videos) {
+    for (const ConcreteNode& node : graph.nodes) {
+      if (node.op.type == ConcreteOpType::kSource) {
+        continue;
+      }
+      EXPECT_FALSE(node.parents.empty()) << node.key;
+      for (int parent : node.parents) {
+        EXPECT_LT(parent, node.id) << "parents precede children";
+      }
+      if (node.op.type == ConcreteOpType::kDecode) {
+        EXPECT_GE(node.op.frame_index, 0);
+        EXPECT_LT(node.op.frame_index, 64);
+      }
+      EXPECT_GT(node.est_stored_bytes, 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, PlanSweepTest,
+                         ::testing::Combine(::testing::Values(1, 3, 4),
+                                            ::testing::Values(2, 8),
+                                            ::testing::Values(2, 6),
+                                            ::testing::Bool()));
+
+}  // namespace
+}  // namespace sand

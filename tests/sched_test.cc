@@ -1,0 +1,210 @@
+// Tests for the priority-based materialization scheduler.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/sched/scheduler.h"
+
+namespace sand {
+namespace {
+
+// Runs jobs on a single worker so pop order is observable.
+class OrderRecorder {
+ public:
+  void Record(int id) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    order_.push_back(id);
+  }
+  std::vector<int> order() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return order_;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<int> order_;
+};
+
+MaterializationJob Job(int id, OrderRecorder& recorder, int64_t deadline,
+                       int64_t remaining = 0, bool demand = false) {
+  MaterializationJob job;
+  job.deadline = deadline;
+  job.remaining_work = remaining;
+  job.demand_feeding = demand;
+  job.run = [id, &recorder] { recorder.Record(id); };
+  return job;
+}
+
+// A blocker job that holds the single worker until released, letting tests
+// enqueue a controlled backlog.
+struct Gate {
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool open = false;
+  void Open() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      open = true;
+    }
+    cv.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [this] { return open; });
+  }
+};
+
+TEST(SchedulerTest, RunsSubmittedJobs) {
+  MaterializationScheduler::Options options;
+  options.num_threads = 2;
+  MaterializationScheduler scheduler(options);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 20; ++i) {
+    MaterializationJob job;
+    job.run = [&count] { count.fetch_add(1); };
+    scheduler.Submit(std::move(job));
+  }
+  scheduler.WaitIdle();
+  EXPECT_EQ(count.load(), 20);
+  EXPECT_EQ(scheduler.stats().jobs_run, 20u);
+}
+
+TEST(SchedulerTest, EarliestDeadlineFirst) {
+  MaterializationScheduler::Options options;
+  options.num_threads = 1;
+  MaterializationScheduler scheduler(options);
+  OrderRecorder recorder;
+  Gate gate;
+  MaterializationJob blocker;
+  blocker.demand_feeding = true;
+  blocker.run = [&gate] { gate.Wait(); };
+  scheduler.Submit(std::move(blocker));
+  scheduler.Submit(Job(3, recorder, /*deadline=*/30));
+  scheduler.Submit(Job(1, recorder, /*deadline=*/10));
+  scheduler.Submit(Job(2, recorder, /*deadline=*/20));
+  gate.Open();
+  scheduler.WaitIdle();
+  EXPECT_EQ(recorder.order(), (std::vector<int>{1, 2, 3}));
+  EXPECT_GE(scheduler.stats().deadline_pops, 3u);
+}
+
+TEST(SchedulerTest, DemandFeedingPreemptsBackground) {
+  MaterializationScheduler::Options options;
+  options.num_threads = 1;
+  MaterializationScheduler scheduler(options);
+  OrderRecorder recorder;
+  Gate gate;
+  MaterializationJob blocker;
+  blocker.run = [&gate] { gate.Wait(); };
+  scheduler.Submit(std::move(blocker));
+  scheduler.Submit(Job(10, recorder, /*deadline=*/0));               // background, urgent
+  scheduler.Submit(Job(99, recorder, /*deadline=*/1000, 0, true));   // demand
+  gate.Open();
+  scheduler.WaitIdle();
+  EXPECT_EQ(recorder.order().front(), 99) << "demand-feeding must run first";
+  EXPECT_EQ(scheduler.stats().demand_jobs_run, 1u);
+}
+
+TEST(SchedulerTest, SjfUnderMemoryPressure) {
+  MaterializationScheduler::Options options;
+  options.num_threads = 1;
+  options.memory_pressure = [] { return 0.95; };  // above watermark
+  options.sjf_watermark = 0.8;
+  MaterializationScheduler scheduler(options);
+  OrderRecorder recorder;
+  Gate gate;
+  MaterializationJob blocker;
+  blocker.run = [&gate] { gate.Wait(); };
+  scheduler.Submit(std::move(blocker));
+  scheduler.Submit(Job(1, recorder, /*deadline=*/1, /*remaining=*/100));
+  scheduler.Submit(Job(2, recorder, /*deadline=*/99, /*remaining=*/5));
+  gate.Open();
+  scheduler.WaitIdle();
+  // Despite job 1's earlier deadline, SJF picks the nearly-done job 2.
+  EXPECT_EQ(recorder.order(), (std::vector<int>{2, 1}));
+  EXPECT_GE(scheduler.stats().sjf_pops, 2u);
+}
+
+TEST(SchedulerTest, FifoWhenPrioritiesDisabled) {
+  MaterializationScheduler::Options options;
+  options.num_threads = 1;
+  options.disable_priorities = true;
+  MaterializationScheduler scheduler(options);
+  OrderRecorder recorder;
+  Gate gate;
+  MaterializationJob blocker;
+  blocker.run = [&gate] { gate.Wait(); };
+  scheduler.Submit(std::move(blocker));
+  scheduler.Submit(Job(1, recorder, /*deadline=*/99));
+  scheduler.Submit(Job(2, recorder, /*deadline=*/1, 0, true));  // demand ignored too
+  scheduler.Submit(Job(3, recorder, /*deadline=*/50));
+  gate.Open();
+  scheduler.WaitIdle();
+  EXPECT_EQ(recorder.order(), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SchedulerTest, ShutdownDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    MaterializationScheduler::Options options;
+    options.num_threads = 2;
+    MaterializationScheduler scheduler(options);
+    for (int i = 0; i < 10; ++i) {
+      MaterializationJob job;
+      job.run = [&count] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        count.fetch_add(1);
+      };
+      scheduler.Submit(std::move(job));
+    }
+    scheduler.Shutdown();
+  }
+  EXPECT_EQ(count.load(), 10) << "pending jobs must complete on shutdown";
+}
+
+TEST(SchedulerTest, WaitIdleWaitsForRunningJobs) {
+  MaterializationScheduler::Options options;
+  options.num_threads = 4;
+  MaterializationScheduler scheduler(options);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) {
+    MaterializationJob job;
+    job.run = [&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      done.fetch_add(1);
+    };
+    scheduler.Submit(std::move(job));
+  }
+  scheduler.WaitIdle();
+  EXPECT_EQ(done.load(), 8);
+  EXPECT_EQ(scheduler.PendingCount(), 0u);
+}
+
+TEST(SchedulerTest, ConcurrentSubmitters) {
+  MaterializationScheduler::Options options;
+  options.num_threads = 4;
+  MaterializationScheduler scheduler(options);
+  std::atomic<int> count{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&scheduler, &count] {
+      for (int i = 0; i < 50; ++i) {
+        MaterializationJob job;
+        job.run = [&count] { count.fetch_add(1); };
+        scheduler.Submit(std::move(job));
+      }
+    });
+  }
+  for (std::thread& thread : submitters) {
+    thread.join();
+  }
+  scheduler.WaitIdle();
+  EXPECT_EQ(count.load(), 200);
+}
+
+}  // namespace
+}  // namespace sand

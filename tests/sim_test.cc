@@ -1,0 +1,155 @@
+// Unit tests for src/sim: GPU model, energy accounting, CPU meter.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "src/sim/cpu_meter.h"
+#include "src/sim/energy_model.h"
+#include "src/sim/gpu_model.h"
+
+namespace sand {
+namespace {
+
+TEST(GpuModelTest, TrainStepAccountsBusyTime) {
+  GpuSpec spec;
+  spec.time_scale = 1.0;
+  GpuModel gpu(spec);
+  gpu.BeginRun();
+  gpu.TrainStep(FromMillis(2));
+  gpu.TrainStep(FromMillis(3));
+  gpu.EndRun();
+  GpuRunStats stats = gpu.run_stats();
+  EXPECT_EQ(stats.steps, 2u);
+  EXPECT_EQ(stats.busy_ns, FromMillis(5));
+  EXPECT_GE(stats.wall_ns, FromMillis(5));
+  EXPECT_GT(stats.Utilization(), 0.5);
+}
+
+TEST(GpuModelTest, TimeScaleShrinksSleeps) {
+  GpuSpec spec;
+  spec.time_scale = 0.01;
+  GpuModel gpu(spec);
+  gpu.BeginRun();
+  Stopwatch watch;
+  gpu.TrainStep(FromMillis(100));  // scaled to ~1ms
+  EXPECT_LT(watch.Elapsed(), FromMillis(50));
+  gpu.EndRun();
+  EXPECT_EQ(gpu.run_stats().busy_ns, FromMillis(1));
+}
+
+TEST(GpuModelTest, UtilizationReflectsStalls) {
+  GpuSpec spec;
+  GpuModel gpu(spec);
+  gpu.BeginRun();
+  gpu.TrainStep(FromMillis(2));
+  std::this_thread::sleep_for(std::chrono::milliseconds(6));  // stall
+  gpu.EndRun();
+  GpuRunStats stats = gpu.run_stats();
+  EXPECT_LT(stats.Utilization(), 0.5);
+  EXPECT_GT(stats.StallNs(), FromMillis(3));
+}
+
+TEST(GpuModelTest, NvdecDecodeTiming) {
+  GpuSpec spec;
+  spec.nvdec_bytes_per_sec = 1024.0 * 1024;  // 1 MiB/s
+  GpuModel gpu(spec);
+  gpu.BeginRun();
+  Stopwatch watch;
+  gpu.DecodeOnGpu(10 * 1024, 5);  // ~10ms
+  EXPECT_GE(watch.Elapsed(), FromMillis(8));
+  gpu.EndRun();
+  GpuRunStats stats = gpu.run_stats();
+  EXPECT_EQ(stats.frames_decoded, 5u);
+  EXPECT_GE(stats.nvdec_ns, FromMillis(8));
+}
+
+TEST(GpuModelTest, MemoryAccounting) {
+  GpuSpec spec;
+  spec.memory_bytes = 1000;
+  GpuModel gpu(spec);
+  ASSERT_TRUE(gpu.AllocateMemory(600).ok());
+  EXPECT_EQ(gpu.used_memory(), 600u);
+  EXPECT_EQ(gpu.available_memory(), 400u);
+  EXPECT_FALSE(gpu.AllocateMemory(500).ok()) << "over-allocation must fail";
+  gpu.FreeMemory(600);
+  EXPECT_EQ(gpu.used_memory(), 0u);
+  gpu.FreeMemory(100);  // over-free clamps to zero
+  EXPECT_EQ(gpu.used_memory(), 0u);
+}
+
+TEST(EnergyModelTest, PureIdleCharge) {
+  PowerSpec spec;
+  EnergyBreakdown energy = ComputeEnergy(spec, FromSeconds(1), 0, 4, 0, 0);
+  EXPECT_DOUBLE_EQ(energy.cpu_joules, 4 * spec.cpu_core_idle_watts);
+  EXPECT_DOUBLE_EQ(energy.gpu_compute_joules, spec.gpu_idle_watts);
+  EXPECT_DOUBLE_EQ(energy.gpu_decode_joules, 0.0);
+}
+
+TEST(EnergyModelTest, BusySplitsCorrectly) {
+  PowerSpec spec;
+  // 4 cores, 2 core-seconds busy over 1 second wall.
+  EnergyBreakdown energy =
+      ComputeEnergy(spec, FromSeconds(1), FromSeconds(2), 4, FromSeconds(1), 0);
+  EXPECT_DOUBLE_EQ(energy.cpu_joules,
+                   2 * spec.cpu_core_busy_watts + 2 * spec.cpu_core_idle_watts);
+  EXPECT_DOUBLE_EQ(energy.gpu_compute_joules, spec.gpu_busy_watts);
+}
+
+TEST(EnergyModelTest, NvdecAddsDecodeEnergy) {
+  PowerSpec spec;
+  EnergyBreakdown energy =
+      ComputeEnergy(spec, FromSeconds(2), 0, 1, 0, FromSeconds(1));
+  EXPECT_DOUBLE_EQ(energy.gpu_decode_joules, spec.nvdec_watts);
+  EXPECT_GT(energy.Total(), energy.gpu_decode_joules);
+}
+
+TEST(EnergyModelTest, CpuShare) {
+  PowerSpec spec;
+  spec.cpu_core_busy_watts = 50;
+  spec.cpu_core_idle_watts = 0;
+  spec.gpu_busy_watts = 50;
+  spec.gpu_idle_watts = 0;
+  EnergyBreakdown energy =
+      ComputeEnergy(spec, FromSeconds(1), FromSeconds(1), 1, FromSeconds(1), 0);
+  EXPECT_NEAR(energy.CpuShare(), 0.5, 1e-9);
+}
+
+TEST(EnergyModelTest, BusyClampedToWall) {
+  PowerSpec spec;
+  // Claimed busy exceeds wall x cores: must clamp, never negative idle.
+  EnergyBreakdown energy =
+      ComputeEnergy(spec, FromSeconds(1), FromSeconds(100), 2, FromSeconds(100), 0);
+  EXPECT_DOUBLE_EQ(energy.cpu_joules, 2 * spec.cpu_core_busy_watts);
+  EXPECT_DOUBLE_EQ(energy.gpu_compute_joules, spec.gpu_busy_watts);
+}
+
+TEST(CpuMeterTest, AccumulatesPerKind) {
+  CpuMeter meter;
+  meter.Add(CpuWorkKind::kDecode, 100);
+  meter.Add(CpuWorkKind::kDecode, 50);
+  meter.Add(CpuWorkKind::kAugment, 30);
+  EXPECT_EQ(meter.Busy(CpuWorkKind::kDecode), 150);
+  EXPECT_EQ(meter.Busy(CpuWorkKind::kAugment), 30);
+  EXPECT_EQ(meter.Busy(CpuWorkKind::kCompress), 0);
+  EXPECT_EQ(meter.TotalBusy(), 180);
+  meter.Reset();
+  EXPECT_EQ(meter.TotalBusy(), 0);
+}
+
+TEST(CpuMeterTest, ScopedWorkMeasures) {
+  CpuMeter meter;
+  {
+    ScopedCpuWork work(meter, CpuWorkKind::kDecode);
+    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+  }
+  EXPECT_GE(meter.Busy(CpuWorkKind::kDecode), FromMillis(2));
+}
+
+TEST(CpuMeterTest, KindNames) {
+  EXPECT_STREQ(CpuWorkKindName(CpuWorkKind::kDecode), "decode");
+  EXPECT_STREQ(CpuWorkKindName(CpuWorkKind::kIo), "io");
+}
+
+}  // namespace
+}  // namespace sand

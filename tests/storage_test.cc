@@ -1,0 +1,191 @@
+// Unit tests for src/storage: memory/disk/remote stores and the tiered cache.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "src/common/clock.h"
+#include "src/storage/object_store.h"
+
+namespace sand {
+namespace {
+
+std::vector<uint8_t> Bytes(std::initializer_list<uint8_t> values) { return values; }
+
+std::string TempDir(const char* tag) {
+  std::string dir = std::filesystem::temp_directory_path() /
+                    ("sand_storage_test_" + std::string(tag) + "_" +
+                     std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+TEST(MemoryStoreTest, PutGetDelete) {
+  MemoryStore store;
+  ASSERT_TRUE(store.Put("a", Bytes({1, 2, 3})).ok());
+  EXPECT_TRUE(store.Contains("a"));
+  EXPECT_EQ(*store.Get("a"), Bytes({1, 2, 3}));
+  EXPECT_EQ(*store.SizeOf("a"), 3u);
+  EXPECT_EQ(store.UsedBytes(), 3u);
+  ASSERT_TRUE(store.Delete("a").ok());
+  EXPECT_FALSE(store.Contains("a"));
+  EXPECT_EQ(store.UsedBytes(), 0u);
+  EXPECT_FALSE(store.Get("a").ok());
+  EXPECT_FALSE(store.Delete("a").ok());
+}
+
+TEST(MemoryStoreTest, OverwriteAdjustsUsage) {
+  MemoryStore store;
+  ASSERT_TRUE(store.Put("k", std::vector<uint8_t>(100)).ok());
+  ASSERT_TRUE(store.Put("k", std::vector<uint8_t>(40)).ok());
+  EXPECT_EQ(store.UsedBytes(), 40u);
+}
+
+TEST(MemoryStoreTest, EnforcesCapacity) {
+  MemoryStore store(10);
+  ASSERT_TRUE(store.Put("a", std::vector<uint8_t>(8)).ok());
+  EXPECT_FALSE(store.Put("b", std::vector<uint8_t>(3)).ok());
+  // Replacing an object counts the freed space.
+  EXPECT_TRUE(store.Put("a", std::vector<uint8_t>(10)).ok());
+}
+
+TEST(MemoryStoreTest, ListKeysSorted) {
+  MemoryStore store;
+  ASSERT_TRUE(store.Put("b", Bytes({1})).ok());
+  ASSERT_TRUE(store.Put("a", Bytes({1})).ok());
+  EXPECT_EQ(store.ListKeys(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(DiskStoreTest, PutGetAcrossDirectories) {
+  std::string dir = TempDir("basic");
+  auto store = DiskStore::Open(dir, 1 << 20);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("data/train/vid0.svc", Bytes({9, 8, 7})).ok());
+  EXPECT_EQ(*(*store)->Get("data/train/vid0.svc"), Bytes({9, 8, 7}));
+  EXPECT_EQ((*store)->UsedBytes(), 3u);
+  ASSERT_TRUE((*store)->Delete("data/train/vid0.svc").ok());
+  EXPECT_EQ((*store)->UsedBytes(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DiskStoreTest, RescanRecoversState) {
+  std::string dir = TempDir("rescan");
+  {
+    auto store = DiskStore::Open(dir, 1 << 20);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("cache/x", std::vector<uint8_t>(64)).ok());
+    ASSERT_TRUE((*store)->Put("cache/sub/y", std::vector<uint8_t>(32)).ok());
+  }
+  // A new store over the same root discovers the persisted objects — the
+  // fault-tolerance path.
+  auto recovered = DiskStore::Open(dir, 1 << 20);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ((*recovered)->UsedBytes(), 96u);
+  EXPECT_TRUE((*recovered)->Contains("cache/x"));
+  EXPECT_TRUE((*recovered)->Contains("cache/sub/y"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DiskStoreTest, EnforcesCapacity) {
+  std::string dir = TempDir("cap");
+  auto store = DiskStore::Open(dir, 100);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("a", std::vector<uint8_t>(80)).ok());
+  EXPECT_FALSE((*store)->Put("b", std::vector<uint8_t>(30)).ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DiskStoreTest, StripsLeadingSlashes) {
+  std::string dir = TempDir("slash");
+  auto store = DiskStore::Open(dir, 1 << 20);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("/dataset/v.svc", Bytes({1})).ok());
+  EXPECT_TRUE((*store)->Contains("/dataset/v.svc"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(RemoteStoreTest, CountsTraffic) {
+  auto backing = std::make_shared<MemoryStore>();
+  RemoteStore remote(backing, /*bandwidth=*/0, /*latency=*/0);
+  ASSERT_TRUE(remote.Put("k", std::vector<uint8_t>(100)).ok());
+  ASSERT_TRUE(remote.Get("k").ok());
+  ASSERT_TRUE(remote.Get("k").ok());
+  RemoteTraffic traffic = remote.traffic();
+  EXPECT_EQ(traffic.bytes_written, 100u);
+  EXPECT_EQ(traffic.bytes_read, 200u);
+  EXPECT_EQ(traffic.write_ops, 1u);
+  EXPECT_EQ(traffic.read_ops, 2u);
+  remote.ResetTraffic();
+  EXPECT_EQ(remote.traffic().bytes_read, 0u);
+}
+
+TEST(RemoteStoreTest, MissesDoNotCount) {
+  auto backing = std::make_shared<MemoryStore>();
+  RemoteStore remote(backing, 0, 0);
+  EXPECT_FALSE(remote.Get("absent").ok());
+  EXPECT_EQ(remote.traffic().read_ops, 0u);
+}
+
+TEST(RemoteStoreTest, BandwidthDelaysTransfers) {
+  auto backing = std::make_shared<MemoryStore>();
+  ASSERT_TRUE(backing->Put("k", std::vector<uint8_t>(100 * 1024)).ok());
+  // 10 MiB/s -> 100 KiB takes ~10 ms.
+  RemoteStore remote(backing, 10.0 * 1024 * 1024, 0);
+  Stopwatch watch;
+  ASSERT_TRUE(remote.Get("k").ok());
+  EXPECT_GE(watch.Elapsed(), FromMillis(8));
+}
+
+TEST(TieredCacheTest, MemoryHitAvoidsDisk) {
+  auto memory = std::make_shared<MemoryStore>(1 << 20);
+  auto disk = std::make_shared<MemoryStore>(1 << 20);  // stand-in for disk
+  TieredCache cache(memory, disk);
+  ASSERT_TRUE(cache.Put("hot", Bytes({1, 2}), Tier::kMemory).ok());
+  EXPECT_TRUE(memory->Contains("hot"));
+  EXPECT_FALSE(disk->Contains("hot"));
+  EXPECT_EQ(*cache.Get("hot"), Bytes({1, 2}));
+}
+
+TEST(TieredCacheTest, DiskHitPromotes) {
+  auto memory = std::make_shared<MemoryStore>(1 << 20);
+  auto disk = std::make_shared<MemoryStore>(1 << 20);
+  TieredCache cache(memory, disk);
+  ASSERT_TRUE(cache.Put("cold", Bytes({5}), Tier::kDisk).ok());
+  EXPECT_FALSE(memory->Contains("cold"));
+  EXPECT_EQ(*cache.Get("cold"), Bytes({5}));
+  EXPECT_TRUE(memory->Contains("cold")) << "read promotes to memory";
+}
+
+TEST(TieredCacheTest, MemoryFullFallsThroughToDisk) {
+  auto memory = std::make_shared<MemoryStore>(4);
+  auto disk = std::make_shared<MemoryStore>(1 << 20);
+  TieredCache cache(memory, disk);
+  ASSERT_TRUE(cache.Put("big", std::vector<uint8_t>(100), Tier::kMemory).ok());
+  EXPECT_FALSE(memory->Contains("big"));
+  EXPECT_TRUE(disk->Contains("big"));
+}
+
+TEST(TieredCacheTest, DeleteRemovesAllTiers) {
+  auto memory = std::make_shared<MemoryStore>(1 << 20);
+  auto disk = std::make_shared<MemoryStore>(1 << 20);
+  TieredCache cache(memory, disk);
+  ASSERT_TRUE(cache.Put("k", Bytes({1}), Tier::kDisk).ok());
+  ASSERT_TRUE(cache.Get("k").ok());  // promoted: now in both tiers
+  ASSERT_TRUE(cache.Delete("k").ok());
+  EXPECT_FALSE(cache.Contains("k"));
+  EXPECT_FALSE(cache.Delete("k").ok());
+}
+
+TEST(TieredCacheTest, DemoteSpillsToDisk) {
+  auto memory = std::make_shared<MemoryStore>(1 << 20);
+  auto disk = std::make_shared<MemoryStore>(1 << 20);
+  TieredCache cache(memory, disk);
+  ASSERT_TRUE(cache.Put("k", Bytes({7}), Tier::kMemory).ok());
+  ASSERT_TRUE(cache.Demote("k").ok());
+  EXPECT_FALSE(memory->Contains("k"));
+  EXPECT_TRUE(disk->Contains("k"));
+  EXPECT_EQ(*cache.Get("k"), Bytes({7}));
+}
+
+}  // namespace
+}  // namespace sand

@@ -1,0 +1,200 @@
+// Tests for src/workloads: synthetic generator, model profiles (including
+// the YAML equivalence of MakeTaskConfigYaml), the MLP learner, and the
+// training-loop driver.
+
+#include <gtest/gtest.h>
+
+#include "src/workloads/mlp.h"
+#include "src/workloads/models.h"
+#include "src/workloads/synthetic.h"
+#include "src/workloads/trainer.h"
+
+namespace sand {
+namespace {
+
+TEST(SyntheticTest, FramesAreDeterministic) {
+  Frame a = SynthesizeFrame(42, 7, 24, 32, 3);
+  Frame b = SynthesizeFrame(42, 7, 24, 32, 3);
+  EXPECT_EQ(a, b);
+  Frame c = SynthesizeFrame(42, 8, 24, 32, 3);
+  EXPECT_NE(a, c) << "frames evolve over time";
+  Frame d = SynthesizeFrame(43, 7, 24, 32, 3);
+  EXPECT_NE(a, d) << "seeds differentiate videos";
+}
+
+TEST(SyntheticTest, TemporalSmoothness) {
+  // Consecutive frames must be similar (what makes P-frames compress); far
+  // apart frames differ more.
+  Frame t0 = SynthesizeFrame(9, 0, 32, 48, 3);
+  Frame t1 = SynthesizeFrame(9, 1, 32, 48, 3);
+  Frame t20 = SynthesizeFrame(9, 20, 32, 48, 3);
+  auto diff = [](const Frame& a, const Frame& b) {
+    double total = 0;
+    for (size_t i = 0; i < a.storage().size(); ++i) {
+      total += std::abs(static_cast<int>(a.storage()[i]) - b.storage()[i]);
+    }
+    return total / static_cast<double>(a.storage().size());
+  };
+  EXPECT_LT(diff(t0, t1), diff(t0, t20));
+  EXPECT_LT(diff(t0, t1), 16.0) << "adjacent frames nearly identical";
+}
+
+TEST(SyntheticTest, LabelsSpanUnitInterval) {
+  double lo = 1.0;
+  double hi = 0.0;
+  for (int v = 0; v < 64; ++v) {
+    double label = SyntheticLabel(VideoSeed(7, v));
+    EXPECT_GE(label, 0.0);
+    EXPECT_LE(label, 1.0);
+    lo = std::min(lo, label);
+    hi = std::max(hi, label);
+  }
+  EXPECT_LT(lo, 0.25);
+  EXPECT_GT(hi, 0.75);
+}
+
+TEST(SyntheticTest, LabelIsVisibleInPixels) {
+  // The label encodes base brightness: higher-label videos must be brighter.
+  uint64_t bright_seed = 0;
+  uint64_t dark_seed = 0;
+  double bright = -1;
+  double dark = 2;
+  for (int v = 0; v < 32; ++v) {
+    uint64_t seed = VideoSeed(11, v);
+    double label = SyntheticLabel(seed);
+    if (label > bright) {
+      bright = label;
+      bright_seed = seed;
+    }
+    if (label < dark) {
+      dark = label;
+      dark_seed = seed;
+    }
+  }
+  Frame bright_frame = SynthesizeFrame(bright_seed, 5, 24, 32, 3);
+  Frame dark_frame = SynthesizeFrame(dark_seed, 5, 24, 32, 3);
+  EXPECT_GT(bright_frame.MeanIntensity(), dark_frame.MeanIntensity() + 20)
+      << "labels must be learnable from pixels";
+}
+
+TEST(SyntheticTest, DatasetBuildsAndAppends) {
+  MemoryStore store;
+  SyntheticDatasetOptions options;
+  options.num_videos = 3;
+  options.frames_per_video = 12;
+  options.height = 16;
+  options.width = 24;
+  auto meta = BuildSyntheticDataset(store, options);
+  ASSERT_TRUE(meta.ok());
+  EXPECT_EQ(meta->num_videos(), 3);
+  EXPECT_EQ(store.ListKeys().size(), 3u);
+  EXPECT_GT(meta->encoded_bytes_per_video, 0u);
+  ASSERT_TRUE(AppendSyntheticVideo(store, options, *meta).ok());
+  EXPECT_EQ(meta->num_videos(), 4);
+  EXPECT_TRUE(store.Contains(meta->path + "/vid003.svc"));
+}
+
+TEST(ModelsTest, YamlEquivalentToBuilder) {
+  for (const ModelProfile& profile : AllModelProfiles()) {
+    TaskConfig built = MakeTaskConfig(profile, "/d", profile.name);
+    auto parsed = ParseTaskConfigText(MakeTaskConfigYaml(profile, "/d", profile.name));
+    ASSERT_TRUE(parsed.ok()) << profile.name << ": " << parsed.status().ToString();
+    EXPECT_EQ(parsed->tag, built.tag);
+    EXPECT_EQ(parsed->sampling.videos_per_batch, built.sampling.videos_per_batch);
+    EXPECT_EQ(parsed->sampling.frames_per_video, built.sampling.frames_per_video);
+    EXPECT_EQ(parsed->sampling.frame_stride, built.sampling.frame_stride);
+    ASSERT_EQ(parsed->augmentation.size(), built.augmentation.size()) << profile.name;
+    for (size_t s = 0; s < built.augmentation.size(); ++s) {
+      ASSERT_EQ(parsed->augmentation[s].ops.size(), built.augmentation[s].ops.size());
+      for (size_t o = 0; o < built.augmentation[s].ops.size(); ++o) {
+        EXPECT_EQ(parsed->augmentation[s].ops[o].Signature(),
+                  built.augmentation[s].ops[o].Signature());
+      }
+    }
+  }
+}
+
+TEST(ModelsTest, ProfilesAreDistinct) {
+  auto profiles = AllModelProfiles();
+  ASSERT_EQ(profiles.size(), 4u);
+  for (size_t i = 0; i < profiles.size(); ++i) {
+    for (size_t j = i + 1; j < profiles.size(); ++j) {
+      EXPECT_NE(profiles[i].name, profiles[j].name);
+    }
+    EXPECT_GT(profiles[i].gpu_step, 0);
+    EXPECT_GT(profiles[i].crop_h, 0);
+  }
+}
+
+TEST(MlpTest, ClipFeaturesInUnitRange) {
+  Clip clip;
+  for (int t = 0; t < 3; ++t) {
+    clip.frames.push_back(SynthesizeFrame(3, t, 16, 24, 3));
+  }
+  auto features = ClipFeatures(clip);
+  ASSERT_EQ(features.size(), static_cast<size_t>(kClipFeatureDim));
+  for (double f : features) {
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 1.0);
+  }
+  EXPECT_TRUE(ClipFeatures(Clip{}).size() == static_cast<size_t>(kClipFeatureDim));
+}
+
+TEST(MlpTest, LearnsBrightnessRegression) {
+  // Features/labels straight from the synthetic generator: the loss must
+  // fall by an order of magnitude over a few hundred steps.
+  MlpRegressor model(kClipFeatureDim, 16, 3);
+  Rng rng(5);
+  double first_loss = -1;
+  double last_loss = -1;
+  for (int step = 0; step < 300; ++step) {
+    std::vector<std::vector<double>> features;
+    std::vector<double> labels;
+    for (int s = 0; s < 8; ++s) {
+      uint64_t seed = VideoSeed(21, static_cast<int>(rng.NextBounded(16)));
+      Clip clip;
+      clip.frames.push_back(
+          SynthesizeFrame(seed, static_cast<int64_t>(rng.NextBounded(20)), 16, 24, 3));
+      features.push_back(ClipFeatures(clip));
+      labels.push_back(SyntheticLabel(seed));
+    }
+    double loss = model.TrainBatch(features, labels, 0.2);
+    if (first_loss < 0) {
+      first_loss = loss;
+    }
+    last_loss = loss;
+  }
+  EXPECT_LT(last_loss, first_loss / 10.0)
+      << "first " << first_loss << " last " << last_loss;
+}
+
+TEST(MlpTest, DeterministicGivenSeed) {
+  MlpRegressor a(kClipFeatureDim, 8, 9);
+  MlpRegressor b(kClipFeatureDim, 8, 9);
+  std::vector<double> x(kClipFeatureDim, 0.3);
+  EXPECT_DOUBLE_EQ(a.Predict(x), b.Predict(x));
+}
+
+TEST(TrainerTest, EpochBeginOffsetsRequests) {
+  class Recorder : public BatchSource {
+   public:
+    Result<std::vector<uint8_t>> NextBatch(int64_t epoch, int64_t) override {
+      epochs.push_back(epoch);
+      return std::vector<uint8_t>(8, 0);
+    }
+    int64_t IterationsPerEpoch() const override { return 1; }
+    std::vector<int64_t> epochs;
+  };
+  Recorder source;
+  GpuModel gpu;
+  ModelProfile profile;
+  profile.gpu_step = FromMillis(0.1);
+  TrainRunOptions options;
+  options.epochs = 2;
+  options.epoch_begin = 5;
+  ASSERT_TRUE(RunTraining(source, gpu, profile, options, nullptr).ok());
+  EXPECT_EQ(source.epochs, (std::vector<int64_t>{5, 6}));
+}
+
+}  // namespace
+}  // namespace sand
