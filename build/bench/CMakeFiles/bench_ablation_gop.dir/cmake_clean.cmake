@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_gop.dir/bench_ablation_gop.cc.o"
+  "CMakeFiles/bench_ablation_gop.dir/bench_ablation_gop.cc.o.d"
+  "bench_ablation_gop"
+  "bench_ablation_gop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_gop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

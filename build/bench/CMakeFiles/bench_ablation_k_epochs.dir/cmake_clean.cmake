@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_k_epochs.dir/bench_ablation_k_epochs.cc.o"
+  "CMakeFiles/bench_ablation_k_epochs.dir/bench_ablation_k_epochs.cc.o.d"
+  "bench_ablation_k_epochs"
+  "bench_ablation_k_epochs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_k_epochs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_repeated_decoding.dir/bench_fig03_repeated_decoding.cc.o"
+  "CMakeFiles/bench_fig03_repeated_decoding.dir/bench_fig03_repeated_decoding.cc.o.d"
+  "bench_fig03_repeated_decoding"
+  "bench_fig03_repeated_decoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_repeated_decoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

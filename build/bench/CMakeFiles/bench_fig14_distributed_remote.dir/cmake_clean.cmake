@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_distributed_remote.dir/bench_fig14_distributed_remote.cc.o"
+  "CMakeFiles/bench_fig14_distributed_remote.dir/bench_fig14_distributed_remote.cc.o.d"
+  "bench_fig14_distributed_remote"
+  "bench_fig14_distributed_remote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_distributed_remote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

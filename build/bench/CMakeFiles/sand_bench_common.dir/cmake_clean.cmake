@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sand_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/sand_bench_common.dir/bench_common.cc.o.d"
+  "libsand_bench_common.a"
+  "libsand_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sand_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsand_bench_common.a"
+)

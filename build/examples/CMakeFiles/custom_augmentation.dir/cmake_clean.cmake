@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_augmentation.dir/custom_augmentation.cpp.o"
+  "CMakeFiles/custom_augmentation.dir/custom_augmentation.cpp.o.d"
+  "custom_augmentation"
+  "custom_augmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_augmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

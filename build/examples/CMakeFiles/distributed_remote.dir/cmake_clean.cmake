@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_remote.dir/distributed_remote.cpp.o"
+  "CMakeFiles/distributed_remote.dir/distributed_remote.cpp.o.d"
+  "distributed_remote"
+  "distributed_remote.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_remote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multitask_training.dir/multitask_training.cpp.o"
+  "CMakeFiles/multitask_training.dir/multitask_training.cpp.o.d"
+  "multitask_training"
+  "multitask_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multitask_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

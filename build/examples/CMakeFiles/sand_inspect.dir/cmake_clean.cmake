@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sand_inspect.dir/sand_inspect.cpp.o"
+  "CMakeFiles/sand_inspect.dir/sand_inspect.cpp.o.d"
+  "sand_inspect"
+  "sand_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sand_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

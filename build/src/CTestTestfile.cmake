@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("tensor")
+subdirs("compress")
+subdirs("codec")
+subdirs("storage")
+subdirs("sim")
+subdirs("config")
+subdirs("graph")
+subdirs("pruning")
+subdirs("sched")
+subdirs("vfs")
+subdirs("core")
+subdirs("baselines")
+subdirs("workloads")
+subdirs("ray")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sand_baselines.dir/sources.cc.o"
+  "CMakeFiles/sand_baselines.dir/sources.cc.o.d"
+  "libsand_baselines.a"
+  "libsand_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sand_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sand_codec.dir/video_codec.cc.o"
+  "CMakeFiles/sand_codec.dir/video_codec.cc.o.d"
+  "libsand_codec.a"
+  "libsand_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sand_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

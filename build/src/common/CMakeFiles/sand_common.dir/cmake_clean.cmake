@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sand_common.dir/clock.cc.o"
+  "CMakeFiles/sand_common.dir/clock.cc.o.d"
+  "CMakeFiles/sand_common.dir/logging.cc.o"
+  "CMakeFiles/sand_common.dir/logging.cc.o.d"
+  "CMakeFiles/sand_common.dir/result.cc.o"
+  "CMakeFiles/sand_common.dir/result.cc.o.d"
+  "CMakeFiles/sand_common.dir/rng.cc.o"
+  "CMakeFiles/sand_common.dir/rng.cc.o.d"
+  "CMakeFiles/sand_common.dir/strings.cc.o"
+  "CMakeFiles/sand_common.dir/strings.cc.o.d"
+  "CMakeFiles/sand_common.dir/units.cc.o"
+  "CMakeFiles/sand_common.dir/units.cc.o.d"
+  "libsand_common.a"
+  "libsand_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sand_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsand_common.a"
+)

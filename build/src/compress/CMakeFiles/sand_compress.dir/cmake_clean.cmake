@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sand_compress.dir/lossless.cc.o"
+  "CMakeFiles/sand_compress.dir/lossless.cc.o.d"
+  "libsand_compress.a"
+  "libsand_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sand_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/config/config_dump.cc" "src/config/CMakeFiles/sand_config.dir/config_dump.cc.o" "gcc" "src/config/CMakeFiles/sand_config.dir/config_dump.cc.o.d"
+  "/root/repo/src/config/pipeline_config.cc" "src/config/CMakeFiles/sand_config.dir/pipeline_config.cc.o" "gcc" "src/config/CMakeFiles/sand_config.dir/pipeline_config.cc.o.d"
+  "/root/repo/src/config/yaml.cc" "src/config/CMakeFiles/sand_config.dir/yaml.cc.o" "gcc" "src/config/CMakeFiles/sand_config.dir/yaml.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sand_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sand_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sand_config.dir/config_dump.cc.o"
+  "CMakeFiles/sand_config.dir/config_dump.cc.o.d"
+  "CMakeFiles/sand_config.dir/pipeline_config.cc.o"
+  "CMakeFiles/sand_config.dir/pipeline_config.cc.o.d"
+  "CMakeFiles/sand_config.dir/yaml.cc.o"
+  "CMakeFiles/sand_config.dir/yaml.cc.o.d"
+  "libsand_config.a"
+  "libsand_config.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sand_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

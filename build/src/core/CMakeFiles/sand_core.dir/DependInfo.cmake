@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/batch_format.cc" "src/core/CMakeFiles/sand_core.dir/batch_format.cc.o" "gcc" "src/core/CMakeFiles/sand_core.dir/batch_format.cc.o.d"
+  "/root/repo/src/core/checkpoint.cc" "src/core/CMakeFiles/sand_core.dir/checkpoint.cc.o" "gcc" "src/core/CMakeFiles/sand_core.dir/checkpoint.cc.o.d"
+  "/root/repo/src/core/container_cache.cc" "src/core/CMakeFiles/sand_core.dir/container_cache.cc.o" "gcc" "src/core/CMakeFiles/sand_core.dir/container_cache.cc.o.d"
+  "/root/repo/src/core/executor.cc" "src/core/CMakeFiles/sand_core.dir/executor.cc.o" "gcc" "src/core/CMakeFiles/sand_core.dir/executor.cc.o.d"
+  "/root/repo/src/core/rpc_ops.cc" "src/core/CMakeFiles/sand_core.dir/rpc_ops.cc.o" "gcc" "src/core/CMakeFiles/sand_core.dir/rpc_ops.cc.o.d"
+  "/root/repo/src/core/sand_service.cc" "src/core/CMakeFiles/sand_core.dir/sand_service.cc.o" "gcc" "src/core/CMakeFiles/sand_core.dir/sand_service.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sand_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sand_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/sand_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/sand_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sand_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sand_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/sand_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sand_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/pruning/CMakeFiles/sand_pruning.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/sand_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/vfs/CMakeFiles/sand_vfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sand_core.dir/batch_format.cc.o"
+  "CMakeFiles/sand_core.dir/batch_format.cc.o.d"
+  "CMakeFiles/sand_core.dir/checkpoint.cc.o"
+  "CMakeFiles/sand_core.dir/checkpoint.cc.o.d"
+  "CMakeFiles/sand_core.dir/container_cache.cc.o"
+  "CMakeFiles/sand_core.dir/container_cache.cc.o.d"
+  "CMakeFiles/sand_core.dir/executor.cc.o"
+  "CMakeFiles/sand_core.dir/executor.cc.o.d"
+  "CMakeFiles/sand_core.dir/rpc_ops.cc.o"
+  "CMakeFiles/sand_core.dir/rpc_ops.cc.o.d"
+  "CMakeFiles/sand_core.dir/sand_service.cc.o"
+  "CMakeFiles/sand_core.dir/sand_service.cc.o.d"
+  "libsand_core.a"
+  "libsand_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sand_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/abstract_graph.cc" "src/graph/CMakeFiles/sand_graph.dir/abstract_graph.cc.o" "gcc" "src/graph/CMakeFiles/sand_graph.dir/abstract_graph.cc.o.d"
+  "/root/repo/src/graph/concrete_graph.cc" "src/graph/CMakeFiles/sand_graph.dir/concrete_graph.cc.o" "gcc" "src/graph/CMakeFiles/sand_graph.dir/concrete_graph.cc.o.d"
+  "/root/repo/src/graph/coordination.cc" "src/graph/CMakeFiles/sand_graph.dir/coordination.cc.o" "gcc" "src/graph/CMakeFiles/sand_graph.dir/coordination.cc.o.d"
+  "/root/repo/src/graph/inspect.cc" "src/graph/CMakeFiles/sand_graph.dir/inspect.cc.o" "gcc" "src/graph/CMakeFiles/sand_graph.dir/inspect.cc.o.d"
+  "/root/repo/src/graph/view.cc" "src/graph/CMakeFiles/sand_graph.dir/view.cc.o" "gcc" "src/graph/CMakeFiles/sand_graph.dir/view.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sand_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/sand_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sand_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

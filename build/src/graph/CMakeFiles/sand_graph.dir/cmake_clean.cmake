@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sand_graph.dir/abstract_graph.cc.o"
+  "CMakeFiles/sand_graph.dir/abstract_graph.cc.o.d"
+  "CMakeFiles/sand_graph.dir/concrete_graph.cc.o"
+  "CMakeFiles/sand_graph.dir/concrete_graph.cc.o.d"
+  "CMakeFiles/sand_graph.dir/coordination.cc.o"
+  "CMakeFiles/sand_graph.dir/coordination.cc.o.d"
+  "CMakeFiles/sand_graph.dir/inspect.cc.o"
+  "CMakeFiles/sand_graph.dir/inspect.cc.o.d"
+  "CMakeFiles/sand_graph.dir/view.cc.o"
+  "CMakeFiles/sand_graph.dir/view.cc.o.d"
+  "libsand_graph.a"
+  "libsand_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sand_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sand_pruning.dir/graph_pruning.cc.o"
+  "CMakeFiles/sand_pruning.dir/graph_pruning.cc.o.d"
+  "libsand_pruning.a"
+  "libsand_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sand_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

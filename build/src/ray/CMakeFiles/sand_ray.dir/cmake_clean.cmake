@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sand_ray.dir/mini_ray.cc.o"
+  "CMakeFiles/sand_ray.dir/mini_ray.cc.o.d"
+  "libsand_ray.a"
+  "libsand_ray.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sand_ray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

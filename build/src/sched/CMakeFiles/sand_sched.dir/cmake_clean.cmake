@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sand_sched.dir/scheduler.cc.o"
+  "CMakeFiles/sand_sched.dir/scheduler.cc.o.d"
+  "libsand_sched.a"
+  "libsand_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sand_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

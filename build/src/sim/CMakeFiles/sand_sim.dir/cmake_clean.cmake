@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sand_sim.dir/cpu_meter.cc.o"
+  "CMakeFiles/sand_sim.dir/cpu_meter.cc.o.d"
+  "CMakeFiles/sand_sim.dir/energy_model.cc.o"
+  "CMakeFiles/sand_sim.dir/energy_model.cc.o.d"
+  "CMakeFiles/sand_sim.dir/gpu_model.cc.o"
+  "CMakeFiles/sand_sim.dir/gpu_model.cc.o.d"
+  "libsand_sim.a"
+  "libsand_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sand_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

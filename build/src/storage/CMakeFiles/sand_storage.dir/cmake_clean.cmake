@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sand_storage.dir/live_ingest.cc.o"
+  "CMakeFiles/sand_storage.dir/live_ingest.cc.o.d"
+  "CMakeFiles/sand_storage.dir/object_store.cc.o"
+  "CMakeFiles/sand_storage.dir/object_store.cc.o.d"
+  "libsand_storage.a"
+  "libsand_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sand_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

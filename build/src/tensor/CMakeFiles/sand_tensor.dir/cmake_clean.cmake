@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sand_tensor.dir/frame.cc.o"
+  "CMakeFiles/sand_tensor.dir/frame.cc.o.d"
+  "CMakeFiles/sand_tensor.dir/image_ops.cc.o"
+  "CMakeFiles/sand_tensor.dir/image_ops.cc.o.d"
+  "libsand_tensor.a"
+  "libsand_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sand_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sand_vfs.dir/sand_fs.cc.o"
+  "CMakeFiles/sand_vfs.dir/sand_fs.cc.o.d"
+  "libsand_vfs.a"
+  "libsand_vfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sand_vfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

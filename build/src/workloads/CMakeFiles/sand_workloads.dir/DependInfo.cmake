@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/calibrate.cc" "src/workloads/CMakeFiles/sand_workloads.dir/calibrate.cc.o" "gcc" "src/workloads/CMakeFiles/sand_workloads.dir/calibrate.cc.o.d"
+  "/root/repo/src/workloads/mlp.cc" "src/workloads/CMakeFiles/sand_workloads.dir/mlp.cc.o" "gcc" "src/workloads/CMakeFiles/sand_workloads.dir/mlp.cc.o.d"
+  "/root/repo/src/workloads/models.cc" "src/workloads/CMakeFiles/sand_workloads.dir/models.cc.o" "gcc" "src/workloads/CMakeFiles/sand_workloads.dir/models.cc.o.d"
+  "/root/repo/src/workloads/synthetic.cc" "src/workloads/CMakeFiles/sand_workloads.dir/synthetic.cc.o" "gcc" "src/workloads/CMakeFiles/sand_workloads.dir/synthetic.cc.o.d"
+  "/root/repo/src/workloads/trainer.cc" "src/workloads/CMakeFiles/sand_workloads.dir/trainer.cc.o" "gcc" "src/workloads/CMakeFiles/sand_workloads.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/sand_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/sand_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/sand_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/sand_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sand_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sand_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/config/CMakeFiles/sand_config.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/sand_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

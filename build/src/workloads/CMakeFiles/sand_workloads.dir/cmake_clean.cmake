@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sand_workloads.dir/calibrate.cc.o"
+  "CMakeFiles/sand_workloads.dir/calibrate.cc.o.d"
+  "CMakeFiles/sand_workloads.dir/mlp.cc.o"
+  "CMakeFiles/sand_workloads.dir/mlp.cc.o.d"
+  "CMakeFiles/sand_workloads.dir/models.cc.o"
+  "CMakeFiles/sand_workloads.dir/models.cc.o.d"
+  "CMakeFiles/sand_workloads.dir/synthetic.cc.o"
+  "CMakeFiles/sand_workloads.dir/synthetic.cc.o.d"
+  "CMakeFiles/sand_workloads.dir/trainer.cc.o"
+  "CMakeFiles/sand_workloads.dir/trainer.cc.o.d"
+  "libsand_workloads.a"
+  "libsand_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sand_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branch_types_test.dir/branch_types_test.cc.o"
+  "CMakeFiles/branch_types_test.dir/branch_types_test.cc.o.d"
+  "branch_types_test"
+  "branch_types_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branch_types_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ray_test.dir/ray_test.cc.o"
+  "CMakeFiles/ray_test.dir/ray_test.cc.o.d"
+  "ray_test"
+  "ray_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ray_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
