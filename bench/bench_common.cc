@@ -141,7 +141,8 @@ Result<std::vector<uint8_t>> BuildOneBatch(const BenchEnv& env, const TaskConfig
   options.num_threads = kBenchCpuThreads;
   options.prefetch = false;
   OnDemandCpuSource source(env.dataset_store, env.meta, task, options, nullptr);
-  return source.NextBatch(0, 0);
+  SAND_ASSIGN_OR_RETURN(SharedBytes batch, source.NextBatch(0, 0));
+  return *batch;  // one-time setup copy; steady-state consumers use SharedBytes
 }
 
 PipelineRun RunIdealPipeline(const BenchEnv& env, const ModelProfile& profile, int64_t epochs) {

@@ -33,11 +33,13 @@ SandBatchSource::~SandBatchSource() {
   }
 }
 
-Result<std::vector<uint8_t>> SandBatchSource::FetchView(int64_t epoch, int64_t iteration) {
+Result<SharedBytes> SandBatchSource::FetchView(int64_t epoch, int64_t iteration) {
   // The paper's Fig. 6 loop: open -> read -> close on the batch view path.
+  // ReadAllShared pins the provider's view buffer instead of copying it —
+  // the fd may close, but the batch stays alive while the trainer holds it.
   std::string path = ViewPath::Batch(task_tag_, epoch, iteration).Format();
   SAND_ASSIGN_OR_RETURN(int fd, fs_.Open(path));
-  Result<std::vector<uint8_t>> bytes = fs_.ReadAll(fd);
+  Result<SharedBytes> bytes = fs_.ReadAllShared(fd);
   Status close_status = fs_.Close(fd);
   if (!bytes.ok()) {
     return bytes.status();
@@ -46,8 +48,8 @@ Result<std::vector<uint8_t>> SandBatchSource::FetchView(int64_t epoch, int64_t i
   return bytes;
 }
 
-Result<std::vector<uint8_t>> SandBatchSource::NextBatch(int64_t epoch, int64_t iteration) {
-  Result<std::vector<uint8_t>> bytes = Internal("unset");
+Result<SharedBytes> SandBatchSource::NextBatch(int64_t epoch, int64_t iteration) {
+  Result<SharedBytes> bytes = Internal("unset");
   if (pending_.valid() && pending_epoch_ == epoch && pending_iteration_ == iteration) {
     bytes = pending_.get();
   } else {
@@ -181,12 +183,7 @@ Result<std::shared_ptr<OnDemandCpuSource::Build>> OnDemandCpuSource::StartBuild(
       }
       {
         std::lock_guard<std::mutex> lock(mutex_);
-        exec_stats_.frames_decoded += executor.stats().frames_decoded;
-        exec_stats_.decode_ops += executor.stats().decode_ops;
-        exec_stats_.aug_ops += executor.stats().aug_ops;
-        exec_stats_.crop_ops += executor.stats().crop_ops;
-        exec_stats_.cache_hits += executor.stats().cache_hits;
-        exec_stats_.cache_stores += executor.stats().cache_stores;
+        exec_stats_.Accumulate(executor.stats());
       }
       promise->set_value(std::move(status));
     };
@@ -197,7 +194,7 @@ Result<std::shared_ptr<OnDemandCpuSource::Build>> OnDemandCpuSource::StartBuild(
   return build;
 }
 
-Result<std::vector<uint8_t>> OnDemandCpuSource::NextBatch(int64_t epoch, int64_t iteration) {
+Result<SharedBytes> OnDemandCpuSource::NextBatch(int64_t epoch, int64_t iteration) {
   SAND_ASSIGN_OR_RETURN(std::shared_ptr<Build> build, StartBuild(epoch, iteration));
 
   // Dataloader-style prefetch: begin the next batch before blocking.
@@ -220,7 +217,10 @@ Result<std::vector<uint8_t>> OnDemandCpuSource::NextBatch(int64_t epoch, int64_t
       plans_.erase(plans_.begin());
     }
   }
-  return bytes;
+  if (!bytes.ok()) {
+    return bytes.status();
+  }
+  return MakeSharedBytes(bytes.TakeValue());
 }
 
 void OnDemandCpuSource::Finish() { pool_->WaitIdle(); }
@@ -285,7 +285,7 @@ void OnDemandGpuSource::Release() {
   }
 }
 
-Result<std::vector<uint8_t>> OnDemandGpuSource::NextBatch(int64_t epoch, int64_t iteration) {
+Result<SharedBytes> OnDemandGpuSource::NextBatch(int64_t epoch, int64_t iteration) {
   (void)epoch;
   (void)iteration;
   // Compressed bytes the hardware decoder must chew through: the codec's
@@ -310,7 +310,8 @@ Result<std::vector<uint8_t>> OnDemandGpuSource::NextBatch(int64_t epoch, int64_t
       clip.frame_indices.push_back(f);
     }
   }
-  return SerializeBatch(clips);
+  SAND_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, SerializeBatch(clips));
+  return MakeSharedBytes(std::move(bytes));
 }
 
 }  // namespace sand

@@ -45,12 +45,12 @@ class SandBatchSource : public BatchSource {
                   bool prefetch = true);
   ~SandBatchSource() override;
 
-  Result<std::vector<uint8_t>> NextBatch(int64_t epoch, int64_t iteration) override;
+  Result<SharedBytes> NextBatch(int64_t epoch, int64_t iteration) override;
   int64_t IterationsPerEpoch() const override { return iterations_per_epoch_; }
   void Finish() override;
 
  private:
-  Result<std::vector<uint8_t>> FetchView(int64_t epoch, int64_t iteration);
+  Result<SharedBytes> FetchView(int64_t epoch, int64_t iteration);
 
   SandFs& fs_;
   std::string task_tag_;
@@ -58,7 +58,7 @@ class SandBatchSource : public BatchSource {
   bool prefetch_;
   int session_fd_ = -1;
   // One-deep pipeline of the next batch read.
-  std::future<Result<std::vector<uint8_t>>> pending_;
+  std::future<Result<SharedBytes>> pending_;
   int64_t pending_epoch_ = -1;
   int64_t pending_iteration_ = -1;
 };
@@ -83,7 +83,7 @@ class OnDemandCpuSource : public BatchSource {
                     TaskConfig task, Options options, CpuMeter* meter);
   ~OnDemandCpuSource() override;
 
-  Result<std::vector<uint8_t>> NextBatch(int64_t epoch, int64_t iteration) override;
+  Result<SharedBytes> NextBatch(int64_t epoch, int64_t iteration) override;
   int64_t IterationsPerEpoch() const override;
   void Finish() override;
 
@@ -132,7 +132,7 @@ class OnDemandGpuSource : public BatchSource {
   Status Reserve();
   void Release();
 
-  Result<std::vector<uint8_t>> NextBatch(int64_t epoch, int64_t iteration) override;
+  Result<SharedBytes> NextBatch(int64_t epoch, int64_t iteration) override;
   int64_t IterationsPerEpoch() const override;
   void Finish() override { Release(); }
 
@@ -153,10 +153,13 @@ class OnDemandGpuSource : public BatchSource {
 class IdealSource : public BatchSource {
  public:
   // `batch` is the pre-stored training batch returned for every iteration.
+  // Handing out the same shared buffer each step is the zero-preprocessing
+  // *and* zero-copy upper bound.
   IdealSource(std::vector<uint8_t> batch, int64_t iterations_per_epoch)
-      : batch_(std::move(batch)), iterations_per_epoch_(iterations_per_epoch) {}
+      : batch_(MakeSharedBytes(std::move(batch))),
+        iterations_per_epoch_(iterations_per_epoch) {}
 
-  Result<std::vector<uint8_t>> NextBatch(int64_t epoch, int64_t iteration) override {
+  Result<SharedBytes> NextBatch(int64_t epoch, int64_t iteration) override {
     (void)epoch;
     (void)iteration;
     return batch_;
@@ -164,7 +167,7 @@ class IdealSource : public BatchSource {
   int64_t IterationsPerEpoch() const override { return iterations_per_epoch_; }
 
  private:
-  std::vector<uint8_t> batch_;
+  SharedBytes batch_;
   int64_t iterations_per_epoch_;
 };
 

@@ -58,7 +58,9 @@ std::vector<uint8_t> TemporalDelta(const Frame& cur, const Frame& prev) {
 }
 
 void ApplyTemporalDelta(Frame& target, std::span<const uint8_t> delta) {
-  auto data = target.data();
+  // MutableData: the cursor frame may be shared with a frame previously
+  // returned to a caller; copy-on-write keeps that frame intact.
+  auto data = target.MutableData();
   for (size_t i = 0; i < data.size(); ++i) {
     data[i] = static_cast<uint8_t>(data[i] + delta[i]);
   }
@@ -124,11 +126,18 @@ Result<std::vector<uint8_t>> VideoEncoder::Finish() {
 }
 
 Result<VideoDecoder> VideoDecoder::Open(std::vector<uint8_t> container) {
-  if (container.size() < kHeaderSize ||
-      !std::equal(kMagic.begin(), kMagic.end(), container.begin())) {
+  return Open(MakeSharedBytes(std::move(container)));
+}
+
+Result<VideoDecoder> VideoDecoder::Open(SharedBytes container) {
+  if (container == nullptr) {
+    return InvalidArgument("null container");
+  }
+  if (container->size() < kHeaderSize ||
+      !std::equal(kMagic.begin(), kMagic.end(), container->begin())) {
     return DataLoss("not an SVC1 container");
   }
-  std::span<const uint8_t> bytes(container);
+  std::span<const uint8_t> bytes(*container);
   uint16_t version = GetU16(bytes, 4);
   if (version != kVersion) {
     return DataLoss(StrFormat("unsupported container version %u", version));
@@ -143,7 +152,7 @@ Result<VideoDecoder> VideoDecoder::Open(std::vector<uint8_t> container) {
     return DataLoss("corrupt container header");
   }
   size_t index_bytes = static_cast<size_t>(frame_count) * kIndexEntrySize;
-  if (container.size() < kHeaderSize + index_bytes) {
+  if (container->size() < kHeaderSize + index_bytes) {
     return DataLoss("container index truncated");
   }
   decoder.index_.reserve(frame_count);
@@ -161,7 +170,7 @@ Result<VideoDecoder> VideoDecoder::Open(std::vector<uint8_t> container) {
   }
   decoder.payload_base_ = pos;
   const IndexEntry& last = decoder.index_.back();
-  if (container.size() < decoder.payload_base_ + last.offset + last.size) {
+  if (container->size() < decoder.payload_base_ + last.offset + last.size) {
     return DataLoss("container payload truncated");
   }
   decoder.container_ = std::move(container);
@@ -181,7 +190,7 @@ Result<int64_t> VideoDecoder::GopStart(int64_t index) const {
 
 Status VideoDecoder::DecodeIntoCursor(int64_t index) {
   const IndexEntry& entry = index_[static_cast<size_t>(index)];
-  std::span<const uint8_t> payload(container_.data() + payload_base_ + entry.offset, entry.size);
+  std::span<const uint8_t> payload(container_->data() + payload_base_ + entry.offset, entry.size);
   stats_.bytes_read += entry.size;
   Result<std::vector<uint8_t>> raw = LosslessDecompress(payload);
   if (!raw.ok()) {

@@ -19,10 +19,12 @@
 #define SAND_CODEC_VIDEO_CODEC_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "src/common/bytes.h"
 #include "src/common/result.h"
 #include "src/tensor/frame.h"
 
@@ -87,6 +89,11 @@ struct DecodeStats {
 // before i within the same GOP run.
 class VideoDecoder {
  public:
+  // Primary entry point: the decoder holds a reference to the shared
+  // container, so N concurrent decoders over one video (e.g. demand jobs
+  // fed by the ContainerCache) share a single copy of the encoded bytes.
+  static Result<VideoDecoder> Open(SharedBytes container);
+  // Compat wrapper: adopts the vector (moved, not copied) into a SharedBytes.
   static Result<VideoDecoder> Open(std::vector<uint8_t> container);
 
   int height() const { return height_; }
@@ -126,7 +133,7 @@ class VideoDecoder {
   int channels_ = 0;
   int gop_size_ = 0;
   std::vector<IndexEntry> index_;
-  std::vector<uint8_t> container_;
+  SharedBytes container_;
   size_t payload_base_ = 0;
 
   // Forward cursor: the most recently reconstructed frame.

@@ -1,0 +1,27 @@
+// SharedBytes: the repo-wide handle for an immutable refcounted byte buffer.
+//
+// Materialized objects (encoded containers, serialized frames, batches) are
+// passed between the stores, the executor, and the VFS by reference, not by
+// value: a cache hit hands out the cached allocation itself. Holders must
+// treat the pointee as immutable; mutation happens only after cloning (see
+// Frame's copy-on-write path).
+
+#ifndef SAND_COMMON_BYTES_H_
+#define SAND_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace sand {
+
+using SharedBytes = std::shared_ptr<const std::vector<uint8_t>>;
+
+// Wraps a byte vector into a SharedBytes without copying the payload.
+inline SharedBytes MakeSharedBytes(std::vector<uint8_t> bytes) {
+  return std::make_shared<const std::vector<uint8_t>>(std::move(bytes));
+}
+
+}  // namespace sand
+
+#endif  // SAND_COMMON_BYTES_H_

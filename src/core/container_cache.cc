@@ -14,11 +14,13 @@ Result<std::shared_ptr<const std::vector<uint8_t>>> ContainerCache::Fetch(
     }
   }
   // Fetch outside the lock: remote stores may block for transfer time.
-  Result<std::vector<uint8_t>> bytes = source_->Get(key);
+  // GetShared: a memory-resident dataset store hands out its own buffer, so
+  // the cache pins a reference instead of a second copy of the container.
+  Result<SharedBytes> bytes = source_->GetShared(key);
   if (!bytes.ok()) {
     return bytes.status();
   }
-  auto shared = std::make_shared<const std::vector<uint8_t>>(bytes.TakeValue());
+  SharedBytes shared = bytes.TakeValue();
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = index_.find(key);
   if (it != index_.end()) {

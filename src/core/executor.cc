@@ -17,6 +17,7 @@ Status CustomOpRegistry::Register(const std::string& name, CustomOpFn fn) {
   if (!fn) {
     return InvalidArgument("custom op fn must not be null");
   }
+  std::lock_guard<std::mutex> lock(mutex_);
   auto [it, inserted] = fns_.emplace(name, std::move(fn));
   if (!inserted) {
     return AlreadyExists("custom op already registered: " + name);
@@ -25,6 +26,7 @@ Status CustomOpRegistry::Register(const std::string& name, CustomOpFn fn) {
 }
 
 Result<CustomOpFn> CustomOpRegistry::Lookup(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = fns_.find(name);
   if (it == fns_.end()) {
     return NotFound("no custom op registered: " + name);
@@ -51,9 +53,9 @@ Result<Frame> SubtreeExecutor::Decode(int64_t frame_index) {
       return FailedPrecondition("executor has no container source");
     }
     SAND_ASSIGN_OR_RETURN(auto container, containers_->Fetch(graph_.video_key));
-    // The decoder owns a copy of the container bytes; one copy per subtree
-    // unit keeps concurrent jobs independent.
-    SAND_ASSIGN_OR_RETURN(VideoDecoder decoder, VideoDecoder::Open(*container));
+    // The decoder holds a reference to the shared container: N concurrent
+    // jobs on one video pin a single copy of the encoded bytes.
+    SAND_ASSIGN_OR_RETURN(VideoDecoder decoder, VideoDecoder::Open(std::move(container)));
     decoder_.emplace(std::move(decoder));
   }
   uint64_t before = decoder_->stats().frames_decoded;
@@ -119,30 +121,33 @@ Result<Frame> SubtreeExecutor::Produce(int node_id, bool allow_cache_store) {
   // raw; the disk tier holds losslessly compressed frames (§6: libpng-class
   // codec for persisted objects). The two are distinguished by size: a raw
   // object is exactly header + h*w*c bytes.
+  //
+  // Single GetShared call (no Contains pre-check): an eviction between a
+  // Contains and the Get would turn a hit into a spurious corrupt-entry
+  // path. A raw memory-tier hit is zero-copy — the Frame aliases the
+  // cache-resident bytes and clones only if someone later mutates it.
   if (node.cache && cache_ != nullptr) {
     std::string key = NodeCacheKey(graph_, node);
-    if (cache_->Contains(key)) {
-      Result<std::vector<uint8_t>> bytes = cache_->Get(key);
-      if (bytes.ok()) {
-        bool raw = bytes->size() == 12 + node.RawBytes();
-        Result<Frame> frame = [&]() -> Result<Frame> {
-          if (raw) {
-            return Frame::Deserialize(*bytes);
-          }
-          if (meter_ != nullptr) {
-            ScopedCpuWork work(*meter_, CpuWorkKind::kCompress);
-            return DecompressFrame(*bytes);
-          }
-          return DecompressFrame(*bytes);
-        }();
-        if (frame.ok()) {
-          ++stats_.cache_hits;
-          memo_[node_id] = *frame;
-          return frame;
+    Result<SharedBytes> bytes = cache_->GetShared(key);
+    if (bytes.ok()) {
+      bool raw = (*bytes)->size() == 12 + node.RawBytes();
+      Result<Frame> frame = [&]() -> Result<Frame> {
+        if (raw) {
+          return Frame::DeserializeShared(*bytes);
         }
-        // Corrupt cache entry: fall through and recompute.
-        (void)cache_->Delete(key);
+        if (meter_ != nullptr) {
+          ScopedCpuWork work(*meter_, CpuWorkKind::kCompress);
+          return DecompressFrame(**bytes);
+        }
+        return DecompressFrame(**bytes);
+      }();
+      if (frame.ok()) {
+        ++stats_.cache_hits;
+        memo_[node_id] = *frame;
+        return frame;
       }
+      // Corrupt cache entry: fall through and recompute.
+      (void)cache_->Delete(key);
     }
   }
 
@@ -174,8 +179,10 @@ Result<Frame> SubtreeExecutor::Produce(int node_id, bool allow_cache_store) {
         work.emplace(*meter_, CpuWorkKind::kAugment);
       }
       ++stats_.aug_ops;
-      produced = first;
-      auto out = produced.data();
+      produced = first;  // shares first's buffer (which the memo also holds)
+      // MutableData clones before the in-place average, so the memoized
+      // (and possibly cache-resident) parent stays intact.
+      auto out = produced.MutableData();
       for (size_t i = 0; i < out.size(); ++i) {
         uint32_t total = out[i];
         for (const Frame& parent : rest) {
@@ -191,6 +198,9 @@ Result<Frame> SubtreeExecutor::Produce(int node_id, bool allow_cache_store) {
 
   if (node.cache && allow_cache_store && cache_ != nullptr) {
     std::string key = NodeCacheKey(graph_, node);
+    // The Contains pre-check only skips the serialize/compress work when a
+    // racing job already stored the node; correctness rests on the atomic
+    // PutIfAbsent below (two jobs can no longer both insert).
     if (!cache_->Contains(key)) {
       // Leaves live hot in memory, raw; everything spilled to the disk
       // tier is losslessly compressed first.
@@ -205,8 +215,11 @@ Result<Frame> SubtreeExecutor::Produce(int node_id, bool allow_cache_store) {
         }
         return CompressFrame(produced);
       }();
-      if (bytes.ok() && cache_->Put(key, *bytes, tier).ok()) {
-        ++stats_.cache_stores;
+      if (bytes.ok()) {
+        Result<bool> stored = cache_->PutIfAbsent(key, *bytes, tier);
+        if (stored.ok() && *stored) {
+          ++stats_.cache_stores;
+        }
       }
     }
   }

@@ -12,6 +12,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -31,11 +32,22 @@ struct ExecutorStats {
   uint64_t crop_ops = 0;           // random-crop subset of aug_ops
   uint64_t cache_hits = 0;         // nodes served from the tiered cache
   uint64_t cache_stores = 0;       // nodes persisted to the tiered cache
+
+  void Accumulate(const ExecutorStats& other) {
+    frames_decoded += other.frames_decoded;
+    decode_ops += other.decode_ops;
+    aug_ops += other.aug_ops;
+    crop_ops += other.crop_ops;
+    cache_hits += other.cache_hits;
+    cache_stores += other.cache_stores;
+  }
 };
 
 // Custom augmentation registry (§5.5 extensibility): user functions are
 // looked up by name for OpKind::kCustom nodes. A CustomOpFn may run
 // in-process or proxy to a separate worker process (src/core/rpc_ops.h).
+// Thread-safe: ops are looked up from scheduler worker threads while tests
+// and long-running services may still be registering.
 using CustomOpFn = std::function<Result<Frame>(const Frame& input)>;
 class CustomOpRegistry {
  public:
@@ -44,6 +56,7 @@ class CustomOpRegistry {
   Result<CustomOpFn> Lookup(const std::string& name) const;
 
  private:
+  mutable std::mutex mutex_;
   std::map<std::string, CustomOpFn> fns_;
 };
 

@@ -257,12 +257,7 @@ void SandService::SubmitPreMaterialization(const std::shared_ptr<ChunkState>& ch
       }
       {
         std::lock_guard<std::mutex> lock(stats_mutex_);
-        stats_.exec.frames_decoded += executor.stats().frames_decoded;
-        stats_.exec.decode_ops += executor.stats().decode_ops;
-        stats_.exec.aug_ops += executor.stats().aug_ops;
-        stats_.exec.crop_ops += executor.stats().crop_ops;
-        stats_.exec.cache_hits += executor.stats().cache_hits;
-        stats_.exec.cache_stores += executor.stats().cache_stores;
+        stats_.exec.Accumulate(executor.stats());
         ++stats_.pre_materialize_jobs;
       }
       MaybeEvict();
@@ -343,12 +338,7 @@ Result<std::vector<uint8_t>> SandService::AssembleBatch(ChunkState& chunk,
       }
       {
         std::lock_guard<std::mutex> lock(stats_mutex_);
-        stats_.exec.frames_decoded += executor.stats().frames_decoded;
-        stats_.exec.decode_ops += executor.stats().decode_ops;
-        stats_.exec.aug_ops += executor.stats().aug_ops;
-        stats_.exec.crop_ops += executor.stats().crop_ops;
-        stats_.exec.cache_hits += executor.stats().cache_hits;
-        stats_.exec.cache_stores += executor.stats().cache_stores;
+        stats_.exec.Accumulate(executor.stats());
       }
       promise->set_value(std::move(status));
     };

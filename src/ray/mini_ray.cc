@@ -111,7 +111,7 @@ Result<TuneResult> TuneRunner::Run(const SourceFactory& factory, const ModelProf
       Stopwatch trial_watch;
       for (int64_t epoch = 0; epoch < options_.max_epochs; ++epoch) {
         for (int64_t iter = 0; iter < ipe; ++iter) {
-          Result<std::vector<uint8_t>> batch = (*source)->NextBatch(epoch, iter);
+          Result<SharedBytes> batch = (*source)->NextBatch(epoch, iter);
           if (!batch.ok()) {
             std::lock_guard<std::mutex> lock(result_mutex);
             if (first_error.ok()) {
@@ -119,7 +119,7 @@ Result<TuneResult> TuneRunner::Run(const SourceFactory& factory, const ModelProf
             }
             return;
           }
-          outcome.metrics.bytes_consumed += batch->size();
+          outcome.metrics.bytes_consumed += (*batch)->size();
           gpu->TrainStep(profile.gpu_step);
           ++outcome.metrics.batches;
         }
@@ -282,17 +282,17 @@ Result<DdpResult> RunDdp(std::vector<MultiTaskJob> ranks, const DdpOptions& opti
         for (int64_t step = 0; step < steps_per_epoch; ++step) {
           int64_t iteration = step * world + r;  // rank-private shard
           Stopwatch stall;
-          Result<std::vector<uint8_t>> batch = rank.source->NextBatch(epoch, iteration);
+          Result<SharedBytes> batch = rank.source->NextBatch(epoch, iteration);
           if (!batch.ok()) {
             std::lock_guard<std::mutex> lock(error_mutex);
             if (first_error.ok()) {
               first_error = batch.status();
             }
             // Keep hitting barriers so peers do not deadlock.
-            batch = std::vector<uint8_t>{};
+            batch = MakeSharedBytes({});
           }
           metrics.stall_ns += stall.Elapsed();
-          metrics.bytes_consumed += batch->size();
+          metrics.bytes_consumed += (*batch)->size();
           rank.gpu->TrainStep(rank.profile.gpu_step);
           ++metrics.batches;
           arrive_and_wait();

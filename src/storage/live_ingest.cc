@@ -45,14 +45,14 @@ Status LiveIngestStore::Put(const std::string& key, std::span<const uint8_t> dat
   return PutAt(key, data, at);
 }
 
-Result<std::vector<uint8_t>> LiveIngestStore::Get(const std::string& key) {
+Result<SharedBytes> LiveIngestStore::GetShared(const std::string& key) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!VisibleLocked(key)) {
       return NotFound("not yet ingested: " + key);
     }
   }
-  return backing_->Get(key);
+  return backing_->GetShared(key);
 }
 
 bool LiveIngestStore::Contains(const std::string& key) {

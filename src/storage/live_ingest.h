@@ -37,7 +37,7 @@ class LiveIngestStore : public ObjectStore {
   // --- ObjectStore (visibility-filtered) -----------------------------------
   // Put() publishes immediately (publish_at = current time).
   Status Put(const std::string& key, std::span<const uint8_t> data) override;
-  Result<std::vector<uint8_t>> Get(const std::string& key) override;
+  Result<SharedBytes> GetShared(const std::string& key) override;
   bool Contains(const std::string& key) override;
   Result<uint64_t> SizeOf(const std::string& key) override;
   Status Delete(const std::string& key) override;

@@ -12,81 +12,131 @@ namespace sand {
 
 namespace fs = std::filesystem;
 
+// --- ObjectStore defaults ----------------------------------------------------
+
+Status ObjectStore::PutShared(const std::string& key, SharedBytes data) {
+  if (data == nullptr) {
+    return InvalidArgument("PutShared: null buffer");
+  }
+  return Put(key, *data);
+}
+
+Result<bool> ObjectStore::PutIfAbsent(const std::string& key, std::span<const uint8_t> data) {
+  // Best-effort default for stores without native support; sharded stores
+  // override this with an atomic check-and-insert.
+  if (Contains(key)) {
+    return false;
+  }
+  SAND_RETURN_IF_ERROR(Put(key, data));
+  return true;
+}
+
+Result<std::vector<uint8_t>> ObjectStore::Get(const std::string& key) {
+  SAND_ASSIGN_OR_RETURN(SharedBytes shared, GetShared(key));
+  return std::vector<uint8_t>(shared->begin(), shared->end());
+}
+
 // --- MemoryStore -----------------------------------------------------------
 
-MemoryStore::MemoryStore(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+MemoryStore::MemoryStore(uint64_t capacity_bytes, size_t num_shards)
+    : capacity_(capacity_bytes), shards_(std::max<size_t>(num_shards, 1)) {}
 
-Status MemoryStore::Put(const std::string& key, std::span<const uint8_t> data) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  uint64_t existing = 0;
-  auto it = objects_.find(key);
-  if (it != objects_.end()) {
-    existing = it->second.size();
-  }
-  if (used_ - existing + data.size() > capacity_) {
-    return ResourceExhausted(StrFormat("memory store over capacity (%llu + %zu > %llu)",
-                                       static_cast<unsigned long long>(used_ - existing),
-                                       data.size(),
+Status MemoryStore::Reserve(uint64_t incoming, uint64_t existing, const char* what) {
+  uint64_t total = used_.fetch_add(incoming, std::memory_order_relaxed) + incoming;
+  if (total - existing > capacity_) {
+    used_.fetch_sub(incoming, std::memory_order_relaxed);
+    return ResourceExhausted(StrFormat("%s over capacity (%llu + %llu > %llu)", what,
+                                       static_cast<unsigned long long>(total - incoming - existing),
+                                       static_cast<unsigned long long>(incoming),
                                        static_cast<unsigned long long>(capacity_)));
   }
-  used_ = used_ - existing + data.size();
-  objects_[key] = std::vector<uint8_t>(data.begin(), data.end());
+  used_.fetch_sub(existing, std::memory_order_relaxed);
   return Status::Ok();
 }
 
-Result<std::vector<uint8_t>> MemoryStore::Get(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = objects_.find(key);
-  if (it == objects_.end()) {
+Status MemoryStore::PutShared(const std::string& key, SharedBytes data) {
+  if (data == nullptr) {
+    return InvalidArgument("PutShared: null buffer");
+  }
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.objects.find(key);
+  uint64_t existing = it != shard.objects.end() ? it->second->size() : 0;
+  SAND_RETURN_IF_ERROR(Reserve(data->size(), existing, "memory store"));
+  shard.objects[key] = std::move(data);
+  return Status::Ok();
+}
+
+Status MemoryStore::Put(const std::string& key, std::span<const uint8_t> data) {
+  return PutShared(key, std::make_shared<std::vector<uint8_t>>(data.begin(), data.end()));
+}
+
+Result<bool> MemoryStore::PutIfAbsent(const std::string& key, std::span<const uint8_t> data) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.objects.count(key) > 0) {
+    return false;
+  }
+  SAND_RETURN_IF_ERROR(Reserve(data.size(), 0, "memory store"));
+  shard.objects.emplace(key,
+                        std::make_shared<std::vector<uint8_t>>(data.begin(), data.end()));
+  return true;
+}
+
+Result<SharedBytes> MemoryStore::GetShared(const std::string& key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.objects.find(key);
+  if (it == shard.objects.end()) {
     return NotFound("no object: " + key);
   }
-  return it->second;
+  return it->second;  // reference to the cached allocation, no copy
 }
 
 bool MemoryStore::Contains(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return objects_.count(key) > 0;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.objects.count(key) > 0;
 }
 
 Result<uint64_t> MemoryStore::SizeOf(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = objects_.find(key);
-  if (it == objects_.end()) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.objects.find(key);
+  if (it == shard.objects.end()) {
     return NotFound("no object: " + key);
   }
-  return static_cast<uint64_t>(it->second.size());
+  return static_cast<uint64_t>(it->second->size());
 }
 
 Status MemoryStore::Delete(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = objects_.find(key);
-  if (it == objects_.end()) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.objects.find(key);
+  if (it == shard.objects.end()) {
     return NotFound("no object: " + key);
   }
-  used_ -= it->second.size();
-  objects_.erase(it);
+  used_.fetch_sub(it->second->size(), std::memory_order_relaxed);
+  shard.objects.erase(it);
   return Status::Ok();
 }
 
-uint64_t MemoryStore::UsedBytes() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return used_;
-}
-
 std::vector<std::string> MemoryStore::ListKeys() {
-  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> keys;
-  keys.reserve(objects_.size());
-  for (const auto& [key, value] : objects_) {
-    keys.push_back(key);
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [key, value] : shard.objects) {
+      keys.push_back(key);
+    }
   }
+  std::sort(keys.begin(), keys.end());
   return keys;
 }
 
 // --- DiskStore ---------------------------------------------------------------
 
 DiskStore::DiskStore(std::string root, uint64_t capacity_bytes)
-    : root_(std::move(root)), capacity_(capacity_bytes) {}
+    : root_(std::move(root)), capacity_(capacity_bytes), shards_(kDefaultStoreShards) {}
 
 Result<std::unique_ptr<DiskStore>> DiskStore::Open(const std::string& root,
                                                    uint64_t capacity_bytes) {
@@ -117,16 +167,7 @@ std::string DiskStore::PathFor(const std::string& key) const {
   return root_ + "/" + clean;
 }
 
-Status DiskStore::Put(const std::string& key, std::span<const uint8_t> data) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  uint64_t existing = 0;
-  auto it = sizes_.find(key);
-  if (it != sizes_.end()) {
-    existing = it->second;
-  }
-  if (used_ - existing + data.size() > capacity_) {
-    return ResourceExhausted("disk store over capacity");
-  }
+Status DiskStore::WriteObject(const std::string& key, std::span<const uint8_t> data) {
   std::string path = PathFor(key);
   std::error_code ec;
   fs::create_directories(fs::path(path).parent_path(), ec);
@@ -142,73 +183,120 @@ Status DiskStore::Put(const std::string& key, std::span<const uint8_t> data) {
   if (!out) {
     return DataLoss("short write to " + path);
   }
-  used_ = used_ - existing + data.size();
-  sizes_[key] = data.size();
   return Status::Ok();
 }
 
-Result<std::vector<uint8_t>> DiskStore::Get(const std::string& key) {
+Status DiskStore::Put(const std::string& key, std::span<const uint8_t> data) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.sizes.find(key);
+  uint64_t existing = it != shard.sizes.end() ? it->second : 0;
+  uint64_t total = used_.fetch_add(data.size(), std::memory_order_relaxed) + data.size();
+  if (total - existing > capacity_) {
+    used_.fetch_sub(data.size(), std::memory_order_relaxed);
+    return ResourceExhausted("disk store over capacity");
+  }
+  Status written = WriteObject(key, data);
+  if (!written.ok()) {
+    used_.fetch_sub(data.size(), std::memory_order_relaxed);
+    return written;
+  }
+  used_.fetch_sub(existing, std::memory_order_relaxed);
+  shard.sizes[key] = data.size();
+  return Status::Ok();
+}
+
+Result<bool> DiskStore::PutIfAbsent(const std::string& key, std::span<const uint8_t> data) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (shard.sizes.count(key) > 0) {
+    return false;
+  }
+  uint64_t total = used_.fetch_add(data.size(), std::memory_order_relaxed) + data.size();
+  if (total > capacity_) {
+    used_.fetch_sub(data.size(), std::memory_order_relaxed);
+    return ResourceExhausted("disk store over capacity");
+  }
+  Status written = WriteObject(key, data);
+  if (!written.ok()) {
+    used_.fetch_sub(data.size(), std::memory_order_relaxed);
+    return written;
+  }
+  shard.sizes[key] = data.size();
+  return true;
+}
+
+Result<SharedBytes> DiskStore::GetShared(const std::string& key) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (sizes_.find(key) == sizes_.end()) {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.sizes.find(key) == shard.sizes.end()) {
       return NotFound("no object: " + key);
     }
   }
+  // Read outside the lock so different keys stream from disk in parallel.
   std::ifstream in(PathFor(key), std::ios::binary);
   if (!in) {
     return DataLoss("object file missing: " + key);
   }
   std::vector<uint8_t> data((std::istreambuf_iterator<char>(in)),
                             std::istreambuf_iterator<char>());
-  return data;
+  return MakeSharedBytes(std::move(data));
 }
 
 bool DiskStore::Contains(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return sizes_.count(key) > 0;
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.sizes.count(key) > 0;
 }
 
 Result<uint64_t> DiskStore::SizeOf(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = sizes_.find(key);
-  if (it == sizes_.end()) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.sizes.find(key);
+  if (it == shard.sizes.end()) {
     return NotFound("no object: " + key);
   }
   return it->second;
 }
 
 Status DiskStore::Delete(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = sizes_.find(key);
-  if (it == sizes_.end()) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.sizes.find(key);
+  if (it == shard.sizes.end()) {
     return NotFound("no object: " + key);
   }
   std::error_code ec;
   fs::remove(PathFor(key), ec);
-  used_ -= it->second;
-  sizes_.erase(it);
+  used_.fetch_sub(it->second, std::memory_order_relaxed);
+  shard.sizes.erase(it);
   return Status::Ok();
 }
 
-uint64_t DiskStore::UsedBytes() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return used_;
-}
-
 std::vector<std::string> DiskStore::ListKeys() {
-  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> keys;
-  keys.reserve(sizes_.size());
-  for (const auto& [key, size] : sizes_) {
-    keys.push_back(key);
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (const auto& [key, size] : shard.sizes) {
+      keys.push_back(key);
+    }
   }
+  std::sort(keys.begin(), keys.end());
   return keys;
 }
 
 Status DiskStore::Rescan() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  sizes_.clear();
-  used_ = 0;
+  // Recovery path: take every shard lock (in index order, so per-key ops
+  // holding a single shard lock cannot deadlock against us), rebuild the
+  // whole index from the directory tree atomically.
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (Shard& shard : shards_) {
+    locks.emplace_back(shard.mutex);
+    shard.sizes.clear();
+  }
+  uint64_t used = 0;
   std::error_code ec;
   for (auto it = fs::recursive_directory_iterator(root_, ec);
        !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
@@ -217,9 +305,10 @@ Status DiskStore::Rescan() {
     }
     std::string rel = fs::relative(it->path(), root_, ec).generic_string();
     uint64_t size = static_cast<uint64_t>(it->file_size(ec));
-    sizes_[rel] = size;
-    used_ += size;
+    ShardFor(rel).sizes[rel] = size;
+    used += size;
   }
+  used_.store(used, std::memory_order_relaxed);
   if (ec) {
     return Unavailable("rescan failed: " + ec.message());
   }
@@ -253,12 +342,23 @@ Status RemoteStore::Put(const std::string& key, std::span<const uint8_t> data) {
   return status;
 }
 
-Result<std::vector<uint8_t>> RemoteStore::Get(const std::string& key) {
-  Result<std::vector<uint8_t>> result = backing_->Get(key);
-  if (result.ok()) {
-    ChargeTransfer(result->size());
+Result<bool> RemoteStore::PutIfAbsent(const std::string& key, std::span<const uint8_t> data) {
+  ChargeTransfer(data.size());
+  Result<bool> inserted = backing_->PutIfAbsent(key, data);
+  if (inserted.ok() && *inserted) {
     std::lock_guard<std::mutex> lock(mutex_);
-    traffic_.bytes_read += result->size();
+    traffic_.bytes_written += data.size();
+    ++traffic_.write_ops;
+  }
+  return inserted;
+}
+
+Result<SharedBytes> RemoteStore::GetShared(const std::string& key) {
+  Result<SharedBytes> result = backing_->GetShared(key);
+  if (result.ok()) {
+    ChargeTransfer((*result)->size());
+    std::lock_guard<std::mutex> lock(mutex_);
+    traffic_.bytes_read += (*result)->size();
     ++traffic_.read_ops;
   }
   return result;
@@ -302,17 +402,35 @@ Status TieredCache::Put(const std::string& key, std::span<const uint8_t> data, T
   return disk_->Put(key, data);
 }
 
-Result<std::vector<uint8_t>> TieredCache::Get(const std::string& key) {
-  Result<std::vector<uint8_t>> hot = memory_->Get(key);
+Result<bool> TieredCache::PutIfAbsent(const std::string& key, std::span<const uint8_t> data,
+                                      Tier tier) {
+  if (tier == Tier::kMemory) {
+    Result<bool> inserted = memory_->PutIfAbsent(key, data);
+    if (inserted.ok()) {
+      return inserted;
+    }
+    // Memory full: fall through to disk rather than failing the pipeline.
+  }
+  return disk_->PutIfAbsent(key, data);
+}
+
+Result<SharedBytes> TieredCache::GetShared(const std::string& key) {
+  Result<SharedBytes> hot = memory_->GetShared(key);
   if (hot.ok()) {
     return hot;
   }
-  Result<std::vector<uint8_t>> cold = disk_->Get(key);
+  Result<SharedBytes> cold = disk_->GetShared(key);
   if (cold.ok()) {
-    // Best-effort promotion; ignore failure (memory may be full).
-    (void)memory_->Put(key, *cold);
+    // Best-effort promotion reusing the just-read buffer (no copy); ignore
+    // failure (memory may be full).
+    (void)memory_->PutShared(key, *cold);
   }
   return cold;
+}
+
+Result<std::vector<uint8_t>> TieredCache::Get(const std::string& key) {
+  SAND_ASSIGN_OR_RETURN(SharedBytes shared, GetShared(key));
+  return std::vector<uint8_t>(shared->begin(), shared->end());
 }
 
 bool TieredCache::Contains(const std::string& key) {
@@ -321,22 +439,17 @@ bool TieredCache::Contains(const std::string& key) {
 
 Status TieredCache::Delete(const std::string& key) {
   bool any = false;
-  if (memory_->Contains(key)) {
-    (void)memory_->Delete(key);
+  if (memory_->Delete(key).ok()) {
     any = true;
   }
-  if (disk_->Contains(key)) {
-    (void)disk_->Delete(key);
+  if (disk_->Delete(key).ok()) {
     any = true;
   }
   return any ? Status::Ok() : NotFound("no object: " + key);
 }
 
 Status TieredCache::Demote(const std::string& key) {
-  Result<std::vector<uint8_t>> data = memory_->Get(key);
-  if (!data.ok()) {
-    return data.status();
-  }
+  SAND_ASSIGN_OR_RETURN(SharedBytes data, memory_->GetShared(key));
   SAND_RETURN_IF_ERROR(disk_->Put(key, *data));
   return memory_->Delete(key);
 }

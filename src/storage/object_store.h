@@ -8,10 +8,19 @@
 //   RemoteStore  - Filestore/S3-like remote volume (bandwidth-throttled
 //                  wrapper with traffic accounting)
 //   TieredCache  - memory over disk, the physical home of materialized views
+//
+// Concurrency and the zero-copy read path: MemoryStore and DiskStore shard
+// their key space by hash with one mutex per shard, so concurrent jobs
+// touching different objects never serialize on a global lock. GetShared()
+// is the primary read path — a memory-tier hit hands out a reference to the
+// cached allocation itself (SharedBytes), not a copy; callers must treat the
+// buffer as immutable. The byte-oriented Get() remains as a thin compat
+// wrapper that copies out of GetShared().
 
 #ifndef SAND_STORAGE_OBJECT_STORE_H_
 #define SAND_STORAGE_OBJECT_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -21,10 +30,17 @@
 #include <string>
 #include <vector>
 
+#include "src/common/bytes.h"
 #include "src/common/clock.h"
 #include "src/common/result.h"
 
 namespace sand {
+
+// Key-hash shards per store. 16 shards keep lock collisions rare at the
+// scheduler thread counts this repo runs (4-16 workers) while costing only
+// 16 mutexes + map headers per store; see DESIGN.md "Object lifecycle and
+// zero-copy invariants".
+inline constexpr size_t kDefaultStoreShards = 16;
 
 // Abstract key-value blob store. Implementations are thread-safe.
 class ObjectStore {
@@ -35,7 +51,23 @@ class ObjectStore {
   // RESOURCE_EXHAUSTED when the store is over capacity.
   virtual Status Put(const std::string& key, std::span<const uint8_t> data) = 0;
 
-  virtual Result<std::vector<uint8_t>> Get(const std::string& key) = 0;
+  // Stores an already-refcounted buffer. Memory-resident stores adopt the
+  // reference instead of copying the payload (the zero-copy promotion path).
+  // Default: copies via Put.
+  virtual Status PutShared(const std::string& key, SharedBytes data);
+
+  // Atomically stores `data` only if `key` is absent. Returns true when the
+  // object was inserted, false when the key already existed (the store is
+  // left unchanged). Replaces racy Contains()-then-Put() sequences.
+  virtual Result<bool> PutIfAbsent(const std::string& key, std::span<const uint8_t> data);
+
+  // Primary read path: a reference to the stored bytes. Memory-resident
+  // stores hand out the cached allocation itself; callers must not mutate
+  // the pointee. Replaces racy Contains()-then-Get() sequences.
+  virtual Result<SharedBytes> GetShared(const std::string& key) = 0;
+
+  // Compat wrapper: copies the object out of GetShared().
+  Result<std::vector<uint8_t>> Get(const std::string& key);
 
   virtual bool Contains(const std::string& key) = 0;
 
@@ -55,29 +87,45 @@ class ObjectStore {
   virtual Status Rescan() { return Status::Ok(); }
 };
 
-// In-memory store.
+// In-memory store. Sharded: per-shard mutex + map, atomic usage counter.
 class MemoryStore : public ObjectStore {
  public:
-  explicit MemoryStore(uint64_t capacity_bytes = UINT64_MAX);
+  explicit MemoryStore(uint64_t capacity_bytes = UINT64_MAX,
+                       size_t num_shards = kDefaultStoreShards);
 
   Status Put(const std::string& key, std::span<const uint8_t> data) override;
-  Result<std::vector<uint8_t>> Get(const std::string& key) override;
+  Status PutShared(const std::string& key, SharedBytes data) override;
+  Result<bool> PutIfAbsent(const std::string& key, std::span<const uint8_t> data) override;
+  Result<SharedBytes> GetShared(const std::string& key) override;
   bool Contains(const std::string& key) override;
   Result<uint64_t> SizeOf(const std::string& key) override;
   Status Delete(const std::string& key) override;
-  uint64_t UsedBytes() override;
+  uint64_t UsedBytes() override { return used_.load(std::memory_order_relaxed); }
   uint64_t CapacityBytes() override { return capacity_; }
   std::vector<std::string> ListKeys() override;
 
  private:
+  struct Shard {
+    std::mutex mutex;
+    std::map<std::string, SharedBytes> objects;
+  };
+
+  Shard& ShardFor(const std::string& key) {
+    return shards_[std::hash<std::string>{}(key) % shards_.size()];
+  }
+  // Reserves `incoming` bytes against capacity, releasing `existing` (the
+  // replaced object's size) on success. Caller holds the shard lock.
+  Status Reserve(uint64_t incoming, uint64_t existing, const char* what);
+
   const uint64_t capacity_;
-  std::mutex mutex_;
-  std::map<std::string, std::vector<uint8_t>> objects_;
-  uint64_t used_ = 0;
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> used_{0};
 };
 
 // Filesystem-backed store. Keys map to files under `root`; slashes in keys
 // become directories. Usage is tracked in memory and rebuilt by Rescan().
+// The size index is sharded like MemoryStore's map, so file I/O for
+// different keys proceeds in parallel.
 class DiskStore : public ObjectStore {
  public:
   // Creates `root` if missing and scans any existing objects.
@@ -85,11 +133,12 @@ class DiskStore : public ObjectStore {
                                                  uint64_t capacity_bytes);
 
   Status Put(const std::string& key, std::span<const uint8_t> data) override;
-  Result<std::vector<uint8_t>> Get(const std::string& key) override;
+  Result<bool> PutIfAbsent(const std::string& key, std::span<const uint8_t> data) override;
+  Result<SharedBytes> GetShared(const std::string& key) override;
   bool Contains(const std::string& key) override;
   Result<uint64_t> SizeOf(const std::string& key) override;
   Status Delete(const std::string& key) override;
-  uint64_t UsedBytes() override;
+  uint64_t UsedBytes() override { return used_.load(std::memory_order_relaxed); }
   uint64_t CapacityBytes() override { return capacity_; }
   std::vector<std::string> ListKeys() override;
 
@@ -100,15 +149,24 @@ class DiskStore : public ObjectStore {
   const std::string& root() const { return root_; }
 
  private:
+  struct Shard {
+    std::mutex mutex;
+    std::map<std::string, uint64_t> sizes;
+  };
+
   DiskStore(std::string root, uint64_t capacity_bytes);
 
+  Shard& ShardFor(const std::string& key) {
+    return shards_[std::hash<std::string>{}(key) % shards_.size()];
+  }
   std::string PathFor(const std::string& key) const;
+  // Writes the object file; caller holds the shard lock for `key`.
+  Status WriteObject(const std::string& key, std::span<const uint8_t> data);
 
   const std::string root_;
   const uint64_t capacity_;
-  std::mutex mutex_;
-  std::map<std::string, uint64_t> sizes_;
-  uint64_t used_ = 0;
+  std::vector<Shard> shards_;
+  std::atomic<uint64_t> used_{0};
 };
 
 // Traffic counters for RemoteStore (Fig. 14's network-savings metric).
@@ -127,7 +185,8 @@ class RemoteStore : public ObjectStore {
               Nanos latency_per_op = 0);
 
   Status Put(const std::string& key, std::span<const uint8_t> data) override;
-  Result<std::vector<uint8_t>> Get(const std::string& key) override;
+  Result<bool> PutIfAbsent(const std::string& key, std::span<const uint8_t> data) override;
+  Result<SharedBytes> GetShared(const std::string& key) override;
   bool Contains(const std::string& key) override;
   Result<uint64_t> SizeOf(const std::string& key) override;
   Status Delete(const std::string& key) override;
@@ -155,13 +214,21 @@ enum class Tier {
 };
 
 // Two-level cache: a MemoryStore in front of a disk (or any) store. Reads
-// check memory first and promote on hit from below. The eviction *policy*
-// lives in the SAND core; this class only provides the mechanics.
+// check memory first and promote on hit from below; promotion reuses the
+// disk tier's buffer (PutShared), so a promoted object is held once. The
+// eviction *policy* lives in the SAND core; this class only provides the
+// mechanics.
 class TieredCache {
  public:
   TieredCache(std::shared_ptr<ObjectStore> memory, std::shared_ptr<ObjectStore> disk);
 
   Status Put(const std::string& key, std::span<const uint8_t> data, Tier tier);
+  // Single-call insert-if-absent into `tier` (falling through to disk when
+  // memory is full). True when this call stored the object.
+  Result<bool> PutIfAbsent(const std::string& key, std::span<const uint8_t> data, Tier tier);
+  // Primary read path: memory-tier hits are zero-copy references.
+  Result<SharedBytes> GetShared(const std::string& key);
+  // Compat wrapper copying out of GetShared.
   Result<std::vector<uint8_t>> Get(const std::string& key);
   bool Contains(const std::string& key);
   Status Delete(const std::string& key);

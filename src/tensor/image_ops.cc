@@ -62,9 +62,10 @@ Result<Frame> Crop(const Frame& in, int y, int x, int h, int w) {
   }
   const int c = in.channels();
   Frame out(h, w, c);
+  std::span<uint8_t> dst_pixels = out.MutableData();
   for (int row = 0; row < h; ++row) {
     const uint8_t* src = &in.data()[((static_cast<size_t>(y) + row) * in.width() + x) * c];
-    uint8_t* dst = &out.data()[static_cast<size_t>(row) * w * c];
+    uint8_t* dst = &dst_pixels[static_cast<size_t>(row) * w * c];
     std::memcpy(dst, src, static_cast<size_t>(w) * c);
   }
   return out;
@@ -103,8 +104,8 @@ Frame Rotate90(const Frame& in) {
 }
 
 Frame AdjustBrightness(const Frame& in, int delta) {
-  Frame out = in;
-  for (uint8_t& v : out.storage()) {
+  Frame out = in;  // shares in's buffer; MutableData clones it once
+  for (uint8_t& v : out.MutableData()) {
     v = Saturate(static_cast<int>(v) + delta);
   }
   return out;
@@ -112,8 +113,8 @@ Frame AdjustBrightness(const Frame& in, int delta) {
 
 Frame AdjustContrast(const Frame& in, double factor) {
   double mean = in.MeanIntensity();
-  Frame out = in;
-  for (uint8_t& v : out.storage()) {
+  Frame out = in;  // shares in's buffer; MutableData clones it once
+  for (uint8_t& v : out.MutableData()) {
     v = SaturateD(mean + (static_cast<double>(v) - mean) * factor);
   }
   return out;
@@ -158,8 +159,8 @@ Result<Frame> BoxBlur(const Frame& in, int k) {
 }
 
 Frame Invert(const Frame& in) {
-  Frame out = in;
-  for (uint8_t& v : out.storage()) {
+  Frame out = in;  // shares in's buffer; MutableData clones it once
+  for (uint8_t& v : out.MutableData()) {
     v = static_cast<uint8_t>(255 - v);
   }
   return out;

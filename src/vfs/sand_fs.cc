@@ -116,6 +116,18 @@ Result<std::vector<uint8_t>> SandFs::ReadAll(int fd) {
   return *it->second.data;
 }
 
+Result<std::shared_ptr<const std::vector<uint8_t>>> SandFs::ReadAllShared(int fd) {
+  SAND_RETURN_IF_ERROR(EnsureData(fd));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = fds_.find(fd);
+  if (it == fds_.end()) {
+    return InvalidArgument(StrFormat("bad fd %d", fd));
+  }
+  ++stats_.reads;
+  stats_.bytes_read += it->second.data->size();
+  return it->second.data;
+}
+
 Result<uint64_t> SandFs::SizeOf(int fd) {
   SAND_RETURN_IF_ERROR(EnsureData(fd));
   std::lock_guard<std::mutex> lock(mutex_);

@@ -81,8 +81,13 @@ class SandFs {
   // Positional read.
   Result<size_t> PRead(int fd, std::span<uint8_t> buffer, uint64_t offset);
 
-  // Reads the whole object (materializing if needed).
+  // Reads the whole object (materializing if needed). Copies.
   Result<std::vector<uint8_t>> ReadAll(int fd);
+
+  // Zero-copy variant: a reference to the fd's materialized buffer. The
+  // buffer outlives Close(fd) for as long as the caller pins it; treat it
+  // as immutable.
+  Result<std::shared_ptr<const std::vector<uint8_t>>> ReadAllShared(int fd);
 
   // Size of the object behind fd (materializes if needed).
   Result<uint64_t> SizeOf(int fd);

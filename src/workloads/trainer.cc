@@ -13,9 +13,9 @@ Result<RunMetrics> RunTraining(BatchSource& source, GpuModel& gpu, const ModelPr
        ++epoch) {
     for (int64_t iter = 0; iter < iterations; ++iter) {
       Stopwatch stall_watch;
-      SAND_ASSIGN_OR_RETURN(std::vector<uint8_t> batch, source.NextBatch(epoch, iter));
+      SAND_ASSIGN_OR_RETURN(SharedBytes batch, source.NextBatch(epoch, iter));
       metrics.stall_ns += stall_watch.Elapsed();
-      metrics.bytes_consumed += batch.size();
+      metrics.bytes_consumed += batch->size();
       gpu.TrainStep(profile.gpu_step);
       ++metrics.batches;
     }

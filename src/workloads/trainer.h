@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/bytes.h"
 #include "src/common/result.h"
 #include "src/sim/cpu_meter.h"
 #include "src/sim/energy_model.h"
@@ -22,11 +23,13 @@ namespace sand {
 
 // Supplies training batches. NextBatch blocks until the batch for
 // (epoch, iteration) is available — whatever preprocessing that takes is
-// the source's business.
+// the source's business. Batches are handed out as shared immutable
+// buffers: a source that already holds the batch (view cache, ideal
+// pre-store) returns a reference instead of copying it per iteration.
 class BatchSource {
  public:
   virtual ~BatchSource() = default;
-  virtual Result<std::vector<uint8_t>> NextBatch(int64_t epoch, int64_t iteration) = 0;
+  virtual Result<SharedBytes> NextBatch(int64_t epoch, int64_t iteration) = 0;
   virtual int64_t IterationsPerEpoch() const = 0;
   // Called once when the training loop finishes (lets sources flush/close).
   virtual void Finish() {}

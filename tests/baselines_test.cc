@@ -52,7 +52,7 @@ TEST(OnDemandCpuSourceTest, ProducesWellFormedBatches) {
     for (int64_t iter = 0; iter < 2; ++iter) {
       auto bytes = source.NextBatch(epoch, iter);
       ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
-      auto header = ParseBatchHeader(*bytes);
+      auto header = ParseBatchHeader(**bytes);
       ASSERT_TRUE(header.ok());
       EXPECT_EQ(header->n_clips, 2u);
       EXPECT_EQ(header->frames_per_clip, 3u);
@@ -105,7 +105,7 @@ TEST(OnDemandGpuSourceTest, ModelsDecodeTimeAndMemory) {
   gpu.BeginRun();
   auto bytes = source.NextBatch(0, 0);
   ASSERT_TRUE(bytes.ok());
-  EXPECT_TRUE(ParseBatchHeader(*bytes).ok());
+  EXPECT_TRUE(ParseBatchHeader(**bytes).ok());
   gpu.EndRun();
   GpuRunStats stats = gpu.run_stats();
   EXPECT_GT(stats.nvdec_ns, 0);
@@ -130,8 +130,8 @@ TEST(IdealSourceTest, ReturnsStoredBatch) {
   std::vector<uint8_t> batch = {1, 2, 3};
   IdealSource source(batch, 5);
   EXPECT_EQ(source.IterationsPerEpoch(), 5);
-  EXPECT_EQ(*source.NextBatch(0, 0), batch);
-  EXPECT_EQ(*source.NextBatch(3, 4), batch);
+  EXPECT_EQ(**source.NextBatch(0, 0), batch);
+  EXPECT_EQ(**source.NextBatch(3, 4), batch);
 }
 
 TEST(TrainerTest, CollectsMetrics) {
@@ -155,9 +155,9 @@ TEST(TrainerTest, StallsLowerUtilization) {
   // A deliberately slow source: preprocessing takes 3x the GPU step.
   class SlowSource : public BatchSource {
    public:
-    Result<std::vector<uint8_t>> NextBatch(int64_t, int64_t) override {
+    Result<SharedBytes> NextBatch(int64_t, int64_t) override {
       std::this_thread::sleep_for(std::chrono::milliseconds(3));
-      return std::vector<uint8_t>(10, 0);
+      return MakeSharedBytes(std::vector<uint8_t>(10, 0));
     }
     int64_t IterationsPerEpoch() const override { return 4; }
   };

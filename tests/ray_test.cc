@@ -135,9 +135,9 @@ TEST(DdpRunnerTest, ShardsIterationsAcrossRanks) {
   class RecordingSource : public BatchSource {
    public:
     explicit RecordingSource(std::vector<int64_t>* log) : log_(log) {}
-    Result<std::vector<uint8_t>> NextBatch(int64_t, int64_t iteration) override {
+    Result<SharedBytes> NextBatch(int64_t, int64_t iteration) override {
       log_->push_back(iteration);
-      return std::vector<uint8_t>(16, 0);
+      return MakeSharedBytes(std::vector<uint8_t>(16, 0));
     }
     int64_t IterationsPerEpoch() const override { return 4; }
 

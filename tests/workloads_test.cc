@@ -178,9 +178,9 @@ TEST(MlpTest, DeterministicGivenSeed) {
 TEST(TrainerTest, EpochBeginOffsetsRequests) {
   class Recorder : public BatchSource {
    public:
-    Result<std::vector<uint8_t>> NextBatch(int64_t epoch, int64_t) override {
+    Result<SharedBytes> NextBatch(int64_t epoch, int64_t) override {
       epochs.push_back(epoch);
-      return std::vector<uint8_t>(8, 0);
+      return MakeSharedBytes(std::vector<uint8_t>(8, 0));
     }
     int64_t IterationsPerEpoch() const override { return 1; }
     std::vector<int64_t> epochs;

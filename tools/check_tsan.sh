@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Builds the concurrency-sensitive tests with ThreadSanitizer and runs
+# them. Covers the sharded stores / tiered cache (storage_test,
+# object_path_test) and the executor + scheduler paths (core_test,
+# sched_test).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-tsan}
+TESTS=(storage_test object_path_test sched_test core_test)
+
+cmake -B "$BUILD_DIR" -S . -DSAND_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target "${TESTS[@]}"
+
+status=0
+for test in "${TESTS[@]}"; do
+  echo "==== TSAN: $test ===="
+  # halt_on_error keeps the first report close to its cause.
+  if ! TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+      "$BUILD_DIR/tests/$test"; then
+    status=1
+  fi
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "TSAN: all clean"
+else
+  echo "TSAN: failures detected" >&2
+fi
+exit "$status"
