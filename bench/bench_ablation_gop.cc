@@ -6,7 +6,8 @@
 
 using namespace sand;
 
-int main() {
+int main(int argc, char** argv) {
+  sand::ParseBenchFlags(argc, argv);
   PrintBenchHeader("Ablation: GOP size sweep",
                    "design-choice study: codec GOP vs amplification vs SAND gain");
 

@@ -1,9 +1,65 @@
 #include "bench/bench_common.h"
 
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+
 #include "src/common/logging.h"
 #include "src/common/units.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace sand {
+
+namespace {
+
+std::string g_metrics_out;  // set by ParseBenchFlags; dumped at exit
+std::string g_trace_out;
+
+void DumpObsOutputs() {
+  auto write = [](const std::string& path, const std::string& body, const char* what) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "bench: cannot write %s file: %s\n", what, path.c_str());
+      return;
+    }
+    out << body;
+    std::fprintf(stderr, "bench: wrote %s to %s\n", what, path.c_str());
+  };
+  if (!g_metrics_out.empty()) {
+    write(g_metrics_out, obs::Registry::Get().ToJson(), "metrics");
+  }
+  if (!g_trace_out.empty()) {
+    write(g_trace_out, obs::Tracer::Get().ToChromeJson(), "trace");
+  }
+}
+
+}  // namespace
+
+void ParseBenchFlags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    auto take_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: %s requires a file argument\n", argv[0], flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      g_metrics_out = take_value("--metrics-out");
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      g_trace_out = take_value("--trace-out");
+    } else {
+      std::fprintf(stderr, "usage: %s [--metrics-out <file>] [--trace-out <file>]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  if (!g_metrics_out.empty() || !g_trace_out.empty()) {
+    std::atexit(DumpObsOutputs);
+  }
+}
 
 BenchEnv MakeBenchEnv(int videos, int frames, int height, int width, int gop, uint64_t seed) {
   SetLogLevel(LogLevel::kWarning);

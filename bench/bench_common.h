@@ -70,6 +70,15 @@ PipelineRun RunIdealPipeline(const BenchEnv& env, const ModelProfile& profile, i
 // Builds one real batch for the ideal pipeline / warm starts.
 Result<std::vector<uint8_t>> BuildOneBatch(const BenchEnv& env, const TaskConfig& task);
 
+// Shared bench CLI flags; call first in every bench main(). Recognized:
+//   --metrics-out <file>   write the obs registry JSON snapshot at exit
+//                          (same bytes as reading /.sand/metrics)
+//   --trace-out <file>     write the Chrome trace-event JSON ring at exit
+//                          (same bytes as /.sand/trace; open in
+//                          chrome://tracing or Perfetto)
+// Unknown flags print usage and exit(2).
+void ParseBenchFlags(int argc, char** argv);
+
 // Default SAND service options for benches (budget sized to the env).
 ServiceOptions BenchServiceOptions(int64_t epochs);
 

@@ -10,7 +10,8 @@
 
 using namespace sand;
 
-int main() {
+int main(int argc, char** argv) {
+  sand::ParseBenchFlags(argc, argv);
   BenchEnv env = MakeBenchEnv();
   ModelProfile profile = SlowFastProfile();
   TaskConfig task = MakeTaskConfig(profile, env.meta.path, "bench");

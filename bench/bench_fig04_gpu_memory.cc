@@ -8,7 +8,8 @@
 
 using namespace sand;
 
-int main() {
+int main(int argc, char** argv) {
+  sand::ParseBenchFlags(argc, argv);
   PrintBenchHeader("Fig. 4: GPU decoding shrinks feasible batch size",
                    "Fig. 4: max batch size and throughput, CPU vs GPU decode");
 

@@ -7,7 +7,8 @@
 
 using namespace sand;
 
-int main() {
+int main(int argc, char** argv) {
+  sand::ParseBenchFlags(argc, argv);
   BenchEnv env = MakeBenchEnv();
   const int64_t epochs = 2;
 

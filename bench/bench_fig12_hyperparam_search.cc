@@ -101,7 +101,8 @@ SearchResult RunSearch(const BenchEnv& env, const ModelProfile& profile,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sand::ParseBenchFlags(argc, argv);
   BenchEnv env = MakeBenchEnv();
   PrintBenchHeader("Fig. 12: hyperparameter search (6 trials, 4 GPUs, ASHA)",
                    "Fig. 12: search time and GPU utilization per pipeline");

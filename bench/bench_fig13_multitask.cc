@@ -74,7 +74,8 @@ TaskPair RunPair(const BenchEnv& env, const std::string& mode) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sand::ParseBenchFlags(argc, argv);
   BenchEnv env = MakeBenchEnv();
   PrintBenchHeader("Fig. 13: heterogeneous multi-task training (SlowFast + MAE)",
                    "Fig. 13: per-task training time and GPU utilization");

@@ -81,7 +81,8 @@ DdpOutcome RunDistributed(const BenchEnv& env, const std::string& mode) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sand::ParseBenchFlags(argc, argv);
   BenchEnv env = MakeBenchEnv();
   PrintBenchHeader("Fig. 14: distributed training with remote storage (2 ranks)",
                    "Fig. 14: time, utilization, and WAN traffic vs on-demand CPU");

@@ -70,7 +70,8 @@ EnergyBreakdown SearchEnergy(const BenchEnv& env, const ModelProfile& profile,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sand::ParseBenchFlags(argc, argv);
   BenchEnv env = MakeBenchEnv();
   PrintBenchHeader("Fig. 15: power consumption of a 1-epoch search",
                    "Fig. 15: total energy per pipeline");

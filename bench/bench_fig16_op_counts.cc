@@ -8,7 +8,8 @@
 
 using namespace sand;
 
-int main() {
+int main(int argc, char** argv) {
+  sand::ParseBenchFlags(argc, argv);
   BenchEnv env = MakeBenchEnv();
   PrintBenchHeader("Fig. 16: operations per epoch, with vs without planning",
                    "Fig. 16: decode/crop op counts in SlowFast+MAE multi-task");

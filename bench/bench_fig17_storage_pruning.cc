@@ -55,7 +55,8 @@ double AvgIterationPreprocMs(const BenchEnv& env, uint64_t budget, bool enable_p
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sand::ParseBenchFlags(argc, argv);
   BenchEnv env = MakeBenchEnv();
   PrintBenchHeader("Fig. 17: preprocessing time vs storage size (pruning on/off)",
                    "Fig. 17: avg per-iteration preprocessing, 2 tasks, 2 budgets");

@@ -43,7 +43,8 @@ double AvgIterationMs(const BenchEnv& env, bool enable_scheduling) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sand::ParseBenchFlags(argc, argv);
   BenchEnv env = MakeBenchEnv();
   PrintBenchHeader("Fig. 18: average iteration time with/without scheduling",
                    "Fig. 18: priority scheduling ablation on MAE (cold chunk)");

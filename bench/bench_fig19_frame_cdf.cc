@@ -39,7 +39,8 @@ double ShareSelectedAtLeast(const std::vector<int>& counts, int threshold) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sand::ParseBenchFlags(argc, argv);
   // Longer videos so one epoch touches a small fraction of each (as with
   // real 300-frame clips); reuse then concentrates visibly.
   BenchEnv env = MakeBenchEnv(/*videos=*/8, /*frames=*/192);

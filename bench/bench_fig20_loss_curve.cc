@@ -50,7 +50,8 @@ std::vector<double> TrainLossCurve(const BenchEnv& env, bool coordinate, uint64_
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sand::ParseBenchFlags(argc, argv);
   BenchEnv env = MakeBenchEnv(/*videos=*/8, /*frames=*/48, /*height=*/48, /*width=*/64);
   PrintBenchHeader("Fig. 20: loss curve with vs without planning",
                    "Fig. 20: MLP regression loss under coordinated vs fresh randomness");

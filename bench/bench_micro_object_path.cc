@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "src/common/bytes.h"
+#include "src/obs/metrics.h"
 #include "src/storage/object_store.h"
 #include "src/tensor/frame.h"
 
@@ -197,10 +198,21 @@ double RunShardedThroughput(int num_threads, int hits_per_thread,
 }
 
 int Main() {
+  // Registry crosscheck (observability layer): every TieredCache hit below
+  // must land in the global sand.cache.memory.hits counter, and nothing
+  // here may miss. The bench fails if its own accounting disagrees with
+  // the registry's.
+  obs::Counter* reg_hits = obs::Registry::Get().GetCounter("sand.cache.memory.hits");
+  obs::Counter* reg_misses = obs::Registry::Get().GetCounter("sand.cache.misses");
+  const uint64_t hits_before = reg_hits->Value();
+  const uint64_t misses_before = reg_misses->Value();
+  uint64_t expected_hits = 0;
+
   // --- bytes allocated per served cache hit --------------------------------
   const int kAllocIters = 200;
   BytesPerHit small = MeasureBytesPerHit(64, 96, 3, kAllocIters);    // 18 KiB
   BytesPerHit large = MeasureBytesPerHit(256, 256, 3, kAllocIters);  // 192 KiB
+  expected_hits += 2ULL * 2 * kAllocIters;  // two sizes x (Get + GetShared loops)
 
   // --- aggregate hit throughput, 1 vs 8 threads ----------------------------
   // ~1.7 MB payloads (1024x576x3): big enough that the legacy
@@ -212,6 +224,19 @@ int Main() {
   double legacy_8 = RunLegacyThroughput(8, kHits / 4, payload);
   double sharded_1 = RunShardedThroughput(1, kHits, payload);
   double sharded_8 = RunShardedThroughput(8, kHits / 4, payload);
+  expected_hits += static_cast<uint64_t>(kHits) + 8ULL * (kHits / 4);
+
+  const uint64_t observed_hits = reg_hits->Value() - hits_before;
+  const uint64_t observed_misses = reg_misses->Value() - misses_before;
+  if (observed_hits != expected_hits || observed_misses != 0) {
+    std::fprintf(stderr,
+                 "obs registry mismatch: expected %llu memory hits / 0 misses, "
+                 "registry saw %llu hits / %llu misses\n",
+                 static_cast<unsigned long long>(expected_hits),
+                 static_cast<unsigned long long>(observed_hits),
+                 static_cast<unsigned long long>(observed_misses));
+    return 1;
+  }
 
   std::printf("{\n");
   std::printf("  \"bench\": \"micro_object_path\",\n");
@@ -231,7 +256,12 @@ int Main() {
   std::printf("    \"sharded_zero_copy\":   {\"threads_1\": %.0f, \"threads_8\": %.0f, \"scaling\": %.2f},\n",
               sharded_1, sharded_8, sharded_8 / sharded_1);
   std::printf("    \"speedup_at_8_threads\": %.2f\n", sharded_8 / legacy_8);
-  std::printf("  }\n");
+  std::printf("  },\n");
+  std::printf("  \"obs_registry_crosscheck\": {\"expected_memory_hits\": %llu, "
+              "\"observed_memory_hits\": %llu, \"observed_misses\": %llu, \"ok\": true}\n",
+              static_cast<unsigned long long>(expected_hits),
+              static_cast<unsigned long long>(observed_hits),
+              static_cast<unsigned long long>(observed_misses));
   std::printf("}\n");
   return 0;
 }

@@ -38,7 +38,8 @@ int CountLoc(const std::string& path) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  sand::ParseBenchFlags(argc, argv);
   PrintBenchHeader("Table 3: lines of code for video preprocessing",
                    "Table 3: user-owned preprocessing LoC, baseline vs SAND");
 

@@ -5,10 +5,34 @@
 #include <cstring>
 
 #include "src/common/strings.h"
+#include "src/common/threading.h"
 #include "src/compress/lossless.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace sand {
 namespace {
+
+// Process-global decode counters (the per-decoder AtomicDecodeStats are the
+// instance-scoped view benches diff; these feed /.sand/metrics).
+struct GlobalDecodeMetrics {
+  obs::Counter* frames_requested;
+  obs::Counter* frames_decoded;
+  obs::Counter* bytes_read;
+  obs::Counter* seeks;
+  obs::Histogram* frame_latency_ns;
+
+  static const GlobalDecodeMetrics& Get() {
+    static const GlobalDecodeMetrics metrics{
+        obs::Registry::Get().GetCounter("sand.decode.frames_requested"),
+        obs::Registry::Get().GetCounter("sand.decode.frames_decoded"),
+        obs::Registry::Get().GetCounter("sand.decode.bytes_read"),
+        obs::Registry::Get().GetCounter("sand.decode.seeks"),
+        obs::Registry::Get().GetHistogram("sand.decode.frame_latency_ns"),
+    };
+    return metrics;
+  }
+};
 
 constexpr std::array<uint8_t, 4> kMagic = {'S', 'V', 'C', '1'};
 constexpr uint16_t kVersion = 1;
@@ -191,7 +215,8 @@ Result<int64_t> VideoDecoder::GopStart(int64_t index) const {
 Status VideoDecoder::DecodeIntoCursor(int64_t index) {
   const IndexEntry& entry = index_[static_cast<size_t>(index)];
   std::span<const uint8_t> payload(container_->data() + payload_base_ + entry.offset, entry.size);
-  stats_.bytes_read += entry.size;
+  stats_->bytes_read.fetch_add(entry.size, std::memory_order_relaxed);
+  GlobalDecodeMetrics::Get().bytes_read->Add(entry.size);
   Result<std::vector<uint8_t>> raw = LosslessDecompress(payload);
   if (!raw.ok()) {
     return raw.status();
@@ -202,7 +227,8 @@ Status VideoDecoder::DecodeIntoCursor(int64_t index) {
     ApplyTemporalDelta(cursor_frame_, *raw);
   }
   cursor_index_ = index;
-  ++stats_.frames_decoded;
+  stats_->frames_decoded.fetch_add(1, std::memory_order_relaxed);
+  GlobalDecodeMetrics::Get().frames_decoded->Add(1);
   return Status::Ok();
 }
 
@@ -210,22 +236,50 @@ Result<Frame> VideoDecoder::DecodeFrame(int64_t index) {
   if (index < 0 || index >= frame_count()) {
     return OutOfRange(StrFormat("frame %lld out of range", static_cast<long long>(index)));
   }
-  ++stats_.frames_requested;
+  const GlobalDecodeMetrics& metrics = GlobalDecodeMetrics::Get();
+  stats_->frames_requested.fetch_add(1, std::memory_order_relaxed);
+  metrics.frames_requested->Add(1);
   if (cursor_index_ && *cursor_index_ == index) {
     return cursor_frame_;  // repeat request; no decode work
   }
+  SAND_SPAN("decode");
+  Nanos start_ns = SinceProcessStart();
   SAND_ASSIGN_OR_RETURN(int64_t gop_start, GopStart(index));
   int64_t start;
   if (cursor_index_ && *cursor_index_ < index && *cursor_index_ >= gop_start) {
     start = *cursor_index_ + 1;  // continue the current forward run
   } else {
     start = gop_start;
-    ++stats_.seeks;
+    stats_->seeks.fetch_add(1, std::memory_order_relaxed);
+    metrics.seeks->Add(1);
   }
-  for (int64_t i = start; i <= index; ++i) {
-    SAND_RETURN_IF_ERROR(DecodeIntoCursor(i));
+  if (start < index) {
+    // The decode-amplification work: frames reconstructed only to reach
+    // the requested one. Visible as its own stage in captured traces.
+    SAND_SPAN("gop_seek");
+    for (int64_t i = start; i < index; ++i) {
+      SAND_RETURN_IF_ERROR(DecodeIntoCursor(i));
+    }
   }
+  SAND_RETURN_IF_ERROR(DecodeIntoCursor(index));
+  metrics.frame_latency_ns->Record(static_cast<uint64_t>(SinceProcessStart() - start_ns));
   return cursor_frame_;
+}
+
+DecodeStats VideoDecoder::stats() const {
+  DecodeStats snapshot;
+  snapshot.frames_requested = stats_->frames_requested.load(std::memory_order_relaxed);
+  snapshot.frames_decoded = stats_->frames_decoded.load(std::memory_order_relaxed);
+  snapshot.bytes_read = stats_->bytes_read.load(std::memory_order_relaxed);
+  snapshot.seeks = stats_->seeks.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+void VideoDecoder::ResetStats() {
+  stats_->frames_requested.store(0, std::memory_order_relaxed);
+  stats_->frames_decoded.store(0, std::memory_order_relaxed);
+  stats_->bytes_read.store(0, std::memory_order_relaxed);
+  stats_->seeks.store(0, std::memory_order_relaxed);
 }
 
 Result<std::vector<Frame>> VideoDecoder::DecodeFrames(std::span<const int64_t> indices) {

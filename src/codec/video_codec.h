@@ -18,6 +18,7 @@
 #ifndef SAND_CODEC_VIDEO_CODEC_H_
 #define SAND_CODEC_VIDEO_CODEC_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -70,7 +71,9 @@ class VideoEncoder {
 };
 
 // Cumulative decoder-side counters; the source of the "frames decoded vs
-// frames used" numbers in Fig. 3 / Fig. 16.
+// frames used" numbers in Fig. 3 / Fig. 16. A value snapshot — the decoder
+// maintains these atomically (obs registry counters), so stats() and
+// ResetStats() are safe against a concurrent decode on another thread.
 struct DecodeStats {
   uint64_t frames_requested = 0;  // frames the caller asked for
   uint64_t frames_decoded = 0;    // frames actually reconstructed
@@ -112,8 +115,11 @@ class VideoDecoder {
   // Index of the I-frame at or before `index`.
   Result<int64_t> GopStart(int64_t index) const;
 
-  const DecodeStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = DecodeStats{}; }
+  // Snapshot / reset of the per-decoder counters. Atomic against
+  // concurrent DecodeFrame calls (which themselves still need external
+  // serialization — the forward cursor is single-threaded state).
+  DecodeStats stats() const;
+  void ResetStats();
 
  private:
   struct IndexEntry {
@@ -140,7 +146,14 @@ class VideoDecoder {
   std::optional<int64_t> cursor_index_;
   Frame cursor_frame_;
 
-  DecodeStats stats_;
+  // Atomic per-decoder counters (heap-held so the decoder stays movable).
+  struct AtomicDecodeStats {
+    std::atomic<uint64_t> frames_requested{0};
+    std::atomic<uint64_t> frames_decoded{0};
+    std::atomic<uint64_t> bytes_read{0};
+    std::atomic<uint64_t> seeks{0};
+  };
+  std::shared_ptr<AtomicDecodeStats> stats_ = std::make_shared<AtomicDecodeStats>();
 };
 
 }  // namespace sand

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <mutex>
 
+#include "src/common/threading.h"
+
 namespace sand {
 namespace {
 
@@ -38,8 +40,13 @@ void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
 
 void LogLine(LogLevel level, const std::string& message) {
+  // Monotonic seconds since process start + small thread id: the same
+  // epoch and ids the tracer stamps on spans, so log lines and trace
+  // events correlate directly.
+  double ts = ToSeconds(SinceProcessStart());
+  uint32_t tid = SmallThreadId();
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[%c] %s\n", LevelChar(level), message.c_str());
+  std::fprintf(stderr, "[%c %.6f t%02u] %s\n", LevelChar(level), ts, tid, message.c_str());
 }
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)

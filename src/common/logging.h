@@ -26,7 +26,10 @@ enum class LogLevel : int {
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-// Internal: emits one formatted line ("[I] message").
+// Internal: emits one formatted line ("[I 12.345678 t03] message"): level,
+// monotonic seconds since process start, small thread id — the same epoch
+// and thread ids trace spans carry (src/common/threading.h), so log output
+// correlates with captured traces.
 void LogLine(LogLevel level, const std::string& message);
 
 // Stream-style log statement builder; flushes on destruction.

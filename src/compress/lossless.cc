@@ -4,6 +4,8 @@
 #include <array>
 #include <cstring>
 
+#include "src/obs/metrics.h"
+
 namespace sand {
 namespace {
 
@@ -484,11 +486,38 @@ Result<std::vector<uint8_t>> CompressImpl(std::span<const uint8_t> data, size_t 
 
 }  // namespace
 
+namespace {
+
+// Feeds the registry's process-wide compression ratio (the CompressionStats
+// struct remains as the value type callers aggregate locally).
+struct CompressMetrics {
+  obs::Counter* raw_bytes;
+  obs::Counter* compressed_bytes;
+  obs::Counter* decompress_ops;
+
+  static const CompressMetrics& Get() {
+    static const CompressMetrics metrics{
+        obs::Registry::Get().GetCounter("sand.compress.raw_bytes"),
+        obs::Registry::Get().GetCounter("sand.compress.compressed_bytes"),
+        obs::Registry::Get().GetCounter("sand.compress.decompress_ops"),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
+
 Result<std::vector<uint8_t>> LosslessCompress(std::span<const uint8_t> data, size_t stride) {
-  return CompressImpl(data, stride, 1);
+  Result<std::vector<uint8_t>> out = CompressImpl(data, stride, 1);
+  if (out.ok()) {
+    CompressMetrics::Get().raw_bytes->Add(data.size());
+    CompressMetrics::Get().compressed_bytes->Add(out->size());
+  }
+  return out;
 }
 
 Result<std::vector<uint8_t>> LosslessDecompress(std::span<const uint8_t> compressed) {
+  CompressMetrics::Get().decompress_ops->Add(1);
   if (compressed.size() < kHeaderSize ||
       !std::equal(kMagic.begin(), kMagic.end(), compressed.begin())) {
     return DataLoss("LosslessDecompress: bad header");

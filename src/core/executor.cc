@@ -4,9 +4,38 @@
 
 #include "src/common/strings.h"
 #include "src/compress/lossless.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/tensor/image_ops.h"
 
 namespace sand {
+
+namespace {
+
+// Process-wide mirrors of ExecutorStats ("sand.exec.*" in /.sand/metrics).
+// Instances keep their own stats_ (benches diff per-pipeline counts); the
+// registry aggregates across all executors in the process.
+struct ExecMetrics {
+  obs::Counter* frames_decoded;
+  obs::Counter* decode_ops;
+  obs::Counter* aug_ops;
+  obs::Counter* crop_ops;
+  obs::Counter* cache_hits;
+  obs::Counter* cache_stores;
+  static ExecMetrics& Get() {
+    static ExecMetrics m{
+        obs::Registry::Get().GetCounter("sand.exec.frames_decoded"),
+        obs::Registry::Get().GetCounter("sand.exec.decode_ops"),
+        obs::Registry::Get().GetCounter("sand.exec.aug_ops"),
+        obs::Registry::Get().GetCounter("sand.exec.crop_ops"),
+        obs::Registry::Get().GetCounter("sand.exec.cache_hits"),
+        obs::Registry::Get().GetCounter("sand.exec.cache_stores"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 CustomOpRegistry& CustomOpRegistry::Get() {
   static CustomOpRegistry registry;
@@ -66,17 +95,22 @@ Result<Frame> SubtreeExecutor::Decode(int64_t frame_index) {
     }
     return decoder_->DecodeFrame(frame_index);
   }();
-  stats_.frames_decoded += decoder_->stats().frames_decoded - before;
+  uint64_t decoded = decoder_->stats().frames_decoded - before;
+  stats_.frames_decoded += decoded;
   ++stats_.decode_ops;
+  ExecMetrics::Get().frames_decoded->Add(decoded);
+  ExecMetrics::Get().decode_ops->Add(1);
   return frame;
 }
 
 Result<Frame> SubtreeExecutor::Augment(const ConcreteNode& node, const Frame& input) {
+  SAND_SPAN("augment");
   std::optional<ScopedCpuWork> work;
   if (meter_ != nullptr) {
     work.emplace(*meter_, CpuWorkKind::kAugment);
   }
   ++stats_.aug_ops;
+  ExecMetrics::Get().aug_ops->Add(1);
   const ConcreteOp& op = node.op;
   const AugOp& aug = op.aug;
   switch (aug.kind) {
@@ -84,6 +118,7 @@ Result<Frame> SubtreeExecutor::Augment(const ConcreteNode& node, const Frame& in
       return Resize(input, aug.out_h, aug.out_w, aug.interp);
     case OpKind::kRandomCrop:
       ++stats_.crop_ops;
+      ExecMetrics::Get().crop_ops->Add(1);
       return Crop(input, op.crop.y, op.crop.x, op.crop.h, op.crop.w);
     case OpKind::kCenterCrop:
       return CenterCrop(input, std::min(aug.out_h, input.height()),
@@ -143,6 +178,7 @@ Result<Frame> SubtreeExecutor::Produce(int node_id, bool allow_cache_store) {
       }();
       if (frame.ok()) {
         ++stats_.cache_hits;
+        ExecMetrics::Get().cache_hits->Add(1);
         memo_[node_id] = *frame;
         return frame;
       }
@@ -179,6 +215,7 @@ Result<Frame> SubtreeExecutor::Produce(int node_id, bool allow_cache_store) {
         work.emplace(*meter_, CpuWorkKind::kAugment);
       }
       ++stats_.aug_ops;
+      ExecMetrics::Get().aug_ops->Add(1);
       produced = first;  // shares first's buffer (which the memo also holds)
       // MutableData clones before the in-place average, so the memoized
       // (and possibly cache-resident) parent stays intact.
@@ -219,6 +256,7 @@ Result<Frame> SubtreeExecutor::Produce(int node_id, bool allow_cache_store) {
         Result<bool> stored = cache_->PutIfAbsent(key, *bytes, tier);
         if (stored.ok() && *stored) {
           ++stats_.cache_stores;
+          ExecMetrics::Get().cache_stores->Add(1);
         }
       }
     }

@@ -5,9 +5,37 @@
 
 #include "src/common/logging.h"
 #include "src/common/strings.h"
+#include "src/common/threading.h"
 #include "src/core/batch_format.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace sand {
+
+namespace {
+
+// Registry mirrors of ServiceStats ("sand.service.*" in /.sand/metrics).
+struct ServiceMetrics {
+  obs::Counter* batches_served;
+  obs::Counter* demand_materializations;
+  obs::Counter* pre_materialize_jobs;
+  obs::Counter* evictions;
+  obs::Counter* chunks_planned;
+  obs::Histogram* batch_assemble_ns;
+  static ServiceMetrics& Get() {
+    static ServiceMetrics m{
+        obs::Registry::Get().GetCounter("sand.service.batches_served"),
+        obs::Registry::Get().GetCounter("sand.service.demand_materializations"),
+        obs::Registry::Get().GetCounter("sand.service.pre_materialize_jobs"),
+        obs::Registry::Get().GetCounter("sand.service.evictions"),
+        obs::Registry::Get().GetCounter("sand.service.chunks_planned"),
+        obs::Registry::Get().GetHistogram("sand.service.batch_assemble_ns"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 SandService::SandService(std::shared_ptr<ObjectStore> dataset_store, DatasetMeta meta,
                          std::shared_ptr<TieredCache> cache, std::vector<TaskConfig> tasks,
@@ -152,6 +180,7 @@ Result<std::shared_ptr<SandService::ChunkState>> SandService::EnsureChunk(int64_
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.chunks_planned;
     }
+    ServiceMetrics::Get().chunks_planned->Add(1);
     if (options_.pre_materialize) {
       SubmitPreMaterialization(chunk);
     }
@@ -260,6 +289,7 @@ void SandService::SubmitPreMaterialization(const std::shared_ptr<ChunkState>& ch
         stats_.exec.Accumulate(executor.stats());
         ++stats_.pre_materialize_jobs;
       }
+      ServiceMetrics::Get().pre_materialize_jobs->Add(1);
       MaybeEvict();
     };
     scheduler_->Submit(std::move(job));
@@ -284,6 +314,8 @@ Result<std::shared_ptr<const std::vector<uint8_t>>> SandService::Materialize(
 
 Result<std::vector<uint8_t>> SandService::AssembleBatch(ChunkState& chunk,
                                                         const BatchPlan& batch) {
+  SAND_SPAN("batch_assemble");
+  Nanos assemble_start = SinceProcessStart();
   // Group the batch's clips by source video: one decoder cursor and memo
   // per video, and one parallel demand-feeding job per video group.
   std::vector<Clip> clips(batch.clips.size());
@@ -347,7 +379,10 @@ Result<std::vector<uint8_t>> SandService::AssembleBatch(ChunkState& chunk,
   for (std::future<Status>& part : parts) {
     SAND_RETURN_IF_ERROR(part.get());
   }
-  return SerializeBatch(clips);
+  Result<std::vector<uint8_t>> serialized = SerializeBatch(clips);
+  ServiceMetrics::Get().batch_assemble_ns->Record(
+      static_cast<uint64_t>(SinceProcessStart() - assemble_start));
+  return serialized;
 }
 
 Result<std::shared_ptr<const std::vector<uint8_t>>> SandService::MaterializeBatch(
@@ -373,6 +408,8 @@ Result<std::shared_ptr<const std::vector<uint8_t>>> SandService::MaterializeBatc
     ++stats_.batches_served;
     ++stats_.demand_materializations;
   }
+  ServiceMetrics::Get().batches_served->Add(1);
+  ServiceMetrics::Get().demand_materializations->Add(1);
   {
     // Track training progress for deadlines and eviction.
     std::lock_guard<std::mutex> lock(progress_mutex_);
@@ -697,8 +734,11 @@ void SandService::MaybeEvict() {
     }
   }
   if (evicted > 0) {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    stats_.evictions += evicted;
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      stats_.evictions += evicted;
+    }
+    ServiceMetrics::Get().evictions->Add(evicted);
   }
 }
 

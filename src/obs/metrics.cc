@@ -1,0 +1,166 @@
+#include "src/obs/metrics.h"
+
+#include <bit>
+#include <cmath>
+#include <sstream>
+
+#include "src/common/threading.h"
+
+namespace sand {
+namespace obs {
+
+size_t Counter::ShardIndex() { return SmallThreadId() % kShards; }
+
+size_t Histogram::BucketIndex(uint64_t value) {
+  if (value < 16) {
+    return static_cast<size_t>(value);
+  }
+  int msb = 63 - std::countl_zero(value);  // >= 4 here
+  size_t sub = static_cast<size_t>((value >> (msb - 2)) & 3);
+  return 16 + static_cast<size_t>(msb - 4) * 4 + sub;
+}
+
+uint64_t Histogram::BucketLowerBound(size_t index) {
+  if (index < 16) {
+    return index;
+  }
+  size_t octave = 4 + (index - 16) / 4;
+  size_t sub = (index - 16) % 4;
+  return (uint64_t{1} << octave) + (static_cast<uint64_t>(sub) << (octave - 2));
+}
+
+uint64_t Histogram::BucketMidpoint(size_t index) {
+  if (index < 16) {
+    return index;
+  }
+  size_t octave = 4 + (index - 16) / 4;
+  uint64_t width = uint64_t{1} << (octave - 2);
+  return BucketLowerBound(index) + width / 2;
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (const auto& bucket : buckets_) {
+    total += bucket.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::Mean() const {
+  uint64_t count = Count();
+  return count == 0 ? 0.0 : static_cast<double>(Sum()) / static_cast<double>(count);
+}
+
+uint64_t Histogram::Quantile(double q) const {
+  uint64_t count = Count();
+  if (count == 0) {
+    return 0;
+  }
+  q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  // Rank of the target value (1-based), nearest-rank definition.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+  if (rank == 0) {
+    rank = 1;
+  }
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) {
+      return BucketMidpoint(i);
+    }
+  }
+  return BucketMidpoint(kNumBuckets - 1);
+}
+
+uint64_t Histogram::Max() const {
+  for (size_t i = kNumBuckets; i > 0; --i) {
+    if (buckets_[i - 1].load(std::memory_order_relaxed) != 0) {
+      return BucketMidpoint(i - 1);
+    }
+  }
+  return 0;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Registry& Registry::Get() {
+  static Registry* registry = new Registry();  // never destroyed: callers cache pointers
+  return *registry;
+}
+
+Counter* Registry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return slot.get();
+}
+
+Gauge* Registry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return slot.get();
+}
+
+Histogram* Registry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+  }
+  return slot.get();
+}
+
+std::string Registry::ToJson() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : counters_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": " << counter->Value();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : gauges_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": " << gauge->Value();
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, histogram] : histograms_) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": {"
+        << "\"count\": " << histogram->Count() << ", \"sum\": " << histogram->Sum()
+        << ", \"mean\": " << histogram->Mean() << ", \"p50\": " << histogram->Quantile(0.5)
+        << ", \"p90\": " << histogram->Quantile(0.9) << ", \"p95\": " << histogram->Quantile(0.95)
+        << ", \"p99\": " << histogram->Quantile(0.99) << ", \"max\": " << histogram->Max() << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+void Registry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) {
+    counter->Reset();
+  }
+  for (auto& [name, gauge] : gauges_) {
+    gauge->Reset();
+  }
+  for (auto& [name, histogram] : histograms_) {
+    histogram->Reset();
+  }
+}
+
+}  // namespace obs
+}  // namespace sand

@@ -1,0 +1,147 @@
+// Process-global metrics registry (DESIGN.md §7).
+//
+// One source of truth for runtime counters across the whole object path:
+// the stores, the codec, the executor, the scheduler, and the VFS all
+// publish here, and the snapshot is exported as a SAND view — reading
+// "/.sand/metrics" through SandFs returns the JSON produced by
+// Registry::ToJson() (tools/sand_stat pretty-prints it).
+//
+// Three primitives, all lock-free on the hot path:
+//   Counter   - monotonic; sharded across cache lines so concurrent bumps
+//               from different threads never contend (one relaxed
+//               fetch_add on the caller's shard, measured < 10 ns/op by
+//               bench_micro_obs)
+//   Gauge     - instantaneous signed value (relaxed store)
+//   Histogram - log-linear buckets (exact below 16, 4 sub-buckets per
+//               power of two above: <= 12.5% relative error) with
+//               p50/p90/p95/p99 extraction; used for latencies in ns
+//
+// Components cache the pointers Registry hands out at construction time;
+// the name lookup (mutex + map) never sits on a hot path. Pointers are
+// stable for the process lifetime — the registry only grows.
+
+#ifndef SAND_OBS_METRICS_H_
+#define SAND_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace sand {
+namespace obs {
+
+// Monotonically increasing event count. Sharded by SmallThreadId so the
+// bump is one uncontended relaxed fetch_add; Value() folds the shards.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    shards_[ShardIndex()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Shard& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  // Not linearizable against concurrent Add; totals settle once writers
+  // quiesce (bench/test usage).
+  void Reset() {
+    for (Shard& shard : shards_) {
+      shard.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  static constexpr size_t kShards = 16;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> value{0};
+  };
+  static size_t ShardIndex();
+
+  std::array<Shard, kShards> shards_;
+};
+
+// Instantaneous signed value (queue depths, bytes resident).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Log-linear histogram. Values 0..15 land in exact buckets; above that,
+// each power of two splits into 4 linear sub-buckets, bounding relative
+// error at 1/8. 256 buckets cover the full uint64 range.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 16 + (64 - 4) * 4;
+
+  void Record(uint64_t value) {
+    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+  }
+
+  uint64_t Count() const;
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Mean() const;
+  // Bucket-midpoint estimate of the q-quantile (q in [0, 1]) over all
+  // recorded values; 0 when empty.
+  uint64_t Quantile(double q) const;
+  // Midpoint of the highest non-empty bucket; 0 when empty.
+  uint64_t Max() const;
+  void Reset();
+
+  static size_t BucketIndex(uint64_t value);
+  // Inclusive lower bound / midpoint of bucket `index`.
+  static uint64_t BucketLowerBound(size_t index);
+  static uint64_t BucketMidpoint(size_t index);
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> sum_{0};
+};
+
+// Name -> metric. Process-global; GetCounter et al. return stable pointers
+// (creating the metric on first use) that callers cache.
+class Registry {
+ public:
+  static Registry& Get();
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  Histogram* GetHistogram(const std::string& name);
+
+  // Full snapshot as JSON:
+  //   {"counters": {name: value, ...},
+  //    "gauges": {name: value, ...},
+  //    "histograms": {name: {"count":..,"sum":..,"mean":..,
+  //                          "p50":..,"p90":..,"p95":..,"p99":..,"max":..}}}
+  // Names are emitted in sorted order so output is stable.
+  std::string ToJson();
+
+  // Zeroes every registered metric (benches measuring deltas, tests).
+  // Metrics stay registered; pointers remain valid.
+  void ResetAll();
+
+ private:
+  Registry() = default;
+
+  std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace sand
+
+#endif  // SAND_OBS_METRICS_H_

@@ -1,0 +1,59 @@
+#include "src/obs/trace.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace sand {
+namespace obs {
+
+Tracer& Tracer::Get() {
+  static Tracer* tracer = new Tracer();  // never destroyed: spans may outlive main
+  return *tracer;
+}
+
+void Tracer::Record(const char* name, Nanos start_ns, Nanos duration_ns) {
+  uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = ring_[ticket % kCapacity];
+  slot.start_ns.store(start_ns, std::memory_order_relaxed);
+  slot.duration_ns.store(duration_ns, std::memory_order_relaxed);
+  slot.tid.store(SmallThreadId(), std::memory_order_relaxed);
+  // Name last: a dump observing the name sees plausible (if possibly
+  // mixed-generation) numeric fields, never uninitialized ones.
+  slot.name.store(name, std::memory_order_release);
+}
+
+std::string Tracer::ToChromeJson() {
+  uint64_t head = head_.load(std::memory_order_relaxed);
+  uint64_t count = head < kCapacity ? head : kCapacity;
+  uint64_t first = head - count;  // oldest surviving ticket
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(3);  // microseconds with ns resolution
+  out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool any = false;
+  for (uint64_t ticket = first; ticket < head; ++ticket) {
+    const Slot& slot = ring_[ticket % kCapacity];
+    const char* name = slot.name.load(std::memory_order_acquire);
+    if (name == nullptr) {
+      continue;  // slot claimed by a racing Record that hasn't finished
+    }
+    double ts_us = static_cast<double>(slot.start_ns.load(std::memory_order_relaxed)) / 1e3;
+    double dur_us = static_cast<double>(slot.duration_ns.load(std::memory_order_relaxed)) / 1e3;
+    out << (any ? ",\n" : "\n") << "  {\"name\": \"" << name
+        << "\", \"cat\": \"sand\", \"ph\": \"X\", \"pid\": 1, \"tid\": "
+        << slot.tid.load(std::memory_order_relaxed) << ", \"ts\": " << ts_us
+        << ", \"dur\": " << dur_us << "}";
+    any = true;
+  }
+  out << (any ? "\n" : "") << "]}\n";
+  return out.str();
+}
+
+void Tracer::Clear() {
+  for (Slot& slot : ring_) {
+    slot.name.store(nullptr, std::memory_order_relaxed);
+  }
+  head_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace sand

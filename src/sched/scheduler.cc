@@ -3,10 +3,19 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/common/threading.h"
+#include "src/obs/trace.h"
+
 namespace sand {
 
 MaterializationScheduler::MaterializationScheduler(Options options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)),
+      jobs_run_(obs::Registry::Get().GetCounter("sand.sched.jobs_run")),
+      demand_jobs_run_(obs::Registry::Get().GetCounter("sand.sched.demand_jobs_run")),
+      deadline_pops_(obs::Registry::Get().GetCounter("sand.sched.deadline_pops")),
+      sjf_pops_(obs::Registry::Get().GetCounter("sand.sched.sjf_pops")),
+      queue_depth_(obs::Registry::Get().GetGauge("sand.sched.queue_depth")),
+      job_latency_ns_(obs::Registry::Get().GetHistogram("sand.sched.job_latency_ns")) {
   if (options_.num_threads < 1) {
     options_.num_threads = 1;
   }
@@ -23,6 +32,7 @@ void MaterializationScheduler::Submit(MaterializationJob job) {
     std::lock_guard<std::mutex> lock(mutex_);
     assert(!shutdown_ && "Submit after Shutdown");
     queue_.push_back(std::move(job));
+    queue_depth_->Set(static_cast<int64_t>(queue_.size()));
   }
   wake_.notify_one();
 }
@@ -43,6 +53,7 @@ MaterializationJob MaterializationScheduler::PopLocked() {
       bool use_sjf = pressure >= options_.sjf_watermark;
       if (use_sjf) {
         ++stats_.sjf_pops;
+        sjf_pops_->Add(1);
         for (auto it = queue_.begin(); it != queue_.end(); ++it) {
           if (it->remaining_work < best->remaining_work) {
             best = it;
@@ -50,6 +61,7 @@ MaterializationJob MaterializationScheduler::PopLocked() {
         }
       } else {
         ++stats_.deadline_pops;
+        deadline_pops_->Add(1);
         for (auto it = queue_.begin(); it != queue_.end(); ++it) {
           if (it->deadline < best->deadline) {
             best = it;
@@ -60,6 +72,7 @@ MaterializationJob MaterializationScheduler::PopLocked() {
   }
   MaterializationJob job = std::move(*best);
   queue_.erase(best);
+  queue_depth_->Set(static_cast<int64_t>(queue_.size()));
   return job;
 }
 
@@ -75,11 +88,18 @@ void MaterializationScheduler::WorkerLoop() {
       job = PopLocked();
       ++active_;
       ++stats_.jobs_run;
+      jobs_run_->Add(1);
       if (job.demand_feeding) {
         ++stats_.demand_jobs_run;
+        demand_jobs_run_->Add(1);
       }
     }
-    job.run();
+    {
+      SAND_SPAN("sched_job");
+      Nanos start = SinceProcessStart();
+      job.run();
+      job_latency_ns_->Record(static_cast<uint64_t>(SinceProcessStart() - start));
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --active_;

@@ -22,6 +22,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/obs/metrics.h"
+
 namespace sand {
 
 struct MaterializationJob {
@@ -85,6 +87,16 @@ class MaterializationScheduler {
   int active_ = 0;
   bool shutdown_ = false;
   SchedulerStats stats_;
+
+  // Registry mirrors of stats_ plus live queue depth ("sand.sched.*" in
+  // /.sand/metrics); bumped under mutex_, so plain counters would do, but
+  // the registry types keep one publishing surface.
+  obs::Counter* jobs_run_;
+  obs::Counter* demand_jobs_run_;
+  obs::Counter* deadline_pops_;
+  obs::Counter* sjf_pops_;
+  obs::Gauge* queue_depth_;
+  obs::Histogram* job_latency_ns_;
 };
 
 }  // namespace sand

@@ -7,10 +7,43 @@
 #include <thread>
 
 #include "src/common/strings.h"
+#include "src/obs/trace.h"
 
 namespace sand {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+// Class-level store op counters (all instances of a store class share
+// them; the "sand.cache.*" family carries the per-tier cache semantics).
+struct StoreMetrics {
+  obs::Counter* gets;
+  obs::Counter* puts;
+  obs::Counter* bytes_read;
+  obs::Counter* bytes_written;
+
+  static const StoreMetrics& Memory() {
+    static const StoreMetrics metrics{
+        obs::Registry::Get().GetCounter("sand.store.memory.gets"),
+        obs::Registry::Get().GetCounter("sand.store.memory.puts"),
+        obs::Registry::Get().GetCounter("sand.store.memory.bytes_read"),
+        obs::Registry::Get().GetCounter("sand.store.memory.bytes_written"),
+    };
+    return metrics;
+  }
+  static const StoreMetrics& Disk() {
+    static const StoreMetrics metrics{
+        obs::Registry::Get().GetCounter("sand.store.disk.gets"),
+        obs::Registry::Get().GetCounter("sand.store.disk.puts"),
+        obs::Registry::Get().GetCounter("sand.store.disk.bytes_read"),
+        obs::Registry::Get().GetCounter("sand.store.disk.bytes_written"),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
 
 // --- ObjectStore defaults ----------------------------------------------------
 
@@ -63,6 +96,8 @@ Status MemoryStore::PutShared(const std::string& key, SharedBytes data) {
   auto it = shard.objects.find(key);
   uint64_t existing = it != shard.objects.end() ? it->second->size() : 0;
   SAND_RETURN_IF_ERROR(Reserve(data->size(), existing, "memory store"));
+  StoreMetrics::Memory().puts->Add(1);
+  StoreMetrics::Memory().bytes_written->Add(data->size());
   shard.objects[key] = std::move(data);
   return Status::Ok();
 }
@@ -78,6 +113,8 @@ Result<bool> MemoryStore::PutIfAbsent(const std::string& key, std::span<const ui
     return false;
   }
   SAND_RETURN_IF_ERROR(Reserve(data.size(), 0, "memory store"));
+  StoreMetrics::Memory().puts->Add(1);
+  StoreMetrics::Memory().bytes_written->Add(data.size());
   shard.objects.emplace(key,
                         std::make_shared<std::vector<uint8_t>>(data.begin(), data.end()));
   return true;
@@ -90,6 +127,8 @@ Result<SharedBytes> MemoryStore::GetShared(const std::string& key) {
   if (it == shard.objects.end()) {
     return NotFound("no object: " + key);
   }
+  StoreMetrics::Memory().gets->Add(1);
+  StoreMetrics::Memory().bytes_read->Add(it->second->size());
   return it->second;  // reference to the cached allocation, no copy
 }
 
@@ -202,6 +241,8 @@ Status DiskStore::Put(const std::string& key, std::span<const uint8_t> data) {
     return written;
   }
   used_.fetch_sub(existing, std::memory_order_relaxed);
+  StoreMetrics::Disk().puts->Add(1);
+  StoreMetrics::Disk().bytes_written->Add(data.size());
   shard.sizes[key] = data.size();
   return Status::Ok();
 }
@@ -222,6 +263,8 @@ Result<bool> DiskStore::PutIfAbsent(const std::string& key, std::span<const uint
     used_.fetch_sub(data.size(), std::memory_order_relaxed);
     return written;
   }
+  StoreMetrics::Disk().puts->Add(1);
+  StoreMetrics::Disk().bytes_written->Add(data.size());
   shard.sizes[key] = data.size();
   return true;
 }
@@ -241,6 +284,8 @@ Result<SharedBytes> DiskStore::GetShared(const std::string& key) {
   }
   std::vector<uint8_t> data((std::istreambuf_iterator<char>(in)),
                             std::istreambuf_iterator<char>());
+  StoreMetrics::Disk().gets->Add(1);
+  StoreMetrics::Disk().bytes_read->Add(data.size());
   return MakeSharedBytes(std::move(data));
 }
 
@@ -389,41 +434,93 @@ void RemoteStore::ResetTraffic() {
 // --- TieredCache -------------------------------------------------------------
 
 TieredCache::TieredCache(std::shared_ptr<ObjectStore> memory, std::shared_ptr<ObjectStore> disk)
-    : memory_(std::move(memory)), disk_(std::move(disk)) {}
+    : memory_(std::move(memory)),
+      disk_(std::move(disk)),
+      memory_hits_(obs::Registry::Get().GetCounter("sand.cache.memory.hits")),
+      disk_hits_(obs::Registry::Get().GetCounter("sand.cache.disk.hits")),
+      misses_(obs::Registry::Get().GetCounter("sand.cache.misses")),
+      promotions_(obs::Registry::Get().GetCounter("sand.cache.promotions")),
+      demotions_(obs::Registry::Get().GetCounter("sand.cache.demotions")),
+      memory_puts_(obs::Registry::Get().GetCounter("sand.cache.memory.puts")),
+      disk_puts_(obs::Registry::Get().GetCounter("sand.cache.disk.puts")),
+      bytes_read_memory_(obs::Registry::Get().GetCounter("sand.cache.memory.bytes_read")),
+      bytes_read_disk_(obs::Registry::Get().GetCounter("sand.cache.disk.bytes_read")),
+      bytes_written_memory_(obs::Registry::Get().GetCounter("sand.cache.memory.bytes_written")),
+      bytes_written_disk_(obs::Registry::Get().GetCounter("sand.cache.disk.bytes_written")),
+      memory_used_(obs::Registry::Get().GetGauge("sand.cache.memory.used_bytes")),
+      disk_used_(obs::Registry::Get().GetGauge("sand.cache.disk.used_bytes")) {}
+
+void TieredCache::UpdateUsageGauges() {
+  memory_used_->Set(static_cast<int64_t>(memory_->UsedBytes()));
+  disk_used_->Set(static_cast<int64_t>(disk_->UsedBytes()));
+}
 
 Status TieredCache::Put(const std::string& key, std::span<const uint8_t> data, Tier tier) {
+  SAND_SPAN("store_put");
+  Status status;
   if (tier == Tier::kMemory) {
-    Status status = memory_->Put(key, data);
+    status = memory_->Put(key, data);
     if (status.ok()) {
+      memory_puts_->Add(1);
+      bytes_written_memory_->Add(data.size());
+      UpdateUsageGauges();
       return status;
     }
     // Memory full: fall through to disk rather than failing the pipeline.
   }
-  return disk_->Put(key, data);
+  status = disk_->Put(key, data);
+  if (status.ok()) {
+    disk_puts_->Add(1);
+    bytes_written_disk_->Add(data.size());
+    UpdateUsageGauges();
+  }
+  return status;
 }
 
 Result<bool> TieredCache::PutIfAbsent(const std::string& key, std::span<const uint8_t> data,
                                       Tier tier) {
+  SAND_SPAN("store_put");
   if (tier == Tier::kMemory) {
     Result<bool> inserted = memory_->PutIfAbsent(key, data);
     if (inserted.ok()) {
+      if (*inserted) {
+        memory_puts_->Add(1);
+        bytes_written_memory_->Add(data.size());
+        UpdateUsageGauges();
+      }
       return inserted;
     }
     // Memory full: fall through to disk rather than failing the pipeline.
   }
-  return disk_->PutIfAbsent(key, data);
+  Result<bool> inserted = disk_->PutIfAbsent(key, data);
+  if (inserted.ok() && *inserted) {
+    disk_puts_->Add(1);
+    bytes_written_disk_->Add(data.size());
+    UpdateUsageGauges();
+  }
+  return inserted;
 }
 
 Result<SharedBytes> TieredCache::GetShared(const std::string& key) {
+  SAND_SPAN("store_get");
   Result<SharedBytes> hot = memory_->GetShared(key);
   if (hot.ok()) {
+    memory_hits_->Add(1);
+    bytes_read_memory_->Add((*hot)->size());
     return hot;
   }
   Result<SharedBytes> cold = disk_->GetShared(key);
   if (cold.ok()) {
+    disk_hits_->Add(1);
+    bytes_read_disk_->Add((*cold)->size());
     // Best-effort promotion reusing the just-read buffer (no copy); ignore
     // failure (memory may be full).
-    (void)memory_->PutShared(key, *cold);
+    if (memory_->PutShared(key, *cold).ok()) {
+      promotions_->Add(1);
+      UpdateUsageGauges();
+    }
+  } else {
+    misses_->Add(1);
   }
   return cold;
 }
@@ -451,7 +548,11 @@ Status TieredCache::Delete(const std::string& key) {
 Status TieredCache::Demote(const std::string& key) {
   SAND_ASSIGN_OR_RETURN(SharedBytes data, memory_->GetShared(key));
   SAND_RETURN_IF_ERROR(disk_->Put(key, *data));
-  return memory_->Delete(key);
+  SAND_RETURN_IF_ERROR(memory_->Delete(key));
+  demotions_->Add(1);
+  bytes_written_disk_->Add(data->size());
+  UpdateUsageGauges();
+  return Status::Ok();
 }
 
 }  // namespace sand

@@ -33,6 +33,7 @@
 #include "src/common/bytes.h"
 #include "src/common/clock.h"
 #include "src/common/result.h"
+#include "src/obs/metrics.h"
 
 namespace sand {
 
@@ -218,6 +219,11 @@ enum class Tier {
 // disk tier's buffer (PutShared), so a promoted object is held once. The
 // eviction *policy* lives in the SAND core; this class only provides the
 // mechanics.
+//
+// Every instance publishes hit/miss/promotion/byte counters to the global
+// obs registry ("sand.cache.*", visible at /.sand/metrics) and emits
+// store_get/store_put trace spans; the pointers are resolved once at
+// construction so the hot path stays a relaxed fetch_add.
 class TieredCache {
  public:
   TieredCache(std::shared_ptr<ObjectStore> memory, std::shared_ptr<ObjectStore> disk);
@@ -245,8 +251,25 @@ class TieredCache {
   ObjectStore& disk() { return *disk_; }
 
  private:
+  void UpdateUsageGauges();
+
   std::shared_ptr<ObjectStore> memory_;
   std::shared_ptr<ObjectStore> disk_;
+
+  // Registry-backed counters (process-global, cached here).
+  obs::Counter* memory_hits_;
+  obs::Counter* disk_hits_;
+  obs::Counter* misses_;
+  obs::Counter* promotions_;
+  obs::Counter* demotions_;
+  obs::Counter* memory_puts_;
+  obs::Counter* disk_puts_;
+  obs::Counter* bytes_read_memory_;
+  obs::Counter* bytes_read_disk_;
+  obs::Counter* bytes_written_memory_;
+  obs::Counter* bytes_written_disk_;
+  obs::Gauge* memory_used_;
+  obs::Gauge* disk_used_;
 };
 
 }  // namespace sand

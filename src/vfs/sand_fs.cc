@@ -4,8 +4,37 @@
 #include <cstring>
 
 #include "src/common/strings.h"
+#include "src/obs/trace.h"
 
 namespace sand {
+
+SandFs::SandFs(ViewProvider* provider)
+    : provider_(provider),
+      opens_(obs::Registry::Get().GetCounter("sand.fs.opens")),
+      reads_(obs::Registry::Get().GetCounter("sand.fs.reads")),
+      closes_(obs::Registry::Get().GetCounter("sand.fs.closes")),
+      xattrs_(obs::Registry::Get().GetCounter("sand.fs.xattrs")),
+      bytes_read_(obs::Registry::Get().GetCounter("sand.fs.bytes_read")) {}
+
+Result<int> SandFs::OpenControl(const std::string& name) {
+  std::string body;
+  if (name == "metrics") {
+    body = obs::Registry::Get().ToJson();
+  } else if (name == "trace") {
+    body = obs::Tracer::Get().ToChromeJson();
+  } else {
+    return NotFound(std::string("no control view: ") + kControlRoot + "/" + name);
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  int fd = next_fd_++;
+  FdEntry entry;
+  entry.is_control = true;
+  entry.data = std::make_shared<const std::vector<uint8_t>>(body.begin(), body.end());
+  fds_[fd] = std::move(entry);
+  ++stats_.opens;
+  opens_->Add(1);
+  return fd;
+}
 
 Result<int> SandFs::Open(const std::string& path) {
   if (path.empty() || path.front() != '/') {
@@ -13,6 +42,14 @@ Result<int> SandFs::Open(const std::string& path) {
   }
   // "/{task}" with no further components is a session handle.
   std::vector<std::string> parts = Split(std::string_view(path).substr(1), '/');
+  // The introspection namespace is served by the fs itself: the metrics
+  // snapshot and trace dump are views like everything else in SAND.
+  if (parts.size() == 2 && parts[0] == ".sand") {
+    return OpenControl(parts[1]);
+  }
+  if (parts.size() == 1 && parts[0] == ".sand") {
+    return InvalidArgument("open: /.sand is a directory (use ListDir)");
+  }
   if (parts.size() == 1 && !parts[0].empty()) {
     SAND_RETURN_IF_ERROR(provider_->OnSessionOpen(parts[0]));
     std::lock_guard<std::mutex> lock(mutex_);
@@ -22,6 +59,7 @@ Result<int> SandFs::Open(const std::string& path) {
     entry.session_task = parts[0];
     fds_[fd] = std::move(entry);
     ++stats_.opens;
+    opens_->Add(1);
     return fd;
   }
   SAND_ASSIGN_OR_RETURN(ViewPath view, ViewPath::Parse(path));
@@ -31,6 +69,7 @@ Result<int> SandFs::Open(const std::string& path) {
   entry.path = std::move(view);
   fds_[fd] = std::move(entry);
   ++stats_.opens;
+  opens_->Add(1);
   return fd;
 }
 
@@ -83,6 +122,8 @@ Result<size_t> SandFs::Read(int fd, std::span<uint8_t> buffer) {
   entry.cursor += count;
   ++stats_.reads;
   stats_.bytes_read += count;
+  reads_->Add(1);
+  bytes_read_->Add(count);
   return count;
 }
 
@@ -101,6 +142,8 @@ Result<size_t> SandFs::PRead(int fd, std::span<uint8_t> buffer, uint64_t offset)
   std::memcpy(buffer.data(), data.data() + offset, count);
   ++stats_.reads;
   stats_.bytes_read += count;
+  reads_->Add(1);
+  bytes_read_->Add(count);
   return count;
 }
 
@@ -113,6 +156,8 @@ Result<std::vector<uint8_t>> SandFs::ReadAll(int fd) {
   }
   ++stats_.reads;
   stats_.bytes_read += it->second.data->size();
+  reads_->Add(1);
+  bytes_read_->Add(it->second.data->size());
   return *it->second.data;
 }
 
@@ -125,6 +170,8 @@ Result<std::shared_ptr<const std::vector<uint8_t>>> SandFs::ReadAllShared(int fd
   }
   ++stats_.reads;
   stats_.bytes_read += it->second.data->size();
+  reads_->Add(1);
+  bytes_read_->Add(it->second.data->size());
   return it->second.data;
 }
 
@@ -149,8 +196,12 @@ Result<std::string> SandFs::GetXattr(int fd, const std::string& name) {
     if (it->second.is_session) {
       return InvalidArgument("getxattr on a session fd");
     }
+    if (it->second.is_control) {
+      return InvalidArgument("getxattr on a control fd");
+    }
     path = it->second.path;
     ++stats_.xattrs;
+    xattrs_->Add(1);
   }
   return provider_->GetMetadata(path, name);
 }
@@ -158,6 +209,9 @@ Result<std::string> SandFs::GetXattr(int fd, const std::string& name) {
 Result<std::vector<std::string>> SandFs::ListDir(const std::string& path) {
   if (path.empty() || path.front() != '/') {
     return InvalidArgument("listdir: path must be absolute: " + path);
+  }
+  if (path == kControlRoot || path == std::string(kControlRoot) + "/") {
+    return std::vector<std::string>{"metrics", "trace"};
   }
   SAND_ASSIGN_OR_RETURN(std::vector<std::string> children, provider_->ListChildren(path));
   std::sort(children.begin(), children.end());
@@ -175,9 +229,13 @@ Status SandFs::Close(int fd) {
     entry = std::move(it->second);
     fds_.erase(it);
     ++stats_.closes;
+    closes_->Add(1);
   }
   if (entry.is_session) {
     return provider_->OnSessionClose(entry.session_task);
+  }
+  if (entry.is_control) {
+    return Status::Ok();  // nothing provider-side to release
   }
   provider_->OnViewClose(entry.path);
   return Status::Ok();

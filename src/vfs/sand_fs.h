@@ -16,6 +16,14 @@
 //   GetXattr(fd, name)                 -> view metadata (shape, timestamps)
 //   Close(fd)                          -> releases the buffer (and signals
 //                                         task end for session fds)
+//
+// Introspection views (served by SandFs itself, no provider round-trip —
+// the observability layer exported "in true SAND style"):
+//   Open("/.sand/metrics")             -> JSON snapshot of the global obs
+//                                         registry (tools/sand_stat reads it)
+//   Open("/.sand/trace")               -> Chrome trace-event JSON of the
+//                                         span ring buffer
+// Both snapshot at Open time; Read/PRead/ReadAll then behave like any view.
 
 #ifndef SAND_VFS_SAND_FS_H_
 #define SAND_VFS_SAND_FS_H_
@@ -30,6 +38,7 @@
 
 #include "src/common/result.h"
 #include "src/graph/view.h"
+#include "src/obs/metrics.h"
 
 namespace sand {
 
@@ -70,7 +79,10 @@ struct SandFsStats {
 
 class SandFs {
  public:
-  explicit SandFs(ViewProvider* provider) : provider_(provider) {}
+  // Prefix of the introspection namespace ("/.sand/...").
+  static constexpr const char* kControlRoot = "/.sand";
+
+  explicit SandFs(ViewProvider* provider);
 
   // Opens a view or session path; returns a file descriptor.
   Result<int> Open(const std::string& path);
@@ -104,6 +116,7 @@ class SandFs {
  private:
   struct FdEntry {
     bool is_session = false;
+    bool is_control = false;  // /.sand/* fd; data snapshotted at Open
     std::string session_task;
     ViewPath path;
     uint64_t cursor = 0;
@@ -113,11 +126,21 @@ class SandFs {
   // Ensures entry.data is materialized. Caller must NOT hold mutex_.
   Status EnsureData(int fd);
 
+  // Serves Open("/.sand/<name>"); NotFound for unknown names.
+  Result<int> OpenControl(const std::string& name);
+
   ViewProvider* provider_;
   std::mutex mutex_;
   std::map<int, FdEntry> fds_;
   int next_fd_ = 3;  // skip stdin/stdout/stderr numbers for familiarity
   SandFsStats stats_;
+
+  // Registry mirrors ("sand.fs.*" in /.sand/metrics).
+  obs::Counter* opens_;
+  obs::Counter* reads_;
+  obs::Counter* closes_;
+  obs::Counter* xattrs_;
+  obs::Counter* bytes_read_;
 };
 
 }  // namespace sand

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# One-command verification: configure + build the default tree, run the
+# full ctest suite, then run the ThreadSanitizer suite (tools/check_tsan.sh)
+# in its own build tree. This is the tier-1 gate plus the concurrency gate.
+#
+# Usage: tools/check_build.sh
+#   BUILD_DIR       override the default build tree (default: build)
+#   SKIP_TSAN=1     run only the tier-1 configure/build/ctest
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build}
+
+echo "==== configure + build ($BUILD_DIR) ===="
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+echo "==== ctest ===="
+(cd "$BUILD_DIR" && ctest --output-on-failure -j"$(nproc)")
+
+if [ "${SKIP_TSAN:-0}" != "1" ]; then
+  echo "==== tsan suite ===="
+  tools/check_tsan.sh
+fi
+
+echo "check_build: all green"

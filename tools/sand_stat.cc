@@ -1,0 +1,264 @@
+// sand_stat: pretty-prints a SAND metrics snapshot.
+//
+// Input is the JSON produced by the obs registry — read from a file given
+// as argv[1], or stdin when absent / "-". Capture a snapshot either by
+// reading the "/.sand/metrics" view through SandFs, or with the benches'
+// --metrics-out flag:
+//
+//   build/bench/bench_fig11_single_task --metrics-out /tmp/m.json
+//   build/tools/sand_stat /tmp/m.json
+//
+// Output: counters and gauges aligned and sorted, histogram quantiles in
+// human time units (the convention is that *_ns histograms hold
+// nanoseconds), plus derived ratios (cache hit rate, decode
+// amplification) when their inputs are present.
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+
+namespace {
+
+// --- minimal JSON reader for the registry's dump shape -----------------------
+//
+// The snapshot is two levels of objects with string keys and numeric
+// leaves. This parser handles exactly that (plus nested objects), which
+// keeps the tool dependency-free.
+
+struct Parser {
+  const std::string& text;
+  size_t pos = 0;
+
+  explicit Parser(const std::string& t) : text(t) {}
+
+  void SkipWs() {
+    while (pos < text.size() && std::isspace(static_cast<unsigned char>(text[pos]))) {
+      ++pos;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> ParseString() {
+    SkipWs();
+    if (pos >= text.size() || text[pos] != '"') {
+      return std::nullopt;
+    }
+    ++pos;
+    std::string out;
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\' && pos + 1 < text.size()) {
+        ++pos;
+      }
+      out.push_back(text[pos++]);
+    }
+    if (pos >= text.size()) {
+      return std::nullopt;
+    }
+    ++pos;  // closing quote
+    return out;
+  }
+
+  std::optional<double> ParseNumber() {
+    SkipWs();
+    size_t start = pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) || text[pos] == '-' ||
+            text[pos] == '+' || text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E')) {
+      ++pos;
+    }
+    if (pos == start) {
+      return std::nullopt;
+    }
+    try {
+      return std::stod(text.substr(start, pos - start));
+    } catch (...) {
+      return std::nullopt;
+    }
+  }
+};
+
+// name -> value for flat objects; histograms become "name.field" entries.
+using FlatMetrics = std::map<std::string, double>;
+
+bool ParseObjectInto(Parser& p, const std::string& prefix, FlatMetrics& out) {
+  if (!p.Consume('{')) {
+    return false;
+  }
+  if (p.Consume('}')) {
+    return true;
+  }
+  while (true) {
+    auto key = p.ParseString();
+    if (!key || !p.Consume(':')) {
+      return false;
+    }
+    std::string full = prefix.empty() ? *key : prefix + "." + *key;
+    p.SkipWs();
+    if (p.pos < p.text.size() && p.text[p.pos] == '{') {
+      if (!ParseObjectInto(p, full, out)) {
+        return false;
+      }
+    } else {
+      auto value = p.ParseNumber();
+      if (!value) {
+        return false;
+      }
+      out[full] = *value;
+    }
+    if (p.Consume('}')) {
+      return true;
+    }
+    if (!p.Consume(',')) {
+      return false;
+    }
+  }
+}
+
+// --- formatting --------------------------------------------------------------
+
+std::string HumanTime(double ns) {
+  char buffer[64];
+  if (ns >= 1e9) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f s", ns / 1e9);
+  } else if (ns >= 1e6) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f ms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f us", ns / 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.0f ns", ns);
+  }
+  return buffer;
+}
+
+std::string HumanCount(double v) {
+  char buffer[64];
+  if (v == static_cast<double>(static_cast<long long>(v)) && v < 1e15) {
+    std::snprintf(buffer, sizeof(buffer), "%lld", static_cast<long long>(v));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.2f", v);
+  }
+  return buffer;
+}
+
+double GetOr(const FlatMetrics& m, const std::string& key, double fallback = 0.0) {
+  auto it = m.find(key);
+  return it == m.end() ? fallback : it->second;
+}
+
+bool Has(const FlatMetrics& m, const std::string& key) { return m.count(key) > 0; }
+
+void PrintRatio(const char* label, double numerator, double denominator, const char* unit) {
+  if (denominator <= 0) {
+    return;
+  }
+  std::printf("  %-38s %.2f%s\n", label, numerator / denominator, unit);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string input;
+  if (argc > 2) {
+    std::fprintf(stderr, "usage: %s [metrics.json|-]\n", argv[0]);
+    return 2;
+  }
+  if (argc == 2 && std::string(argv[1]) != "-") {
+    std::FILE* f = std::fopen(argv[1], "rb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "sand_stat: cannot open %s\n", argv[1]);
+      return 1;
+    }
+    char chunk[4096];
+    size_t n;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+      input.append(chunk, n);
+    }
+    std::fclose(f);
+  } else {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    input = buffer.str();
+  }
+
+  Parser parser(input);
+  FlatMetrics flat;
+  if (!ParseObjectInto(parser, "", flat) || flat.empty()) {
+    std::fprintf(stderr, "sand_stat: input is not a metrics snapshot\n");
+    return 1;
+  }
+
+  // The registry nests everything under counters/gauges/histograms.
+  std::printf("== counters ==\n");
+  for (const auto& [key, value] : flat) {
+    if (key.rfind("counters.", 0) == 0) {
+      std::printf("  %-44s %s\n", key.substr(9).c_str(), HumanCount(value).c_str());
+    }
+  }
+  std::printf("== gauges ==\n");
+  for (const auto& [key, value] : flat) {
+    if (key.rfind("gauges.", 0) == 0) {
+      std::printf("  %-44s %s\n", key.substr(7).c_str(), HumanCount(value).c_str());
+    }
+  }
+
+  // Histograms: group the flattened fields back per histogram name.
+  std::printf("== histograms ==\n");
+  std::map<std::string, FlatMetrics> hists;
+  for (const auto& [key, value] : flat) {
+    if (key.rfind("histograms.", 0) == 0) {
+      std::string rest = key.substr(11);
+      size_t dot = rest.rfind('.');
+      if (dot != std::string::npos) {
+        hists[rest.substr(0, dot)][rest.substr(dot + 1)] = value;
+      }
+    }
+  }
+  for (const auto& [name, fields] : hists) {
+    bool is_time = name.size() > 3 && name.compare(name.size() - 3, 3, "_ns") == 0;
+    auto fmt = [&](const char* field) {
+      double v = GetOr(fields, field);
+      return is_time ? HumanTime(v) : HumanCount(v);
+    };
+    std::printf("  %s\n", name.c_str());
+    std::printf("    count %-12s mean %-12s p50 %-12s p95 %-12s p99 %-12s max %s\n",
+                HumanCount(GetOr(fields, "count")).c_str(), fmt("mean").c_str(),
+                fmt("p50").c_str(), fmt("p95").c_str(), fmt("p99").c_str(),
+                fmt("max").c_str());
+  }
+
+  // Derived ratios, printed only when their inputs were recorded.
+  std::printf("== derived ==\n");
+  double mem_hits = GetOr(flat, "counters.sand.cache.memory.hits");
+  double disk_hits = GetOr(flat, "counters.sand.cache.disk.hits");
+  double misses = GetOr(flat, "counters.sand.cache.misses");
+  if (mem_hits + disk_hits + misses > 0) {
+    PrintRatio("cache hit rate", mem_hits + disk_hits, mem_hits + disk_hits + misses, "");
+    PrintRatio("memory-tier share of hits", mem_hits, mem_hits + disk_hits, "");
+  }
+  if (Has(flat, "counters.sand.decode.frames_decoded") &&
+      GetOr(flat, "counters.sand.decode.frames_requested") > 0) {
+    // Frames actually decoded per frame requested: GOP pre-roll makes this
+    // > 1 on seek-heavy access patterns (the paper's decode amplification).
+    PrintRatio("decode amplification", GetOr(flat, "counters.sand.decode.frames_decoded"),
+               GetOr(flat, "counters.sand.decode.frames_requested"), "x");
+  }
+  double cc_hits = GetOr(flat, "counters.sand.container_cache.hits");
+  double cc_misses = GetOr(flat, "counters.sand.container_cache.misses");
+  if (cc_hits + cc_misses > 0) {
+    PrintRatio("container cache hit rate", cc_hits, cc_hits + cc_misses, "");
+  }
+  return 0;
+}
