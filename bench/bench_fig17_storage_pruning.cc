@@ -42,7 +42,7 @@ double AvgIterationPreprocMs(const BenchEnv& env, uint64_t budget, bool enable_p
       for (int64_t iter = 0; iter < ipe; ++iter) {
         auto fd = service.fs().Open(
             ViewPath::Batch(tasks[static_cast<size_t>(t)].tag, epoch, iter).Format());
-        if (!fd.ok() || !service.fs().ReadAll(*fd).ok()) {
+        if (!fd.ok() || !service.fs().ReadAllShared(*fd).ok()) {
           std::abort();
         }
         (void)service.fs().Close(*fd);

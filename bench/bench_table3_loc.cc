@@ -70,7 +70,7 @@ int main(int argc, char** argv) {
   const std::vector<std::string> sand_loop = {
       "int session = *fs.Open(\"/train\");",
       "int fd = *fs.Open(path);",
-      "std::vector<uint8_t> batch = *fs.ReadAll(fd);",
+      "SharedBytes batch = *fs.ReadAllShared(fd);",
       "std::string shape = *fs.GetXattr(fd, \"shape\");",
       "(void)fs.Close(fd);",
       "// model.forward(batch) ...",

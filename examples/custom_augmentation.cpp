@@ -115,12 +115,12 @@ int main() {
     for (int64_t iteration = 0; iteration < 2; ++iteration) {
       int64_t global_iteration = epoch * 2 + iteration;
       auto fd = service.fs().Open(ViewPath::Batch("train", epoch, iteration).Format());
-      auto bytes = service.fs().ReadAll(*fd);
+      auto bytes = service.fs().ReadAllShared(*fd);
       if (!bytes.ok()) {
         std::fprintf(stderr, "%s\n", bytes.status().ToString().c_str());
         return 1;
       }
-      auto header = ParseBatchHeader(*bytes);
+      auto header = ParseBatchHeader(**bytes);
       std::printf("iter %lld: %u clips of %ux%ux%u, branch: %s\n",
                   static_cast<long long>(global_iteration), header->n_clips, header->height,
                   header->width, header->channels,

@@ -68,13 +68,13 @@ int main() {
                 static_cast<long long>(iterations));
     for (int64_t iter = 0; iter < iterations; ++iter) {
       auto fd = service.fs().Open(ViewPath::Batch("online", epoch, iter).Format());
-      auto bytes = service.fs().ReadAll(*fd);
+      auto bytes = service.fs().ReadAllShared(*fd);
       if (!bytes.ok()) {
         std::fprintf(stderr, "  %s\n", bytes.status().ToString().c_str());
         return 1;
       }
       std::printf("  iter %lld: %zu-byte batch\n", static_cast<long long>(iter),
-                  bytes->size());
+                  (*bytes)->size());
       (void)service.fs().Close(*fd);
     }
     // Two more videos arrive between epochs.

@@ -65,14 +65,14 @@ int main() {
     for (int64_t iteration = 0; iteration < 2; ++iteration) {
       std::string path = ViewPath::Batch("train", epoch, iteration).Format();
       int fd = *fs.Open(path);                          // open()
-      std::vector<uint8_t> batch = *fs.ReadAll(fd);     // read()
+      SharedBytes batch = *fs.ReadAllShared(fd);        // read(), zero-copy
       std::string shape = *fs.GetXattr(fd, "shape");    // getxattr()
       (void)fs.Close(fd);                               // close()
 
-      auto header = ParseBatchHeader(batch);
+      auto header = ParseBatchHeader(*batch);
       std::printf("epoch %lld iter %lld: %-18s  %zu bytes  shape=%s\n",
                   static_cast<long long>(epoch), static_cast<long long>(iteration),
-                  path.c_str(), batch.size(), shape.c_str());
+                  path.c_str(), batch->size(), shape.c_str());
       if (!header.ok()) {
         std::fprintf(stderr, "bad batch: %s\n", header.status().ToString().c_str());
         return 1;

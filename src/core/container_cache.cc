@@ -24,8 +24,7 @@ struct ContainerMetrics {
 
 }  // namespace
 
-Result<std::shared_ptr<const std::vector<uint8_t>>> ContainerCache::Fetch(
-    const std::string& key) {
+Result<SharedBytes> ContainerCache::Fetch(const std::string& key) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = index_.find(key);

@@ -16,6 +16,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/bytes.h"
 #include "src/common/result.h"
 #include "src/storage/object_store.h"
 
@@ -27,7 +28,7 @@ class ContainerCache {
       : source_(std::move(source)), max_entries_(max_entries) {}
 
   // Returns the container bytes for `key`, fetching on miss.
-  Result<std::shared_ptr<const std::vector<uint8_t>>> Fetch(const std::string& key);
+  Result<SharedBytes> Fetch(const std::string& key);
 
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
@@ -37,7 +38,7 @@ class ContainerCache {
   const size_t max_entries_;
   std::mutex mutex_;
   // MRU-front list + index.
-  std::list<std::pair<std::string, std::shared_ptr<const std::vector<uint8_t>>>> lru_;
+  std::list<std::pair<std::string, SharedBytes>> lru_;
   std::unordered_map<std::string, decltype(lru_)::iterator> index_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;

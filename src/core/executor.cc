@@ -304,6 +304,18 @@ Status SubtreeExecutor::MaterializeFlagged() {
   return Status::Ok();
 }
 
+ExecutorStats SubtreeExecutor::DrainStats() {
+  ExecutorStats drained = stats_;
+  stats_ = ExecutorStats{};
+  return drained;
+}
+
+void SubtreeExecutor::TrimMemo(size_t max_entries) {
+  if (memo_.size() > max_entries) {
+    memo_.clear();
+  }
+}
+
 int64_t SubtreeExecutor::RemainingFlagged() const {
   int64_t remaining = 0;
   for (const ConcreteNode& node : graph_.nodes) {

@@ -80,6 +80,17 @@ class SubtreeExecutor {
 
   const ExecutorStats& stats() const { return stats_; }
 
+  // Returns the counters accumulated since construction (or the last drain)
+  // and resets them. For executors reused across materialization units —
+  // each unit accounts only its own work.
+  ExecutorStats DrainStats();
+
+  // Bounds the frame memo for long-lived executors (the speculative path
+  // reuses one executor per video across readahead units; without a trim
+  // the memo would pin every frame the video ever produced). Clears the
+  // memo once it exceeds `max_entries`; the decoder cursor survives.
+  void TrimMemo(size_t max_entries);
+
  private:
   Result<Frame> Decode(int64_t frame_index);
   Result<Frame> Augment(const ConcreteNode& node, const Frame& input);

@@ -21,6 +21,8 @@ struct ServiceMetrics {
   obs::Counter* pre_materialize_jobs;
   obs::Counter* evictions;
   obs::Counter* chunks_planned;
+  obs::Counter* async_units;
+  obs::Counter* speculative_batches;
   obs::Histogram* batch_assemble_ns;
   static ServiceMetrics& Get() {
     static ServiceMetrics m{
@@ -29,6 +31,8 @@ struct ServiceMetrics {
         obs::Registry::Get().GetCounter("sand.service.pre_materialize_jobs"),
         obs::Registry::Get().GetCounter("sand.service.evictions"),
         obs::Registry::Get().GetCounter("sand.service.chunks_planned"),
+        obs::Registry::Get().GetCounter("sand.service.async_units"),
+        obs::Registry::Get().GetCounter("sand.service.speculative_batches"),
         obs::Registry::Get().GetHistogram("sand.service.batch_assemble_ns"),
     };
     return m;
@@ -46,13 +50,17 @@ SandService::SandService(std::shared_ptr<ObjectStore> dataset_store, DatasetMeta
       dataset_store_(std::move(dataset_store)),
       cache_(std::move(cache)),
       containers_(dataset_store_, options.container_cache_entries),
-      fs_(this) {
+      fs_(this, options.prefetch) {
   MaterializationScheduler::Options sched_options;
   sched_options.num_threads = options_.num_threads;
   sched_options.sjf_watermark = options_.sjf_watermark;
   sched_options.disable_priorities = !options_.enable_scheduling;
   sched_options.memory_pressure = [this] { return MemoryPressure(); };
   scheduler_ = std::make_unique<MaterializationScheduler>(std::move(sched_options));
+  WorkerPool::Options pool_options;
+  pool_options.num_threads = std::max(1, options_.async_threads);
+  pool_options.max_queued = options_.async_queue_depth;
+  async_pool_ = std::make_unique<WorkerPool>(pool_options);
   task_progress_.assign(tasks_.size(), 0);
   task_active_.assign(tasks_.size(), true);
 }
@@ -72,7 +80,12 @@ Status SandService::Start() {
   return Status::Ok();
 }
 
-void SandService::Shutdown() { scheduler_->Shutdown(); }
+void SandService::Shutdown() {
+  // The pool drains first: its units submit to (and block on) scheduler
+  // jobs, so the scheduler must still be accepting work while they finish.
+  async_pool_->Shutdown();
+  scheduler_->Shutdown();
+}
 
 Result<int> SandService::TaskIndex(const std::string& tag) const {
   for (size_t t = 0; t < tasks_.size(); ++t) {
@@ -296,8 +309,7 @@ void SandService::SubmitPreMaterialization(const std::shared_ptr<ChunkState>& ch
   }
 }
 
-Result<std::shared_ptr<const std::vector<uint8_t>>> SandService::Materialize(
-    const ViewPath& path) {
+Result<SharedBytes> SandService::Materialize(const ViewPath& path) {
   switch (path.type) {
     case ViewType::kBatchView:
       return MaterializeBatch(path);
@@ -312,12 +324,39 @@ Result<std::shared_ptr<const std::vector<uint8_t>>> SandService::Materialize(
   return InvalidArgument("unsupported view type");
 }
 
-Result<std::vector<uint8_t>> SandService::AssembleBatch(ChunkState& chunk,
-                                                        const BatchPlan& batch) {
+Future<SharedBytes> SandService::MaterializeAsync(const ViewPath& path, bool speculative) {
+  auto promise = std::make_shared<Promise<SharedBytes>>();
+  Future<SharedBytes> future = promise->future();
+  bool spec_batch = speculative && path.type == ViewType::kBatchView;
+  bool submitted = async_pool_->TrySubmit([this, path, promise, spec_batch] {
+    promise->Set(spec_batch ? MaterializeSpeculative(path) : Materialize(path));
+  });
+  if (!submitted) {
+    if (speculative) {
+      // Admission control: readahead never queues behind a saturated pool.
+      return Future<SharedBytes>::FromResult(
+          Result<SharedBytes>(ResourceExhausted("async pool saturated: " + path.Format())));
+    }
+    // Demand callers block on the future anyway; compute inline.
+    return Future<SharedBytes>::FromResult(Materialize(path));
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.async_units;
+  }
+  ServiceMetrics::Get().async_units->Add(1);
+  return future;
+}
+
+Result<std::vector<uint8_t>> SandService::AssembleBatch(const std::shared_ptr<ChunkState>& chunk,
+                                                        const BatchPlan& batch,
+                                                        bool speculative) {
   SAND_SPAN("batch_assemble");
   Nanos assemble_start = SinceProcessStart();
   // Group the batch's clips by source video: one decoder cursor and memo
-  // per video, and one parallel demand-feeding job per video group.
+  // per video, and one parallel job per video group — demand-feeding class
+  // for the trainer's blocking read, speculative class for readahead (which
+  // alternates with pre-materialization instead of preempting it).
   std::vector<Clip> clips(batch.clips.size());
   std::map<int, std::vector<size_t>> by_video;
   for (size_t c = 0; c < batch.clips.size(); ++c) {
@@ -329,12 +368,29 @@ Result<std::vector<uint8_t>> SandService::AssembleBatch(ChunkState& chunk,
     auto promise = std::make_shared<std::promise<Status>>();
     parts.push_back(promise->get_future());
     MaterializationJob job;
-    job.demand_feeding = true;
+    job.demand_feeding = !speculative;
+    job.speculative = speculative;
     job.deadline = batch.global_iteration;
-    job.run = [this, &chunk, &batch, &clips, video_index = video_index,
-               slots = clip_slots, promise] {
-      const VideoObjectGraph& graph = chunk.plan.videos[static_cast<size_t>(video_index)];
-      SubtreeExecutor executor(graph, &containers_, cache_.get(), &cpu_meter_);
+    job.remaining_work = static_cast<int64_t>(clip_slots.size());
+    job.run = [this, chunk, &batch, &clips, video_index = video_index,
+               slots = clip_slots, speculative, promise] {
+      const VideoObjectGraph& graph = chunk->plan.videos[static_cast<size_t>(video_index)];
+      // Speculative units reuse a per-video executor across readahead
+      // batches (warm decoder cursor + memo). Checked out exclusively; a
+      // concurrent unit for the same video gets a fresh one.
+      std::unique_ptr<SubtreeExecutor> executor;
+      if (speculative) {
+        std::lock_guard<std::mutex> lock(chunk->exec_mutex);
+        auto it = chunk->spec_executors.find(video_index);
+        if (it != chunk->spec_executors.end()) {
+          executor = std::move(it->second);
+          chunk->spec_executors.erase(it);
+        }
+      }
+      if (executor == nullptr) {
+        executor = std::make_unique<SubtreeExecutor>(graph, &containers_, cache_.get(),
+                                                     &cpu_meter_);
+      }
       Status status = Status::Ok();
       if (options_.pre_materialize && options_.enable_scheduling) {
         // Demand-feeding coordination is part of priority scheduling: never
@@ -343,9 +399,9 @@ Result<std::vector<uint8_t>> SandService::AssembleBatch(ChunkState& chunk,
         // consumer anyway), or wait for the owner to finish, then assemble
         // from cache. With scheduling disabled (Fig. 18 ablation) the
         // demand path recomputes naively like the baselines.
-        if (ClaimVideo(chunk, video_index, /*wait_if_running=*/true)) {
-          Status materialized = executor.MaterializeFlagged();
-          FinishVideo(chunk, video_index);
+        if (ClaimVideo(*chunk, video_index, /*wait_if_running=*/true)) {
+          Status materialized = executor->MaterializeFlagged();
+          FinishVideo(*chunk, video_index);
           if (!materialized.ok()) {
             // The per-leaf path below retries; just surface the warning.
             SAND_LOG(kWarning) << "subtree materialization failed: "
@@ -356,7 +412,7 @@ Result<std::vector<uint8_t>> SandService::AssembleBatch(ChunkState& chunk,
       for (size_t slot : slots) {
         const ClipRef& ref = batch.clips[slot];
         for (int leaf : ref.leaf_ids) {
-          Result<Frame> frame = executor.Produce(leaf, /*allow_cache_store=*/true);
+          Result<Frame> frame = executor->Produce(leaf, /*allow_cache_store=*/true);
           if (!frame.ok()) {
             status = frame.status();
             break;
@@ -370,7 +426,14 @@ Result<std::vector<uint8_t>> SandService::AssembleBatch(ChunkState& chunk,
       }
       {
         std::lock_guard<std::mutex> lock(stats_mutex_);
-        stats_.exec.Accumulate(executor.stats());
+        stats_.exec.Accumulate(executor->DrainStats());
+      }
+      if (speculative) {
+        executor->TrimMemo(/*max_entries=*/256);
+        std::lock_guard<std::mutex> lock(chunk->exec_mutex);
+        if (chunk->spec_executors.count(video_index) == 0) {
+          chunk->spec_executors[video_index] = std::move(executor);
+        }
       }
       promise->set_value(std::move(status));
     };
@@ -385,31 +448,14 @@ Result<std::vector<uint8_t>> SandService::AssembleBatch(ChunkState& chunk,
   return serialized;
 }
 
-Result<std::shared_ptr<const std::vector<uint8_t>>> SandService::MaterializeBatch(
-    const ViewPath& path) {
-  SAND_ASSIGN_OR_RETURN(int task, TaskIndex(path.task));
-  SAND_ASSIGN_OR_RETURN(auto chunk, EnsureChunk(ChunkOf(path.epoch)));
-  auto it = chunk->batch_index.find({task, path.epoch, path.iteration});
-  if (it == chunk->batch_index.end()) {
-    return NotFound("no planned batch for " + path.Format());
-  }
-  const BatchPlan& batch = chunk->plan.batches[it->second];
-
-  // Demand-feeding: AssembleBatch fans one job per source video into the
-  // scheduler's highest class; the caller (a training loop inside read())
-  // blocks until all of them land.
-  Result<std::vector<uint8_t>> bytes = AssembleBatch(*chunk, batch);
-  if (!bytes.ok()) {
-    return bytes.status();
-  }
-
+void SandService::FinishBatchServe(const ViewPath& path,
+                                   const std::shared_ptr<ChunkState>& chunk, int task,
+                                   const BatchPlan& batch) {
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.batches_served;
-    ++stats_.demand_materializations;
   }
   ServiceMetrics::Get().batches_served->Add(1);
-  ServiceMetrics::Get().demand_materializations->Add(1);
   {
     // Track training progress for deadlines and eviction.
     std::lock_guard<std::mutex> lock(progress_mutex_);
@@ -446,11 +492,152 @@ Result<std::shared_ptr<const std::vector<uint8_t>>> SandService::MaterializeBatc
     }
   }
   MaybeEvict();
-  return std::make_shared<const std::vector<uint8_t>>(bytes.TakeValue());
 }
 
-Result<std::shared_ptr<const std::vector<uint8_t>>> SandService::MaterializeIntermediate(
-    const ViewPath& path) {
+bool SandService::ReleaseSpeculation(const std::string& task, const std::string& key) {
+  {
+    std::lock_guard<std::mutex> lock(spec_mutex_);
+    auto it = spec_keys_by_task_.find(task);
+    if (it == spec_keys_by_task_.end()) {
+      return false;
+    }
+    auto pos = std::find(it->second.begin(), it->second.end(), key);
+    if (pos == it->second.end()) {
+      return false;
+    }
+    it->second.erase(pos);
+  }
+  cache_->Unpin(key);
+  return true;
+}
+
+Result<SharedBytes> SandService::MaterializeSpeculative(const ViewPath& path) {
+  SAND_SPAN("speculative_batch");
+  SAND_ASSIGN_OR_RETURN(int task, TaskIndex(path.task));
+  // NotFound here (an iteration past the epoch's end) teaches the
+  // prefetcher the task's epoch length; propagate it untouched.
+  SAND_ASSIGN_OR_RETURN(auto chunk, EnsureChunk(ChunkOf(path.epoch)));
+  auto it = chunk->batch_index.find({task, path.epoch, path.iteration});
+  if (it == chunk->batch_index.end()) {
+    return NotFound("no planned batch for " + path.Format());
+  }
+  const BatchPlan& batch = chunk->plan.batches[it->second];
+  std::string key = path.Format();
+
+  // An earlier speculation (possibly from a prior session) already left the
+  // bytes in the cache.
+  Result<SharedBytes> cached = cache_->GetShared(key);
+  if (cached.ok()) {
+    return cached;
+  }
+
+  // Pin BEFORE the object exists: eviction can then never win the race
+  // between Put and consumption.
+  cache_->Pin(key);
+  {
+    std::lock_guard<std::mutex> lock(spec_mutex_);
+    spec_keys_by_task_[path.task].push_back(key);
+  }
+  Result<std::vector<uint8_t>> bytes = AssembleBatch(chunk, batch, /*speculative=*/true);
+  if (!bytes.ok()) {
+    ReleaseSpeculation(path.task, key);
+    return bytes.status();
+  }
+  SharedBytes shared = MakeSharedBytes(bytes.TakeValue());
+  Status put = cache_->PutShared(key, shared, Tier::kMemory);
+  if (put.ok()) {
+    // The batch view joins the eviction index as consumed at exactly its
+    // own iteration (it becomes "spent" the moment the trainer passes it).
+    std::lock_guard<std::mutex> lock(evict_mutex_);
+    EvictMeta meta;
+    meta.last_use = batch.global_iteration;
+    meta.uses = {batch.global_iteration};
+    evict_index_[key] = std::move(meta);
+  } else {
+    // Couldn't persist (both tiers full): the prefetcher still holds the
+    // bytes; drop the pin so the key doesn't stay blocked.
+    ReleaseSpeculation(path.task, key);
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.speculative_batches;
+  }
+  ServiceMetrics::Get().speculative_batches->Add(1);
+  return shared;
+}
+
+void SandService::OnViewServed(const ViewPath& path, bool from_prefetch) {
+  if (path.type != ViewType::kBatchView) {
+    return;
+  }
+  Result<int> task = TaskIndex(path.task);
+  if (!task.ok()) {
+    return;
+  }
+  std::string key = path.Format();
+  // The trainer has the bytes: the speculative cache copy is consumed.
+  if (ReleaseSpeculation(path.task, key)) {
+    (void)cache_->Delete(key);
+    std::lock_guard<std::mutex> lock(evict_mutex_);
+    evict_index_.erase(key);
+  }
+  if (!from_prefetch) {
+    return;  // the demand path ran the serve tail inside MaterializeBatch
+  }
+  // Prefetch-served views bypass MaterializeBatch, so the progress /
+  // next-chunk-planning / eviction tail runs here instead.
+  Result<std::shared_ptr<ChunkState>> chunk = EnsureChunk(ChunkOf(path.epoch));
+  if (!chunk.ok()) {
+    return;
+  }
+  auto it = (*chunk)->batch_index.find({*task, path.epoch, path.iteration});
+  if (it == (*chunk)->batch_index.end()) {
+    return;
+  }
+  FinishBatchServe(path, *chunk, *task, (*chunk)->plan.batches[it->second]);
+}
+
+Result<SharedBytes> SandService::MaterializeBatch(const ViewPath& path) {
+  SAND_ASSIGN_OR_RETURN(int task, TaskIndex(path.task));
+  SAND_ASSIGN_OR_RETURN(auto chunk, EnsureChunk(ChunkOf(path.epoch)));
+  auto it = chunk->batch_index.find({task, path.epoch, path.iteration});
+  if (it == chunk->batch_index.end()) {
+    return NotFound("no planned batch for " + path.Format());
+  }
+  const BatchPlan& batch = chunk->plan.batches[it->second];
+
+  // A speculative unit may already have assembled this batch into the
+  // cache (e.g. the prefetcher's completed-LRU evicted its copy).
+  std::string key = path.Format();
+  Result<SharedBytes> speculated = cache_->GetShared(key);
+  if (speculated.ok()) {
+    if (ReleaseSpeculation(path.task, key)) {
+      (void)cache_->Delete(key);
+      std::lock_guard<std::mutex> lock(evict_mutex_);
+      evict_index_.erase(key);
+    }
+    FinishBatchServe(path, chunk, task, batch);
+    return speculated;
+  }
+
+  // Demand-feeding: AssembleBatch fans one job per source video into the
+  // scheduler's highest class; the caller (a training loop inside read())
+  // blocks until all of them land.
+  Result<std::vector<uint8_t>> bytes = AssembleBatch(chunk, batch, /*speculative=*/false);
+  if (!bytes.ok()) {
+    return bytes.status();
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.demand_materializations;
+  }
+  ServiceMetrics::Get().demand_materializations->Add(1);
+  FinishBatchServe(path, chunk, task, batch);
+  return MakeSharedBytes(bytes.TakeValue());
+}
+
+Result<SharedBytes> SandService::MaterializeIntermediate(const ViewPath& path) {
   SAND_ASSIGN_OR_RETURN(int task, TaskIndex(path.task));
   // Intermediate views live in the currently active chunk for the task.
   int64_t progress;
@@ -585,6 +772,23 @@ Status SandService::OnSessionOpen(const std::string& task) {
 
 Status SandService::OnSessionClose(const std::string& task) {
   SAND_ASSIGN_OR_RETURN(int index, TaskIndex(task));
+  // Release (and reclaim) speculative objects the closed session never
+  // consumed; their pins must not outlive the task.
+  std::vector<std::string> stale;
+  {
+    std::lock_guard<std::mutex> lock(spec_mutex_);
+    auto it = spec_keys_by_task_.find(task);
+    if (it != spec_keys_by_task_.end()) {
+      stale = std::move(it->second);
+      spec_keys_by_task_.erase(it);
+    }
+  }
+  for (const std::string& key : stale) {
+    cache_->Unpin(key);
+    (void)cache_->Delete(key);
+    std::lock_guard<std::mutex> lock(evict_mutex_);
+    evict_index_.erase(key);
+  }
   {
     std::lock_guard<std::mutex> lock(progress_mutex_);
     task_active_[static_cast<size_t>(index)] = false;

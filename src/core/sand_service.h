@@ -26,6 +26,9 @@
 #include <string>
 #include <vector>
 
+#include "src/common/bytes.h"
+#include "src/common/future.h"
+#include "src/common/worker_pool.h"
 #include "src/core/checkpoint.h"
 #include "src/core/container_cache.h"
 #include "src/core/executor.h"
@@ -53,6 +56,17 @@ struct ServiceOptions {
   bool pre_materialize = true;     // false: pure demand pipeline
   double sjf_watermark = 0.8;      // memory pressure that flips EDF -> SJF
 
+  // Async demand path (DESIGN.md §8): MaterializeAsync units run on a
+  // bounded work-stealing pool separate from the scheduler's workers (they
+  // coordinate and block on scheduler jobs). When the pool is saturated,
+  // demand units fall back to inline execution and speculative units are
+  // refused (RESOURCE_EXHAUSTED).
+  int async_threads = 2;
+  size_t async_queue_depth = 32;
+  // Readahead configuration handed to the embedded SandFs prefetcher
+  // (window = 0 keeps speculation off).
+  PrefetchOptions prefetch;
+
   // Streaming input (§5.1, input_source: streaming): invoked before
   // planning each chunk so newly ingested videos join the next chunk's
   // plan. Null = static dataset.
@@ -73,6 +87,8 @@ struct ServiceStats {
   uint64_t evictions = 0;
   uint64_t chunks_planned = 0;
   uint64_t recovered_objects = 0;
+  uint64_t async_units = 0;          // MaterializeAsync units run on the pool
+  uint64_t speculative_batches = 0;  // batches produced by readahead units
 };
 
 class SandService : public ViewProvider {
@@ -89,8 +105,12 @@ class SandService : public ViewProvider {
   void Shutdown();
 
   // --- ViewProvider -------------------------------------------------------
-  Result<std::shared_ptr<const std::vector<uint8_t>>> Materialize(
-      const ViewPath& path) override;
+  Result<SharedBytes> Materialize(const ViewPath& path) override;
+  // Native async path: the unit runs on the bounded work-stealing pool.
+  // Speculative batch units additionally persist their result (pinned) in
+  // the tiered cache so readahead survives prefetcher LRU eviction.
+  Future<SharedBytes> MaterializeAsync(const ViewPath& path, bool speculative) override;
+  void OnViewServed(const ViewPath& path, bool from_prefetch) override;
   Result<std::string> GetMetadata(const ViewPath& path, const std::string& name) override;
   Status OnSessionOpen(const std::string& task) override;
   Status OnSessionClose(const std::string& task) override;
@@ -102,11 +122,16 @@ class SandService : public ViewProvider {
   CpuMeter& cpu_meter() { return cpu_meter_; }
   TieredCache& cache() { return *cache_; }
   SchedulerStats scheduler_stats() { return scheduler_->stats(); }
+  WorkerPoolStats async_pool_stats() { return async_pool_->stats(); }
   ServiceStats stats();
   // Pruning report of the most recently planned chunk.
   PruningReport last_pruning_report();
   // Blocks until all queued background jobs complete (tests/benches).
-  void WaitForBackgroundWork() { scheduler_->WaitIdle(); }
+  // Pool units submit scheduler jobs, so the pool drains first.
+  void WaitForBackgroundWork() {
+    async_pool_->WaitIdle();
+    scheduler_->WaitIdle();
+  }
 
   // Crash recovery (§5.5): rescan the disk tier, restore the metadata
   // checkpoint if one is present (training progress), rebuild the current
@@ -132,6 +157,13 @@ class SandService : public ViewProvider {
     std::mutex video_mutex;
     std::condition_variable video_cv;
     std::vector<int> video_state;
+    // Reusable executors for speculative units, one per video: consecutive
+    // readahead batches on the same video keep the decoder cursor and the
+    // frame memo warm instead of re-opening the container every unit. An
+    // executor is checked out exclusively; a concurrent unit for the same
+    // video falls back to a fresh one.
+    std::mutex exec_mutex;
+    std::map<int, std::unique_ptr<SubtreeExecutor>> spec_executors;
   };
 
   // Claims video `v` of `chunk` for materialization. Returns true when the
@@ -154,13 +186,29 @@ class SandService : public ViewProvider {
   Result<int> TaskIndex(const std::string& tag) const;
 
   // Serves one batch view synchronously through the demand-feeding class.
-  Result<std::shared_ptr<const std::vector<uint8_t>>> MaterializeBatch(const ViewPath& path);
-  // Assembles the batch's clips (the demand job body).
-  Result<std::vector<uint8_t>> AssembleBatch(ChunkState& chunk, const BatchPlan& batch);
+  Result<SharedBytes> MaterializeBatch(const ViewPath& path);
+  // Assembles the batch's clips (the demand/speculative job body).
+  // `speculative`: fan the per-video jobs into the scheduler's speculative
+  // class (alternating with pre-materialization) instead of demand-feeding.
+  Result<std::vector<uint8_t>> AssembleBatch(const std::shared_ptr<ChunkState>& chunk,
+                                             const BatchPlan& batch, bool speculative);
+
+  // The speculative unit body: assembles the batch and persists it (pinned)
+  // in the tiered cache under the view-path key. Does NOT advance progress;
+  // that happens when the view is actually served (OnViewServed).
+  Result<SharedBytes> MaterializeSpeculative(const ViewPath& path);
+
+  // Progress/planning tail shared by the demand path and prefetch-served
+  // views: batches_served, task progress, next-chunk kickoff, eviction.
+  void FinishBatchServe(const ViewPath& path, const std::shared_ptr<ChunkState>& chunk,
+                        int task, const BatchPlan& batch);
+
+  // Unpins (and drops the tracking of) a speculative cache object. Returns
+  // true when `key` was a live speculation of `task`.
+  bool ReleaseSpeculation(const std::string& task, const std::string& key);
 
   // Serves frame / aug-frame intermediate views.
-  Result<std::shared_ptr<const std::vector<uint8_t>>> MaterializeIntermediate(
-      const ViewPath& path);
+  Result<SharedBytes> MaterializeIntermediate(const ViewPath& path);
 
   void SubmitPreMaterialization(const std::shared_ptr<ChunkState>& chunk);
 
@@ -178,6 +226,7 @@ class SandService : public ViewProvider {
   std::shared_ptr<TieredCache> cache_;
   ContainerCache containers_;
   std::unique_ptr<MaterializationScheduler> scheduler_;
+  std::unique_ptr<WorkerPool> async_pool_;
   SandFs fs_;
   CpuMeter cpu_meter_;
 
@@ -192,6 +241,11 @@ class SandService : public ViewProvider {
 
   std::mutex evict_mutex_;
   std::map<std::string, EvictMeta> evict_index_;
+
+  // Pinned speculative cache objects per task (view-path keys). Unpinned
+  // when the view is served or the task's session closes.
+  std::mutex spec_mutex_;
+  std::map<std::string, std::vector<std::string>> spec_keys_by_task_;
 
   std::mutex stats_mutex_;
   ServiceStats stats_;

@@ -14,6 +14,7 @@ MaterializationScheduler::MaterializationScheduler(Options options)
       demand_jobs_run_(obs::Registry::Get().GetCounter("sand.sched.demand_jobs_run")),
       deadline_pops_(obs::Registry::Get().GetCounter("sand.sched.deadline_pops")),
       sjf_pops_(obs::Registry::Get().GetCounter("sand.sched.sjf_pops")),
+      speculative_pops_(obs::Registry::Get().GetCounter("sand.sched.speculative_pops")),
       queue_depth_(obs::Registry::Get().GetGauge("sand.sched.queue_depth")),
       job_latency_ns_(obs::Registry::Get().GetHistogram("sand.sched.job_latency_ns")) {
   if (options_.num_threads < 1) {
@@ -51,22 +52,38 @@ MaterializationJob MaterializationScheduler::PopLocked() {
     if (!best->demand_feeding) {
       double pressure = options_.memory_pressure ? options_.memory_pressure() : 0.0;
       bool use_sjf = pressure >= options_.sjf_watermark;
+      auto better = [use_sjf](const MaterializationJob& a, const MaterializationJob& b) {
+        return use_sjf ? a.remaining_work < b.remaining_work : a.deadline < b.deadline;
+      };
+      // Rank within each background class, then pick the class: alternate
+      // when both speculative (prefetch) and pre-materialization jobs are
+      // queued so neither starves the other.
+      auto best_pre = queue_.end();
+      auto best_spec = queue_.end();
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        auto& slot = it->speculative ? best_spec : best_pre;
+        if (slot == queue_.end() || better(*it, *slot)) {
+          slot = it;
+        }
+      }
+      if (best_pre == queue_.end()) {
+        best = best_spec;
+      } else if (best_spec == queue_.end()) {
+        best = best_pre;
+      } else {
+        best = last_pop_speculative_ ? best_pre : best_spec;
+      }
+      last_pop_speculative_ = best->speculative;
+      if (best->speculative) {
+        ++stats_.speculative_pops;
+        speculative_pops_->Add(1);
+      }
       if (use_sjf) {
         ++stats_.sjf_pops;
         sjf_pops_->Add(1);
-        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-          if (it->remaining_work < best->remaining_work) {
-            best = it;
-          }
-        }
       } else {
         ++stats_.deadline_pops;
         deadline_pops_->Add(1);
-        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-          if (it->deadline < best->deadline) {
-            best = it;
-          }
-        }
       }
     }
   }

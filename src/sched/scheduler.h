@@ -1,15 +1,23 @@
 // Priority-based materialization scheduling (paper §5.4).
 //
-// Two worker classes share one CPU thread pool:
+// Three worker classes share one CPU thread pool:
 //   demand-feeding      - prepares the batch the GPU needs *now*; always
 //                         wins over background work
 //   pre-materialization - produces objects for upcoming iterations/epochs
+//   speculative         - prefetcher readahead of predicted next batches
+//                         (the async demand path's pipelined units)
 //
 // Background jobs are ordered earliest-deadline-first, where a job's
 // deadline is the global iteration at which its object is consumed. When
 // memory pressure crosses a watermark the policy flips to shortest-job-
 // first (fewest unprocessed edges), draining almost-done subtrees so their
 // pinned decoded frames can be freed (paper: SJF above ~80% memory use).
+//
+// Speculative jobs have near-term deadlines (the very next iterations), so
+// pure EDF would let a steady prefetch stream starve pre-materialization
+// of future epochs. When both classes are queued, pops alternate between
+// them (EDF/SJF ordering applies within each class) — neither readahead
+// nor pre-materialization can monopolize the background share.
 
 #ifndef SAND_SCHED_SCHEDULER_H_
 #define SAND_SCHED_SCHEDULER_H_
@@ -33,14 +41,18 @@ struct MaterializationJob {
   int64_t remaining_work = 0;
   // Demand-feeding jobs preempt (in queue order) all background work.
   bool demand_feeding = false;
+  // Prefetcher readahead: background class that alternates fairly with
+  // pre-materialization instead of outranking it on deadline.
+  bool speculative = false;
   std::function<void()> run;
 };
 
 struct SchedulerStats {
   uint64_t jobs_run = 0;
   uint64_t demand_jobs_run = 0;
-  uint64_t deadline_pops = 0;  // background pops under the EDF policy
-  uint64_t sjf_pops = 0;       // background pops under the SJF policy
+  uint64_t deadline_pops = 0;    // background pops under the EDF policy
+  uint64_t sjf_pops = 0;         // background pops under the SJF policy
+  uint64_t speculative_pops = 0;  // background pops that chose a prefetch job
 };
 
 class MaterializationScheduler {
@@ -86,6 +98,9 @@ class MaterializationScheduler {
   std::vector<std::thread> workers_;
   int active_ = 0;
   bool shutdown_ = false;
+  // Fair alternation between the speculative and pre-materialization
+  // background classes when both have queued jobs.
+  bool last_pop_speculative_ = false;
   SchedulerStats stats_;
 
   // Registry mirrors of stats_ plus live queue depth ("sand.sched.*" in
@@ -95,6 +110,7 @@ class MaterializationScheduler {
   obs::Counter* demand_jobs_run_;
   obs::Counter* deadline_pops_;
   obs::Counter* sjf_pops_;
+  obs::Counter* speculative_pops_;
   obs::Gauge* queue_depth_;
   obs::Histogram* job_latency_ns_;
 };

@@ -448,7 +448,8 @@ TieredCache::TieredCache(std::shared_ptr<ObjectStore> memory, std::shared_ptr<Ob
       bytes_written_memory_(obs::Registry::Get().GetCounter("sand.cache.memory.bytes_written")),
       bytes_written_disk_(obs::Registry::Get().GetCounter("sand.cache.disk.bytes_written")),
       memory_used_(obs::Registry::Get().GetGauge("sand.cache.memory.used_bytes")),
-      disk_used_(obs::Registry::Get().GetGauge("sand.cache.disk.used_bytes")) {}
+      disk_used_(obs::Registry::Get().GetGauge("sand.cache.disk.used_bytes")),
+      pinned_keys_(obs::Registry::Get().GetGauge("sand.cache.pinned_keys")) {}
 
 void TieredCache::UpdateUsageGauges() {
   memory_used_->Set(static_cast<int64_t>(memory_->UsedBytes()));
@@ -472,6 +473,27 @@ Status TieredCache::Put(const std::string& key, std::span<const uint8_t> data, T
   if (status.ok()) {
     disk_puts_->Add(1);
     bytes_written_disk_->Add(data.size());
+    UpdateUsageGauges();
+  }
+  return status;
+}
+
+Status TieredCache::PutShared(const std::string& key, SharedBytes data, Tier tier) {
+  SAND_SPAN("store_put");
+  if (tier == Tier::kMemory) {
+    Status status = memory_->PutShared(key, data);
+    if (status.ok()) {
+      memory_puts_->Add(1);
+      bytes_written_memory_->Add(data->size());
+      UpdateUsageGauges();
+      return status;
+    }
+    // Memory full: fall through to disk rather than failing the pipeline.
+  }
+  Status status = disk_->PutShared(key, data);
+  if (status.ok()) {
+    disk_puts_->Add(1);
+    bytes_written_disk_->Add(data->size());
     UpdateUsageGauges();
   }
   return status;
@@ -534,7 +556,33 @@ bool TieredCache::Contains(const std::string& key) {
   return memory_->Contains(key) || disk_->Contains(key);
 }
 
+void TieredCache::Pin(const std::string& key) {
+  std::lock_guard<std::mutex> lock(pin_mutex_);
+  ++pins_[key];
+  pinned_keys_->Set(static_cast<int64_t>(pins_.size()));
+}
+
+void TieredCache::Unpin(const std::string& key) {
+  std::lock_guard<std::mutex> lock(pin_mutex_);
+  auto it = pins_.find(key);
+  if (it == pins_.end()) {
+    return;
+  }
+  if (--it->second <= 0) {
+    pins_.erase(it);
+  }
+  pinned_keys_->Set(static_cast<int64_t>(pins_.size()));
+}
+
+bool TieredCache::IsPinned(const std::string& key) {
+  std::lock_guard<std::mutex> lock(pin_mutex_);
+  return pins_.count(key) > 0;
+}
+
 Status TieredCache::Delete(const std::string& key) {
+  if (IsPinned(key)) {
+    return FailedPrecondition("pinned: " + key);
+  }
   bool any = false;
   if (memory_->Delete(key).ok()) {
     any = true;
@@ -546,6 +594,9 @@ Status TieredCache::Delete(const std::string& key) {
 }
 
 Status TieredCache::Demote(const std::string& key) {
+  if (IsPinned(key)) {
+    return FailedPrecondition("pinned: " + key);
+  }
   SAND_ASSIGN_OR_RETURN(SharedBytes data, memory_->GetShared(key));
   SAND_RETURN_IF_ERROR(disk_->Put(key, *data));
   SAND_RETURN_IF_ERROR(memory_->Delete(key));

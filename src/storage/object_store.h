@@ -229,6 +229,9 @@ class TieredCache {
   TieredCache(std::shared_ptr<ObjectStore> memory, std::shared_ptr<ObjectStore> disk);
 
   Status Put(const std::string& key, std::span<const uint8_t> data, Tier tier);
+  // Zero-copy insert: memory-resident tiers adopt the refcounted buffer
+  // (falling through to a disk-tier copy when memory is full).
+  Status PutShared(const std::string& key, SharedBytes data, Tier tier);
   // Single-call insert-if-absent into `tier` (falling through to disk when
   // memory is full). True when this call stored the object.
   Result<bool> PutIfAbsent(const std::string& key, std::span<const uint8_t> data, Tier tier);
@@ -238,6 +241,17 @@ class TieredCache {
   Result<std::vector<uint8_t>> Get(const std::string& key);
   bool Contains(const std::string& key);
   Status Delete(const std::string& key);
+
+  // --- Pinning (async demand path) ---------------------------------------
+  // A pinned key refuses Delete and Demote: in-flight speculative objects
+  // (a prefetched batch between materialization and consumption) must not
+  // be reclaimed by the eviction policy mid-flight. Pins are counted, so
+  // nested Pin/Unpin pairs compose; pinning an absent key is allowed (the
+  // producer pins before Put so eviction can never win the race against a
+  // fresh insert).
+  void Pin(const std::string& key);
+  void Unpin(const std::string& key);
+  bool IsPinned(const std::string& key);
 
   // Moves an object from memory to disk (spill) keeping it cached.
   Status Demote(const std::string& key);
@@ -256,6 +270,10 @@ class TieredCache {
   std::shared_ptr<ObjectStore> memory_;
   std::shared_ptr<ObjectStore> disk_;
 
+  // key -> pin count; entries are erased at zero.
+  std::mutex pin_mutex_;
+  std::map<std::string, int> pins_;
+
   // Registry-backed counters (process-global, cached here).
   obs::Counter* memory_hits_;
   obs::Counter* disk_hits_;
@@ -270,6 +288,7 @@ class TieredCache {
   obs::Counter* bytes_written_disk_;
   obs::Gauge* memory_used_;
   obs::Gauge* disk_used_;
+  obs::Gauge* pinned_keys_;
 };
 
 }  // namespace sand

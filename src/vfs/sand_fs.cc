@@ -2,14 +2,17 @@
 
 #include <algorithm>
 #include <cstring>
+#include <optional>
+#include <utility>
 
 #include "src/common/strings.h"
 #include "src/obs/trace.h"
 
 namespace sand {
 
-SandFs::SandFs(ViewProvider* provider)
+SandFs::SandFs(ViewProvider* provider, PrefetchOptions prefetch)
     : provider_(provider),
+      prefetcher_(provider, prefetch),
       opens_(obs::Registry::Get().GetCounter("sand.fs.opens")),
       reads_(obs::Registry::Get().GetCounter("sand.fs.reads")),
       closes_(obs::Registry::Get().GetCounter("sand.fs.closes")),
@@ -36,7 +39,7 @@ Result<int> SandFs::OpenControl(const std::string& name) {
   return fd;
 }
 
-Result<int> SandFs::Open(const std::string& path) {
+Result<int> SandFs::Open(const std::string& path, const OpenOptions& options) {
   if (path.empty() || path.front() != '/') {
     return InvalidArgument("open: path must be absolute: " + path);
   }
@@ -52,29 +55,57 @@ Result<int> SandFs::Open(const std::string& path) {
   }
   if (parts.size() == 1 && !parts[0].empty()) {
     SAND_RETURN_IF_ERROR(provider_->OnSessionOpen(parts[0]));
+    prefetcher_.ConfigureSession(parts[0], options.prefetch_window);
     std::lock_guard<std::mutex> lock(mutex_);
     int fd = next_fd_++;
     FdEntry entry;
     entry.is_session = true;
     entry.session_task = parts[0];
+    entry.options = options;
     fds_[fd] = std::move(entry);
     ++stats_.opens;
     opens_->Add(1);
     return fd;
   }
   SAND_ASSIGN_OR_RETURN(ViewPath view, ViewPath::Parse(path));
-  std::lock_guard<std::mutex> lock(mutex_);
-  int fd = next_fd_++;
-  FdEntry entry;
-  entry.path = std::move(view);
-  fds_[fd] = std::move(entry);
-  ++stats_.opens;
-  opens_->Add(1);
+  int fd = -1;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fd = next_fd_++;
+    FdEntry entry;
+    entry.path = view;
+    entry.options = options;
+    fds_[fd] = std::move(entry);
+    ++stats_.opens;
+    opens_->Add(1);
+  }
+  if (options.nonblock) {
+    // O_NONBLOCK: start the materialization pipeline at open so the first
+    // poll can already find it in flight (or done).
+    bool from_prefetch = false;
+    Future<SharedBytes> pending;
+    std::optional<Future<SharedBytes>> taken = prefetcher_.Take(view);
+    if (taken.has_value()) {
+      pending = *taken;
+      from_prefetch = true;
+    } else {
+      pending = provider_->MaterializeAsync(view, /*speculative=*/false);
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = fds_.find(fd);
+    if (it != fds_.end()) {
+      it->second.pending = std::move(pending);
+      it->second.pending_from_prefetch = from_prefetch;
+    }
+  }
   return fd;
 }
 
 Status SandFs::EnsureData(int fd) {
   ViewPath path;
+  bool nonblock = false;
+  bool from_prefetch = false;
+  Future<SharedBytes> pending;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = fds_.find(fd);
@@ -88,19 +119,64 @@ Status SandFs::EnsureData(int fd) {
       return Status::Ok();
     }
     path = it->second.path;
+    nonblock = it->second.options.nonblock;
+    pending = it->second.pending;  // shared handle; valid once issued
+    from_prefetch = it->second.pending_from_prefetch;
   }
-  // Materialize outside the lock: this may block on preprocessing.
-  Result<std::shared_ptr<const std::vector<uint8_t>>> data = provider_->Materialize(path);
-  if (!data.ok()) {
-    return data.status();
+  if (!pending.valid()) {
+    // First access: consume a speculation if the prefetcher has (or is
+    // computing) this view, else issue a demand materialization. Both run
+    // outside mutex_ — this may block on preprocessing.
+    std::optional<Future<SharedBytes>> taken = prefetcher_.Take(path);
+    if (taken.has_value()) {
+      pending = *taken;
+      from_prefetch = true;
+    } else {
+      pending = provider_->MaterializeAsync(path, /*speculative=*/false);
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = fds_.find(fd);
+    if (it != fds_.end()) {
+      it->second.pending = pending;
+      it->second.pending_from_prefetch = from_prefetch;
+    }
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = fds_.find(fd);
-  if (it == fds_.end()) {
-    return InvalidArgument(StrFormat("fd %d closed during read", fd));
+  if (nonblock && !pending.Ready()) {
+    return Unavailable("materialization in flight: " + path.Format());
   }
-  if (it->second.data == nullptr) {
-    it->second.data = data.TakeValue();
+  Result<SharedBytes> result = pending.Get();
+  if (!result.ok()) {
+    return result.status();
+  }
+  return CommitData(fd, result.TakeValue(), from_prefetch);
+}
+
+Status SandFs::CommitData(int fd, SharedBytes data, bool from_prefetch) {
+  ViewPath path;
+  bool is_batch = false;
+  bool pin = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = fds_.find(fd);
+    if (it == fds_.end()) {
+      return InvalidArgument(StrFormat("fd %d closed during read", fd));
+    }
+    if (it->second.data == nullptr) {
+      it->second.data = data;
+      it->second.pending = Future<SharedBytes>();
+    }
+    path = it->second.path;
+    is_batch = path.type == ViewType::kBatchView;
+    pin = it->second.options.pin;
+  }
+  if (is_batch) {
+    // Outside mutex_: the served notification and the readahead planning
+    // both call back into provider/prefetcher locks.
+    provider_->OnViewServed(path, from_prefetch);
+    if (pin) {
+      prefetcher_.PinResult(path, data);
+    }
+    prefetcher_.OnBatchAccess(path);
   }
   return Status::Ok();
 }
@@ -161,7 +237,7 @@ Result<std::vector<uint8_t>> SandFs::ReadAll(int fd) {
   return *it->second.data;
 }
 
-Result<std::shared_ptr<const std::vector<uint8_t>>> SandFs::ReadAllShared(int fd) {
+Result<SharedBytes> SandFs::ReadAllShared(int fd) {
   SAND_RETURN_IF_ERROR(EnsureData(fd));
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = fds_.find(fd);
@@ -232,6 +308,9 @@ Status SandFs::Close(int fd) {
     closes_->Add(1);
   }
   if (entry.is_session) {
+    // Cancel the task's speculation before the provider tears the session
+    // down (§7.3 task-end signal).
+    prefetcher_.OnSessionClose(entry.session_task);
     return provider_->OnSessionClose(entry.session_task);
   }
   if (entry.is_control) {

@@ -11,11 +11,18 @@
 //   Open("/{task}")                    -> session fd (task start signal)
 //   Open("/{task}/{epoch}/{iter}/view")-> batch view fd
 //   Open(frame / aug-frame paths)      -> intermediate object fd
+//   Open(path, OpenOptions{...})       -> same, with per-fd readahead
+//                                         window / pinning / O_NONBLOCK
 //   Read/PRead(fd)                     -> materializes on first access, then
 //                                         copies out of the object buffer
 //   GetXattr(fd, name)                 -> view metadata (shape, timestamps)
 //   Close(fd)                          -> releases the buffer (and signals
 //                                         task end for session fds)
+//
+// The demand path is asynchronous underneath: first access resolves through
+// ViewProvider::MaterializeAsync, and a per-task Prefetcher speculatively
+// materializes the next batch views of the training stream (DESIGN.md §8)
+// so steady-state reads find their data already in flight or done.
 //
 // Introspection views (served by SandFs itself, no provider round-trip —
 // the observability layer exported "in true SAND style"):
@@ -36,9 +43,12 @@
 #include <string>
 #include <vector>
 
+#include "src/common/bytes.h"
+#include "src/common/future.h"
 #include "src/common/result.h"
 #include "src/graph/view.h"
 #include "src/obs/metrics.h"
+#include "src/vfs/prefetcher.h"
 
 namespace sand {
 
@@ -49,8 +59,18 @@ class ViewProvider {
 
   // Produces (or fetches from cache) the object's bytes. Blocks until the
   // object is ready — this is the demand-feeding path.
-  virtual Result<std::shared_ptr<const std::vector<uint8_t>>> Materialize(
-      const ViewPath& path) = 0;
+  virtual Result<SharedBytes> Materialize(const ViewPath& path) = 0;
+
+  // Asynchronous materialization: resolves to the object's bytes without
+  // blocking the caller. `speculative` marks prefetcher readahead, which
+  // providers schedule behind demand work and may refuse under load
+  // (RESOURCE_EXHAUSTED). The default adapter wraps the synchronous path,
+  // so every provider is usable from the async demand path; SandService
+  // overrides this with a real worker-pool implementation.
+  virtual Future<SharedBytes> MaterializeAsync(const ViewPath& path, bool speculative = false) {
+    (void)speculative;
+    return Future<SharedBytes>::FromResult(Materialize(path));
+  }
 
   // Metadata lookup (Table 2 getxattr).
   virtual Result<std::string> GetMetadata(const ViewPath& path, const std::string& name) = 0;
@@ -58,6 +78,15 @@ class ViewProvider {
   // Task session lifecycle (the open/close task signals of §7.3).
   virtual Status OnSessionOpen(const std::string& task) = 0;
   virtual Status OnSessionClose(const std::string& task) = 0;
+
+  // A batch view reached the trainer. `from_prefetch` is true when the
+  // bytes came from a speculative materialization rather than the demand
+  // call — providers use this to advance progress tracking (next-chunk
+  // planning, eviction bookkeeping) that otherwise rides on Materialize.
+  virtual void OnViewServed(const ViewPath& path, bool from_prefetch) {
+    (void)path;
+    (void)from_prefetch;
+  }
 
   // The object's fd was closed; the provider may release memory.
   virtual void OnViewClose(const ViewPath& path) { (void)path; }
@@ -67,6 +96,21 @@ class ViewProvider {
   virtual Result<std::vector<std::string>> ListChildren(const std::string& path) {
     return Unavailable("listing not supported: " + path);
   }
+};
+
+// Per-open knobs (the O_* analogue of Table 2's open flags).
+struct OpenOptions {
+  // Readahead depth when this opens a task session: -1 keeps the fs-wide
+  // default, 0 disables prefetching for the task, >0 speculates that many
+  // upcoming batch views. Ignored for non-session paths.
+  int prefetch_window = -1;
+  // Keep the materialized result resident in the prefetcher beyond
+  // Close(fd) (until the task session closes). For batch views re-read by
+  // multiple consumers.
+  bool pin = false;
+  // O_NONBLOCK: first Read/ReadAll returns UNAVAILABLE while the object is
+  // still materializing instead of blocking; poll until it succeeds.
+  bool nonblock = false;
 };
 
 struct SandFsStats {
@@ -82,10 +126,13 @@ class SandFs {
   // Prefix of the introspection namespace ("/.sand/...").
   static constexpr const char* kControlRoot = "/.sand";
 
-  explicit SandFs(ViewProvider* provider);
+  // `prefetch` configures the readahead engine; the default (window = 0)
+  // disables speculation, preserving the synchronous demand path.
+  explicit SandFs(ViewProvider* provider, PrefetchOptions prefetch = {});
 
   // Opens a view or session path; returns a file descriptor.
-  Result<int> Open(const std::string& path);
+  Result<int> Open(const std::string& path) { return Open(path, OpenOptions{}); }
+  Result<int> Open(const std::string& path, const OpenOptions& options);
 
   // Sequential read from the fd's cursor. Returns bytes copied; 0 at EOF.
   Result<size_t> Read(int fd, std::span<uint8_t> buffer);
@@ -94,12 +141,15 @@ class SandFs {
   Result<size_t> PRead(int fd, std::span<uint8_t> buffer, uint64_t offset);
 
   // Reads the whole object (materializing if needed). Copies.
+  // DEPRECATED: prefer ReadAllShared — it returns the materialized buffer
+  // itself instead of copying it; this wrapper remains for byte-oriented
+  // callers and will not grow new features.
   Result<std::vector<uint8_t>> ReadAll(int fd);
 
   // Zero-copy variant: a reference to the fd's materialized buffer. The
   // buffer outlives Close(fd) for as long as the caller pins it; treat it
   // as immutable.
-  Result<std::shared_ptr<const std::vector<uint8_t>>> ReadAllShared(int fd);
+  Result<SharedBytes> ReadAllShared(int fd);
 
   // Size of the object behind fd (materializes if needed).
   Result<uint64_t> SizeOf(int fd);
@@ -113,23 +163,36 @@ class SandFs {
 
   SandFsStats stats();
 
+  // The readahead engine (prefetch hit/waste counters for benches/tests).
+  Prefetcher& prefetcher() { return prefetcher_; }
+
  private:
   struct FdEntry {
     bool is_session = false;
     bool is_control = false;  // /.sand/* fd; data snapshotted at Open
     std::string session_task;
     ViewPath path;
+    OpenOptions options;
     uint64_t cursor = 0;
-    std::shared_ptr<const std::vector<uint8_t>> data;  // after first access
+    SharedBytes data;             // after first access
+    Future<SharedBytes> pending;  // in-flight materialization (nonblock)
+    bool pending_from_prefetch = false;
   };
 
   // Ensures entry.data is materialized. Caller must NOT hold mutex_.
+  // Returns UNAVAILABLE for a nonblock fd whose materialization is still
+  // in flight.
   Status EnsureData(int fd);
+
+  // Stores a finished materialization into the fd (if still open) and
+  // fires the served/readahead notifications. Caller must NOT hold mutex_.
+  Status CommitData(int fd, SharedBytes data, bool from_prefetch);
 
   // Serves Open("/.sand/<name>"); NotFound for unknown names.
   Result<int> OpenControl(const std::string& name);
 
   ViewProvider* provider_;
+  Prefetcher prefetcher_;
   std::mutex mutex_;
   std::map<int, FdEntry> fds_;
   int next_fd_ = 3;  // skip stdin/stdout/stderr numbers for familiarity

@@ -290,7 +290,7 @@ TEST(TracerTest, ConcurrentRecordsAllLand) {
 
 class NullProvider : public ViewProvider {
  public:
-  Result<std::shared_ptr<const std::vector<uint8_t>>> Materialize(const ViewPath&) override {
+  Result<SharedBytes> Materialize(const ViewPath&) override {
     return NotFound("no objects");
   }
   Result<std::string> GetMetadata(const ViewPath&, const std::string&) override {

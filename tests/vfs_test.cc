@@ -12,8 +12,7 @@ namespace {
 // In-memory provider serving canned objects and recording lifecycle calls.
 class FakeProvider : public ViewProvider {
  public:
-  Result<std::shared_ptr<const std::vector<uint8_t>>> Materialize(
-      const ViewPath& path) override {
+  Result<SharedBytes> Materialize(const ViewPath& path) override {
     ++materialize_calls;
     auto it = objects.find(path.Format());
     if (it == objects.end()) {

@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # One-command verification: configure + build the default tree, run the
 # full ctest suite, then run the ThreadSanitizer suite (tools/check_tsan.sh)
-# in its own build tree. This is the tier-1 gate plus the concurrency gate.
+# and the AddressSanitizer pass over the async demand path, each in its own
+# build tree. This is the tier-1 gate plus the concurrency/lifetime gates.
 #
 # Usage: tools/check_build.sh
 #   BUILD_DIR       override the default build tree (default: build)
-#   SKIP_TSAN=1     run only the tier-1 configure/build/ctest
+#   SKIP_TSAN=1     skip the ThreadSanitizer suite
+#   SKIP_ASAN=1     skip the AddressSanitizer suite
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,6 +24,18 @@ echo "==== ctest ===="
 if [ "${SKIP_TSAN:-0}" != "1" ]; then
   echo "==== tsan suite ===="
   tools/check_tsan.sh
+fi
+
+if [ "${SKIP_ASAN:-0}" != "1" ]; then
+  echo "==== asan suite ===="
+  ASAN_BUILD_DIR=${ASAN_BUILD_DIR:-build-asan}
+  ASAN_TESTS=(vfs_test prefetch_test core_test)
+  cmake -B "$ASAN_BUILD_DIR" -S . -DSAND_ASAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$ASAN_BUILD_DIR" -j"$(nproc)" --target "${ASAN_TESTS[@]}"
+  for test in "${ASAN_TESTS[@]}"; do
+    echo "==== ASAN: $test ===="
+    ASAN_OPTIONS="halt_on_error=1 detect_leaks=0" "$ASAN_BUILD_DIR/tests/$test"
+  done
 fi
 
 echo "check_build: all green"

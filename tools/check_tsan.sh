@@ -2,13 +2,14 @@
 # Builds the concurrency-sensitive tests with ThreadSanitizer and runs
 # them. Covers the sharded stores / tiered cache (storage_test,
 # object_path_test), the executor + scheduler paths (core_test,
-# sched_test), and the lock-free metrics/trace ring (obs_test).
+# sched_test), the lock-free metrics/trace ring (obs_test), and the
+# async demand path / prefetcher (prefetch_test).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-tsan}
-TESTS=(storage_test object_path_test sched_test core_test obs_test)
+TESTS=(storage_test object_path_test sched_test core_test obs_test prefetch_test)
 
 cmake -B "$BUILD_DIR" -S . -DSAND_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target "${TESTS[@]}"
