@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <array>
+#include <condition_variable>
 #include <cstring>
+#include <mutex>
 
 #include "src/common/strings.h"
 #include "src/common/threading.h"
 #include "src/compress/lossless.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/tensor/pixel_kernels.h"
 
 namespace sand {
 namespace {
@@ -38,6 +41,7 @@ constexpr std::array<uint8_t, 4> kMagic = {'S', 'V', 'C', '1'};
 constexpr uint16_t kVersion = 1;
 constexpr size_t kHeaderSize = 4 + 2 + 2 + 2 + 1 + 1 + 4;
 constexpr size_t kIndexEntrySize = 1 + 8 + 4;
+constexpr int kMaxGopSize = 255;  // the container header's u8 gop field
 
 void PutU16(std::vector<uint8_t>& out, uint16_t v) {
   out.push_back(static_cast<uint8_t>(v));
@@ -73,21 +77,14 @@ uint64_t GetU64(std::span<const uint8_t> in, size_t offset) {
 // compress well with the lossless stage.
 std::vector<uint8_t> TemporalDelta(const Frame& cur, const Frame& prev) {
   std::vector<uint8_t> delta(cur.size_bytes());
-  auto cur_data = cur.data();
-  auto prev_data = prev.data();
-  for (size_t i = 0; i < delta.size(); ++i) {
-    delta[i] = static_cast<uint8_t>(cur_data[i] - prev_data[i]);
-  }
+  DeltaEncodeBytes(cur.data(), prev.data(), delta);
   return delta;
 }
 
 void ApplyTemporalDelta(Frame& target, std::span<const uint8_t> delta) {
   // MutableData: the cursor frame may be shared with a frame previously
   // returned to a caller; copy-on-write keeps that frame intact.
-  auto data = target.MutableData();
-  for (size_t i = 0; i < data.size(); ++i) {
-    data[i] = static_cast<uint8_t>(data[i] + delta[i]);
-  }
+  DeltaApplyBytes(target.MutableData(), delta);
 }
 
 }  // namespace
@@ -97,9 +94,18 @@ VideoEncoder::VideoEncoder(int height, int width, int channels, VideoEncoderOpti
   if (options_.gop_size < 1) {
     options_.gop_size = 1;
   }
+  if (options_.gop_size > kMaxGopSize) {
+    // The container header stores the GOP size as a u8; a silent cast would
+    // corrupt it (e.g. 256 -> 0). Poison the encoder instead.
+    init_status_ = InvalidArgument(
+        StrFormat("gop_size %d exceeds container limit %d", options_.gop_size, kMaxGopSize));
+  }
 }
 
 Status VideoEncoder::AddFrame(const Frame& frame) {
+  if (!init_status_.ok()) {
+    return init_status_;
+  }
   if (finished_) {
     return FailedPrecondition("encoder already finished");
   }
@@ -124,6 +130,9 @@ Status VideoEncoder::AddFrame(const Frame& frame) {
 }
 
 Result<std::vector<uint8_t>> VideoEncoder::Finish() {
+  if (!init_status_.ok()) {
+    return init_status_;
+  }
   if (finished_) {
     return FailedPrecondition("encoder already finished");
   }
@@ -149,6 +158,38 @@ Result<std::vector<uint8_t>> VideoEncoder::Finish() {
   return out;
 }
 
+Status VideoDecoder::DecodeStep(const Parsed& parsed, int64_t index, Frame& cursor,
+                                AtomicDecodeStats& stats) {
+  const VideoDecoder::IndexEntry& entry = parsed.index[static_cast<size_t>(index)];
+  std::span<const uint8_t> payload(parsed.container->data() + parsed.payload_base + entry.offset,
+                                   entry.size);
+  stats.bytes_read.fetch_add(entry.size, std::memory_order_relaxed);
+  GlobalDecodeMetrics::Get().bytes_read->Add(entry.size);
+  Result<std::vector<uint8_t>> raw = LosslessDecompress(payload);
+  if (!raw.ok()) {
+    return raw.status();
+  }
+  if (entry.type == FrameType::kIntra) {
+    cursor = Frame(parsed.height, parsed.width, parsed.channels, raw.TakeValue());
+  } else {
+    ApplyTemporalDelta(cursor, *raw);
+  }
+  stats.frames_decoded.fetch_add(1, std::memory_order_relaxed);
+  GlobalDecodeMetrics::Get().frames_decoded->Add(1);
+  return Status::Ok();
+}
+
+Result<int64_t> VideoDecoder::GopStartIn(const Parsed& parsed, int64_t index) {
+  if (index < 0 || index >= static_cast<int64_t>(parsed.index.size())) {
+    return OutOfRange(StrFormat("frame %lld out of range", static_cast<long long>(index)));
+  }
+  int64_t i = index;
+  while (parsed.index[static_cast<size_t>(i)].type != FrameType::kIntra) {
+    --i;  // frame 0 is always intra, so this terminates
+  }
+  return i;
+}
+
 Result<VideoDecoder> VideoDecoder::Open(std::vector<uint8_t> container) {
   return Open(MakeSharedBytes(std::move(container)));
 }
@@ -166,20 +207,20 @@ Result<VideoDecoder> VideoDecoder::Open(SharedBytes container) {
   if (version != kVersion) {
     return DataLoss(StrFormat("unsupported container version %u", version));
   }
-  VideoDecoder decoder;
-  decoder.width_ = GetU16(bytes, 6);
-  decoder.height_ = GetU16(bytes, 8);
-  decoder.channels_ = bytes[10];
-  decoder.gop_size_ = bytes[11];
+  auto parsed = std::make_shared<Parsed>();
+  parsed->width = GetU16(bytes, 6);
+  parsed->height = GetU16(bytes, 8);
+  parsed->channels = bytes[10];
+  parsed->gop_size = bytes[11];
   uint32_t frame_count = GetU32(bytes, 12);
-  if (decoder.gop_size_ < 1 || frame_count == 0) {
+  if (parsed->gop_size < 1 || frame_count == 0) {
     return DataLoss("corrupt container header");
   }
   size_t index_bytes = static_cast<size_t>(frame_count) * kIndexEntrySize;
   if (container->size() < kHeaderSize + index_bytes) {
     return DataLoss("container index truncated");
   }
-  decoder.index_.reserve(frame_count);
+  parsed->index.reserve(frame_count);
   size_t pos = kHeaderSize;
   for (uint32_t i = 0; i < frame_count; ++i) {
     IndexEntry entry;
@@ -189,46 +230,35 @@ Result<VideoDecoder> VideoDecoder::Open(SharedBytes container) {
     if (entry.type != FrameType::kIntra && entry.type != FrameType::kDelta) {
       return DataLoss("corrupt frame type");
     }
-    decoder.index_.push_back(entry);
+    parsed->index.push_back(entry);
     pos += kIndexEntrySize;
   }
-  decoder.payload_base_ = pos;
-  const IndexEntry& last = decoder.index_.back();
-  if (container->size() < decoder.payload_base_ + last.offset + last.size) {
+  parsed->payload_base = pos;
+  const IndexEntry& last = parsed->index.back();
+  if (container->size() < parsed->payload_base + last.offset + last.size) {
     return DataLoss("container payload truncated");
   }
-  decoder.container_ = std::move(container);
+  parsed->container = std::move(container);
+  VideoDecoder decoder;
+  decoder.parsed_ = std::move(parsed);
   return decoder;
 }
 
+int VideoDecoder::height() const { return parsed_->height; }
+int VideoDecoder::width() const { return parsed_->width; }
+int VideoDecoder::channels() const { return parsed_->channels; }
+int VideoDecoder::gop_size() const { return parsed_->gop_size; }
+int64_t VideoDecoder::frame_count() const { return static_cast<int64_t>(parsed_->index.size()); }
+
 Result<int64_t> VideoDecoder::GopStart(int64_t index) const {
-  if (index < 0 || index >= frame_count()) {
-    return OutOfRange(StrFormat("frame %lld out of range", static_cast<long long>(index)));
-  }
-  int64_t i = index;
-  while (index_[static_cast<size_t>(i)].type != FrameType::kIntra) {
-    --i;  // frame 0 is always intra, so this terminates
-  }
-  return i;
+  return GopStartIn(*parsed_, index);
 }
 
+GopDecoder VideoDecoder::SliceDecoder() const { return GopDecoder(parsed_, stats_); }
+
 Status VideoDecoder::DecodeIntoCursor(int64_t index) {
-  const IndexEntry& entry = index_[static_cast<size_t>(index)];
-  std::span<const uint8_t> payload(container_->data() + payload_base_ + entry.offset, entry.size);
-  stats_->bytes_read.fetch_add(entry.size, std::memory_order_relaxed);
-  GlobalDecodeMetrics::Get().bytes_read->Add(entry.size);
-  Result<std::vector<uint8_t>> raw = LosslessDecompress(payload);
-  if (!raw.ok()) {
-    return raw.status();
-  }
-  if (entry.type == FrameType::kIntra) {
-    cursor_frame_ = Frame(height_, width_, channels_, raw.TakeValue());
-  } else {
-    ApplyTemporalDelta(cursor_frame_, *raw);
-  }
+  SAND_RETURN_IF_ERROR(DecodeStep(*parsed_, index, cursor_frame_, *stats_));
   cursor_index_ = index;
-  stats_->frames_decoded.fetch_add(1, std::memory_order_relaxed);
-  GlobalDecodeMetrics::Get().frames_decoded->Add(1);
   return Status::Ok();
 }
 
@@ -293,6 +323,162 @@ Result<std::vector<Frame>> VideoDecoder::DecodeFrames(std::span<const int64_t> i
   for (size_t slot : order) {
     SAND_ASSIGN_OR_RETURN(Frame frame, DecodeFrame(indices[slot]));
     out[slot] = std::move(frame);
+  }
+  return out;
+}
+
+Result<std::vector<Frame>> VideoDecoder::DecodeFrames(std::span<const int64_t> indices,
+                                                      WorkerPool* pool) {
+  if (pool == nullptr) {
+    return DecodeFrames(indices);
+  }
+  if (indices.empty()) {
+    return std::vector<Frame>{};
+  }
+  for (int64_t index : indices) {
+    if (index < 0 || index >= frame_count()) {
+      return OutOfRange(StrFormat("frame %lld out of range", static_cast<long long>(index)));
+    }
+  }
+  std::vector<size_t> order(indices.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(),
+            [&](size_t a, size_t b) { return indices[a] < indices[b]; });
+
+  // Partition the sorted walk into GOP runs. `boundary` is the first frame
+  // index beyond the current run (the next I-frame, or frame_count).
+  struct Slice {
+    int64_t gop_start = 0;
+    std::vector<int64_t> indices;  // ascending, duplicates allowed
+    std::vector<size_t> slots;     // result slot per index
+  };
+  std::vector<Slice> slices;
+  int64_t boundary = -1;
+  for (size_t slot : order) {
+    int64_t index = indices[slot];
+    if (slices.empty() || index >= boundary) {
+      SAND_ASSIGN_OR_RETURN(int64_t gop_start, GopStart(index));
+      boundary = index + 1;
+      while (boundary < frame_count() &&
+             parsed_->index[static_cast<size_t>(boundary)].type != FrameType::kIntra) {
+        ++boundary;
+      }
+      slices.push_back(Slice{gop_start, {}, {}});
+    }
+    slices.back().indices.push_back(index);
+    slices.back().slots.push_back(slot);
+  }
+
+  SAND_SPAN("decode_parallel");
+  GopDecoder slice_decoder = SliceDecoder();
+  std::vector<Frame> out(indices.size());
+  std::vector<Status> results(slices.size(), Status::Ok());
+
+  // Completion latch: pool tasks count down; the caller runs slice 0 (and
+  // any slice the saturated pool refuses) inline, then waits for the rest.
+  struct Latch {
+    std::mutex mutex;
+    std::condition_variable cv;
+    size_t remaining;
+  };
+  Latch latch{{}, {}, slices.size()};
+  auto run_slice = [&](size_t s) {
+    const Slice& slice = slices[s];
+    Result<std::vector<Frame>> frames = slice_decoder.DecodeSlice(slice.gop_start, slice.indices);
+    if (frames.ok()) {
+      for (size_t i = 0; i < slice.slots.size(); ++i) {
+        out[slice.slots[i]] = std::move((*frames)[i]);
+      }
+    } else {
+      results[s] = frames.status();
+    }
+    {
+      // Notify under the lock: the waiter destroys the latch as soon as it
+      // observes remaining == 0, so an unlocked notify could touch a dead cv.
+      std::lock_guard<std::mutex> lock(latch.mutex);
+      --latch.remaining;
+      latch.cv.notify_one();
+    }
+  };
+  for (size_t s = 1; s < slices.size(); ++s) {
+    if (!pool->TrySubmit([&run_slice, s] { run_slice(s); })) {
+      run_slice(s);  // pool saturated: the caller decodes this slice itself
+    }
+  }
+  run_slice(0);
+  {
+    std::unique_lock<std::mutex> lock(latch.mutex);
+    latch.cv.wait(lock, [&] { return latch.remaining == 0; });
+  }
+  for (const Status& status : results) {
+    SAND_RETURN_IF_ERROR(status);
+  }
+  return out;
+}
+
+Result<GopDecoder> GopDecoder::Open(SharedBytes container) {
+  SAND_ASSIGN_OR_RETURN(VideoDecoder decoder, VideoDecoder::Open(std::move(container)));
+  return decoder.SliceDecoder();
+}
+
+Result<int64_t> GopDecoder::GopStart(int64_t index) const {
+  return VideoDecoder::GopStartIn(*parsed_, index);
+}
+
+DecodeStats GopDecoder::stats() const {
+  DecodeStats snapshot;
+  snapshot.frames_requested = stats_->frames_requested.load(std::memory_order_relaxed);
+  snapshot.frames_decoded = stats_->frames_decoded.load(std::memory_order_relaxed);
+  snapshot.bytes_read = stats_->bytes_read.load(std::memory_order_relaxed);
+  snapshot.seeks = stats_->seeks.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+Result<std::vector<Frame>> GopDecoder::DecodeSlice(int64_t gop_start,
+                                                   std::span<const int64_t> indices) const {
+  if (indices.empty()) {
+    return std::vector<Frame>{};
+  }
+  if (gop_start < 0 || gop_start >= frame_count() ||
+      parsed_->index[static_cast<size_t>(gop_start)].type != FrameType::kIntra) {
+    return InvalidArgument(
+        StrFormat("slice start %lld is not an I-frame", static_cast<long long>(gop_start)));
+  }
+  int64_t previous = gop_start;
+  for (int64_t index : indices) {
+    if (index < previous) {
+      return InvalidArgument("slice indices must be ascending and >= the slice start");
+    }
+    if (index >= frame_count()) {
+      return OutOfRange(StrFormat("frame %lld out of range", static_cast<long long>(index)));
+    }
+    previous = index;
+  }
+  const GlobalDecodeMetrics& metrics = GlobalDecodeMetrics::Get();
+  stats_->frames_requested.fetch_add(indices.size(), std::memory_order_relaxed);
+  metrics.frames_requested->Add(indices.size());
+  stats_->seeks.fetch_add(1, std::memory_order_relaxed);
+  metrics.seeks->Add(1);
+
+  SAND_SPAN("gop_slice_decode");
+  const int64_t max_index = indices.back();
+  Frame cursor;
+  std::vector<Frame> out;
+  out.reserve(indices.size());
+  size_t next = 0;
+  for (int64_t i = gop_start; i <= max_index; ++i) {
+    if (i > gop_start && parsed_->index[static_cast<size_t>(i)].type == FrameType::kIntra) {
+      return InvalidArgument(
+          StrFormat("slice index %lld crosses into the next GOP (I-frame at %lld)",
+                    static_cast<long long>(max_index), static_cast<long long>(i)));
+    }
+    SAND_RETURN_IF_ERROR(VideoDecoder::DecodeStep(*parsed_, i, cursor, *stats_));
+    while (next < indices.size() && indices[next] == i) {
+      out.push_back(cursor);
+      ++next;
+    }
   }
   return out;
 }

@@ -8,6 +8,11 @@
 // from the preceding I-frame, so sparse frame selection decodes many more
 // frames than it uses (decode amplification), at real CPU cost.
 //
+// GOPs are also the unit of intra-video parallelism (DESIGN.md §9): every
+// GOP decodes independently from its own I-frame, so a slice decoder
+// (GopDecoder) can reconstruct disjoint GOP runs on different threads with
+// bit-identical output to the serial cursor walk.
+//
 // Container layout ("SVC1"):
 //   header  : magic(4) ver(u16) width(u16) height(u16) channels(u8)
 //             gop(u8) frame_count(u32)
@@ -27,6 +32,7 @@
 
 #include "src/common/bytes.h"
 #include "src/common/result.h"
+#include "src/common/worker_pool.h"
 #include "src/tensor/frame.h"
 
 namespace sand {
@@ -37,7 +43,11 @@ enum class FrameType : uint8_t {
 };
 
 struct VideoEncoderOptions {
-  int gop_size = 8;  // frames per GOP (>= 1); 1 = all-intra
+  // Frames per GOP. Valid range [1, 255] (the container header stores the
+  // GOP size as a u8); 1 = all-intra. Values < 1 are clamped to 1; values
+  // > 255 poison the encoder: AddFrame/Finish return InvalidArgument
+  // instead of silently truncating the header field.
+  int gop_size = 8;
 };
 
 // Streaming encoder: feed frames in display order, then Finish().
@@ -64,6 +74,7 @@ class VideoEncoder {
   int width_;
   int channels_;
   VideoEncoderOptions options_;
+  Status init_status_ = Status::Ok();  // invalid construction options
   Frame previous_;  // last reconstructed frame (== source frame: codec is lossless)
   std::vector<IndexEntry> index_;
   std::vector<uint8_t> payload_;
@@ -74,6 +85,8 @@ class VideoEncoder {
 // frames used" numbers in Fig. 3 / Fig. 16. A value snapshot — the decoder
 // maintains these atomically (obs registry counters), so stats() and
 // ResetStats() are safe against a concurrent decode on another thread.
+// Slice decoders created from a VideoDecoder share its counters, so a
+// GOP-parallel DecodeFrames books into the same stats as the serial walk.
 struct DecodeStats {
   uint64_t frames_requested = 0;  // frames the caller asked for
   uint64_t frames_decoded = 0;    // frames actually reconstructed
@@ -87,6 +100,8 @@ struct DecodeStats {
   }
 };
 
+class GopDecoder;
+
 // Random-access decoder with a single forward cursor. Decoding frame i
 // restarts at the preceding I-frame unless the cursor already sits at or
 // before i within the same GOP run.
@@ -99,11 +114,11 @@ class VideoDecoder {
   // Compat wrapper: adopts the vector (moved, not copied) into a SharedBytes.
   static Result<VideoDecoder> Open(std::vector<uint8_t> container);
 
-  int height() const { return height_; }
-  int width() const { return width_; }
-  int channels() const { return channels_; }
-  int gop_size() const { return gop_size_; }
-  int64_t frame_count() const { return static_cast<int64_t>(index_.size()); }
+  int height() const;
+  int width() const;
+  int channels() const;
+  int gop_size() const;
+  int64_t frame_count() const;
 
   // Decodes a single frame by display index.
   Result<Frame> DecodeFrame(int64_t index);
@@ -111,6 +126,19 @@ class VideoDecoder {
   // Decodes a set of indices (need not be sorted; duplicates allowed).
   // Sorted internally so one forward pass per GOP run suffices.
   Result<std::vector<Frame>> DecodeFrames(std::span<const int64_t> indices);
+
+  // GOP-parallel variant: partitions the sorted indices by GOP and fans the
+  // slices out on `pool` (stateless GopDecoder per slice, no shared
+  // cursor). Bit-identical output and — from a cold cursor — identical
+  // DecodeStats to the serial walk. When the pool refuses a slice
+  // (saturation), that slice runs inline on the caller; `pool == nullptr`
+  // falls back to the serial path. The forward cursor is neither consulted
+  // nor advanced.
+  Result<std::vector<Frame>> DecodeFrames(std::span<const int64_t> indices, WorkerPool* pool);
+
+  // A stateless slice decoder sharing this decoder's parsed container and
+  // stats counters. Cheap to copy; safe to use from many threads at once.
+  GopDecoder SliceDecoder() const;
 
   // Index of the I-frame at or before `index`.
   Result<int64_t> GopStart(int64_t index) const;
@@ -122,38 +150,99 @@ class VideoDecoder {
   void ResetStats();
 
  private:
+  friend class GopDecoder;
+
   struct IndexEntry {
     FrameType type;
     uint64_t offset;
     uint32_t size;
   };
 
-  VideoDecoder() = default;
+  // Everything parsed out of the container at Open time. Immutable after
+  // Open, shared (read-only) by the decoder and all of its slice decoders.
+  struct Parsed {
+    int height = 0;
+    int width = 0;
+    int channels = 0;
+    int gop_size = 0;
+    std::vector<IndexEntry> index;
+    SharedBytes container;
+    size_t payload_base = 0;
+  };
 
-  // Reconstructs frame `index` assuming the cursor holds frame index-1 (for
-  // delta frames) or nothing (for intra frames).
-  Status DecodeIntoCursor(int64_t index);
-
-  int height_ = 0;
-  int width_ = 0;
-  int channels_ = 0;
-  int gop_size_ = 0;
-  std::vector<IndexEntry> index_;
-  SharedBytes container_;
-  size_t payload_base_ = 0;
-
-  // Forward cursor: the most recently reconstructed frame.
-  std::optional<int64_t> cursor_index_;
-  Frame cursor_frame_;
-
-  // Atomic per-decoder counters (heap-held so the decoder stays movable).
+  // Atomic per-decoder counters (heap-held so the decoder stays movable and
+  // slice decoders can share them).
   struct AtomicDecodeStats {
     std::atomic<uint64_t> frames_requested{0};
     std::atomic<uint64_t> frames_decoded{0};
     std::atomic<uint64_t> bytes_read{0};
     std::atomic<uint64_t> seeks{0};
   };
+
+  VideoDecoder() = default;
+
+  // Reconstructs frame `index` of `parsed` on top of `cursor` (replaced by
+  // intra frames, delta-patched by P-frames) and books the decode. The
+  // shared body of the cursor walk and the stateless slice path.
+  static Status DecodeStep(const Parsed& parsed, int64_t index, Frame& cursor,
+                           AtomicDecodeStats& stats);
+  static Result<int64_t> GopStartIn(const Parsed& parsed, int64_t index);
+
+  // Reconstructs frame `index` assuming the cursor holds frame index-1 (for
+  // delta frames) or nothing (for intra frames).
+  Status DecodeIntoCursor(int64_t index);
+
+  std::shared_ptr<const Parsed> parsed_;
+
+  // Forward cursor: the most recently reconstructed frame.
+  std::optional<int64_t> cursor_index_;
+  Frame cursor_frame_;
+
   std::shared_ptr<AtomicDecodeStats> stats_ = std::make_shared<AtomicDecodeStats>();
+};
+
+// Stateless GOP slice decoder: reconstructs frames of one GOP run
+// independently, starting from the run's I-frame, without any shared
+// cursor. All methods are const and thread-safe; one GopDecoder (or cheap
+// copies of it) can decode many slices concurrently. This is the unit of
+// intra-video parallelism: VideoDecoder::DecodeFrames(indices, pool) and
+// SubtreeExecutor's GOP-parallel materialization are built on it.
+class GopDecoder {
+ public:
+  // Parses a container of its own (fresh stats counters). To share an
+  // existing decoder's container and stats, use VideoDecoder::SliceDecoder.
+  static Result<GopDecoder> Open(SharedBytes container);
+
+  int height() const { return parsed_->height; }
+  int width() const { return parsed_->width; }
+  int channels() const { return parsed_->channels; }
+  int gop_size() const { return parsed_->gop_size; }
+  int64_t frame_count() const { return static_cast<int64_t>(parsed_->index.size()); }
+
+  // Index of the I-frame at or before `index`.
+  Result<int64_t> GopStart(int64_t index) const;
+
+  // Decodes the given indices, which must be ascending (duplicates allowed)
+  // and must all lie within the GOP run starting at `gop_start` (an I-frame
+  // index). One forward pass from the I-frame to the largest requested
+  // index; returns the frames in the order requested. Books one seek, one
+  // request per index, and one decode per reconstructed frame into the
+  // shared stats — the same accounting as a cold serial walk of the run.
+  Result<std::vector<Frame>> DecodeSlice(int64_t gop_start,
+                                         std::span<const int64_t> indices) const;
+
+  // Snapshot of the (possibly shared) counters.
+  DecodeStats stats() const;
+
+ private:
+  friend class VideoDecoder;
+
+  GopDecoder(std::shared_ptr<const VideoDecoder::Parsed> parsed,
+             std::shared_ptr<VideoDecoder::AtomicDecodeStats> stats)
+      : parsed_(std::move(parsed)), stats_(std::move(stats)) {}
+
+  std::shared_ptr<const VideoDecoder::Parsed> parsed_;
+  std::shared_ptr<VideoDecoder::AtomicDecodeStats> stats_;
 };
 
 }  // namespace sand

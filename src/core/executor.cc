@@ -1,12 +1,14 @@
 #include "src/core/executor.h"
 
 #include <algorithm>
+#include <condition_variable>
 
 #include "src/common/strings.h"
 #include "src/compress/lossless.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/tensor/image_ops.h"
+#include "src/tensor/pixel_kernels.h"
 
 namespace sand {
 
@@ -22,6 +24,7 @@ struct ExecMetrics {
   obs::Counter* crop_ops;
   obs::Counter* cache_hits;
   obs::Counter* cache_stores;
+  obs::Counter* parallel_slices;
   static ExecMetrics& Get() {
     static ExecMetrics m{
         obs::Registry::Get().GetCounter("sand.exec.frames_decoded"),
@@ -30,6 +33,7 @@ struct ExecMetrics {
         obs::Registry::Get().GetCounter("sand.exec.crop_ops"),
         obs::Registry::Get().GetCounter("sand.exec.cache_hits"),
         obs::Registry::Get().GetCounter("sand.exec.cache_stores"),
+        obs::Registry::Get().GetCounter("sand.exec.parallel_slices"),
     };
     return m;
   }
@@ -73,10 +77,14 @@ std::string NodeCacheKey(const VideoObjectGraph& graph, const ConcreteNode& node
 }
 
 SubtreeExecutor::SubtreeExecutor(const VideoObjectGraph& graph, ContainerCache* containers,
-                                 TieredCache* cache, CpuMeter* meter)
-    : graph_(graph), containers_(containers), cache_(cache), meter_(meter) {}
+                                 TieredCache* cache, CpuMeter* meter, WorkerPool* decode_pool)
+    : graph_(graph),
+      containers_(containers),
+      cache_(cache),
+      meter_(meter),
+      decode_pool_(decode_pool) {}
 
-Result<Frame> SubtreeExecutor::Decode(int64_t frame_index) {
+Result<VideoDecoder*> SubtreeExecutor::EnsureDecoderLocked() {
   if (!decoder_.has_value()) {
     if (containers_ == nullptr) {
       return FailedPrecondition("executor has no container source");
@@ -87,17 +95,32 @@ Result<Frame> SubtreeExecutor::Decode(int64_t frame_index) {
     SAND_ASSIGN_OR_RETURN(VideoDecoder decoder, VideoDecoder::Open(std::move(container)));
     decoder_.emplace(std::move(decoder));
   }
-  uint64_t before = decoder_->stats().frames_decoded;
-  Result<Frame> frame = [&] {
-    if (meter_ != nullptr) {
-      ScopedCpuWork work(*meter_, CpuWorkKind::kDecode);
-      return decoder_->DecodeFrame(frame_index);
-    }
-    return decoder_->DecodeFrame(frame_index);
+  return &*decoder_;
+}
+
+Result<Frame> SubtreeExecutor::Decode(int64_t frame_index) {
+  uint64_t decoded = 0;
+  Result<Frame> frame = [&]() -> Result<Frame> {
+    // The forward cursor is single-threaded state; concurrent Produce calls
+    // that fall through to a cursor decode serialize here.
+    std::lock_guard<std::mutex> lock(decoder_mutex_);
+    SAND_ASSIGN_OR_RETURN(VideoDecoder * decoder, EnsureDecoderLocked());
+    uint64_t before = decoder->stats().frames_decoded;
+    Result<Frame> decoded_frame = [&] {
+      if (meter_ != nullptr) {
+        ScopedCpuWork work(*meter_, CpuWorkKind::kDecode);
+        return decoder->DecodeFrame(frame_index);
+      }
+      return decoder->DecodeFrame(frame_index);
+    }();
+    decoded = decoder->stats().frames_decoded - before;
+    return decoded_frame;
   }();
-  uint64_t decoded = decoder_->stats().frames_decoded - before;
-  stats_.frames_decoded += decoded;
-  ++stats_.decode_ops;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.frames_decoded += decoded;
+    ++stats_.decode_ops;
+  }
   ExecMetrics::Get().frames_decoded->Add(decoded);
   ExecMetrics::Get().decode_ops->Add(1);
   return frame;
@@ -109,17 +132,24 @@ Result<Frame> SubtreeExecutor::Augment(const ConcreteNode& node, const Frame& in
   if (meter_ != nullptr) {
     work.emplace(*meter_, CpuWorkKind::kAugment);
   }
-  ++stats_.aug_ops;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.aug_ops;
+  }
   ExecMetrics::Get().aug_ops->Add(1);
   const ConcreteOp& op = node.op;
   const AugOp& aug = op.aug;
   switch (aug.kind) {
     case OpKind::kResize:
       return Resize(input, aug.out_h, aug.out_w, aug.interp);
-    case OpKind::kRandomCrop:
-      ++stats_.crop_ops;
+    case OpKind::kRandomCrop: {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.crop_ops;
+      }
       ExecMetrics::Get().crop_ops->Add(1);
       return Crop(input, op.crop.y, op.crop.x, op.crop.h, op.crop.w);
+    }
     case OpKind::kCenterCrop:
       return CenterCrop(input, std::min(aug.out_h, input.height()),
                         std::min(aug.out_w, input.width()));
@@ -142,16 +172,10 @@ Result<Frame> SubtreeExecutor::Augment(const ConcreteNode& node, const Frame& in
   return Internal("unhandled augmentation kind");
 }
 
-Result<Frame> SubtreeExecutor::Produce(int node_id, bool allow_cache_store) {
-  auto memo_it = memo_.find(node_id);
-  if (memo_it != memo_.end()) {
-    return memo_it->second;
+std::optional<Result<Frame>> SubtreeExecutor::TryCacheLoad(const ConcreteNode& node) {
+  if (!node.cache || cache_ == nullptr) {
+    return std::nullopt;
   }
-  const ConcreteNode& node = graph_.node(node_id);
-  if (node.op.type == ConcreteOpType::kSource) {
-    return InvalidArgument("cannot produce the video source node as a frame");
-  }
-
   // Cached object? Load it. Objects destined for the memory tier are kept
   // raw; the disk tier holds losslessly compressed frames (§6: libpng-class
   // codec for persisted objects). The two are distinguished by size: a raw
@@ -161,30 +185,97 @@ Result<Frame> SubtreeExecutor::Produce(int node_id, bool allow_cache_store) {
   // Contains and the Get would turn a hit into a spurious corrupt-entry
   // path. A raw memory-tier hit is zero-copy — the Frame aliases the
   // cache-resident bytes and clones only if someone later mutates it.
-  if (node.cache && cache_ != nullptr) {
+  std::string key = NodeCacheKey(graph_, node);
+  Result<SharedBytes> bytes = cache_->GetShared(key);
+  if (!bytes.ok()) {
+    return std::nullopt;
+  }
+  bool raw = (*bytes)->size() == 12 + node.RawBytes();
+  Result<Frame> frame = [&]() -> Result<Frame> {
+    if (raw) {
+      return Frame::DeserializeShared(*bytes);
+    }
+    if (meter_ != nullptr) {
+      ScopedCpuWork work(*meter_, CpuWorkKind::kCompress);
+      return DecompressFrame(**bytes);
+    }
+    return DecompressFrame(**bytes);
+  }();
+  if (!frame.ok()) {
+    // Corrupt cache entry: fall through and recompute.
+    (void)cache_->Delete(key);
+    return std::nullopt;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.cache_hits;
+  }
+  ExecMetrics::Get().cache_hits->Add(1);
+  return InsertMemo(node.id, *std::move(frame));
+}
+
+Frame SubtreeExecutor::InsertMemo(int node_id, Frame frame) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = memo_.emplace(node_id, std::move(frame));
+  if (inserted) {
+    memo_order_.push_back(node_id);
+  }
+  // On a lost race the earlier frame wins; both hold identical bytes (node
+  // materialization is deterministic — random draws were frozen at planning).
+  return it->second;
+}
+
+Result<Frame> SubtreeExecutor::FinishProduced(const ConcreteNode& node, Frame produced,
+                                              bool allow_cache_store) {
+  if (node.cache && allow_cache_store && cache_ != nullptr) {
     std::string key = NodeCacheKey(graph_, node);
-    Result<SharedBytes> bytes = cache_->GetShared(key);
-    if (bytes.ok()) {
-      bool raw = (*bytes)->size() == 12 + node.RawBytes();
-      Result<Frame> frame = [&]() -> Result<Frame> {
-        if (raw) {
-          return Frame::DeserializeShared(*bytes);
+    // The Contains pre-check only skips the serialize/compress work when a
+    // racing job already stored the node; correctness rests on the atomic
+    // PutIfAbsent below (two jobs can no longer both insert).
+    if (!cache_->Contains(key)) {
+      // Leaves live hot in memory, raw; everything spilled to the disk
+      // tier is losslessly compressed first.
+      Tier tier = node.is_leaf ? Tier::kMemory : Tier::kDisk;
+      Result<std::vector<uint8_t>> bytes = [&]() -> Result<std::vector<uint8_t>> {
+        if (tier == Tier::kMemory) {
+          return produced.Serialize();
         }
         if (meter_ != nullptr) {
           ScopedCpuWork work(*meter_, CpuWorkKind::kCompress);
-          return DecompressFrame(**bytes);
+          return CompressFrame(produced);
         }
-        return DecompressFrame(**bytes);
+        return CompressFrame(produced);
       }();
-      if (frame.ok()) {
-        ++stats_.cache_hits;
-        ExecMetrics::Get().cache_hits->Add(1);
-        memo_[node_id] = *frame;
-        return frame;
+      if (bytes.ok()) {
+        Result<bool> stored = cache_->PutIfAbsent(key, *bytes, tier);
+        if (stored.ok() && *stored) {
+          {
+            std::lock_guard<std::mutex> lock(mutex_);
+            ++stats_.cache_stores;
+          }
+          ExecMetrics::Get().cache_stores->Add(1);
+        }
       }
-      // Corrupt cache entry: fall through and recompute.
-      (void)cache_->Delete(key);
     }
+  }
+  return InsertMemo(node.id, std::move(produced));
+}
+
+Result<Frame> SubtreeExecutor::Produce(int node_id, bool allow_cache_store) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto memo_it = memo_.find(node_id);
+    if (memo_it != memo_.end()) {
+      return memo_it->second;
+    }
+  }
+  const ConcreteNode& node = graph_.node(node_id);
+  if (node.op.type == ConcreteOpType::kSource) {
+    return InvalidArgument("cannot produce the video source node as a frame");
+  }
+
+  if (std::optional<Result<Frame>> cached = TryCacheLoad(node)) {
+    return *std::move(cached);
   }
 
   Frame produced;
@@ -214,55 +305,41 @@ Result<Frame> SubtreeExecutor::Produce(int node_id, bool allow_cache_store) {
       if (meter_ != nullptr) {
         work.emplace(*meter_, CpuWorkKind::kAugment);
       }
-      ++stats_.aug_ops;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.aug_ops;
+      }
       ExecMetrics::Get().aug_ops->Add(1);
       produced = first;  // shares first's buffer (which the memo also holds)
       // MutableData clones before the in-place average, so the memoized
-      // (and possibly cache-resident) parent stays intact.
-      auto out = produced.MutableData();
-      for (size_t i = 0; i < out.size(); ++i) {
-        uint32_t total = out[i];
-        for (const Frame& parent : rest) {
-          total += parent.data()[i];
-        }
-        out[i] = static_cast<uint8_t>(total / (rest.size() + 1));
+      // (and possibly cache-resident) parent stays intact. After the clone
+      // `out` and `first.data()` are distinct buffers, so the kernel's
+      // inputs never alias its output.
+      std::vector<std::span<const uint8_t>> inputs;
+      inputs.reserve(rest.size() + 1);
+      inputs.push_back(first.data());
+      for (const Frame& parent : rest) {
+        inputs.push_back(parent.data());
       }
+      MergeAverage(inputs, produced.MutableData());
       break;
     }
     case ConcreteOpType::kSource:
       return Internal("unreachable");
   }
 
-  if (node.cache && allow_cache_store && cache_ != nullptr) {
-    std::string key = NodeCacheKey(graph_, node);
-    // The Contains pre-check only skips the serialize/compress work when a
-    // racing job already stored the node; correctness rests on the atomic
-    // PutIfAbsent below (two jobs can no longer both insert).
-    if (!cache_->Contains(key)) {
-      // Leaves live hot in memory, raw; everything spilled to the disk
-      // tier is losslessly compressed first.
-      Tier tier = node.is_leaf ? Tier::kMemory : Tier::kDisk;
-      Result<std::vector<uint8_t>> bytes = [&]() -> Result<std::vector<uint8_t>> {
-        if (tier == Tier::kMemory) {
-          return produced.Serialize();
-        }
-        if (meter_ != nullptr) {
-          ScopedCpuWork work(*meter_, CpuWorkKind::kCompress);
-          return CompressFrame(produced);
-        }
-        return CompressFrame(produced);
-      }();
-      if (bytes.ok()) {
-        Result<bool> stored = cache_->PutIfAbsent(key, *bytes, tier);
-        if (stored.ok() && *stored) {
-          ++stats_.cache_stores;
-          ExecMetrics::Get().cache_stores->Add(1);
-        }
-      }
-    }
+  return FinishProduced(node, std::move(produced), allow_cache_store);
+}
+
+Status SubtreeExecutor::MaterializeSerial(const std::vector<int>& decode_nodes,
+                                          const std::vector<int>& todo) {
+  for (int node : decode_nodes) {
+    SAND_RETURN_IF_ERROR(Produce(node, /*allow_cache_store=*/true).status());
   }
-  memo_[node_id] = produced;
-  return produced;
+  for (int node : todo) {
+    SAND_RETURN_IF_ERROR(Produce(node, /*allow_cache_store=*/true).status());
+  }
+  return Status::Ok();
 }
 
 Status SubtreeExecutor::MaterializeFlagged() {
@@ -295,24 +372,163 @@ Status SubtreeExecutor::MaterializeFlagged() {
   std::sort(decode_nodes.begin(), decode_nodes.end(), [this](int a, int b) {
     return graph_.node(a).op.frame_index < graph_.node(b).op.frame_index;
   });
-  for (int node : decode_nodes) {
-    SAND_RETURN_IF_ERROR(Produce(node, /*allow_cache_store=*/true).status());
+  if (decode_pool_ == nullptr || decode_nodes.empty()) {
+    return MaterializeSerial(decode_nodes, todo);
   }
-  for (int node : todo) {
-    SAND_RETURN_IF_ERROR(Produce(node, /*allow_cache_store=*/true).status());
+
+  // GOP-parallel path (DESIGN.md §9): partition the sorted decode nodes
+  // into GOP runs, pair each run with the flagged subtrees rooted in it
+  // (merge nodes never span GOPs — every parent derives from the node's
+  // sample frame), and materialize the slices concurrently.
+  std::optional<GopDecoder> maybe_slices;
+  {
+    std::lock_guard<std::mutex> lock(decoder_mutex_);
+    Result<VideoDecoder*> decoder = EnsureDecoderLocked();
+    if (!decoder.ok()) {
+      return decoder.status();
+    }
+    maybe_slices.emplace((*decoder)->SliceDecoder());
+  }
+  GopDecoder& slice_decoder = *maybe_slices;
+
+  struct GopGroup {
+    int64_t gop_start = 0;
+    std::vector<int> decode_nodes;       // ascending frame_index
+    std::vector<int64_t> frame_indices;  // parallel to decode_nodes
+    std::vector<int> todo;
+  };
+  std::vector<GopGroup> groups;
+  for (int node_id : decode_nodes) {
+    int64_t frame_index = graph_.node(node_id).op.frame_index;
+    SAND_ASSIGN_OR_RETURN(int64_t gop_start, slice_decoder.GopStart(frame_index));
+    if (groups.empty() || groups.back().gop_start != gop_start) {
+      groups.push_back(GopGroup{gop_start, {}, {}, {}});
+    }
+    groups.back().decode_nodes.push_back(node_id);
+    groups.back().frame_indices.push_back(frame_index);
+  }
+  if (groups.size() <= 1) {
+    return MaterializeSerial(decode_nodes, todo);
+  }
+  std::map<int64_t, size_t> group_of_gop;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    group_of_gop[groups[g].gop_start] = g;
+  }
+  // Flagged subtrees follow their sample frame's GOP; anything that cannot
+  // be placed (defensive: a todo with no decodable source) runs serially
+  // after the parallel phase.
+  std::vector<int> leftover;
+  for (int node_id : todo) {
+    const ConcreteNode& node = graph_.node(node_id);
+    Result<int64_t> gop_start = slice_decoder.GopStart(node.source_frame);
+    auto it = gop_start.ok() ? group_of_gop.find(*gop_start) : group_of_gop.end();
+    if (it != group_of_gop.end()) {
+      groups[it->second].todo.push_back(node_id);
+    } else {
+      leftover.push_back(node_id);
+    }
+  }
+
+  SAND_SPAN("materialize_parallel");
+  auto run_group = [&](const GopGroup& group) -> Status {
+    // Slice decode: one stateless forward pass from the run's I-frame.
+    Result<std::vector<Frame>> frames = [&] {
+      if (meter_ != nullptr) {
+        ScopedCpuWork work(*meter_, CpuWorkKind::kDecode);
+        return slice_decoder.DecodeSlice(group.gop_start, group.frame_indices);
+      }
+      return slice_decoder.DecodeSlice(group.gop_start, group.frame_indices);
+    }();
+    if (!frames.ok()) {
+      return frames.status();
+    }
+    // Deterministic accounting: the pass reconstructed every frame from the
+    // I-frame through the largest requested index, exactly as a cold
+    // serial sweep of this run would.
+    uint64_t decoded =
+        static_cast<uint64_t>(group.frame_indices.back() - group.gop_start + 1);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stats_.frames_decoded += decoded;
+      stats_.decode_ops += group.decode_nodes.size();
+      ++stats_.parallel_slices;
+    }
+    ExecMetrics::Get().frames_decoded->Add(decoded);
+    ExecMetrics::Get().decode_ops->Add(group.decode_nodes.size());
+    ExecMetrics::Get().parallel_slices->Add(1);
+    for (size_t i = 0; i < group.decode_nodes.size(); ++i) {
+      const ConcreteNode& node = graph_.node(group.decode_nodes[i]);
+      Result<Frame> finished =
+          FinishProduced(node, std::move((*frames)[i]), /*allow_cache_store=*/true);
+      if (!finished.ok()) {
+        return finished.status();
+      }
+    }
+    for (int node_id : group.todo) {
+      SAND_RETURN_IF_ERROR(Produce(node_id, /*allow_cache_store=*/true).status());
+    }
+    return Status::Ok();
+  };
+
+  // Fan out groups 1..N-1; the caller materializes group 0 (and any group a
+  // saturated pool refuses) inline, then waits for the rest. Tasks capture
+  // locals by reference, so the latch must always drain fully.
+  std::vector<Status> results(groups.size(), Status::Ok());
+  struct Latch {
+    std::mutex mutex;
+    std::condition_variable cv;
+    size_t remaining;
+  };
+  Latch latch{{}, {}, groups.size()};
+  auto run_at = [&](size_t g) {
+    results[g] = run_group(groups[g]);
+    {
+      // Notify under the lock: the waiter destroys the latch as soon as it
+      // observes remaining == 0, so an unlocked notify could touch a dead cv.
+      std::lock_guard<std::mutex> lock(latch.mutex);
+      --latch.remaining;
+      latch.cv.notify_one();
+    }
+  };
+  for (size_t g = 1; g < groups.size(); ++g) {
+    if (!decode_pool_->TrySubmit([&run_at, g] { run_at(g); })) {
+      run_at(g);  // pool saturated: this thread materializes the slice
+    }
+  }
+  run_at(0);
+  {
+    std::unique_lock<std::mutex> lock(latch.mutex);
+    latch.cv.wait(lock, [&] { return latch.remaining == 0; });
+  }
+  for (const Status& status : results) {
+    SAND_RETURN_IF_ERROR(status);
+  }
+  for (int node_id : leftover) {
+    SAND_RETURN_IF_ERROR(Produce(node_id, /*allow_cache_store=*/true).status());
   }
   return Status::Ok();
 }
 
+ExecutorStats SubtreeExecutor::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
 ExecutorStats SubtreeExecutor::DrainStats() {
+  std::lock_guard<std::mutex> lock(mutex_);
   ExecutorStats drained = stats_;
   stats_ = ExecutorStats{};
   return drained;
 }
 
 void SubtreeExecutor::TrimMemo(size_t max_entries) {
-  if (memo_.size() > max_entries) {
-    memo_.clear();
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Evict in first-insertion order until under budget: long-lived
+  // (speculative) executors keep their recently produced frames instead of
+  // losing the whole working set at once.
+  while (memo_.size() > max_entries && !memo_order_.empty()) {
+    memo_.erase(memo_order_.front());
+    memo_order_.pop_front();
   }
 }
 

@@ -61,6 +61,15 @@ SandService::SandService(std::shared_ptr<ObjectStore> dataset_store, DatasetMeta
   pool_options.num_threads = std::max(1, options_.async_threads);
   pool_options.max_queued = options_.async_queue_depth;
   async_pool_ = std::make_unique<WorkerPool>(pool_options);
+  if (options_.decode_threads > 0) {
+    // One shared GOP-decode pool for every executor (demand, pre-mat,
+    // speculative): parallelism inside a view never multiplies across
+    // concurrent views beyond this bound.
+    WorkerPool::Options decode_options;
+    decode_options.num_threads = options_.decode_threads;
+    decode_options.max_queued = options_.decode_queue_depth;
+    decode_pool_ = std::make_unique<WorkerPool>(decode_options);
+  }
   task_progress_.assign(tasks_.size(), 0);
   task_active_.assign(tasks_.size(), true);
 }
@@ -83,8 +92,13 @@ Status SandService::Start() {
 void SandService::Shutdown() {
   // The pool drains first: its units submit to (and block on) scheduler
   // jobs, so the scheduler must still be accepting work while they finish.
+  // The decode pool goes last: executors on both of the other pools fan
+  // GOP slices into it until they drain.
   async_pool_->Shutdown();
   scheduler_->Shutdown();
+  if (decode_pool_ != nullptr) {
+    decode_pool_->Shutdown();
+  }
 }
 
 Result<int> SandService::TaskIndex(const std::string& tag) const {
@@ -290,7 +304,8 @@ void SandService::SubmitPreMaterialization(const std::shared_ptr<ChunkState>& ch
       if (!ClaimVideo(*chunk, static_cast<int>(v), /*wait_if_running=*/false)) {
         return;  // a demand job already owns or finished this subtree
       }
-      SubtreeExecutor executor(chunk->plan.videos[v], &containers_, cache_.get(), &cpu_meter_);
+      SubtreeExecutor executor(chunk->plan.videos[v], &containers_, cache_.get(), &cpu_meter_,
+                               decode_pool_.get());
       Status status = executor.MaterializeFlagged();
       FinishVideo(*chunk, static_cast<int>(v));
       if (!status.ok()) {
@@ -389,7 +404,7 @@ Result<std::vector<uint8_t>> SandService::AssembleBatch(const std::shared_ptr<Ch
       }
       if (executor == nullptr) {
         executor = std::make_unique<SubtreeExecutor>(graph, &containers_, cache_.get(),
-                                                     &cpu_meter_);
+                                                     &cpu_meter_, decode_pool_.get());
       }
       Status status = Status::Ok();
       if (options_.pre_materialize && options_.enable_scheduling) {
@@ -686,7 +701,7 @@ Result<SharedBytes> SandService::MaterializeIntermediate(const ViewPath& path) {
   if (target == nullptr) {
     return NotFound("no planned object for " + path.Format());
   }
-  SubtreeExecutor executor(*graph, &containers_, cache_.get(), &cpu_meter_);
+  SubtreeExecutor executor(*graph, &containers_, cache_.get(), &cpu_meter_, decode_pool_.get());
   SAND_ASSIGN_OR_RETURN(Frame frame, executor.Produce(target->id, /*allow_cache_store=*/true));
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);

@@ -63,6 +63,14 @@ struct ServiceOptions {
   // refused (RESOURCE_EXHAUSTED).
   int async_threads = 2;
   size_t async_queue_depth = 32;
+
+  // Intra-view GOP-parallel decode (DESIGN.md §9): one process-wide pool
+  // shared by demand, pre-materialization, and speculative executors, so
+  // concurrent materialization units contend for a bounded set of decode
+  // threads instead of each spawning their own (no oversubscription). 0
+  // disables the pool (serial per-view decode, the pre-PR-4 behavior).
+  int decode_threads = 4;
+  size_t decode_queue_depth = 64;
   // Readahead configuration handed to the embedded SandFs prefetcher
   // (window = 0 keeps speculation off).
   PrefetchOptions prefetch;
@@ -123,6 +131,10 @@ class SandService : public ViewProvider {
   TieredCache& cache() { return *cache_; }
   SchedulerStats scheduler_stats() { return scheduler_->stats(); }
   WorkerPoolStats async_pool_stats() { return async_pool_->stats(); }
+  // Stats of the shared GOP-decode pool; zeros when decode_threads == 0.
+  WorkerPoolStats decode_pool_stats() {
+    return decode_pool_ ? decode_pool_->stats() : WorkerPoolStats{};
+  }
   ServiceStats stats();
   // Pruning report of the most recently planned chunk.
   PruningReport last_pruning_report();
@@ -227,6 +239,12 @@ class SandService : public ViewProvider {
   ContainerCache containers_;
   std::unique_ptr<MaterializationScheduler> scheduler_;
   std::unique_ptr<WorkerPool> async_pool_;
+  // Shared GOP-slice decode pool (null when decode_threads == 0). Slice
+  // tasks never block on other pool tasks (saturation falls back inline in
+  // the executor), so it is safe for scheduler and async-pool threads to
+  // fan into it. Shut down last: executors running on the other pools may
+  // still be fanning slices into it while they drain.
+  std::unique_ptr<WorkerPool> decode_pool_;
   SandFs fs_;
   CpuMeter cpu_meter_;
 

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/tensor/pixel_kernels.h"
+
 namespace sand {
 namespace {
-
-uint8_t Saturate(int v) { return static_cast<uint8_t>(std::clamp(v, 0, 255)); }
 
 uint8_t SaturateD(double v) {
   return static_cast<uint8_t>(std::clamp(v, 0.0, 255.0) + 0.5);
@@ -104,19 +104,20 @@ Frame Rotate90(const Frame& in) {
 }
 
 Frame AdjustBrightness(const Frame& in, int delta) {
+  PixelLut lut = BrightnessLut(delta);
   Frame out = in;  // shares in's buffer; MutableData clones it once
-  for (uint8_t& v : out.MutableData()) {
-    v = Saturate(static_cast<int>(v) + delta);
-  }
+  std::span<uint8_t> bytes = out.MutableData();
+  ApplyLut(bytes, lut, bytes);
   return out;
 }
 
 Frame AdjustContrast(const Frame& in, double factor) {
-  double mean = in.MeanIntensity();
+  // The saturating double math runs once per distinct byte value (256 LUT
+  // entries) instead of once per byte.
+  PixelLut lut = ContrastLut(in.MeanIntensity(), factor);
   Frame out = in;  // shares in's buffer; MutableData clones it once
-  for (uint8_t& v : out.MutableData()) {
-    v = SaturateD(mean + (static_cast<double>(v) - mean) * factor);
-  }
+  std::span<uint8_t> bytes = out.MutableData();
+  ApplyLut(bytes, lut, bytes);
   return out;
 }
 
@@ -127,6 +128,92 @@ Frame ColorJitter(const Frame& in, Rng& rng, int max_delta, double max_contrast)
 }
 
 Result<Frame> BoxBlur(const Frame& in, int k) {
+  if (k <= 0 || k % 2 == 0) {
+    return InvalidArgument("BoxBlur: kernel must be positive odd");
+  }
+  if (k == 1) {
+    return in;
+  }
+  // Separable sliding-window sums: O(1) per pixel instead of the O(r^2)
+  // gather in BoxBlurReference. The exact 2D window sum is kept in 32 bits
+  // and divided once by the true (clamped) window area, so output is
+  // byte-identical to the reference including at the borders.
+  const int h = in.height();
+  const int w = in.width();
+  const int c = in.channels();
+  const int r = k / 2;
+  Frame out(h, w, c);
+  const size_t row_stride = static_cast<size_t>(w) * c;
+  std::span<const uint8_t> src = in.data();
+  std::span<uint8_t> dst = out.MutableData();
+
+  // col_sums[x*c+ch] = sum of src rows [y-r, y+r] (clamped) at column x.
+  std::vector<uint32_t> col_sums(row_stride, 0);
+  // Window sums per channel for the horizontal pass (c is small: <= 4).
+  std::vector<uint64_t> win(static_cast<size_t>(c));
+
+  const int init_top = std::min(r, h - 1);
+  for (int y = 0; y <= init_top; ++y) {
+    AccumulateBytes(src.subspan(static_cast<size_t>(y) * row_stride, row_stride), col_sums);
+  }
+  int rows_in = init_top + 1;
+
+  for (int y = 0; y < h; ++y) {
+    if (y > 0) {
+      // Slide the vertical window down one row.
+      int enter = y + r;
+      if (enter < h) {
+        AccumulateBytes(src.subspan(static_cast<size_t>(enter) * row_stride, row_stride),
+                        col_sums);
+        ++rows_in;
+      }
+      int leave = y - r - 1;
+      if (leave >= 0) {
+        const uint8_t* row = &src[static_cast<size_t>(leave) * row_stride];
+        for (size_t i = 0; i < row_stride; ++i) {
+          col_sums[i] -= row[i];
+        }
+        --rows_in;
+      }
+    }
+    // Horizontal sliding window over the column sums.
+    std::fill(win.begin(), win.end(), 0);
+    const int init_right = std::min(r, w - 1);
+    for (int x = 0; x <= init_right; ++x) {
+      for (int ch = 0; ch < c; ++ch) {
+        win[static_cast<size_t>(ch)] += col_sums[static_cast<size_t>(x) * c + ch];
+      }
+    }
+    int cols_in = init_right + 1;
+    uint8_t* out_row = &dst[static_cast<size_t>(y) * row_stride];
+    for (int x = 0; x < w; ++x) {
+      if (x > 0) {
+        int enter = x + r;
+        int leave = x - r - 1;
+        if (enter < w) {
+          for (int ch = 0; ch < c; ++ch) {
+            win[static_cast<size_t>(ch)] += col_sums[static_cast<size_t>(enter) * c + ch];
+          }
+          ++cols_in;
+        }
+        if (leave >= 0) {
+          for (int ch = 0; ch < c; ++ch) {
+            win[static_cast<size_t>(ch)] -= col_sums[static_cast<size_t>(leave) * c + ch];
+          }
+          --cols_in;
+        }
+      }
+      const uint64_t area = static_cast<uint64_t>(rows_in) * static_cast<uint64_t>(cols_in);
+      for (int ch = 0; ch < c; ++ch) {
+        out_row[static_cast<size_t>(x) * c + ch] =
+            static_cast<uint8_t>(win[static_cast<size_t>(ch)] / area);
+      }
+    }
+  }
+  return out;
+}
+
+Result<Frame> BoxBlurReference(const Frame& in, int k) {
   if (k <= 0 || k % 2 == 0) {
     return InvalidArgument("BoxBlur: kernel must be positive odd");
   }
@@ -159,10 +246,10 @@ Result<Frame> BoxBlur(const Frame& in, int k) {
 }
 
 Frame Invert(const Frame& in) {
+  PixelLut lut = InvertLut();
   Frame out = in;  // shares in's buffer; MutableData clones it once
-  for (uint8_t& v : out.MutableData()) {
-    v = static_cast<uint8_t>(255 - v);
-  }
+  std::span<uint8_t> bytes = out.MutableData();
+  ApplyLut(bytes, lut, bytes);
   return out;
 }
 

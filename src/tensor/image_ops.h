@@ -47,8 +47,13 @@ Frame AdjustContrast(const Frame& in, double factor);
 // contrast factor in [1-max_contrast, 1+max_contrast], both drawn from rng.
 Frame ColorJitter(const Frame& in, Rng& rng, int max_delta, double max_contrast);
 
-// Box blur with odd kernel size k (k=1 returns a copy).
+// Box blur with odd kernel size k (k=1 returns a copy). Separable
+// sliding-window implementation, O(1) per pixel in k.
 Result<Frame> BoxBlur(const Frame& in, int k);
+
+// The retained O(r^2)-per-pixel scalar blur; byte-identical to BoxBlur.
+// Kept as the golden reference for tensor_test.cc and bench_micro_kernels.
+Result<Frame> BoxBlurReference(const Frame& in, int k);
 
 // Inverts pixel values (255 - v); the paper's `inv_sample` example op.
 Frame Invert(const Frame& in);

@@ -1,0 +1,128 @@
+#include "src/tensor/pixel_kernels.h"
+
+#include <algorithm>
+
+namespace sand {
+
+PixelLut BrightnessLut(int delta) {
+  PixelLut lut;
+  for (int v = 0; v < 256; ++v) {
+    lut[static_cast<size_t>(v)] = static_cast<uint8_t>(std::clamp(v + delta, 0, 255));
+  }
+  return lut;
+}
+
+PixelLut ContrastLut(double mean, double factor) {
+  PixelLut lut;
+  for (int v = 0; v < 256; ++v) {
+    double adjusted = mean + (static_cast<double>(v) - mean) * factor;
+    lut[static_cast<size_t>(v)] = static_cast<uint8_t>(std::clamp(adjusted, 0.0, 255.0) + 0.5);
+  }
+  return lut;
+}
+
+PixelLut InvertLut() {
+  PixelLut lut;
+  for (int v = 0; v < 256; ++v) {
+    lut[static_cast<size_t>(v)] = static_cast<uint8_t>(255 - v);
+  }
+  return lut;
+}
+
+void ApplyLut(std::span<const uint8_t> in, const PixelLut& lut, std::span<uint8_t> out) {
+  const uint8_t* __restrict src = in.data();
+  const uint8_t* __restrict table = lut.data();
+  uint8_t* __restrict dst = out.data();
+  const size_t n = in.size();
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] = table[src[i]];
+  }
+}
+
+void DeltaEncodeBytes(std::span<const uint8_t> cur, std::span<const uint8_t> prev,
+                      std::span<uint8_t> out) {
+  const uint8_t* __restrict a = cur.data();
+  const uint8_t* __restrict b = prev.data();
+  uint8_t* __restrict dst = out.data();
+  const size_t n = cur.size();
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<uint8_t>(a[i] - b[i]);
+  }
+}
+
+void DeltaApplyBytes(std::span<uint8_t> target, std::span<const uint8_t> delta) {
+  uint8_t* __restrict dst = target.data();
+  const uint8_t* __restrict d = delta.data();
+  const size_t n = target.size();
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<uint8_t>(dst[i] + d[i]);
+  }
+}
+
+void AccumulateBytes(std::span<const uint8_t> in, std::span<uint32_t> acc) {
+  const uint8_t* __restrict src = in.data();
+  uint32_t* __restrict sums = acc.data();
+  const size_t n = in.size();
+  for (size_t i = 0; i < n; ++i) {
+    sums[i] += src[i];
+  }
+}
+
+void DivideBytes(std::span<const uint32_t> acc, uint32_t divisor, std::span<uint8_t> out) {
+  const uint32_t* __restrict sums = acc.data();
+  uint8_t* __restrict dst = out.data();
+  const size_t n = out.size();
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<uint8_t>(sums[i] / divisor);
+  }
+}
+
+void MergeAverage(std::span<const std::span<const uint8_t>> inputs, std::span<uint8_t> out) {
+  const size_t n = out.size();
+  // The common merge widths (2-4 parents) get single-pass loops with a
+  // compile-time divisor — branch-free bodies the autovectorizer turns into
+  // widening-add + multiply-shift sequences. Wider merges fall back to a
+  // u32 accumulator plane.
+  if (inputs.size() == 2) {
+    const uint8_t* __restrict a = inputs[0].data();
+    const uint8_t* __restrict b = inputs[1].data();
+    uint8_t* __restrict dst = out.data();
+    for (size_t i = 0; i < n; ++i) {
+      dst[i] = static_cast<uint8_t>(
+          (static_cast<uint32_t>(a[i]) + static_cast<uint32_t>(b[i])) / 2u);
+    }
+    return;
+  }
+  if (inputs.size() == 3) {
+    const uint8_t* __restrict a = inputs[0].data();
+    const uint8_t* __restrict b = inputs[1].data();
+    const uint8_t* __restrict c = inputs[2].data();
+    uint8_t* __restrict dst = out.data();
+    for (size_t i = 0; i < n; ++i) {
+      dst[i] = static_cast<uint8_t>((static_cast<uint32_t>(a[i]) + static_cast<uint32_t>(b[i]) +
+                                     static_cast<uint32_t>(c[i])) /
+                                    3u);
+    }
+    return;
+  }
+  if (inputs.size() == 4) {
+    const uint8_t* __restrict a = inputs[0].data();
+    const uint8_t* __restrict b = inputs[1].data();
+    const uint8_t* __restrict c = inputs[2].data();
+    const uint8_t* __restrict d = inputs[3].data();
+    uint8_t* __restrict dst = out.data();
+    for (size_t i = 0; i < n; ++i) {
+      dst[i] = static_cast<uint8_t>((static_cast<uint32_t>(a[i]) + static_cast<uint32_t>(b[i]) +
+                                     static_cast<uint32_t>(c[i]) + static_cast<uint32_t>(d[i])) /
+                                    4u);
+    }
+    return;
+  }
+  std::vector<uint32_t> acc(n, 0);
+  for (std::span<const uint8_t> input : inputs) {
+    AccumulateBytes(input, acc);
+  }
+  DivideBytes(acc, static_cast<uint32_t>(inputs.size()), out);
+}
+
+}  // namespace sand

@@ -1,0 +1,77 @@
+// Flat byte-plane kernels behind the codec's temporal delta coding, the
+// executor's merge averaging, and the point ops in image_ops.cc.
+//
+// The hot loops here are written for autovectorization: contiguous uint8_t
+// spans, __restrict pointers, branch-free bodies, and 32-bit accumulators
+// (see bench_micro_kernels for measured gains; SAND_NATIVE_ARCH=ON lets the
+// compiler pick wider vectors). Point ops with a value-dependent formula
+// (contrast's double math, brightness saturation) are folded into a 256-entry
+// lookup table once per frame instead of per byte.
+//
+// Every kernel has a retained scalar reference in `pixel_reference` — the
+// original per-byte formulations — which the golden tests in tensor_test.cc
+// and the --smoke mode of bench_micro_kernels pin the fast paths against
+// byte-for-byte.
+
+#ifndef SAND_TENSOR_PIXEL_KERNELS_H_
+#define SAND_TENSOR_PIXEL_KERNELS_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sand {
+
+// 256-entry point-op table: out_byte = lut[in_byte].
+using PixelLut = std::array<uint8_t, 256>;
+
+// lut[v] = clamp(v + delta, 0, 255).
+PixelLut BrightnessLut(int delta);
+
+// lut[v] = clamp(mean + (v - mean) * factor, 0, 255) rounded half-up —
+// the same formula AdjustContrast applied per byte.
+PixelLut ContrastLut(double mean, double factor);
+
+// lut[v] = 255 - v.
+PixelLut InvertLut();
+
+// out[i] = lut[in[i]]. in and out may alias exactly (in-place) but must not
+// partially overlap. Spans must be the same length.
+void ApplyLut(std::span<const uint8_t> in, const PixelLut& lut, std::span<uint8_t> out);
+
+// out[i] = uint8_t(cur[i] - prev[i])  (mod-256 wraparound). Same lengths.
+void DeltaEncodeBytes(std::span<const uint8_t> cur, std::span<const uint8_t> prev,
+                      std::span<uint8_t> out);
+
+// target[i] = uint8_t(target[i] + delta[i])  (mod-256 wraparound).
+void DeltaApplyBytes(std::span<uint8_t> target, std::span<const uint8_t> delta);
+
+// acc[i] += in[i], widening to 32 bits. Same lengths.
+void AccumulateBytes(std::span<const uint8_t> in, std::span<uint32_t> acc);
+
+// out[i] = acc[i] / divisor (truncating integer division). Same lengths.
+void DivideBytes(std::span<const uint32_t> acc, uint32_t divisor, std::span<uint8_t> out);
+
+// out[i] = (sum over inputs of input[i]) / inputs.size(), truncating — the
+// executor's merge-node average. All spans must share out's length;
+// inputs must be non-empty.
+void MergeAverage(std::span<const std::span<const uint8_t>> inputs, std::span<uint8_t> out);
+
+// Retained scalar formulations. These are the original per-byte loops the
+// vectorized kernels replaced; golden tests compare against them.
+namespace pixel_reference {
+
+uint8_t Brightness(uint8_t v, int delta);
+uint8_t Contrast(uint8_t v, double mean, double factor);
+uint8_t Invert(uint8_t v);
+void DeltaEncodeBytes(std::span<const uint8_t> cur, std::span<const uint8_t> prev,
+                      std::span<uint8_t> out);
+void DeltaApplyBytes(std::span<uint8_t> target, std::span<const uint8_t> delta);
+void MergeAverage(std::span<const std::span<const uint8_t>> inputs, std::span<uint8_t> out);
+
+}  // namespace pixel_reference
+
+}  // namespace sand
+
+#endif  // SAND_TENSOR_PIXEL_KERNELS_H_

@@ -1,0 +1,51 @@
+// Scalar reference implementations of the pixel kernels (the pre-PR
+// per-byte loops). Kept in their own translation unit, compiled at the
+// project's default optimization level: the golden tests and
+// bench_micro_kernels compare the vectorized kernels (pixel_kernels.cc,
+// built -O3) against exactly this baseline.
+
+#include "src/tensor/pixel_kernels.h"
+
+#include <algorithm>
+
+namespace sand {
+namespace pixel_reference {
+
+
+uint8_t Brightness(uint8_t v, int delta) {
+  return static_cast<uint8_t>(std::clamp(static_cast<int>(v) + delta, 0, 255));
+}
+
+uint8_t Contrast(uint8_t v, double mean, double factor) {
+  double adjusted = mean + (static_cast<double>(v) - mean) * factor;
+  return static_cast<uint8_t>(std::clamp(adjusted, 0.0, 255.0) + 0.5);
+}
+
+uint8_t Invert(uint8_t v) { return static_cast<uint8_t>(255 - v); }
+
+void DeltaEncodeBytes(std::span<const uint8_t> cur, std::span<const uint8_t> prev,
+                      std::span<uint8_t> out) {
+  for (size_t i = 0; i < cur.size(); ++i) {
+    out[i] = static_cast<uint8_t>(cur[i] - prev[i]);
+  }
+}
+
+void DeltaApplyBytes(std::span<uint8_t> target, std::span<const uint8_t> delta) {
+  for (size_t i = 0; i < target.size(); ++i) {
+    target[i] = static_cast<uint8_t>(target[i] + delta[i]);
+  }
+}
+
+void MergeAverage(std::span<const std::span<const uint8_t>> inputs, std::span<uint8_t> out) {
+  for (size_t i = 0; i < out.size(); ++i) {
+    int total = 0;
+    for (std::span<const uint8_t> input : inputs) {
+      total += input[i];
+    }
+    out[i] = static_cast<uint8_t>(total / static_cast<int>(inputs.size()));
+  }
+}
+
+}  // namespace pixel_reference
+
+}  // namespace sand

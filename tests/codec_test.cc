@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/codec/video_codec.h"
 #include "src/common/rng.h"
+#include "src/common/worker_pool.h"
 
 namespace sand {
 namespace {
@@ -204,6 +207,181 @@ TEST_P(CodecSweepTest, LosslessEverywhere) {
 INSTANTIATE_TEST_SUITE_P(Grid, CodecSweepTest,
                          ::testing::Combine(::testing::Values(1, 5, 16, 17),
                                             ::testing::Values(1, 4, 8, 32)));
+
+TEST(EncoderTest, RejectsOversizeGop) {
+  // The container header stores the GOP size as a u8; 300 used to be
+  // silently truncated to 44, corrupting every decode downstream.
+  VideoEncoderOptions options;
+  options.gop_size = 300;
+  VideoEncoder encoder(8, 8, 3, options);
+  Status add = encoder.AddFrame(Frame(8, 8, 3));
+  EXPECT_EQ(add.code(), ErrorCode::kInvalidArgument) << add.ToString();
+  auto finish = encoder.Finish();
+  EXPECT_EQ(finish.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(EncoderTest, AcceptsMaxGop) {
+  VideoEncoderOptions options;
+  options.gop_size = 255;
+  VideoEncoder encoder(4, 4, 1, options);
+  ASSERT_TRUE(encoder.AddFrame(Frame(4, 4, 1)).ok());
+  auto container = encoder.Finish();
+  ASSERT_TRUE(container.ok());
+  auto decoder = VideoDecoder::Open(container.TakeValue());
+  ASSERT_TRUE(decoder.ok());
+  EXPECT_EQ(decoder->gop_size(), 255);
+}
+
+TEST(GopDecoderTest, SliceMatchesSerialIncludingTailGop) {
+  // 22 frames at GOP 8: the last run (16..21) is an uneven tail.
+  auto container = EncodeVideo(22, 8);
+  auto serial = VideoDecoder::Open(container);
+  ASSERT_TRUE(serial.ok());
+  auto slices = GopDecoder::Open(MakeSharedBytes(EncodeVideo(22, 8)));
+  ASSERT_TRUE(slices.ok());
+  for (int64_t gop_start : {0, 8, 16}) {
+    int64_t end = std::min<int64_t>(gop_start + 8, 22);
+    std::vector<int64_t> indices;
+    for (int64_t t = gop_start; t < end; ++t) {
+      indices.push_back(t);
+    }
+    auto frames = slices->DecodeSlice(gop_start, indices);
+    ASSERT_TRUE(frames.ok()) << frames.status().ToString();
+    ASSERT_EQ(frames->size(), indices.size());
+    for (size_t i = 0; i < indices.size(); ++i) {
+      EXPECT_EQ((*frames)[i], *serial->DecodeFrame(indices[i])) << "frame " << indices[i];
+    }
+  }
+}
+
+TEST(GopDecoderTest, SliceAllowsDuplicatesAndSparseIndices) {
+  auto container = EncodeVideo(16, 8);
+  auto decoder = VideoDecoder::Open(container);
+  ASSERT_TRUE(decoder.ok());
+  GopDecoder slices = decoder->SliceDecoder();
+  std::vector<int64_t> indices = {9, 9, 12, 15, 15, 15};
+  auto frames = slices.DecodeSlice(8, indices);
+  ASSERT_TRUE(frames.ok());
+  ASSERT_EQ(frames->size(), 6u);
+  auto reference = VideoDecoder::Open(container);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    EXPECT_EQ((*frames)[i], *reference->DecodeFrame(indices[i]));
+  }
+}
+
+TEST(GopDecoderTest, SliceRejectsBadInputs) {
+  auto decoder = VideoDecoder::Open(EncodeVideo(24, 8));
+  ASSERT_TRUE(decoder.ok());
+  GopDecoder slices = decoder->SliceDecoder();
+  std::vector<int64_t> cross_gop = {9, 17};  // 17 is in the next GOP
+  EXPECT_FALSE(slices.DecodeSlice(8, cross_gop).ok());
+  std::vector<int64_t> descending = {12, 9};
+  EXPECT_FALSE(slices.DecodeSlice(8, descending).ok());
+  std::vector<int64_t> before_start = {5};
+  EXPECT_FALSE(slices.DecodeSlice(8, before_start).ok());
+  std::vector<int64_t> out_of_range = {99};
+  EXPECT_FALSE(slices.DecodeSlice(8, out_of_range).ok());
+  std::vector<int64_t> ok_but_bad_start = {9};
+  EXPECT_FALSE(slices.DecodeSlice(9, ok_but_bad_start).ok())
+      << "slice start must be an I-frame";
+}
+
+TEST(GopDecoderTest, SharedStatsAccountLikeColdSerialWalk) {
+  auto container = EncodeVideo(24, 8);
+  auto serial = VideoDecoder::Open(container);
+  auto sliced = VideoDecoder::Open(container);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(sliced.ok());
+  // Same requests through both paths, both decoders cold.
+  std::vector<int64_t> sorted = {2, 5, 10, 13, 21};
+  for (int64_t t : sorted) {
+    ASSERT_TRUE(serial->DecodeFrame(t).ok());
+  }
+  GopDecoder slices = sliced->SliceDecoder();
+  ASSERT_TRUE(slices.DecodeSlice(0, std::vector<int64_t>{2, 5}).ok());
+  ASSERT_TRUE(slices.DecodeSlice(8, std::vector<int64_t>{10, 13}).ok());
+  ASSERT_TRUE(slices.DecodeSlice(16, std::vector<int64_t>{21}).ok());
+  DecodeStats a = serial->stats();
+  DecodeStats b = sliced->stats();  // slice decoders share the owner's counters
+  EXPECT_EQ(a.frames_requested, b.frames_requested);
+  EXPECT_EQ(a.frames_decoded, b.frames_decoded);
+  EXPECT_EQ(a.bytes_read, b.bytes_read);
+  EXPECT_EQ(a.seeks, b.seeks);
+}
+
+TEST(ParallelDecodeTest, MatchesSerialOnRandomizedIndexSets) {
+  const int kFrames = 61;  // uneven tail GOP
+  auto container = EncodeVideo(kFrames, 8, 8, 12, 3, 5);
+  WorkerPool pool(WorkerPool::Options{4, 64});
+  Rng rng(1234);
+  for (int round = 0; round < 20; ++round) {
+    // Random size, random order, duplicates likely.
+    size_t n = 1 + rng.NextBounded(24);
+    std::vector<int64_t> indices;
+    for (size_t i = 0; i < n; ++i) {
+      indices.push_back(static_cast<int64_t>(rng.NextBounded(kFrames)));
+    }
+    auto serial = VideoDecoder::Open(container);
+    auto parallel = VideoDecoder::Open(container);
+    ASSERT_TRUE(serial.ok());
+    ASSERT_TRUE(parallel.ok());
+    auto want = serial->DecodeFrames(indices);
+    auto got = parallel->DecodeFrames(indices, &pool);
+    ASSERT_TRUE(want.ok());
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    ASSERT_EQ(want->size(), got->size());
+    for (size_t i = 0; i < want->size(); ++i) {
+      EXPECT_EQ((*want)[i], (*got)[i]) << "round " << round << " slot " << i;
+    }
+    // Both paths started from a cold cursor, so the accounting must agree
+    // on all four counters, not just amplification.
+    DecodeStats a = serial->stats();
+    DecodeStats b = parallel->stats();
+    EXPECT_EQ(a.frames_requested, b.frames_requested) << "round " << round;
+    EXPECT_EQ(a.frames_decoded, b.frames_decoded) << "round " << round;
+    EXPECT_EQ(a.bytes_read, b.bytes_read) << "round " << round;
+    EXPECT_EQ(a.seeks, b.seeks) << "round " << round;
+  }
+  pool.Shutdown();
+}
+
+TEST(ParallelDecodeTest, SaturatedPoolFallsBackInline) {
+  auto container = EncodeVideo(64, 4);
+  auto decoder = VideoDecoder::Open(container);
+  ASSERT_TRUE(decoder.ok());
+  // A pool with no queue capacity refuses every slice: all 16 GOPs must
+  // still decode (inline on the caller) and match the serial result.
+  WorkerPool pool(WorkerPool::Options{1, 0});
+  std::vector<int64_t> indices;
+  for (int64_t t = 0; t < 64; t += 3) {
+    indices.push_back(t);
+  }
+  auto got = decoder->DecodeFrames(indices, &pool);
+  ASSERT_TRUE(got.ok());
+  auto reference = VideoDecoder::Open(container);
+  auto want = reference->DecodeFrames(indices);
+  ASSERT_TRUE(want.ok());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    EXPECT_EQ((*want)[i], (*got)[i]);
+  }
+  pool.Shutdown();
+}
+
+TEST(ParallelDecodeTest, NullPoolAndEmptyIndices) {
+  auto decoder = VideoDecoder::Open(EncodeVideo(8, 4));
+  ASSERT_TRUE(decoder.ok());
+  std::vector<int64_t> indices = {7, 1};
+  auto frames = decoder->DecodeFrames(indices, nullptr);
+  ASSERT_TRUE(frames.ok());
+  EXPECT_EQ(frames->size(), 2u);
+  WorkerPool pool(WorkerPool::Options{2, 8});
+  auto empty = decoder->DecodeFrames(std::vector<int64_t>{}, &pool);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+  std::vector<int64_t> bad = {-1};
+  EXPECT_FALSE(decoder->DecodeFrames(bad, &pool).ok());
+  pool.Shutdown();
+}
 
 }  // namespace
 }  // namespace sand

@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <span>
+
 #include "src/common/rng.h"
 #include "src/tensor/frame.h"
 #include "src/tensor/image_ops.h"
+#include "src/tensor/pixel_kernels.h"
 
 namespace sand {
 namespace {
@@ -259,6 +263,104 @@ INSTANTIATE_TEST_SUITE_P(Shapes, ResizeSweepTest,
                                            std::make_tuple(1, 1, 5, 5),
                                            std::make_tuple(32, 16, 8, 24),
                                            std::make_tuple(3, 5, 1, 1)));
+
+
+// ---------------------------------------------------------------------------
+// Golden kernel tests: every vectorized kernel in pixel_kernels.cc (and the
+// separable BoxBlur) is pinned byte-for-byte against the retained scalar
+// reference, across edge shapes: 1x1, odd widths, r >= image size.
+
+Frame NoisyFrame(int h, int w, int c, uint64_t seed) {
+  Frame frame(h, w, c);
+  Rng rng(seed);
+  for (uint8_t& v : frame.MutableData()) {
+    v = static_cast<uint8_t>(rng.NextBounded(256));
+  }
+  return frame;
+}
+
+struct KernelShape {
+  int h, w, c;
+};
+class KernelGoldenTest : public ::testing::TestWithParam<KernelShape> {};
+
+TEST_P(KernelGoldenTest, DeltaEncodeAndApplyMatchReference) {
+  auto [h, w, c] = GetParam();
+  Frame cur = NoisyFrame(h, w, c, 11);
+  Frame prev = NoisyFrame(h, w, c, 22);
+  std::vector<uint8_t> fast(cur.size_bytes()), ref(cur.size_bytes());
+  DeltaEncodeBytes(cur.data(), prev.data(), fast);
+  pixel_reference::DeltaEncodeBytes(cur.data(), prev.data(), ref);
+  EXPECT_EQ(fast, ref);
+
+  // Applying the delta onto prev must reconstruct cur on both paths.
+  std::vector<uint8_t> fast_target(prev.data().begin(), prev.data().end());
+  std::vector<uint8_t> ref_target = fast_target;
+  DeltaApplyBytes(fast_target, fast);
+  pixel_reference::DeltaApplyBytes(ref_target, ref);
+  EXPECT_EQ(fast_target, ref_target);
+  EXPECT_TRUE(std::equal(fast_target.begin(), fast_target.end(), cur.data().begin()));
+}
+
+TEST_P(KernelGoldenTest, MergeAverageMatchesReference) {
+  auto [h, w, c] = GetParam();
+  std::vector<Frame> frames;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    frames.push_back(NoisyFrame(h, w, c, seed * 31));
+  }
+  std::vector<std::span<const uint8_t>> inputs;
+  for (const Frame& f : frames) {
+    inputs.push_back(f.data());
+  }
+  std::vector<uint8_t> fast(frames[0].size_bytes()), ref(frames[0].size_bytes());
+  MergeAverage(inputs, fast);
+  pixel_reference::MergeAverage(inputs, ref);
+  EXPECT_EQ(fast, ref);
+}
+
+TEST_P(KernelGoldenTest, PointOpLutsMatchReference) {
+  auto [h, w, c] = GetParam();
+  Frame in = NoisyFrame(h, w, c, 77);
+  for (int delta : {-300, -40, 0, 40, 300}) {
+    Frame fast = AdjustBrightness(in, delta);
+    for (size_t i = 0; i < in.size_bytes(); ++i) {
+      ASSERT_EQ(fast.data()[i], pixel_reference::Brightness(in.data()[i], delta))
+          << "delta " << delta << " byte " << i;
+    }
+  }
+  for (double factor : {0.0, 0.5, 1.0, 1.7, 3.0}) {
+    Frame fast = AdjustContrast(in, factor);
+    double mean = in.MeanIntensity();
+    for (size_t i = 0; i < in.size_bytes(); ++i) {
+      ASSERT_EQ(fast.data()[i], pixel_reference::Contrast(in.data()[i], mean, factor))
+          << "factor " << factor << " byte " << i;
+    }
+  }
+  Frame inverted = Invert(in);
+  for (size_t i = 0; i < in.size_bytes(); ++i) {
+    ASSERT_EQ(inverted.data()[i], pixel_reference::Invert(in.data()[i]));
+  }
+}
+
+TEST_P(KernelGoldenTest, SeparableBlurMatchesReference) {
+  auto [h, w, c] = GetParam();
+  Frame in = NoisyFrame(h, w, c, 99);
+  // Kernels up to well past the image size: the r >= image case exercises
+  // fully clamped windows on every pixel.
+  for (int k : {1, 3, 5, 9, 2 * std::max(h, w) + 1}) {
+    auto fast = BoxBlur(in, k);
+    auto ref = BoxBlurReference(in, k);
+    ASSERT_TRUE(fast.ok());
+    ASSERT_TRUE(ref.ok());
+    EXPECT_EQ(*fast, *ref) << "k=" << k << " shape " << h << "x" << w << "x" << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(EdgeShapes, KernelGoldenTest,
+                         ::testing::Values(KernelShape{1, 1, 1}, KernelShape{1, 1, 3},
+                                           KernelShape{5, 7, 3}, KernelShape{3, 1, 2},
+                                           KernelShape{16, 17, 1}, KernelShape{9, 13, 4},
+                                           KernelShape{32, 24, 3}));
 
 }  // namespace
 }  // namespace sand

@@ -21,6 +21,10 @@ cmake --build "$BUILD_DIR" -j"$(nproc)"
 echo "==== ctest ===="
 (cd "$BUILD_DIR" && ctest --output-on-failure -j"$(nproc)")
 
+echo "==== kernel smoke (bench_micro_kernels --smoke) ===="
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_micro_kernels
+"$BUILD_DIR/bench/bench_micro_kernels" --smoke
+
 if [ "${SKIP_TSAN:-0}" != "1" ]; then
   echo "==== tsan suite ===="
   tools/check_tsan.sh
@@ -29,7 +33,7 @@ fi
 if [ "${SKIP_ASAN:-0}" != "1" ]; then
   echo "==== asan suite ===="
   ASAN_BUILD_DIR=${ASAN_BUILD_DIR:-build-asan}
-  ASAN_TESTS=(vfs_test prefetch_test core_test)
+  ASAN_TESTS=(vfs_test prefetch_test core_test codec_test)
   cmake -B "$ASAN_BUILD_DIR" -S . -DSAND_ASAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$ASAN_BUILD_DIR" -j"$(nproc)" --target "${ASAN_TESTS[@]}"
   for test in "${ASAN_TESTS[@]}"; do
