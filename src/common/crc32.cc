@@ -1,0 +1,32 @@
+#include "src/common/crc32.h"
+
+#include <array>
+
+namespace sand {
+
+namespace {
+
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(std::span<const uint8_t> data, uint32_t crc) {
+  static const std::array<uint32_t, 256> kTable = BuildTable();
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (uint8_t byte : data) {
+    c = kTable[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace sand

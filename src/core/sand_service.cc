@@ -240,7 +240,13 @@ ServiceCheckpoint SandService::MakeCheckpoint() {
 }
 
 Status SandService::SaveCheckpoint() {
-  return MakeCheckpoint().Save(cache_->disk());
+  // Through the cache's durable-write path: retried per the DiskFaultPolicy,
+  // refused (not silently diverted to memory) while the disk tier is
+  // offline — a checkpoint only counts when it is actually durable.
+  const std::string yaml = MakeCheckpoint().ToYaml();
+  return cache_->PutDisk(
+      ServiceCheckpoint::kDefaultKey,
+      std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(yaml.data()), yaml.size()));
 }
 
 bool SandService::ClaimVideo(ChunkState& chunk, int video, bool wait_if_running) {
@@ -963,7 +969,9 @@ void SandService::MaybeEvict() {
 
 ServiceStats SandService::stats() {
   std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  ServiceStats snapshot = stats_;
+  snapshot.disk_degraded = cache_->disk_degraded() ? 1 : 0;
+  return snapshot;
 }
 
 PruningReport SandService::last_pruning_report() {

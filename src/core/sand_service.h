@@ -97,6 +97,7 @@ struct ServiceStats {
   uint64_t recovered_objects = 0;
   uint64_t async_units = 0;          // MaterializeAsync units run on the pool
   uint64_t speculative_batches = 0;  // batches produced by readahead units
+  uint64_t disk_degraded = 0;        // 1 while the disk tier is offline (memory-only)
 };
 
 class SandService : public ViewProvider {

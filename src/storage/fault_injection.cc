@@ -1,0 +1,201 @@
+#include "src/storage/fault_injection.h"
+
+#include <chrono>
+#include <thread>
+
+#include "src/obs/metrics.h"
+
+namespace sand {
+
+namespace {
+
+struct FaultMetrics {
+  obs::Counter* injected;
+
+  static const FaultMetrics& Get() {
+    static const FaultMetrics metrics{
+        obs::Registry::Get().GetCounter("sand.store.faults.injected"),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
+
+FaultInjectingStore::FaultInjectingStore(std::shared_ptr<ObjectStore> backing, uint64_t seed)
+    : backing_(std::move(backing)), rng_(seed) {}
+
+void FaultInjectingStore::AddRule(FaultRule rule) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_.push_back(ArmedRule{std::move(rule)});
+}
+
+void FaultInjectingStore::ClearRules() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_.clear();
+}
+
+FaultStats FaultInjectingStore::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+bool FaultInjectingStore::KindApplies(FaultKind kind, OpClass op) {
+  switch (kind) {
+    case FaultKind::kWriteError:
+      return op == OpClass::kWrite || op == OpClass::kDelete;
+    case FaultKind::kShortWrite:
+    case FaultKind::kCrashBeforeRename:
+      return op == OpClass::kWrite;
+    case FaultKind::kReadError:
+      return op == OpClass::kRead;
+    case FaultKind::kLatency:
+      return true;
+  }
+  return false;
+}
+
+std::optional<FaultKind> FaultInjectingStore::Evaluate(OpClass op, const std::string& key,
+                                                       Nanos* latency_out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.ops_seen;
+  std::optional<FaultKind> fired;
+  for (ArmedRule& armed : rules_) {
+    const FaultRule& rule = armed.rule;
+    if (!KindApplies(rule.kind, op)) {
+      continue;
+    }
+    if (!rule.key_substring.empty() && key.find(rule.key_substring) == std::string::npos) {
+      continue;
+    }
+    ++armed.matched;
+    if (armed.fired >= rule.max_fires) {
+      continue;
+    }
+    const bool fires = rule.every_nth > 0 ? (armed.matched % rule.every_nth == 0)
+                                          : rng_.NextBool(rule.probability);
+    if (!fires) {
+      continue;
+    }
+    if (rule.kind == FaultKind::kLatency) {
+      ++armed.fired;
+      ++stats_.latency_injections;
+      *latency_out += rule.latency;
+      continue;  // latency composes with (and does not mask) other rules
+    }
+    if (fired.has_value()) {
+      continue;  // first non-latency firing rule wins
+    }
+    ++armed.fired;
+    fired = rule.kind;
+    switch (rule.kind) {
+      case FaultKind::kWriteError:
+        ++stats_.write_errors;
+        break;
+      case FaultKind::kShortWrite:
+        ++stats_.short_writes;
+        break;
+      case FaultKind::kReadError:
+        ++stats_.read_errors;
+        break;
+      case FaultKind::kCrashBeforeRename:
+        ++stats_.crashes;
+        break;
+      case FaultKind::kLatency:
+        break;
+    }
+  }
+  return fired;
+}
+
+Status FaultInjectingStore::CheckWrite(const std::string& key, std::span<const uint8_t> data) {
+  Nanos latency = 0;
+  std::optional<FaultKind> fault = Evaluate(OpClass::kWrite, key, &latency);
+  if (latency > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(latency));
+  }
+  if (!fault.has_value()) {
+    return Status::Ok();
+  }
+  FaultMetrics::Get().injected->Add(1);
+  switch (*fault) {
+    case FaultKind::kWriteError:
+      return Unavailable("injected write error: " + key);
+    case FaultKind::kShortWrite:
+      // A crash-safe backing discards the partial temp file, so nothing of
+      // the torn write becomes visible — the caller just sees the failure.
+      return DataLoss("injected short write: " + key);
+    case FaultKind::kCrashBeforeRename:
+      if (auto* disk = dynamic_cast<DiskStore*>(backing_.get())) {
+        // Run the real write path and abandon it before the publish rename,
+        // leaving the authentic crash debris (a temp file) behind.
+        return disk->PutCrashBeforeRename(key, data);
+      }
+      return Unavailable("injected crash before publish: " + key);
+    case FaultKind::kReadError:
+    case FaultKind::kLatency:
+      break;
+  }
+  return Internal("unhandled fault kind");
+}
+
+Status FaultInjectingStore::Put(const std::string& key, std::span<const uint8_t> data) {
+  SAND_RETURN_IF_ERROR(CheckWrite(key, data));
+  return backing_->Put(key, data);
+}
+
+Status FaultInjectingStore::PutShared(const std::string& key, SharedBytes data) {
+  if (data == nullptr) {
+    return InvalidArgument("PutShared: null buffer");
+  }
+  SAND_RETURN_IF_ERROR(CheckWrite(key, *data));
+  return backing_->PutShared(key, std::move(data));
+}
+
+Result<bool> FaultInjectingStore::PutIfAbsent(const std::string& key,
+                                              std::span<const uint8_t> data) {
+  SAND_RETURN_IF_ERROR(CheckWrite(key, data));
+  return backing_->PutIfAbsent(key, data);
+}
+
+Result<SharedBytes> FaultInjectingStore::GetShared(const std::string& key) {
+  Nanos latency = 0;
+  std::optional<FaultKind> fault = Evaluate(OpClass::kRead, key, &latency);
+  if (latency > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(latency));
+  }
+  if (fault.has_value()) {
+    FaultMetrics::Get().injected->Add(1);
+    return Unavailable("injected read error: " + key);
+  }
+  return backing_->GetShared(key);
+}
+
+bool FaultInjectingStore::Contains(const std::string& key) { return backing_->Contains(key); }
+
+Result<uint64_t> FaultInjectingStore::SizeOf(const std::string& key) {
+  return backing_->SizeOf(key);
+}
+
+Status FaultInjectingStore::Delete(const std::string& key) {
+  Nanos latency = 0;
+  std::optional<FaultKind> fault = Evaluate(OpClass::kDelete, key, &latency);
+  if (latency > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(latency));
+  }
+  if (fault.has_value()) {
+    FaultMetrics::Get().injected->Add(1);
+    return Unavailable("injected delete error: " + key);
+  }
+  return backing_->Delete(key);
+}
+
+uint64_t FaultInjectingStore::UsedBytes() { return backing_->UsedBytes(); }
+
+uint64_t FaultInjectingStore::CapacityBytes() { return backing_->CapacityBytes(); }
+
+std::vector<std::string> FaultInjectingStore::ListKeys() { return backing_->ListKeys(); }
+
+Status FaultInjectingStore::Rescan() { return backing_->Rescan(); }
+
+}  // namespace sand

@@ -1,0 +1,133 @@
+// Fault injection for the storage tier (DESIGN.md §10).
+//
+// FaultInjectingStore is an ObjectStore decorator that injects failures
+// into the store it wraps, so the retry / degradation / recovery machinery
+// stays testable as the system grows: chaos tests wrap the disk tier in one
+// of these and assert that training loops still complete and that recovery
+// rescans converge to a consistent index.
+//
+// Faults are described by FaultRules. A rule scopes itself by op class
+// (writes vs reads), key substring, firing mode (deterministic every-nth
+// matching op, or Bernoulli probability from a seeded RNG — runs are
+// reproducible bit-for-bit for a given seed and op sequence), and an
+// optional cap on total fires ("exactly one crash-before-rename").
+//
+// Kinds:
+//   kWriteError        Put*/Delete fails UNAVAILABLE; backing untouched.
+//   kShortWrite        Put* fails DATA_LOSS; backing untouched (a crash-safe
+//                      store discards the partial temp file, so nothing
+//                      becomes visible — the caller just sees a failed write).
+//   kReadError         GetShared fails UNAVAILABLE; backing untouched.
+//   kLatency           the op sleeps `latency` then proceeds normally.
+//   kCrashBeforeRename Put* runs the real write path up to but NOT including
+//                      the atomic publish rename (DiskStore backing: payload
+//                      lands in the temp area; other backings: plain error),
+//                      then fails UNAVAILABLE — the state a power cut between
+//                      write and rename leaves on disk.
+
+#ifndef SAND_STORAGE_FAULT_INJECTION_H_
+#define SAND_STORAGE_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/rng.h"
+#include "src/storage/object_store.h"
+
+namespace sand {
+
+enum class FaultKind {
+  kWriteError,
+  kShortWrite,
+  kReadError,
+  kLatency,
+  kCrashBeforeRename,
+};
+
+struct FaultRule {
+  FaultKind kind = FaultKind::kWriteError;
+  // Bernoulli fire chance per matching op (used when every_nth == 0).
+  double probability = 1.0;
+  // Fire deterministically on every nth matching op (1-based; 0 = off).
+  uint64_t every_nth = 0;
+  // Only ops whose key contains this substring match; empty matches all.
+  std::string key_substring;
+  // Disarm after this many fires (e.g. 1 = a single injected crash).
+  uint64_t max_fires = UINT64_MAX;
+  // Injected delay for kLatency.
+  Nanos latency = 0;
+};
+
+struct FaultStats {
+  uint64_t write_errors = 0;
+  uint64_t short_writes = 0;
+  uint64_t read_errors = 0;
+  uint64_t latency_injections = 0;
+  uint64_t crashes = 0;
+  uint64_t ops_seen = 0;
+
+  uint64_t total_faults() const {
+    return write_errors + short_writes + read_errors + crashes;
+  }
+};
+
+// Thread-safe; rule evaluation serializes on one mutex (the wrapped store
+// op itself runs outside it). Metadata ops (Contains, SizeOf, ListKeys,
+// UsedBytes, CapacityBytes, Rescan) always pass through unfaulted.
+class FaultInjectingStore : public ObjectStore {
+ public:
+  explicit FaultInjectingStore(std::shared_ptr<ObjectStore> backing,
+                               uint64_t seed = 0x5eedf417);
+
+  void AddRule(FaultRule rule);
+  void ClearRules();
+  FaultStats stats() const;
+
+  ObjectStore& backing() { return *backing_; }
+
+  // --- ObjectStore --------------------------------------------------------
+  Status Put(const std::string& key, std::span<const uint8_t> data) override;
+  Status PutShared(const std::string& key, SharedBytes data) override;
+  Result<bool> PutIfAbsent(const std::string& key, std::span<const uint8_t> data) override;
+  Result<SharedBytes> GetShared(const std::string& key) override;
+  bool Contains(const std::string& key) override;
+  Result<uint64_t> SizeOf(const std::string& key) override;
+  Status Delete(const std::string& key) override;
+  uint64_t UsedBytes() override;
+  uint64_t CapacityBytes() override;
+  std::vector<std::string> ListKeys() override;
+  Status Rescan() override;
+
+ private:
+  enum class OpClass { kWrite, kRead, kDelete };
+
+  struct ArmedRule {
+    FaultRule rule;
+    uint64_t matched = 0;
+    uint64_t fired = 0;
+  };
+
+  static bool KindApplies(FaultKind kind, OpClass op);
+  // Evaluates the rules for one op. Latency rules accumulate into
+  // `latency_out` (slept by the caller, outside the lock); the first other
+  // firing rule wins and is returned.
+  std::optional<FaultKind> Evaluate(OpClass op, const std::string& key, Nanos* latency_out);
+  // Shared fault front-half for the Put family.
+  Status CheckWrite(const std::string& key, std::span<const uint8_t> data);
+
+  std::shared_ptr<ObjectStore> backing_;
+
+  mutable std::mutex mutex_;
+  Rng rng_;
+  std::vector<ArmedRule> rules_;
+  FaultStats stats_;
+};
+
+}  // namespace sand
+
+#endif  // SAND_STORAGE_FAULT_INJECTION_H_

@@ -1,11 +1,21 @@
 #include "src/storage/object_store.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <array>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <optional>
+#include <string_view>
 #include <thread>
 
+#include "src/common/crc32.h"
+#include "src/common/logging.h"
 #include "src/common/strings.h"
 #include "src/obs/trace.h"
 
@@ -43,6 +53,125 @@ struct StoreMetrics {
   }
 };
 
+// Objects dropped from the index because their file failed CRC/footer
+// verification or vanished while indexed (DESIGN.md §10).
+obs::Counter* DiskQuarantined() {
+  static obs::Counter* counter =
+      obs::Registry::Get().GetCounter("sand.store.disk.quarantined");
+  return counter;
+}
+
+// Delta-based capacity reservation shared by the sharded stores: only the
+// growth (incoming - existing) is reserved, and a shrink releases the
+// difference immediately — so a same-size overwrite is a no-op against the
+// capacity check. The old fetch_add(incoming)-then-credit-existing scheme
+// transiently double-counted overwrites, making concurrent same-size
+// overwrites near capacity spuriously fail with ResourceExhausted.
+// Caller holds the shard lock for the key being (re)written.
+Status ReserveDelta(std::atomic<uint64_t>& used, uint64_t capacity, uint64_t incoming,
+                    uint64_t existing, const char* what) {
+  if (incoming <= existing) {
+    used.fetch_sub(existing - incoming, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+  const uint64_t delta = incoming - existing;
+  const uint64_t prev = used.fetch_add(delta, std::memory_order_relaxed);
+  if (prev + delta > capacity) {
+    used.fetch_sub(delta, std::memory_order_relaxed);
+    return ResourceExhausted(StrFormat("%s over capacity (%llu + %llu > %llu)", what,
+                                       static_cast<unsigned long long>(prev),
+                                       static_cast<unsigned long long>(incoming),
+                                       static_cast<unsigned long long>(capacity)));
+  }
+  return Status::Ok();
+}
+
+// Undoes a successful ReserveDelta after the write it covered failed (the
+// previously visible object, if any, is still the live one).
+void RollbackReserve(std::atomic<uint64_t>& used, uint64_t incoming, uint64_t existing) {
+  if (incoming >= existing) {
+    used.fetch_sub(incoming - existing, std::memory_order_relaxed);
+  } else {
+    used.fetch_add(existing - incoming, std::memory_order_relaxed);
+  }
+}
+
+// --- DiskStore object-file footer -------------------------------------------
+// Layout: [payload][magic(4) "SOB1"][crc32-of-payload(4, LE)][payload_size(8, LE)]
+
+constexpr uint8_t kFooterMagic[4] = {'S', 'O', 'B', '1'};
+
+std::array<uint8_t, DiskStore::kFooterSize> MakeFooter(std::span<const uint8_t> payload) {
+  std::array<uint8_t, DiskStore::kFooterSize> footer{};
+  std::memcpy(footer.data(), kFooterMagic, 4);
+  const uint32_t crc = Crc32(payload);
+  const uint64_t size = payload.size();
+  for (int i = 0; i < 4; ++i) {
+    footer[4 + static_cast<size_t>(i)] = static_cast<uint8_t>((crc >> (8 * i)) & 0xFF);
+  }
+  for (int i = 0; i < 8; ++i) {
+    footer[8 + static_cast<size_t>(i)] = static_cast<uint8_t>((size >> (8 * i)) & 0xFF);
+  }
+  return footer;
+}
+
+// Checks that `file` is a well-formed object (payload + matching footer);
+// on success stores the payload length in `payload_size`.
+bool ValidateObjectBytes(std::span<const uint8_t> file, uint64_t* payload_size) {
+  if (file.size() < DiskStore::kFooterSize) {
+    return false;
+  }
+  const uint8_t* footer = file.data() + file.size() - DiskStore::kFooterSize;
+  if (std::memcmp(footer, kFooterMagic, 4) != 0) {
+    return false;
+  }
+  uint32_t crc = 0;
+  for (int i = 3; i >= 0; --i) {
+    crc = (crc << 8) | footer[4 + static_cast<size_t>(i)];
+  }
+  uint64_t size = 0;
+  for (int i = 7; i >= 0; --i) {
+    size = (size << 8) | footer[8 + static_cast<size_t>(i)];
+  }
+  if (size != file.size() - DiskStore::kFooterSize) {
+    return false;
+  }
+  if (Crc32(file.first(size)) != crc) {
+    return false;
+  }
+  *payload_size = size;
+  return true;
+}
+
+Status WriteAll(int fd, std::span<const uint8_t> bytes, const std::string& path) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return DataLoss("short write to " + path + ": " + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+// Whole file as bytes, or nullopt when it cannot be opened/read.
+std::optional<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return std::nullopt;
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    return std::nullopt;
+  }
+  return bytes;
+}
+
 }  // namespace
 
 // --- ObjectStore defaults ----------------------------------------------------
@@ -75,16 +204,7 @@ MemoryStore::MemoryStore(uint64_t capacity_bytes, size_t num_shards)
     : capacity_(capacity_bytes), shards_(std::max<size_t>(num_shards, 1)) {}
 
 Status MemoryStore::Reserve(uint64_t incoming, uint64_t existing, const char* what) {
-  uint64_t total = used_.fetch_add(incoming, std::memory_order_relaxed) + incoming;
-  if (total - existing > capacity_) {
-    used_.fetch_sub(incoming, std::memory_order_relaxed);
-    return ResourceExhausted(StrFormat("%s over capacity (%llu + %llu > %llu)", what,
-                                       static_cast<unsigned long long>(total - incoming - existing),
-                                       static_cast<unsigned long long>(incoming),
-                                       static_cast<unsigned long long>(capacity_)));
-  }
-  used_.fetch_sub(existing, std::memory_order_relaxed);
-  return Status::Ok();
+  return ReserveDelta(used_, capacity_, incoming, existing, what);
 }
 
 Status MemoryStore::PutShared(const std::string& key, SharedBytes data) {
@@ -192,55 +312,100 @@ Result<std::unique_ptr<DiskStore>> DiskStore::Open(const std::string& root,
   return store;
 }
 
-std::string DiskStore::PathFor(const std::string& key) const {
-  // Keys may contain '/'; they map to subdirectories. Leading slashes are
-  // stripped so keys remain inside the root.
+Result<std::string> DiskStore::PathFor(const std::string& key) const {
+  // Keys may contain '/'; they map to subdirectories. Components are
+  // normalized (empty and "." components dropped, so leading slashes keep
+  // keys inside the root) and ".." is rejected outright: a key must resolve
+  // inside `root_`, never escape it.
   std::string clean;
   clean.reserve(key.size());
-  for (char c : key) {
-    if (clean.empty() && c == '/') {
-      continue;
+  size_t start = 0;
+  while (start <= key.size()) {
+    size_t end = key.find('/', start);
+    if (end == std::string::npos) {
+      end = key.size();
     }
-    clean.push_back(c);
+    std::string_view comp(key.data() + start, end - start);
+    if (!comp.empty() && comp != ".") {
+      if (comp == "..") {
+        return InvalidArgument("key escapes store root: " + key);
+      }
+      if (clean.empty() && (comp == kTmpDir || comp == kQuarantineDir)) {
+        return InvalidArgument("key uses reserved store prefix: " + key);
+      }
+      if (!clean.empty()) {
+        clean.push_back('/');
+      }
+      clean.append(comp);
+    }
+    start = end + 1;
+  }
+  if (clean.empty()) {
+    return InvalidArgument("empty key");
   }
   return root_ + "/" + clean;
 }
 
-Status DiskStore::WriteObject(const std::string& key, std::span<const uint8_t> data) {
-  std::string path = PathFor(key);
+Status DiskStore::WriteObject(const std::string& path, std::span<const uint8_t> data,
+                              bool crash_before_rename) {
   std::error_code ec;
   fs::create_directories(fs::path(path).parent_path(), ec);
   if (ec) {
     return Unavailable("mkdir failed for " + path + ": " + ec.message());
   }
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return Unavailable("cannot open " + path + " for writing");
+  const std::string tmp_dir = root_ + "/" + kTmpDir;
+  fs::create_directories(tmp_dir, ec);
+  if (ec) {
+    return Unavailable("mkdir failed for " + tmp_dir + ": " + ec.message());
   }
-  out.write(reinterpret_cast<const char*>(data.data()),
-            static_cast<std::streamsize>(data.size()));
-  if (!out) {
-    return DataLoss("short write to " + path);
+  // Unique temp name; published (or abandoned, on crash) with one rename.
+  const std::string tmp = StrFormat(
+      "%s/%d-%llu.tmp", tmp_dir.c_str(), static_cast<int>(::getpid()),
+      static_cast<unsigned long long>(tmp_seq_.fetch_add(1, std::memory_order_relaxed)));
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) {
+    return Unavailable("cannot open " + tmp + " for writing: " + std::strerror(errno));
+  }
+  Status written = WriteAll(fd, data, tmp);
+  if (written.ok()) {
+    written = WriteAll(fd, MakeFooter(data), tmp);
+  }
+  if (written.ok() && ::fsync(fd) != 0) {
+    written = Unavailable("fsync failed for " + tmp + ": " + std::strerror(errno));
+  }
+  ::close(fd);
+  if (!written.ok()) {
+    ::unlink(tmp.c_str());
+    return written;
+  }
+  if (crash_before_rename) {
+    // Fault injection: the payload is fully written but never published —
+    // exactly the state a crash between write and rename leaves behind.
+    // Rescan() sweeps the abandoned temp file.
+    return Unavailable("injected crash before rename: " + path);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status status = Unavailable("rename failed for " + path + ": " + std::strerror(errno));
+    ::unlink(tmp.c_str());
+    return status;
   }
   return Status::Ok();
 }
 
 Status DiskStore::Put(const std::string& key, std::span<const uint8_t> data) {
+  SAND_ASSIGN_OR_RETURN(std::string path, PathFor(key));
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.sizes.find(key);
   uint64_t existing = it != shard.sizes.end() ? it->second : 0;
-  uint64_t total = used_.fetch_add(data.size(), std::memory_order_relaxed) + data.size();
-  if (total - existing > capacity_) {
-    used_.fetch_sub(data.size(), std::memory_order_relaxed);
-    return ResourceExhausted("disk store over capacity");
-  }
-  Status written = WriteObject(key, data);
+  SAND_RETURN_IF_ERROR(ReserveDelta(used_, capacity_, data.size(), existing, "disk store"));
+  Status written = WriteObject(path, data, /*crash_before_rename=*/false);
   if (!written.ok()) {
-    used_.fetch_sub(data.size(), std::memory_order_relaxed);
+    // The rename never happened, so the old object (if any) is still the
+    // visible file; restore its accounting.
+    RollbackReserve(used_, data.size(), existing);
     return written;
   }
-  used_.fetch_sub(existing, std::memory_order_relaxed);
   StoreMetrics::Disk().puts->Add(1);
   StoreMetrics::Disk().bytes_written->Add(data.size());
   shard.sizes[key] = data.size();
@@ -248,19 +413,16 @@ Status DiskStore::Put(const std::string& key, std::span<const uint8_t> data) {
 }
 
 Result<bool> DiskStore::PutIfAbsent(const std::string& key, std::span<const uint8_t> data) {
+  SAND_ASSIGN_OR_RETURN(std::string path, PathFor(key));
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   if (shard.sizes.count(key) > 0) {
     return false;
   }
-  uint64_t total = used_.fetch_add(data.size(), std::memory_order_relaxed) + data.size();
-  if (total > capacity_) {
-    used_.fetch_sub(data.size(), std::memory_order_relaxed);
-    return ResourceExhausted("disk store over capacity");
-  }
-  Status written = WriteObject(key, data);
+  SAND_RETURN_IF_ERROR(ReserveDelta(used_, capacity_, data.size(), 0, "disk store"));
+  Status written = WriteObject(path, data, /*crash_before_rename=*/false);
   if (!written.ok()) {
-    used_.fetch_sub(data.size(), std::memory_order_relaxed);
+    RollbackReserve(used_, data.size(), 0);
     return written;
   }
   StoreMetrics::Disk().puts->Add(1);
@@ -269,7 +431,15 @@ Result<bool> DiskStore::PutIfAbsent(const std::string& key, std::span<const uint
   return true;
 }
 
+Status DiskStore::PutCrashBeforeRename(const std::string& key, std::span<const uint8_t> data) {
+  SAND_ASSIGN_OR_RETURN(std::string path, PathFor(key));
+  Status written = WriteObject(path, data, /*crash_before_rename=*/true);
+  // WriteObject never publishes in crash mode; visible state is untouched.
+  return written.ok() ? Unavailable("crash injection did not fire: " + key) : written;
+}
+
 Result<SharedBytes> DiskStore::GetShared(const std::string& key) {
+  SAND_ASSIGN_OR_RETURN(std::string path, PathFor(key));
   {
     Shard& shard = ShardFor(key);
     std::lock_guard<std::mutex> lock(shard.mutex);
@@ -278,15 +448,72 @@ Result<SharedBytes> DiskStore::GetShared(const std::string& key) {
     }
   }
   // Read outside the lock so different keys stream from disk in parallel.
-  std::ifstream in(PathFor(key), std::ios::binary);
-  if (!in) {
-    return DataLoss("object file missing: " + key);
+  // The atomic-rename publish protocol makes this safe against a concurrent
+  // overwrite: an opened file is always one complete object version (the
+  // old inode survives until our descriptor closes), never a torn mix.
+  std::optional<std::vector<uint8_t>> bytes = ReadFileBytes(path);
+  if (!bytes.has_value()) {
+    // The file vanished under us. Either a concurrent Delete won the race
+    // (its shard-locked erase means the entry is gone once we re-check) —
+    // a plain NotFound, not DataLoss — or the file is genuinely lost while
+    // still indexed, in which case we drop the stale entry instead of
+    // serving DataLoss forever.
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.sizes.find(key);
+    if (it != shard.sizes.end()) {
+      used_.fetch_sub(it->second, std::memory_order_relaxed);
+      shard.sizes.erase(it);
+      DiskQuarantined()->Add(1);
+      SAND_LOG(kWarning) << "disk store dropped vanished object: " << key;
+    }
+    return NotFound("no object: " + key);
   }
-  std::vector<uint8_t> data((std::istreambuf_iterator<char>(in)),
-                            std::istreambuf_iterator<char>());
+  uint64_t payload_size = 0;
+  if (!ValidateObjectBytes(*bytes, &payload_size)) {
+    Quarantine(key, path, "footer/CRC verification failed");
+    return NotFound("corrupt object quarantined: " + key);
+  }
+  bytes->resize(payload_size);
   StoreMetrics::Disk().gets->Add(1);
-  StoreMetrics::Disk().bytes_read->Add(data.size());
-  return MakeSharedBytes(std::move(data));
+  StoreMetrics::Disk().bytes_read->Add(payload_size);
+  return MakeSharedBytes(std::move(*bytes));
+}
+
+void DiskStore::Quarantine(const std::string& key, const std::string& path,
+                           const char* reason) {
+  {
+    Shard& shard = ShardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.sizes.find(key);
+    if (it != shard.sizes.end()) {
+      used_.fetch_sub(it->second, std::memory_order_relaxed);
+      shard.sizes.erase(it);
+    }
+    // Move the file while still holding the shard lock so a concurrent
+    // Put's freshly renamed object cannot be swept aside between our erase
+    // and the move.
+    MoveToQuarantine(path);
+  }
+  SAND_LOG(kWarning) << "disk store quarantined " << key << ": " << reason;
+}
+
+void DiskStore::MoveToQuarantine(const std::string& path) {
+  SAND_SPAN("disk_quarantine");
+  std::error_code ec;
+  const std::string dir = root_ + "/" + kQuarantineDir;
+  fs::create_directories(dir, ec);
+  std::string flat = fs::relative(path, root_, ec).generic_string();
+  std::replace(flat.begin(), flat.end(), '/', '_');
+  const std::string dest = StrFormat(
+      "%s/%llu-%s", dir.c_str(),
+      static_cast<unsigned long long>(tmp_seq_.fetch_add(1, std::memory_order_relaxed)),
+      flat.c_str());
+  fs::rename(path, dest, ec);
+  if (ec) {
+    fs::remove(path, ec);
+  }
+  DiskQuarantined()->Add(1);
 }
 
 bool DiskStore::Contains(const std::string& key) {
@@ -306,6 +533,7 @@ Result<uint64_t> DiskStore::SizeOf(const std::string& key) {
 }
 
 Status DiskStore::Delete(const std::string& key) {
+  SAND_ASSIGN_OR_RETURN(std::string path, PathFor(key));
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   auto it = shard.sizes.find(key);
@@ -313,7 +541,14 @@ Status DiskStore::Delete(const std::string& key) {
     return NotFound("no object: " + key);
   }
   std::error_code ec;
-  fs::remove(PathFor(key), ec);
+  fs::remove(path, ec);
+  if (ec) {
+    // The file is still there and still readable: leave the index and the
+    // accounting untouched so state stays consistent, and let the caller
+    // retry. Erasing here would leak the on-disk file and desync used_.
+    return Unavailable("delete failed for " + key + ": " + ec.message());
+  }
+  // A false return (file already gone) still erases: the entry was stale.
   used_.fetch_sub(it->second, std::memory_order_relaxed);
   shard.sizes.erase(it);
   return Status::Ok();
@@ -334,24 +569,43 @@ std::vector<std::string> DiskStore::ListKeys() {
 Status DiskStore::Rescan() {
   // Recovery path: take every shard lock (in index order, so per-key ops
   // holding a single shard lock cannot deadlock against us), rebuild the
-  // whole index from the directory tree atomically.
+  // whole index from the directory tree atomically. Every candidate file's
+  // CRC footer is verified — a half-written or bit-rotted survivor of a
+  // crash is quarantined, never indexed — and temp files abandoned by a
+  // crash-before-rename are swept.
   std::vector<std::unique_lock<std::mutex>> locks;
   locks.reserve(shards_.size());
   for (Shard& shard : shards_) {
     locks.emplace_back(shard.mutex);
     shard.sizes.clear();
   }
+  const std::string tmp_prefix = std::string(kTmpDir) + "/";
+  const std::string quarantine_prefix = std::string(kQuarantineDir) + "/";
   uint64_t used = 0;
   std::error_code ec;
   for (auto it = fs::recursive_directory_iterator(root_, ec);
        !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
-    if (!it->is_regular_file(ec)) {
+    std::error_code entry_ec;
+    if (!it->is_regular_file(entry_ec)) {
       continue;
     }
-    std::string rel = fs::relative(it->path(), root_, ec).generic_string();
-    uint64_t size = static_cast<uint64_t>(it->file_size(ec));
-    ShardFor(rel).sizes[rel] = size;
-    used += size;
+    std::string rel = fs::relative(it->path(), root_, entry_ec).generic_string();
+    if (rel.rfind(tmp_prefix, 0) == 0) {
+      fs::remove(it->path(), entry_ec);  // abandoned mid-write temp file
+      continue;
+    }
+    if (rel.rfind(quarantine_prefix, 0) == 0) {
+      continue;  // already set aside; kept for post-mortem inspection
+    }
+    std::optional<std::vector<uint8_t>> bytes = ReadFileBytes(it->path().string());
+    uint64_t payload_size = 0;
+    if (!bytes.has_value() || !ValidateObjectBytes(*bytes, &payload_size)) {
+      SAND_LOG(kWarning) << "rescan quarantined " << rel;
+      MoveToQuarantine(it->path().string());
+      continue;
+    }
+    ShardFor(rel).sizes[rel] = payload_size;
+    used += payload_size;
   }
   used_.store(used, std::memory_order_relaxed);
   if (ec) {
@@ -433,9 +687,27 @@ void RemoteStore::ResetTraffic() {
 
 // --- TieredCache -------------------------------------------------------------
 
-TieredCache::TieredCache(std::shared_ptr<ObjectStore> memory, std::shared_ptr<ObjectStore> disk)
+namespace {
+
+inline const Status& StatusOf(const Status& status) { return status; }
+template <typename T>
+inline const Status& StatusOf(const Result<T>& result) {
+  return result.status();
+}
+
+// Infrastructure failures worth retrying / tripping the breaker on. NotFound
+// and capacity errors are healthy responses from a working tier.
+inline bool TransientDiskError(const Status& status) {
+  return status.code() == ErrorCode::kUnavailable || status.code() == ErrorCode::kDataLoss;
+}
+
+}  // namespace
+
+TieredCache::TieredCache(std::shared_ptr<ObjectStore> memory, std::shared_ptr<ObjectStore> disk,
+                         DiskFaultPolicy fault_policy)
     : memory_(std::move(memory)),
       disk_(std::move(disk)),
+      fault_policy_(fault_policy),
       memory_hits_(obs::Registry::Get().GetCounter("sand.cache.memory.hits")),
       disk_hits_(obs::Registry::Get().GetCounter("sand.cache.disk.hits")),
       misses_(obs::Registry::Get().GetCounter("sand.cache.misses")),
@@ -447,20 +719,80 @@ TieredCache::TieredCache(std::shared_ptr<ObjectStore> memory, std::shared_ptr<Ob
       bytes_read_disk_(obs::Registry::Get().GetCounter("sand.cache.disk.bytes_read")),
       bytes_written_memory_(obs::Registry::Get().GetCounter("sand.cache.memory.bytes_written")),
       bytes_written_disk_(obs::Registry::Get().GetCounter("sand.cache.disk.bytes_written")),
+      disk_retries_(obs::Registry::Get().GetCounter("sand.store.disk.retries")),
       memory_used_(obs::Registry::Get().GetGauge("sand.cache.memory.used_bytes")),
       disk_used_(obs::Registry::Get().GetGauge("sand.cache.disk.used_bytes")),
-      pinned_keys_(obs::Registry::Get().GetGauge("sand.cache.pinned_keys")) {}
+      pinned_keys_(obs::Registry::Get().GetGauge("sand.cache.pinned_keys")),
+      disk_degraded_gauge_(obs::Registry::Get().GetGauge("sand.store.disk.degraded")) {}
 
 void TieredCache::UpdateUsageGauges() {
   memory_used_->Set(static_cast<int64_t>(memory_->UsedBytes()));
   disk_used_->Set(static_cast<int64_t>(disk_->UsedBytes()));
 }
 
+bool TieredCache::DiskAvailable() {
+  if (!disk_offline_.load(std::memory_order_relaxed)) {
+    return true;
+  }
+  const Nanos now = WallClock::Get().Now();
+  Nanos probe_at = disk_probe_at_.load(std::memory_order_relaxed);
+  while (now >= probe_at) {
+    // Claim the probe slot: exactly one caller per reprobe interval gets to
+    // test the tier; everyone else stays memory-only.
+    if (disk_probe_at_.compare_exchange_weak(probe_at, now + fault_policy_.reprobe_interval,
+                                             std::memory_order_relaxed)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void TieredCache::NoteDiskResult(bool healthy) {
+  if (healthy) {
+    disk_failure_streak_.store(0, std::memory_order_relaxed);
+    if (disk_offline_.exchange(false, std::memory_order_relaxed)) {
+      disk_degraded_gauge_->Set(0);
+      SAND_LOG(kInfo) << "disk tier back online";
+    }
+    return;
+  }
+  const int streak = disk_failure_streak_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (streak >= fault_policy_.offline_threshold &&
+      !disk_offline_.exchange(true, std::memory_order_relaxed)) {
+    disk_degraded_gauge_->Set(1);
+    disk_probe_at_.store(WallClock::Get().Now() + fault_policy_.reprobe_interval,
+                         std::memory_order_relaxed);
+    SAND_LOG(kWarning) << "disk tier marked offline after " << streak
+                       << " consecutive failures; degrading to memory-only";
+  } else if (disk_offline_.load(std::memory_order_relaxed)) {
+    // A failed probe: push the next probe out a full interval.
+    disk_probe_at_.store(WallClock::Get().Now() + fault_policy_.reprobe_interval,
+                         std::memory_order_relaxed);
+  }
+}
+
+template <typename Fn>
+auto TieredCache::DiskOpWithRetry(Fn&& fn) -> decltype(fn()) {
+  auto result = fn();
+  Nanos backoff = fault_policy_.initial_backoff;
+  for (int attempt = 0;
+       attempt < fault_policy_.max_retries && TransientDiskError(StatusOf(result)); ++attempt) {
+    SAND_SPAN("disk_retry");
+    disk_retries_->Add(1);
+    if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(backoff));
+    }
+    backoff = static_cast<Nanos>(static_cast<double>(backoff) * fault_policy_.backoff_multiplier);
+    result = fn();
+  }
+  NoteDiskResult(!TransientDiskError(StatusOf(result)));
+  return result;
+}
+
 Status TieredCache::Put(const std::string& key, std::span<const uint8_t> data, Tier tier) {
   SAND_SPAN("store_put");
-  Status status;
   if (tier == Tier::kMemory) {
-    status = memory_->Put(key, data);
+    Status status = memory_->Put(key, data);
     if (status.ok()) {
       memory_puts_->Add(1);
       bytes_written_memory_->Add(data.size());
@@ -469,17 +801,34 @@ Status TieredCache::Put(const std::string& key, std::span<const uint8_t> data, T
     }
     // Memory full: fall through to disk rather than failing the pipeline.
   }
-  status = disk_->Put(key, data);
+  Status status = DiskAvailable()
+                      ? DiskOpWithRetry([&] { return disk_->Put(key, data); })
+                      : Unavailable("disk tier offline: " + key);
   if (status.ok()) {
     disk_puts_->Add(1);
     bytes_written_disk_->Add(data.size());
     UpdateUsageGauges();
+    return status;
+  }
+  if (tier == Tier::kDisk && TransientDiskError(status)) {
+    // Degraded mode: keep the pipeline alive in memory. The object simply
+    // is not durable until the tier recovers.
+    Status fallback = memory_->Put(key, data);
+    if (fallback.ok()) {
+      memory_puts_->Add(1);
+      bytes_written_memory_->Add(data.size());
+      UpdateUsageGauges();
+      return fallback;
+    }
   }
   return status;
 }
 
 Status TieredCache::PutShared(const std::string& key, SharedBytes data, Tier tier) {
   SAND_SPAN("store_put");
+  if (data == nullptr) {
+    return InvalidArgument("PutShared: null buffer");
+  }
   if (tier == Tier::kMemory) {
     Status status = memory_->PutShared(key, data);
     if (status.ok()) {
@@ -490,11 +839,23 @@ Status TieredCache::PutShared(const std::string& key, SharedBytes data, Tier tie
     }
     // Memory full: fall through to disk rather than failing the pipeline.
   }
-  Status status = disk_->PutShared(key, data);
+  Status status = DiskAvailable()
+                      ? DiskOpWithRetry([&] { return disk_->PutShared(key, data); })
+                      : Unavailable("disk tier offline: " + key);
   if (status.ok()) {
     disk_puts_->Add(1);
     bytes_written_disk_->Add(data->size());
     UpdateUsageGauges();
+    return status;
+  }
+  if (tier == Tier::kDisk && TransientDiskError(status)) {
+    Status fallback = memory_->PutShared(key, data);
+    if (fallback.ok()) {
+      memory_puts_->Add(1);
+      bytes_written_memory_->Add(data->size());
+      UpdateUsageGauges();
+      return fallback;
+    }
   }
   return status;
 }
@@ -514,13 +875,44 @@ Result<bool> TieredCache::PutIfAbsent(const std::string& key, std::span<const ui
     }
     // Memory full: fall through to disk rather than failing the pipeline.
   }
-  Result<bool> inserted = disk_->PutIfAbsent(key, data);
-  if (inserted.ok() && *inserted) {
+  Result<bool> inserted =
+      DiskAvailable()
+          ? DiskOpWithRetry([&] { return disk_->PutIfAbsent(key, data); })
+          : Result<bool>(Unavailable("disk tier offline: " + key));
+  if (inserted.ok()) {
+    if (*inserted) {
+      disk_puts_->Add(1);
+      bytes_written_disk_->Add(data.size());
+      UpdateUsageGauges();
+    }
+    return inserted;
+  }
+  if (tier == Tier::kDisk && TransientDiskError(inserted.status())) {
+    Result<bool> fallback = memory_->PutIfAbsent(key, data);
+    if (fallback.ok()) {
+      if (*fallback) {
+        memory_puts_->Add(1);
+        bytes_written_memory_->Add(data.size());
+        UpdateUsageGauges();
+      }
+      return fallback;
+    }
+  }
+  return inserted;
+}
+
+Status TieredCache::PutDisk(const std::string& key, std::span<const uint8_t> data) {
+  SAND_SPAN("store_put");
+  if (!DiskAvailable()) {
+    return Unavailable("disk tier offline: " + key);
+  }
+  Status status = DiskOpWithRetry([&] { return disk_->Put(key, data); });
+  if (status.ok()) {
     disk_puts_->Add(1);
     bytes_written_disk_->Add(data.size());
     UpdateUsageGauges();
   }
-  return inserted;
+  return status;
 }
 
 Result<SharedBytes> TieredCache::GetShared(const std::string& key) {
@@ -531,7 +923,13 @@ Result<SharedBytes> TieredCache::GetShared(const std::string& key) {
     bytes_read_memory_->Add((*hot)->size());
     return hot;
   }
-  Result<SharedBytes> cold = disk_->GetShared(key);
+  if (!DiskAvailable()) {
+    // Degraded: a cold object reads as a miss (the caller rematerializes),
+    // never as an error surfaced to the training loop.
+    misses_->Add(1);
+    return NotFound("disk tier offline: " + key);
+  }
+  Result<SharedBytes> cold = DiskOpWithRetry([&] { return disk_->GetShared(key); });
   if (cold.ok()) {
     disk_hits_->Add(1);
     bytes_read_disk_->Add((*cold)->size());
@@ -553,7 +951,12 @@ Result<std::vector<uint8_t>> TieredCache::Get(const std::string& key) {
 }
 
 bool TieredCache::Contains(const std::string& key) {
-  return memory_->Contains(key) || disk_->Contains(key);
+  if (memory_->Contains(key)) {
+    return true;
+  }
+  // No probe claim here: Contains has no error channel to report through,
+  // so an offline tier just reads as "not cached".
+  return !disk_offline_.load(std::memory_order_relaxed) && disk_->Contains(key);
 }
 
 void TieredCache::Pin(const std::string& key) {
@@ -587,9 +990,14 @@ Status TieredCache::Delete(const std::string& key) {
   if (memory_->Delete(key).ok()) {
     any = true;
   }
-  if (disk_->Delete(key).ok()) {
-    any = true;
+  if (DiskAvailable()) {
+    if (DiskOpWithRetry([&] { return disk_->Delete(key); }).ok()) {
+      any = true;
+    }
   }
+  // When the disk tier is offline its file (if any) stays behind; the
+  // recovery Rescan picks it back up, which is safe — objects are
+  // content-addressed by plan key.
   return any ? Status::Ok() : NotFound("no object: " + key);
 }
 
@@ -597,8 +1005,11 @@ Status TieredCache::Demote(const std::string& key) {
   if (IsPinned(key)) {
     return FailedPrecondition("pinned: " + key);
   }
+  if (!DiskAvailable()) {
+    return Unavailable("disk tier offline: cannot demote " + key);
+  }
   SAND_ASSIGN_OR_RETURN(SharedBytes data, memory_->GetShared(key));
-  SAND_RETURN_IF_ERROR(disk_->Put(key, *data));
+  SAND_RETURN_IF_ERROR(DiskOpWithRetry([&] { return disk_->Put(key, *data); }));
   SAND_RETURN_IF_ERROR(memory_->Delete(key));
   demotions_->Add(1);
   bytes_written_disk_->Add(data->size());

@@ -127,8 +127,23 @@ class MemoryStore : public ObjectStore {
 // become directories. Usage is tracked in memory and rebuilt by Rescan().
 // The size index is sharded like MemoryStore's map, so file I/O for
 // different keys proceeds in parallel.
+//
+// Crash safety (DESIGN.md §10): every object file is payload + a CRC32
+// footer, written to a private temp area and published with an atomic
+// rename, so a mid-write crash leaves either the old object or nothing —
+// never a torn file at the visible path. Reads and Rescan() verify the
+// footer; an object that fails verification (or whose file vanished under
+// a live index entry) is quarantined — moved aside under `.sand-quarantine`,
+// dropped from the index, counted on `sand.store.disk.quarantined` — and
+// surfaced as NotFound, never as corrupt bytes.
 class DiskStore : public ObjectStore {
  public:
+  // Bytes appended after the payload: magic(4) + crc32(4) + payload_size(8).
+  static constexpr size_t kFooterSize = 16;
+  // Reserved directory names under the root (rejected as key prefixes).
+  static constexpr const char* kTmpDir = ".sand-tmp";
+  static constexpr const char* kQuarantineDir = ".sand-quarantine";
+
   // Creates `root` if missing and scans any existing objects.
   static Result<std::unique_ptr<DiskStore>> Open(const std::string& root,
                                                  uint64_t capacity_bytes);
@@ -144,8 +159,15 @@ class DiskStore : public ObjectStore {
   std::vector<std::string> ListKeys() override;
 
   // Re-walks the directory tree and rebuilds the key/size map; the recovery
-  // path after a crash (paper §5.5).
+  // path after a crash (paper §5.5). Verifies each file's CRC footer,
+  // quarantines files that fail it, and clears abandoned temp files.
   Status Rescan() override;
+
+  // Fault-injection surface: performs Put() up to but NOT including the
+  // atomic rename — the payload lands in the temp area and the visible
+  // store state is untouched, simulating a crash between write and publish.
+  // Always returns Unavailable. Used by FaultInjectingStore and chaos tests.
+  Status PutCrashBeforeRename(const std::string& key, std::span<const uint8_t> data);
 
   const std::string& root() const { return root_; }
 
@@ -160,14 +182,25 @@ class DiskStore : public ObjectStore {
   Shard& ShardFor(const std::string& key) {
     return shards_[std::hash<std::string>{}(key) % shards_.size()];
   }
-  std::string PathFor(const std::string& key) const;
-  // Writes the object file; caller holds the shard lock for `key`.
-  Status WriteObject(const std::string& key, std::span<const uint8_t> data);
+  // Resolved file path for `key`, or InvalidArgument when the key is empty,
+  // escapes the root (".." components), or names a reserved directory.
+  Result<std::string> PathFor(const std::string& key) const;
+  // Writes payload + footer to a fresh temp file and (unless
+  // `crash_before_rename`) publishes it at `path` with an atomic rename.
+  Status WriteObject(const std::string& path, std::span<const uint8_t> data,
+                     bool crash_before_rename);
+  // Drops `key` from the index and moves its file aside; caller must NOT
+  // hold the key's shard lock. `reason` goes to the debug log.
+  void Quarantine(const std::string& key, const std::string& path, const char* reason);
+  // File move half of quarantining (no index access; safe under Rescan's
+  // all-shards lock).
+  void MoveToQuarantine(const std::string& path);
 
   const std::string root_;
   const uint64_t capacity_;
   std::vector<Shard> shards_;
   std::atomic<uint64_t> used_{0};
+  std::atomic<uint64_t> tmp_seq_{0};
 };
 
 // Traffic counters for RemoteStore (Fig. 14's network-savings metric).
@@ -214,6 +247,19 @@ enum class Tier {
   kDisk,
 };
 
+// Retry / degradation knobs for the TieredCache's disk tier (DESIGN.md §10).
+// Transient infrastructure errors (UNAVAILABLE, DATA_LOSS) are retried with
+// exponential backoff; a streak of terminally failed ops marks the tier
+// offline (memory-only degradation) and a backoff clock admits one probe op
+// per `reprobe_interval` until the tier recovers.
+struct DiskFaultPolicy {
+  int max_retries = 2;                       // retries per op, after the first try
+  Nanos initial_backoff = 1 * kNanosPerMilli;
+  double backoff_multiplier = 2.0;
+  int offline_threshold = 3;                 // consecutive failed ops -> offline
+  Nanos reprobe_interval = 100 * kNanosPerMilli;
+};
+
 // Two-level cache: a MemoryStore in front of a disk (or any) store. Reads
 // check memory first and promote on hit from below; promotion reuses the
 // disk tier's buffer (PutShared), so a promoted object is held once. The
@@ -224,9 +270,16 @@ enum class Tier {
 // obs registry ("sand.cache.*", visible at /.sand/metrics) and emits
 // store_get/store_put trace spans; the pointers are resolved once at
 // construction so the hot path stays a relaxed fetch_add.
+// Fault tolerance (DESIGN.md §10): disk-tier ops that fail with UNAVAILABLE
+// or DATA_LOSS are retried per the DiskFaultPolicy (counted on
+// `sand.store.disk.retries`); a tier that keeps failing is marked offline
+// (`sand.store.disk.degraded` gauge) and the cache degrades to memory-only —
+// disk-destined puts land in memory best-effort, reads miss instead of
+// erroring — re-probing the tier once per reprobe interval.
 class TieredCache {
  public:
-  TieredCache(std::shared_ptr<ObjectStore> memory, std::shared_ptr<ObjectStore> disk);
+  TieredCache(std::shared_ptr<ObjectStore> memory, std::shared_ptr<ObjectStore> disk,
+              DiskFaultPolicy fault_policy = {});
 
   Status Put(const std::string& key, std::span<const uint8_t> data, Tier tier);
   // Zero-copy insert: memory-resident tiers adopt the refcounted buffer
@@ -256,6 +309,15 @@ class TieredCache {
   // Moves an object from memory to disk (spill) keeping it cached.
   Status Demote(const std::string& key);
 
+  // Durable write into the disk tier with the retry policy. Unlike
+  // Put(.., Tier::kDisk) this does NOT fall back to memory — callers asked
+  // for durability (checkpoints) — and fails Unavailable when the tier is
+  // offline.
+  Status PutDisk(const std::string& key, std::span<const uint8_t> data);
+
+  // True while the disk tier is marked offline (memory-only degradation).
+  bool disk_degraded() const { return disk_offline_.load(std::memory_order_relaxed); }
+
   uint64_t MemoryUsedBytes() { return memory_->UsedBytes(); }
   uint64_t DiskUsedBytes() { return disk_->UsedBytes(); }
   uint64_t MemoryCapacityBytes() { return memory_->CapacityBytes(); }
@@ -267,8 +329,25 @@ class TieredCache {
  private:
   void UpdateUsageGauges();
 
+  // Runs one disk-tier op with the retry policy and records the outcome in
+  // the circuit breaker. `fn` must be idempotent (all store ops are).
+  template <typename Fn>
+  auto DiskOpWithRetry(Fn&& fn) -> decltype(fn());
+  // True when a disk op may be attempted: tier online, or offline with an
+  // expired reprobe clock (the caller becomes the probe).
+  bool DiskAvailable();
+  // Feeds the circuit breaker. `healthy` = the op did not end in a
+  // transient infrastructure error (NotFound et al. count as healthy).
+  void NoteDiskResult(bool healthy);
+
   std::shared_ptr<ObjectStore> memory_;
   std::shared_ptr<ObjectStore> disk_;
+  const DiskFaultPolicy fault_policy_;
+
+  // Disk-tier circuit breaker state.
+  std::atomic<int> disk_failure_streak_{0};
+  std::atomic<bool> disk_offline_{false};
+  std::atomic<Nanos> disk_probe_at_{0};
 
   // key -> pin count; entries are erased at zero.
   std::mutex pin_mutex_;
@@ -286,9 +365,11 @@ class TieredCache {
   obs::Counter* bytes_read_disk_;
   obs::Counter* bytes_written_memory_;
   obs::Counter* bytes_written_disk_;
+  obs::Counter* disk_retries_;
   obs::Gauge* memory_used_;
   obs::Gauge* disk_used_;
   obs::Gauge* pinned_keys_;
+  obs::Gauge* disk_degraded_gauge_;
 };
 
 }  // namespace sand

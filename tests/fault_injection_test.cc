@@ -1,0 +1,392 @@
+// Tests for FaultInjectingStore and the chaos/acceptance suite of the
+// crash-safe storage tier (DESIGN.md §10): deterministic fault schedules,
+// checkpoint durability through injected failures, and an end-to-end
+// training loop that survives a faulty disk with no corruption surfaced.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/clock.h"
+#include "src/common/strings.h"
+#include "src/core/batch_format.h"
+#include "src/core/checkpoint.h"
+#include "src/core/sand_service.h"
+#include "src/storage/fault_injection.h"
+#include "src/storage/object_store.h"
+#include "src/workloads/models.h"
+#include "src/workloads/synthetic.h"
+
+namespace sand {
+namespace {
+
+std::string TempDir(const char* tag) {
+  std::string dir = std::filesystem::temp_directory_path() /
+                    ("sand_fault_test_" + std::string(tag) + "_" +
+                     std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+std::vector<uint8_t> Payload(size_t n = 16) { return std::vector<uint8_t>(n, 0x5A); }
+
+TEST(FaultInjectionTest, NoRulesPassesThrough) {
+  FaultInjectingStore store(std::make_shared<MemoryStore>());
+  ASSERT_TRUE(store.Put("k", Payload()).ok());
+  EXPECT_TRUE(store.Contains("k"));
+  EXPECT_TRUE(store.GetShared("k").ok());
+  EXPECT_TRUE(store.Delete("k").ok());
+  EXPECT_EQ(store.stats().total_faults(), 0u);
+  EXPECT_EQ(store.stats().ops_seen, 3u);
+}
+
+TEST(FaultInjectionTest, DeterministicForSeed) {
+  // Same seed + same op sequence -> bit-for-bit identical fault schedule.
+  auto run = [](uint64_t seed) {
+    FaultInjectingStore store(std::make_shared<MemoryStore>(), seed);
+    FaultRule rule;
+    rule.kind = FaultKind::kWriteError;
+    rule.probability = 0.4;
+    store.AddRule(rule);
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 64; ++i) {
+      outcomes.push_back(store.Put("k" + std::to_string(i), Payload()).ok());
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(run(123), run(123));
+  EXPECT_NE(run(123), run(456)) << "different seeds must draw different schedules";
+}
+
+TEST(FaultInjectionTest, EveryNthFiresDeterministically) {
+  FaultInjectingStore store(std::make_shared<MemoryStore>());
+  FaultRule rule;
+  rule.kind = FaultKind::kWriteError;
+  rule.every_nth = 3;
+  store.AddRule(rule);
+  std::vector<bool> outcomes;
+  for (int i = 0; i < 9; ++i) {
+    outcomes.push_back(store.Put("k" + std::to_string(i), Payload()).ok());
+  }
+  EXPECT_EQ(outcomes, (std::vector<bool>{true, true, false, true, true, false,
+                                         true, true, false}));
+  EXPECT_EQ(store.stats().write_errors, 3u);
+}
+
+TEST(FaultInjectionTest, KeyPatternScopesRule) {
+  FaultInjectingStore store(std::make_shared<MemoryStore>());
+  FaultRule rule;
+  rule.kind = FaultKind::kWriteError;
+  rule.key_substring = "batch";
+  store.AddRule(rule);
+  EXPECT_FALSE(store.Put("cache/batch/0", Payload()).ok());
+  EXPECT_TRUE(store.Put("cache/frame/0", Payload()).ok());
+  EXPECT_EQ(store.stats().write_errors, 1u);
+}
+
+TEST(FaultInjectionTest, MaxFiresDisarmsRule) {
+  FaultInjectingStore store(std::make_shared<MemoryStore>());
+  FaultRule rule;
+  rule.kind = FaultKind::kWriteError;
+  rule.max_fires = 2;
+  store.AddRule(rule);
+  EXPECT_FALSE(store.Put("a", Payload()).ok());
+  EXPECT_FALSE(store.Put("b", Payload()).ok());
+  EXPECT_TRUE(store.Put("c", Payload()).ok()) << "rule must disarm after max_fires";
+  EXPECT_EQ(store.stats().write_errors, 2u);
+}
+
+TEST(FaultInjectionTest, ReadErrorLeavesBackingIntact) {
+  auto backing = std::make_shared<MemoryStore>();
+  FaultInjectingStore store(backing);
+  ASSERT_TRUE(store.Put("k", Payload()).ok());
+  FaultRule rule;
+  rule.kind = FaultKind::kReadError;
+  rule.max_fires = 1;
+  store.AddRule(rule);
+  Result<SharedBytes> faulted = store.GetShared("k");
+  ASSERT_FALSE(faulted.ok());
+  EXPECT_EQ(faulted.status().code(), ErrorCode::kUnavailable);
+  EXPECT_TRUE(store.GetShared("k").ok()) << "object must still be readable after the fault";
+  EXPECT_EQ(store.stats().read_errors, 1u);
+}
+
+TEST(FaultInjectionTest, ShortWriteLeavesBackingUntouched) {
+  auto backing = std::make_shared<MemoryStore>();
+  FaultInjectingStore store(backing);
+  FaultRule rule;
+  rule.kind = FaultKind::kShortWrite;
+  rule.max_fires = 1;
+  store.AddRule(rule);
+  Status status = store.Put("k", Payload());
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kDataLoss);
+  EXPECT_FALSE(backing->Contains("k")) << "a torn write must not become visible";
+}
+
+TEST(FaultInjectionTest, LatencyInjectionDelaysOp) {
+  FaultInjectingStore store(std::make_shared<MemoryStore>());
+  FaultRule rule;
+  rule.kind = FaultKind::kLatency;
+  rule.latency = FromMillis(10);
+  rule.max_fires = 1;
+  store.AddRule(rule);
+  Stopwatch watch;
+  EXPECT_TRUE(store.Put("k", Payload()).ok()) << "latency delays but does not fail the op";
+  EXPECT_GE(watch.Elapsed(), FromMillis(8));
+  EXPECT_EQ(store.stats().latency_injections, 1u);
+}
+
+TEST(FaultInjectionTest, CrashBeforeRenameLeavesRealDebris) {
+  std::string dir = TempDir("crash");
+  auto disk = DiskStore::Open(dir, 1 << 20);
+  ASSERT_TRUE(disk.ok());
+  FaultInjectingStore store(std::shared_ptr<ObjectStore>(std::move(*disk)));
+  FaultRule rule;
+  rule.kind = FaultKind::kCrashBeforeRename;
+  rule.max_fires = 1;
+  store.AddRule(rule);
+
+  Status crashed = store.Put("obj", Payload());
+  ASSERT_FALSE(crashed.ok());
+  EXPECT_FALSE(store.Contains("obj")) << "nothing published before the rename";
+  std::filesystem::path tmp_dir = std::filesystem::path(dir) / DiskStore::kTmpDir;
+  ASSERT_TRUE(std::filesystem::exists(tmp_dir));
+  EXPECT_FALSE(std::filesystem::is_empty(tmp_dir)) << "payload stranded in the temp area";
+  EXPECT_EQ(store.stats().crashes, 1u);
+
+  // The rule disarmed; the retry publishes normally.
+  EXPECT_TRUE(store.Put("obj", Payload()).ok());
+  EXPECT_TRUE(store.Contains("obj"));
+  std::filesystem::remove_all(dir);
+}
+
+SyntheticDatasetOptions SmallDataset() {
+  SyntheticDatasetOptions options;
+  options.num_videos = 4;
+  options.frames_per_video = 24;
+  options.height = 24;
+  options.width = 32;
+  options.gop_size = 4;
+  options.seed = 77;
+  return options;
+}
+
+ModelProfile SmallProfile() {
+  ModelProfile profile;
+  profile.videos_per_batch = 2;
+  profile.frames_per_video = 3;
+  profile.frame_stride = 2;
+  profile.resize_h = 20;
+  profile.resize_w = 28;
+  profile.crop_h = 16;
+  profile.crop_w = 16;
+  return profile;
+}
+
+// --- Checkpoint durability through faults ----------------------------------
+
+ServiceCheckpoint SampleCheckpoint() {
+  ServiceCheckpoint checkpoint;
+  checkpoint.seed = 99;
+  checkpoint.k_epochs = 2;
+  checkpoint.total_epochs = 8;
+  checkpoint.coordinate = true;
+  checkpoint.tasks = {MakeTaskConfig(SmallProfile(), "/dataset/train", "train")};
+  checkpoint.task_progress = {5};
+  return checkpoint;
+}
+
+TEST(CheckpointFaultTest, FailedSaveIsNotLoadable) {
+  // A save that dies mid-write (crash before the publish rename) must not
+  // leave a loadable half-checkpoint behind.
+  std::string dir = TempDir("ckpt_fresh");
+  auto disk = DiskStore::Open(dir, 1 << 20);
+  ASSERT_TRUE(disk.ok());
+  FaultInjectingStore store(std::shared_ptr<ObjectStore>(std::move(*disk)));
+  FaultRule rule;
+  rule.kind = FaultKind::kCrashBeforeRename;
+  rule.max_fires = 1;
+  store.AddRule(rule);
+
+  EXPECT_FALSE(SampleCheckpoint().Save(store).ok());
+  Result<ServiceCheckpoint> loaded = ServiceCheckpoint::Load(store);
+  ASSERT_FALSE(loaded.ok()) << "no checkpoint existed before; none may appear after a crash";
+  EXPECT_EQ(loaded.status().code(), ErrorCode::kNotFound);
+
+  // Retried save succeeds and round-trips.
+  ASSERT_TRUE(SampleCheckpoint().Save(store).ok());
+  loaded = ServiceCheckpoint::Load(store);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->seed, 99u);
+  EXPECT_EQ(loaded->task_progress, (std::vector<int64_t>{5}));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CheckpointFaultTest, CrashedOverwriteKeepsPreviousCheckpoint) {
+  // When a newer checkpoint's save crashes, the previous complete one must
+  // still load — never a torn mix of the two.
+  std::string dir = TempDir("ckpt_overwrite");
+  auto disk = DiskStore::Open(dir, 1 << 20);
+  ASSERT_TRUE(disk.ok());
+  FaultInjectingStore store(std::shared_ptr<ObjectStore>(std::move(*disk)));
+  ServiceCheckpoint v1 = SampleCheckpoint();
+  ASSERT_TRUE(v1.Save(store).ok());
+
+  FaultRule rule;
+  rule.kind = FaultKind::kCrashBeforeRename;
+  rule.max_fires = 1;
+  store.AddRule(rule);
+  ServiceCheckpoint v2 = SampleCheckpoint();
+  v2.task_progress = {7};
+  EXPECT_FALSE(v2.Save(store).ok());
+
+  Result<ServiceCheckpoint> loaded = ServiceCheckpoint::Load(store);
+  ASSERT_TRUE(loaded.ok()) << "previous checkpoint must survive the crashed overwrite";
+  EXPECT_EQ(loaded->task_progress, (std::vector<int64_t>{5}));
+  std::filesystem::remove_all(dir);
+}
+
+// --- End-to-end chaos / degradation ----------------------------------------
+
+ServiceOptions ChaosServiceOptions() {
+  ServiceOptions options;
+  options.k_epochs = 2;
+  options.total_epochs = 4;
+  options.num_threads = 2;
+  options.storage_budget_bytes = 64ULL << 20;
+  return options;
+}
+
+DiskFaultPolicy FastPolicy() {
+  DiskFaultPolicy policy;
+  policy.max_retries = 2;
+  policy.initial_backoff = 0;
+  policy.offline_threshold = 3;
+  policy.reprobe_interval = FromMillis(5);
+  return policy;
+}
+
+// ISSUE acceptance test: with a 1-in-20 injected write fault rate and one
+// crash-before-rename over a real DiskStore, the training loop completes
+// with every batch read served (no DATA_LOSS reaches the reader), and a
+// fresh DiskStore::Open over the same root recovers a consistent index
+// serving no corrupt bytes.
+TEST(ChaosTest, TrainingSurvivesFaultyDiskAndRecoversConsistently) {
+  std::string dir = TempDir("chaos");
+  auto dataset_store = std::make_shared<MemoryStore>();
+  // Larger than the unit-test dataset so the run generates enough disk
+  // traffic for the 1-in-20 fault rule to fire several times.
+  SyntheticDatasetOptions dataset = SmallDataset();
+  dataset.num_videos = 8;
+  dataset.frames_per_video = 32;
+  auto meta = BuildSyntheticDataset(*dataset_store, dataset);
+  ASSERT_TRUE(meta.ok());
+  std::vector<TaskConfig> tasks = {MakeTaskConfig(SmallProfile(), meta->path, "train")};
+
+  FaultStats faults;
+  {
+    auto disk = DiskStore::Open(dir, 1ULL << 30);
+    ASSERT_TRUE(disk.ok());
+    auto faulty = std::make_shared<FaultInjectingStore>(
+        std::shared_ptr<ObjectStore>(std::move(*disk)), /*seed=*/0xC4A05);
+    FaultRule writes;
+    writes.kind = FaultKind::kWriteError;
+    writes.every_nth = 20;  // deterministic 5% write-fault rate
+    faulty->AddRule(writes);
+    FaultRule crash;
+    crash.kind = FaultKind::kCrashBeforeRename;
+    crash.max_fires = 1;  // exactly one mid-publish power cut
+    faulty->AddRule(crash);
+
+    // A tiny memory tier forces real traffic through the faulty disk tier.
+    auto cache = std::make_shared<TieredCache>(std::make_shared<MemoryStore>(32 * 1024),
+                                               faulty, FastPolicy());
+    SandService service(dataset_store, *meta, cache, tasks, ChaosServiceOptions());
+    ASSERT_TRUE(service.Start().ok());
+
+    // The full training loop: every batch of every epoch must be served —
+    // retries and degradation absorb the injected faults.
+    for (int64_t epoch = 0; epoch < 4; ++epoch) {
+      for (int64_t iter = 0; iter < 4; ++iter) {
+        std::string path = StrFormat("/train/%lld/%lld/view", static_cast<long long>(epoch),
+                                     static_cast<long long>(iter));
+        auto fd = service.fs().Open(path);
+        ASSERT_TRUE(fd.ok()) << path;
+        auto bytes = service.fs().ReadAll(*fd);
+        ASSERT_TRUE(bytes.ok()) << path << ": " << bytes.status().ToString();
+        EXPECT_TRUE(ParseBatchHeader(*bytes).ok()) << path;
+        ASSERT_TRUE(service.fs().Close(*fd).ok());
+      }
+    }
+    service.WaitForBackgroundWork();
+    service.Shutdown();
+    faults = faulty->stats();
+  }
+  EXPECT_EQ(faults.crashes, 1u) << "the injected crash must have fired";
+  EXPECT_GT(faults.write_errors, 0u)
+      << "write faults must have fired (ops_seen=" << faults.ops_seen << ")";
+
+  // "Restart" after the chaos: a fresh store over the same root rebuilds a
+  // consistent index — every indexed object passes CRC verification and
+  // usage accounting matches the sum of the survivors.
+  auto recovered = DiskStore::Open(dir, 1ULL << 30);
+  ASSERT_TRUE(recovered.ok());
+  uint64_t total = 0;
+  for (const std::string& key : (*recovered)->ListKeys()) {
+    auto bytes = (*recovered)->GetShared(key);
+    ASSERT_TRUE(bytes.ok()) << "indexed object must be servable: " << key;
+    auto size = (*recovered)->SizeOf(key);
+    ASSERT_TRUE(size.ok());
+    EXPECT_EQ(*size, (*bytes)->size()) << key;
+    total += *size;
+  }
+  EXPECT_EQ((*recovered)->UsedBytes(), total);
+  // No stranded temp files survive recovery.
+  std::filesystem::path tmp_dir = std::filesystem::path(dir) / DiskStore::kTmpDir;
+  EXPECT_TRUE(!std::filesystem::exists(tmp_dir) || std::filesystem::is_empty(tmp_dir));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ChaosTest, ServiceDegradesToMemoryOnlyOnDeadDisk) {
+  // A disk tier that fails every write trips the breaker; the service keeps
+  // serving from memory and reports the degradation in its stats.
+  auto dataset_store = std::make_shared<MemoryStore>();
+  auto meta = BuildSyntheticDataset(*dataset_store, SmallDataset());
+  ASSERT_TRUE(meta.ok());
+  std::vector<TaskConfig> tasks = {MakeTaskConfig(SmallProfile(), meta->path, "train")};
+
+  auto faulty = std::make_shared<FaultInjectingStore>(std::make_shared<MemoryStore>(1ULL << 30));
+  FaultRule rule;
+  rule.kind = FaultKind::kWriteError;  // the disk is dead: every write fails
+  faulty->AddRule(rule);
+  DiskFaultPolicy policy = FastPolicy();
+  policy.max_retries = 0;
+  policy.offline_threshold = 1;
+  policy.reprobe_interval = FromMillis(10000);  // stays down for the test
+  auto cache = std::make_shared<TieredCache>(std::make_shared<MemoryStore>(64ULL << 20),
+                                             faulty, policy);
+  SandService service(dataset_store, *meta, cache, tasks, ChaosServiceOptions());
+  ASSERT_TRUE(service.Start().ok());
+
+  for (int64_t iter = 0; iter < 2; ++iter) {
+    std::string path = StrFormat("/train/0/%lld/view", static_cast<long long>(iter));
+    auto fd = service.fs().Open(path);
+    ASSERT_TRUE(fd.ok());
+    auto bytes = service.fs().ReadAll(*fd);
+    ASSERT_TRUE(bytes.ok()) << "reads must keep working memory-only: "
+                            << bytes.status().ToString();
+    ASSERT_TRUE(service.fs().Close(*fd).ok());
+  }
+  service.WaitForBackgroundWork();
+  EXPECT_EQ(service.stats().disk_degraded, 1u)
+      << "a dead disk tier must surface as degraded in service stats";
+  EXPECT_EQ(faulty->backing().ListKeys().size(), 0u) << "nothing reached the dead disk";
+  service.Shutdown();
+}
+
+}  // namespace
+}  // namespace sand

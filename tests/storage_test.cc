@@ -1,10 +1,18 @@
-// Unit tests for src/storage: memory/disk/remote stores and the tiered cache.
+// Unit tests for src/storage: memory/disk/remote stores and the tiered cache,
+// plus regression tests for the crash-safety sweep (path traversal, delete
+// desync, vanished-file races, reservation races) and the disk tier's
+// retry / degradation machinery.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <filesystem>
+#include <fstream>
+#include <thread>
 
 #include "src/common/clock.h"
+#include "src/storage/fault_injection.h"
 #include "src/storage/object_store.h"
 
 namespace sand {
@@ -47,6 +55,37 @@ TEST(MemoryStoreTest, EnforcesCapacity) {
   EXPECT_FALSE(store.Put("b", std::vector<uint8_t>(3)).ok());
   // Replacing an object counts the freed space.
   EXPECT_TRUE(store.Put("a", std::vector<uint8_t>(10)).ok());
+}
+
+TEST(MemoryStoreTest, ConcurrentSameSizeOverwritesNearCapacity) {
+  // Regression: Reserve() used to fetch_add the full incoming size before
+  // crediting the replaced object, so concurrent same-size overwrites at a
+  // full store transiently double-counted and spuriously failed with
+  // ResourceExhausted. A same-size overwrite is a zero-delta reservation.
+  constexpr int kThreads = 4;
+  constexpr int kIters = 200;
+  constexpr size_t kObjectSize = 100;
+  MemoryStore store(kThreads * kObjectSize);  // exactly full after setup
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_TRUE(store.Put("k" + std::to_string(t), std::vector<uint8_t>(kObjectSize)).ok());
+  }
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, &failures, t] {
+      const std::string key = "k" + std::to_string(t);
+      for (int i = 0; i < kIters; ++i) {
+        if (!store.Put(key, std::vector<uint8_t>(kObjectSize)).ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) {
+    thread.join();
+  }
+  EXPECT_EQ(failures.load(), 0) << "same-size overwrites must never hit the capacity check";
+  EXPECT_EQ(store.UsedBytes(), kThreads * kObjectSize);
 }
 
 TEST(MemoryStoreTest, ListKeysSorted) {
@@ -101,6 +140,156 @@ TEST(DiskStoreTest, StripsLeadingSlashes) {
   ASSERT_TRUE(store.ok());
   ASSERT_TRUE((*store)->Put("/dataset/v.svc", Bytes({1})).ok());
   EXPECT_TRUE((*store)->Contains("/dataset/v.svc"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DiskStoreTest, RejectsPathTraversal) {
+  // Regression: keys with ".." components used to resolve to files outside
+  // the store root.
+  std::string dir = TempDir("traversal");
+  auto store = DiskStore::Open(dir, 1 << 20);
+  ASSERT_TRUE(store.ok());
+  for (const char* key : {"../escape", "a/../../escape", "..", "a/b/../../../x"}) {
+    Status status = (*store)->Put(key, Bytes({1}));
+    EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument) << key;
+  }
+  EXPECT_FALSE(std::filesystem::exists(std::filesystem::path(dir).parent_path() / "escape"));
+  // "." components and empty components are harmless and just collapse.
+  EXPECT_TRUE((*store)->Put("a/./b//c", Bytes({1})).ok());
+  EXPECT_TRUE((*store)->Contains("a/./b//c"));
+  // Reserved internal directories are not addressable as keys.
+  EXPECT_EQ((*store)->Put(std::string(DiskStore::kTmpDir) + "/x", Bytes({1})).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ((*store)->Put(std::string(DiskStore::kQuarantineDir) + "/x", Bytes({1})).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ((*store)->Put("", Bytes({1})).code(), ErrorCode::kInvalidArgument);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DiskStoreTest, DeleteFailureLeavesStateConsistent) {
+  // Regression: Delete() used to drop the index entry and decrement usage
+  // even when fs::remove failed, leaving accounting out of sync with disk.
+  // Force the failure by replacing the object file with a non-empty
+  // directory (works even as root, unlike permission tricks).
+  std::string dir = TempDir("delfail");
+  auto store = DiskStore::Open(dir, 1 << 20);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("victim", std::vector<uint8_t>(32)).ok());
+  const uint64_t used_before = (*store)->UsedBytes();
+  std::filesystem::path path = std::filesystem::path(dir) / "victim";
+  std::filesystem::remove(path);
+  std::filesystem::create_directory(path);
+  { std::ofstream blocker(path / "child"); }
+
+  Status status = (*store)->Delete("victim");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kUnavailable);
+  // The entry must still be indexed and accounted — the object was not
+  // actually removed from disk.
+  EXPECT_TRUE((*store)->Contains("victim"));
+  EXPECT_EQ((*store)->UsedBytes(), used_before);
+
+  // Once the obstruction clears, Delete succeeds and accounting returns
+  // to zero.
+  std::filesystem::remove_all(path);
+  { std::ofstream replacement(path, std::ios::binary); }
+  EXPECT_TRUE((*store)->Delete("victim").ok());
+  EXPECT_EQ((*store)->UsedBytes(), 0u);
+  EXPECT_FALSE((*store)->Contains("victim"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DiskStoreTest, VanishedFileReadsAsNotFound) {
+  // Regression: GetShared() raced Contains-then-read; a file deleted out
+  // from under a live index entry surfaced a raw I/O error. Now it reads as
+  // NotFound and the stale entry is dropped.
+  std::string dir = TempDir("vanish");
+  auto store = DiskStore::Open(dir, 1 << 20);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("ghost", std::vector<uint8_t>(16)).ok());
+  std::filesystem::remove(std::filesystem::path(dir) / "ghost");
+
+  Result<SharedBytes> result = (*store)->GetShared("ghost");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kNotFound);
+  EXPECT_FALSE((*store)->Contains("ghost")) << "stale index entry must be dropped";
+  EXPECT_EQ((*store)->UsedBytes(), 0u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DiskStoreTest, CorruptObjectQuarantinedNotServed) {
+  // A flipped payload byte must fail the CRC footer check: the reader gets
+  // NotFound (never corrupt bytes) and the file is moved to quarantine.
+  std::string dir = TempDir("corrupt");
+  auto store = DiskStore::Open(dir, 1 << 20);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("obj", std::vector<uint8_t>(64, 0xAB)).ok());
+  {
+    std::fstream file(std::filesystem::path(dir) / "obj",
+                      std::ios::binary | std::ios::in | std::ios::out);
+    ASSERT_TRUE(file.good());
+    file.seekp(7);
+    file.put(static_cast<char>(0xCD));
+  }
+
+  Result<SharedBytes> result = (*store)->GetShared("obj");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kNotFound);
+  EXPECT_FALSE((*store)->Contains("obj"));
+  // The corrupt file was moved aside for post-mortem, not served or left
+  // at its visible path.
+  EXPECT_FALSE(std::filesystem::exists(std::filesystem::path(dir) / "obj"));
+  std::filesystem::path quarantine = std::filesystem::path(dir) / DiskStore::kQuarantineDir;
+  ASSERT_TRUE(std::filesystem::exists(quarantine));
+  EXPECT_FALSE(std::filesystem::is_empty(quarantine));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DiskStoreTest, RescanQuarantinesTornFiles) {
+  // A torn file written directly at a visible path (simulating pre-footer
+  // data or bit rot found at recovery time) must not enter the index.
+  std::string dir = TempDir("rescan_torn");
+  {
+    auto store = DiskStore::Open(dir, 1 << 20);
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE((*store)->Put("good", std::vector<uint8_t>(32)).ok());
+  }
+  {
+    std::ofstream torn(std::filesystem::path(dir) / "torn", std::ios::binary);
+    torn << "no footer here";
+  }
+  auto recovered = DiskStore::Open(dir, 1 << 20);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE((*recovered)->Contains("good"));
+  EXPECT_FALSE((*recovered)->Contains("torn"));
+  EXPECT_EQ((*recovered)->UsedBytes(), 32u);
+  EXPECT_FALSE(std::filesystem::exists(std::filesystem::path(dir) / "torn"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(DiskStoreTest, CrashBeforeRenameKeepsOldObject) {
+  // The atomic-publish protocol: a crash between temp write and rename
+  // leaves the previous object version fully intact, and reopening the
+  // store sweeps the abandoned temp file.
+  std::string dir = TempDir("crash");
+  auto store = DiskStore::Open(dir, 1 << 20);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Put("k", Bytes({1, 2, 3})).ok());
+
+  Status crashed = (*store)->PutCrashBeforeRename("k", Bytes({9, 9, 9, 9}));
+  EXPECT_FALSE(crashed.ok());
+  EXPECT_EQ(*(*store)->Get("k"), Bytes({1, 2, 3})) << "old version must survive the crash";
+  std::filesystem::path tmp_dir = std::filesystem::path(dir) / DiskStore::kTmpDir;
+  ASSERT_TRUE(std::filesystem::exists(tmp_dir));
+  EXPECT_FALSE(std::filesystem::is_empty(tmp_dir)) << "crash leaves temp debris";
+
+  // Recovery: reopening rescans, keeps the good object, clears the debris.
+  auto recovered = DiskStore::Open(dir, 1 << 20);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(*(*recovered)->Get("k"), Bytes({1, 2, 3}));
+  EXPECT_EQ((*recovered)->UsedBytes(), 3u);
+  EXPECT_TRUE(!std::filesystem::exists(tmp_dir) || std::filesystem::is_empty(tmp_dir))
+      << "abandoned temp files must be swept on rescan";
   std::filesystem::remove_all(dir);
 }
 
@@ -185,6 +374,102 @@ TEST(TieredCacheTest, DemoteSpillsToDisk) {
   EXPECT_FALSE(memory->Contains("k"));
   EXPECT_TRUE(disk->Contains("k"));
   EXPECT_EQ(*cache.Get("k"), Bytes({7}));
+}
+
+// --- Disk-tier retry / degradation (DESIGN.md §10) -------------------------
+
+// Zero-backoff policy so retry tests run instantly.
+DiskFaultPolicy FastPolicy() {
+  DiskFaultPolicy policy;
+  policy.max_retries = 2;
+  policy.initial_backoff = 0;
+  policy.offline_threshold = 2;
+  policy.reprobe_interval = FromMillis(5);
+  return policy;
+}
+
+TEST(TieredCacheTest, RetriesTransientDiskFaults) {
+  auto memory = std::make_shared<MemoryStore>(1 << 20);
+  auto faulty = std::make_shared<FaultInjectingStore>(std::make_shared<MemoryStore>(1 << 20));
+  // Exactly one injected write error: the first attempt fails, the retry
+  // succeeds, and the breaker never trips.
+  FaultRule rule;
+  rule.kind = FaultKind::kWriteError;
+  rule.max_fires = 1;
+  faulty->AddRule(rule);
+  TieredCache cache(memory, faulty, FastPolicy());
+
+  EXPECT_TRUE(cache.Put("k", Bytes({1, 2}), Tier::kDisk).ok());
+  EXPECT_TRUE(faulty->backing().Contains("k")) << "retry must reach the backing store";
+  EXPECT_FALSE(cache.disk_degraded());
+  EXPECT_EQ(faulty->stats().write_errors, 1u);
+}
+
+TEST(TieredCacheTest, NotFoundDoesNotTripBreaker) {
+  auto memory = std::make_shared<MemoryStore>(1 << 20);
+  auto disk = std::make_shared<MemoryStore>(1 << 20);
+  DiskFaultPolicy policy = FastPolicy();
+  policy.offline_threshold = 1;
+  TieredCache cache(memory, disk, policy);
+  // Misses are healthy responses, not infrastructure failures.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(cache.Get("absent" + std::to_string(i)).ok());
+  }
+  EXPECT_FALSE(cache.disk_degraded());
+}
+
+TEST(TieredCacheTest, DegradesToMemoryOnlyThenReprobes) {
+  auto memory = std::make_shared<MemoryStore>(1 << 20);
+  auto faulty = std::make_shared<FaultInjectingStore>(std::make_shared<MemoryStore>(1 << 20));
+  FaultRule rule;
+  rule.kind = FaultKind::kWriteError;  // persistent: every write fails
+  faulty->AddRule(rule);
+  DiskFaultPolicy policy = FastPolicy();
+  policy.max_retries = 0;
+  TieredCache cache(memory, faulty, policy);
+
+  // Two failed disk-destined puts trip the breaker (threshold 2); both still
+  // succeed overall by degrading into the memory tier.
+  EXPECT_TRUE(cache.Put("a", Bytes({1}), Tier::kDisk).ok());
+  EXPECT_TRUE(cache.Put("b", Bytes({2}), Tier::kDisk).ok());
+  EXPECT_TRUE(cache.disk_degraded());
+  EXPECT_TRUE(memory->Contains("a"));
+  EXPECT_TRUE(memory->Contains("b"));
+  EXPECT_FALSE(faulty->backing().Contains("a"));
+  // Memory-tier service continues while degraded; absent keys read as
+  // misses, not disk errors.
+  EXPECT_EQ(*cache.Get("a"), Bytes({1}));
+  Result<SharedBytes> miss = cache.GetShared("absent");
+  ASSERT_FALSE(miss.ok());
+  EXPECT_EQ(miss.status().code(), ErrorCode::kNotFound);
+
+  // Durable writes refuse memory fallback while the tier is down.
+  EXPECT_EQ(cache.PutDisk("ckpt", Bytes({3})).code(), ErrorCode::kUnavailable);
+
+  // The disk heals; after the reprobe interval one op probes the tier and
+  // brings it back online.
+  faulty->ClearRules();
+  std::this_thread::sleep_for(std::chrono::milliseconds(8));
+  EXPECT_TRUE(cache.Put("c", Bytes({4}), Tier::kDisk).ok());
+  EXPECT_FALSE(cache.disk_degraded());
+  EXPECT_TRUE(faulty->backing().Contains("c"));
+  EXPECT_TRUE(cache.PutDisk("ckpt", Bytes({3})).ok());
+}
+
+TEST(TieredCacheTest, PutDiskIsDurableOrFails) {
+  auto memory = std::make_shared<MemoryStore>(1 << 20);
+  auto faulty = std::make_shared<FaultInjectingStore>(std::make_shared<MemoryStore>(1 << 20));
+  FaultRule rule;
+  rule.kind = FaultKind::kWriteError;
+  faulty->AddRule(rule);
+  DiskFaultPolicy policy = FastPolicy();
+  policy.max_retries = 1;
+  TieredCache cache(memory, faulty, policy);
+
+  Status status = cache.PutDisk("ckpt", Bytes({1}));
+  EXPECT_FALSE(status.ok()) << "PutDisk must not silently fall back to memory";
+  EXPECT_FALSE(memory->Contains("ckpt"));
+  EXPECT_FALSE(faulty->backing().Contains("ckpt"));
 }
 
 }  // namespace

@@ -3,14 +3,16 @@
 # them. Covers the sharded stores / tiered cache (storage_test,
 # object_path_test), the executor + scheduler paths (core_test,
 # sched_test), the lock-free metrics/trace ring (obs_test), and the
-# async demand path / prefetcher (prefetch_test), and the GOP-parallel
-# decode path (codec_test: slice decoders fanned out on a WorkerPool).
+# async demand path / prefetcher (prefetch_test), the GOP-parallel
+# decode path (codec_test: slice decoders fanned out on a WorkerPool),
+# and the fault-injection / disk-degradation machinery
+# (fault_injection_test: retry + circuit-breaker state under chaos).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-tsan}
-TESTS=(storage_test object_path_test sched_test core_test obs_test prefetch_test codec_test)
+TESTS=(storage_test object_path_test sched_test core_test obs_test prefetch_test codec_test fault_injection_test)
 
 cmake -B "$BUILD_DIR" -S . -DSAND_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target "${TESTS[@]}"
