@@ -16,6 +16,37 @@ namespace {
 
 std::string g_metrics_out;  // set by ParseBenchFlags; dumped at exit
 std::string g_trace_out;
+std::string g_json_out;
+std::string g_bench_name;                 // basename(argv[0]) for the report
+std::vector<std::string> g_json_records;  // serialized rows, in record order
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
 
 void DumpObsOutputs() {
   auto write = [](const std::string& path, const std::string& body, const char* what) {
@@ -32,6 +63,16 @@ void DumpObsOutputs() {
   }
   if (!g_trace_out.empty()) {
     write(g_trace_out, obs::Tracer::Get().ToChromeJson(), "trace");
+  }
+  if (!g_json_out.empty()) {
+    std::string body = "{\"bench\": \"" + EscapeJson(g_bench_name) + "\", \"results\": [\n";
+    for (size_t i = 0; i < g_json_records.size(); ++i) {
+      body += g_json_records[i];
+      if (i + 1 < g_json_records.size()) body += ",";
+      body += "\n";
+    }
+    body += "]}\n";
+    write(g_json_out, body, "json results");
   }
 }
 
@@ -50,15 +91,54 @@ void ParseBenchFlags(int argc, char** argv) {
       g_metrics_out = take_value("--metrics-out");
     } else if (std::strcmp(argv[i], "--trace-out") == 0) {
       g_trace_out = take_value("--trace-out");
+    } else if (std::strcmp(argv[i], "--json-out") == 0) {
+      g_json_out = take_value("--json-out");
     } else {
-      std::fprintf(stderr, "usage: %s [--metrics-out <file>] [--trace-out <file>]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--metrics-out <file>] [--trace-out <file>] "
+                   "[--json-out <file>]\n",
                    argv[0]);
       std::exit(2);
     }
   }
-  if (!g_metrics_out.empty() || !g_trace_out.empty()) {
+  if (!g_json_out.empty()) {
+    const char* slash = std::strrchr(argv[0], '/');
+    g_bench_name = slash != nullptr ? slash + 1 : argv[0];
+  }
+  if (!g_metrics_out.empty() || !g_trace_out.empty() || !g_json_out.empty()) {
     std::atexit(DumpObsOutputs);
   }
+}
+
+bool JsonOutEnabled() { return !g_json_out.empty(); }
+
+void RecordBenchResult(const std::string& name,
+                       const std::vector<std::pair<std::string, std::string>>& params,
+                       const PipelineRun& run) {
+  if (g_json_out.empty()) return;
+  const RunMetrics& m = run.metrics;
+  double wall_s = static_cast<double>(m.wall_ns) / kNanosPerSecond;
+  std::string row = "  {\"name\": \"" + EscapeJson(name) + "\", \"params\": {";
+  for (size_t i = 0; i < params.size(); ++i) {
+    if (i > 0) row += ", ";
+    row += "\"" + EscapeJson(params[i].first) + "\": \"" + EscapeJson(params[i].second) + "\"";
+  }
+  row += "},\n";
+  row += "   \"throughput_batches_per_s\": " +
+         JsonDouble(wall_s > 0 ? static_cast<double>(m.batches) / wall_s : 0.0) + ",\n";
+  row += "   \"avg_iteration_ms\": " + JsonDouble(m.AvgIterationMs()) + ",\n";
+  row += "   \"p50_iteration_ms\": " + JsonDouble(ToMillis(m.iter_p50_ns)) + ",\n";
+  row += "   \"p95_iteration_ms\": " + JsonDouble(ToMillis(m.iter_p95_ns)) + ",\n";
+  row += "   \"gpu_utilization\": " + JsonDouble(m.GpuUtilization()) + ",\n";
+  row += "   \"stall_ms_per_iteration\": " +
+         JsonDouble(m.batches > 0 ? ToMillis(m.stall_ns) / static_cast<double>(m.batches)
+                                  : 0.0) +
+         ",\n";
+  row += "   \"batches\": " + std::to_string(m.batches) + ",\n";
+  row += "   \"frames_decoded\": " + std::to_string(run.frames_decoded) + ",\n";
+  row += "   \"cache_hits\": " + std::to_string(run.cache_hits) + ",\n";
+  row += "   \"metrics\": " + obs::Registry::Get().ToJson() + "}";
+  g_json_records.push_back(std::move(row));
 }
 
 BenchEnv MakeBenchEnv(int videos, int frames, int height, int width, int gop, uint64_t seed) {

@@ -20,6 +20,8 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/baselines/sources.h"
 #include "src/core/sand_service.h"
@@ -76,8 +78,25 @@ Result<std::vector<uint8_t>> BuildOneBatch(const BenchEnv& env, const TaskConfig
 //   --trace-out <file>     write the Chrome trace-event JSON ring at exit
 //                          (same bytes as /.sand/trace; open in
 //                          chrome://tracing or Perfetto)
+//   --json-out <file>      write structured results at exit: one row per
+//                          RecordBenchResult call (name, params,
+//                          throughput, p50/p95 iteration latency, and an
+//                          obs metrics snapshot taken at record time)
 // Unknown flags print usage and exit(2).
 void ParseBenchFlags(int argc, char** argv);
+
+// True when --json-out was given; benches can skip optional configurations
+// (or reset the obs registry between them) only when a report is wanted.
+bool JsonOutEnabled();
+
+// Appends one result row to the --json-out report (no-op without the
+// flag). `params` are configuration name/value pairs, emitted verbatim as
+// strings. Throughput and latency fields come from `run`; the row also
+// embeds the current obs registry snapshot, so benches sweeping configs
+// should Registry::ResetAll() between runs to keep rows independent.
+void RecordBenchResult(const std::string& name,
+                       const std::vector<std::pair<std::string, std::string>>& params,
+                       const PipelineRun& run);
 
 // Default SAND service options for benches (budget sized to the env).
 ServiceOptions BenchServiceOptions(int64_t epochs);

@@ -7,6 +7,7 @@
 
 #include "bench/bench_common.h"
 
+#include "src/common/strings.h"
 #include "src/common/units.h"
 
 using namespace sand;
@@ -32,6 +33,16 @@ int main(int argc, char** argv) {
     PipelineRun sand = RunSandPipeline(env, profile, epochs, {}, nullptr,
                                        /*warmup_epochs=*/epochs);
     PipelineRun ideal = RunIdealPipeline(env, profile, epochs);
+
+    for (const auto& [pipeline, run] :
+         {std::pair<const char*, const PipelineRun*>{"cpu", &cpu},
+          {"naive", &naive},
+          {"gpu", &gpu},
+          {"sand", &sand},
+          {"ideal", &ideal}}) {
+      RecordBenchResult(StrFormat("fig11/%s/%s", profile.name.c_str(), pipeline),
+                        {{"model", profile.name}, {"pipeline", pipeline}}, *run);
+    }
 
     auto ms = [](const PipelineRun& run) { return ToMillis(run.metrics.wall_ns); };
     std::printf("%-10s %-9.0f %-9.0f %-9.0f %-9.0f %-9.0f | %-7.2f %-7.2f %-7.2f\n",

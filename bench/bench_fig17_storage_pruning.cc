@@ -1,13 +1,27 @@
 // Fig. 17 — preprocessing time under different storage sizes, with and
-// without object graph pruning (SlowFast + MAE together).
+// without object graph pruning (SlowFast + MAE together), extended with a
+// codec x budget sweep over the compressed cache tier (DESIGN.md §11).
 //
 // Paper: with 3 TB pruning cuts recomputation overhead ~10%; with 1.5 TB,
-// ~25%. The storage sizes scale down with the dataset here.
+// ~25%. The storage sizes scale down with the dataset here. The extension
+// asks the complementary question: at a fixed byte budget, how much
+// effective capacity does each codec buy, and what does decode cost the
+// demand path?
+//
+// --smoke runs a tiny sweep and exits non-zero if any codec fails to
+// round-trip or to deliver its expected ratio (CI gate, see
+// tools/check_build.sh).
 
 #include "bench/bench_common.h"
 
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
 #include "src/common/strings.h"
 #include "src/common/units.h"
+#include "src/compress/lossy.h"
+#include "src/obs/metrics.h"
 #include "src/pruning/graph_pruning.h"
 
 using namespace sand;
@@ -53,10 +67,173 @@ double AvgIterationPreprocMs(const BenchEnv& env, uint64_t budget, bool enable_p
   return ToMillis(watch.Elapsed()) / static_cast<double>(iterations);
 }
 
+// One cell of the codec x budget sweep: a two-task service with the given
+// codec on frame/augmentation objects, demand-reading every batch of the
+// chunk `epochs` times.
+struct CodecRun {
+  PipelineRun run;
+  double ratio = 1.0;       // raw bytes / encoded bytes over touched objects
+  uint64_t decode_hits = 0; // GetShared hits that went through a decode
+};
+
+CodecRun RunCodecConfig(const BenchEnv& env, uint64_t budget, Codec codec, int epochs) {
+  obs::Registry::Get().ResetAll();  // per-config metric deltas
+  std::vector<TaskConfig> tasks = {
+      MakeTaskConfig(SlowFastProfile(), env.meta.path, "slowfast"),
+      MakeTaskConfig(MaeProfile(), env.meta.path, "mae")};
+  auto cache = std::make_shared<TieredCache>(std::make_shared<MemoryStore>(budget / 4),
+                                             std::make_shared<MemoryStore>(budget));
+  ServiceOptions options;
+  options.k_epochs = epochs;
+  options.total_epochs = epochs;
+  options.num_threads = kBenchCpuThreads;
+  options.enable_pruning = true;
+  options.storage_budget_bytes = budget;
+  if (codec != Codec::kNone) {
+    options.compression.enabled = true;
+    options.compression.frame_codec = codec;
+    options.compression.aug_codec = codec;
+    options.compression.batch_codec = Codec::kLossless;  // batches stay exact
+    options.compression.compress_on_disk_put = true;
+    options.compression.min_object_bytes = 256;
+  }
+  SandService service(env.dataset_store, env.meta, cache, tasks, options);
+  if (auto status = service.Start(); !status.ok()) {
+    std::abort();
+  }
+  service.WaitForBackgroundWork();
+
+  CodecRun out;
+  std::vector<Nanos> samples;
+  Stopwatch watch;
+  for (int t = 0; t < 2; ++t) {
+    int64_t ipe = IterationsPerEpochFor(env.meta, tasks[static_cast<size_t>(t)].sampling);
+    for (int64_t epoch = 0; epoch < epochs; ++epoch) {
+      for (int64_t iter = 0; iter < ipe; ++iter) {
+        Stopwatch iter_watch;
+        auto fd = service.fs().Open(
+            ViewPath::Batch(tasks[static_cast<size_t>(t)].tag, epoch, iter).Format());
+        if (!fd.ok() || !service.fs().ReadAllShared(*fd).ok()) {
+          std::abort();
+        }
+        (void)service.fs().Close(*fd);
+        samples.push_back(iter_watch.Elapsed());
+        ++out.run.metrics.batches;
+      }
+    }
+  }
+  out.run.metrics.wall_ns = watch.Elapsed();
+  if (!samples.empty()) {
+    std::sort(samples.begin(), samples.end());
+    out.run.metrics.iter_p50_ns = samples[samples.size() / 2];
+    out.run.metrics.iter_p95_ns = samples[samples.size() * 95 / 100];
+  }
+  out.run.frames_decoded = service.stats().exec.frames_decoded;
+  out.run.cache_hits = service.stats().exec.cache_hits;
+  out.ratio = std::max(1.0, cache->CompressionRatio());
+  out.decode_hits = static_cast<uint64_t>(
+      obs::Registry::Get().GetCounter("sand.compress.hits")->Value());
+  return out;
+}
+
+const char* SweepCodecName(Codec codec) {
+  return codec == Codec::kNone ? "none" : CodecName(codec);
+}
+
+int RunCodecSweep(const BenchEnv& env, uint64_t full, const std::vector<double>& fractions,
+                  const std::vector<Codec>& codecs, int epochs, bool smoke) {
+  std::printf("\ncompressed cache tier: codec x budget (both tasks, pruning on)\n");
+  std::printf("%-14s %-10s %-10s %-10s %-10s %-12s %-12s\n", "budget", "codec",
+              "iter ms", "p95 ms", "ratio", "effective", "dec hits");
+  PrintRule();
+  int failures = 0;
+  double baseline_ms = 0.0;
+  for (double fraction : fractions) {
+    uint64_t budget = static_cast<uint64_t>(static_cast<double>(full) * fraction);
+    for (Codec codec : codecs) {
+      CodecRun r = RunCodecConfig(env, budget, codec, epochs);
+      double iter_ms = r.run.metrics.AvgIterationMs();
+      if (codec == Codec::kNone) baseline_ms = iter_ms;
+      // Effective capacity: the raw bytes this budget holds once objects
+      // are stored encoded.
+      uint64_t effective = static_cast<uint64_t>(static_cast<double>(budget) * r.ratio);
+      std::printf("%-14s %-10s %-10.2f %-10.2f %-10.2f %-12s %-12llu\n",
+                  StrFormat("%s (%.0f%%)", FormatBytes(budget).c_str(), fraction * 100)
+                      .c_str(),
+                  SweepCodecName(codec), iter_ms, ToMillis(r.run.metrics.iter_p95_ns),
+                  r.ratio, FormatBytes(effective).c_str(),
+                  static_cast<unsigned long long>(r.decode_hits));
+      RecordBenchResult(StrFormat("codec_sweep/%s", SweepCodecName(codec)),
+                        {{"codec", SweepCodecName(codec)},
+                         {"budget_bytes", std::to_string(budget)},
+                         {"budget_fraction", StrFormat("%.2f", fraction)},
+                         {"compression_ratio", StrFormat("%.3f", r.ratio)},
+                         {"effective_capacity_bytes", std::to_string(effective)}},
+                        r.run);
+      if (smoke) {
+        // CI gates: every codec must complete and deliver a sane ratio.
+        if (codec == Codec::kLossless && r.ratio < 1.05) {
+          std::fprintf(stderr, "SMOKE FAIL: lossless ratio %.2f < 1.05\n", r.ratio);
+          ++failures;
+        }
+        if (codec == Codec::kQuant8 && r.ratio < 1.5) {
+          std::fprintf(stderr, "SMOKE FAIL: quant8 ratio %.2f < 1.5\n", r.ratio);
+          ++failures;
+        }
+        if (baseline_ms > 0 && iter_ms > baseline_ms * 10.0) {
+          std::fprintf(stderr, "SMOKE FAIL: %s iter %.2fms > 10x baseline %.2fms\n",
+                       SweepCodecName(codec), iter_ms, baseline_ms);
+          ++failures;
+        }
+      }
+    }
+  }
+  std::printf("\nshape: encoded objects stretch the same byte budget to %s+ of raw\n"
+              "capacity (ratio column); the demand path pays only the decode-on-hit\n"
+              "column, hidden behind async demotion on the write side.\n",
+              "2x");
+  return failures;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  sand::ParseBenchFlags(argc, argv);
+  bool smoke = false;
+  std::vector<char*> passthrough;
+  passthrough.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  sand::ParseBenchFlags(static_cast<int>(passthrough.size()), passthrough.data());
+
+  if (smoke) {
+    // Tiny world, one tight budget, every codec: fails loudly in CI if a
+    // codec stops round-tripping or compressing.
+    BenchEnv env = MakeBenchEnv(4, 16, 32, 48, 8);
+    PrintBenchHeader("Fig. 17 (smoke): compressed cache tier gates",
+                     "codec sweep on a reduced world; non-zero exit on failure");
+    std::vector<TaskConfig> probe_tasks = {
+        MakeTaskConfig(SlowFastProfile(), env.meta.path, "slowfast"),
+        MakeTaskConfig(MaeProfile(), env.meta.path, "mae")};
+    PlannerOptions probe;
+    probe.k_epochs = 2;
+    auto plan = BuildMaterializationPlan(env.meta, probe_tasks, 0, probe);
+    uint64_t full = plan.ok() ? plan->CachedBytes() : (1ULL << 20);
+    int failures = RunCodecSweep(
+        env, full, {0.45},
+        {Codec::kNone, Codec::kLossless, Codec::kQuant8, Codec::kSvd}, 2, true);
+    if (failures > 0) {
+      std::fprintf(stderr, "smoke: %d gate(s) failed\n", failures);
+      return 1;
+    }
+    std::printf("smoke: all codec gates passed\n");
+    return 0;
+  }
+
   BenchEnv env = MakeBenchEnv();
   PrintBenchHeader("Fig. 17: preprocessing time vs storage size (pruning on/off)",
                    "Fig. 17: avg per-iteration preprocessing, 2 tasks, 2 budgets");
@@ -84,5 +261,8 @@ int main(int argc, char** argv) {
   }
   std::printf("\npaper shape: pruning reduces recompute ~10%% at the larger budget and\n"
               "~25%% at the tighter one (smarter cache contents, same capacity).\n");
+
+  RunCodecSweep(env, full, {1.1, 0.45},
+                {Codec::kNone, Codec::kLossless, Codec::kQuant8, Codec::kSvd}, 6, false);
   return 0;
 }

@@ -1,0 +1,185 @@
+#include "src/compress/compress_kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sand {
+
+void DeinterleavePlane(std::span<const uint8_t> interleaved, int channels, int c,
+                       std::span<uint8_t> plane) {
+  const uint8_t* __restrict in = interleaved.data() + c;
+  uint8_t* __restrict out = plane.data();
+  const size_t n = plane.size();
+  const size_t stride = static_cast<size_t>(channels);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = in[i * stride];
+  }
+}
+
+void InterleavePlane(std::span<const uint8_t> plane, int channels, int c,
+                     std::span<uint8_t> interleaved) {
+  const uint8_t* __restrict in = plane.data();
+  uint8_t* __restrict out = interleaved.data() + c;
+  const size_t n = plane.size();
+  const size_t stride = static_cast<size_t>(channels);
+  for (size_t i = 0; i < n; ++i) {
+    out[i * stride] = in[i];
+  }
+}
+
+void PlaneMinMax(std::span<const uint8_t> plane, uint8_t* min_out, uint8_t* max_out) {
+  uint8_t lo = 255;
+  uint8_t hi = 0;
+  for (uint8_t v : plane) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (plane.empty()) {
+    lo = 0;
+    hi = 0;
+  }
+  *min_out = lo;
+  *max_out = hi;
+}
+
+void QuantizePlane(std::span<const uint8_t> plane, float scale, float zero, int levels,
+                   std::span<uint8_t> quantized) {
+  const uint8_t* __restrict in = plane.data();
+  uint8_t* __restrict out = quantized.data();
+  const size_t n = plane.size();
+  const float inv = 1.0f / scale;
+  const float max_code = static_cast<float>(levels - 1);
+  for (size_t i = 0; i < n; ++i) {
+    float q = (static_cast<float>(in[i]) - zero) * inv + 0.5f;
+    q = q < 0.0f ? 0.0f : (q > max_code ? max_code : q);
+    out[i] = static_cast<uint8_t>(q);
+  }
+}
+
+void DequantizePlane(std::span<const uint8_t> quantized, float scale, float zero,
+                     std::span<uint8_t> plane) {
+  const uint8_t* __restrict in = quantized.data();
+  uint8_t* __restrict out = plane.data();
+  const size_t n = plane.size();
+  for (size_t i = 0; i < n; ++i) {
+    float v = zero + static_cast<float>(in[i]) * scale + 0.5f;
+    v = v < 0.0f ? 0.0f : (v > 255.0f ? 255.0f : v);
+    out[i] = static_cast<uint8_t>(v);
+  }
+}
+
+void PackNibbles(std::span<const uint8_t> codes, std::span<uint8_t> packed) {
+  const uint8_t* __restrict in = codes.data();
+  uint8_t* __restrict out = packed.data();
+  const size_t pairs = codes.size() / 2;
+  for (size_t i = 0; i < pairs; ++i) {
+    out[i] = static_cast<uint8_t>((in[2 * i] & 0x0f) | (in[2 * i + 1] << 4));
+  }
+  if (codes.size() % 2 != 0) {
+    out[pairs] = static_cast<uint8_t>(in[codes.size() - 1] & 0x0f);
+  }
+}
+
+void UnpackNibbles(std::span<const uint8_t> packed, std::span<uint8_t> codes) {
+  const uint8_t* __restrict in = packed.data();
+  uint8_t* __restrict out = codes.data();
+  const size_t pairs = codes.size() / 2;
+  for (size_t i = 0; i < pairs; ++i) {
+    out[2 * i] = in[i] & 0x0f;
+    out[2 * i + 1] = in[i] >> 4;
+  }
+  if (codes.size() % 2 != 0) {
+    out[codes.size() - 1] = in[pairs] & 0x0f;
+  }
+}
+
+void PlaneToFloat(std::span<const uint8_t> plane, std::span<float> out) {
+  const uint8_t* __restrict in = plane.data();
+  float* __restrict o = out.data();
+  const size_t n = plane.size();
+  for (size_t i = 0; i < n; ++i) {
+    o[i] = static_cast<float>(in[i]);
+  }
+}
+
+void MatVec(std::span<const float> a, size_t rows, size_t cols, std::span<const float> x,
+            std::span<float> out) {
+  const float* __restrict m = a.data();
+  const float* __restrict v = x.data();
+  float* __restrict o = out.data();
+  for (size_t r = 0; r < rows; ++r) {
+    const float* __restrict row = m + r * cols;
+    float acc = 0.0f;
+    for (size_t c = 0; c < cols; ++c) {
+      acc += row[c] * v[c];
+    }
+    o[r] = acc;
+  }
+}
+
+void MatTVec(std::span<const float> a, size_t rows, size_t cols, std::span<const float> x,
+             std::span<float> out) {
+  const float* __restrict m = a.data();
+  const float* __restrict v = x.data();
+  float* __restrict o = out.data();
+  std::fill(out.begin(), out.end(), 0.0f);
+  for (size_t r = 0; r < rows; ++r) {
+    const float* __restrict row = m + r * cols;
+    const float xr = v[r];
+    for (size_t c = 0; c < cols; ++c) {
+      o[c] += row[c] * xr;
+    }
+  }
+}
+
+void SubtractOuter(std::span<float> a, size_t rows, size_t cols, std::span<const float> u,
+                   std::span<const float> v) {
+  float* __restrict m = a.data();
+  const float* __restrict uu = u.data();
+  const float* __restrict vv = v.data();
+  for (size_t r = 0; r < rows; ++r) {
+    float* __restrict row = m + r * cols;
+    const float ur = uu[r];
+    for (size_t c = 0; c < cols; ++c) {
+      row[c] -= ur * vv[c];
+    }
+  }
+}
+
+void AddOuter(std::span<float> a, size_t rows, size_t cols, std::span<const float> u,
+              std::span<const float> v) {
+  float* __restrict m = a.data();
+  const float* __restrict uu = u.data();
+  const float* __restrict vv = v.data();
+  for (size_t r = 0; r < rows; ++r) {
+    float* __restrict row = m + r * cols;
+    const float ur = uu[r];
+    for (size_t c = 0; c < cols; ++c) {
+      row[c] += ur * vv[c];
+    }
+  }
+}
+
+float DotF32(std::span<const float> a, std::span<const float> b) {
+  const float* __restrict x = a.data();
+  const float* __restrict y = b.data();
+  float acc = 0.0f;
+  const size_t n = a.size();
+  for (size_t i = 0; i < n; ++i) {
+    acc += x[i] * y[i];
+  }
+  return acc;
+}
+
+void FloatToPlane(std::span<const float> in, std::span<uint8_t> plane) {
+  const float* __restrict i = in.data();
+  uint8_t* __restrict o = plane.data();
+  const size_t n = plane.size();
+  for (size_t k = 0; k < n; ++k) {
+    float v = i[k] + 0.5f;
+    v = v < 0.0f ? 0.0f : (v > 255.0f ? 255.0f : v);
+    o[k] = static_cast<uint8_t>(v);
+  }
+}
+
+}  // namespace sand

@@ -1,0 +1,87 @@
+// Hot numeric kernels behind the lossy cache codecs (src/compress/lossy.cc).
+//
+// Like src/tensor/pixel_kernels, this TU is compiled at -O3 so the flat
+// loops autovectorize: contiguous spans, __restrict pointers, branch-free
+// bodies. Two kernel families live here:
+//
+//   - quantization: channel-plane (de)interleave, per-plane affine uint8 ->
+//     n-bit quantize + nibble pack, and the inverse
+//   - low-rank: the float mat-vec / rank-1-update primitives the power-
+//     iteration SVD factorizer in lossy.cc is built from
+//
+// Everything is deterministic: the SVD path must produce bit-identical
+// factors for identical input bytes (shared-basis decode recomputes the
+// basis from the base object), so no threading and no FMA-contraction-
+// sensitive reductions beyond plain left-to-right loops.
+
+#ifndef SAND_COMPRESS_COMPRESS_KERNELS_H_
+#define SAND_COMPRESS_COMPRESS_KERNELS_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+
+namespace sand {
+
+// --- plane layout ------------------------------------------------------------
+
+// Gathers channel `c` of interleaved HxWxC pixels into a dense plane of
+// `pixels` values (pixels = h * w). interleaved.size() must be pixels * channels.
+void DeinterleavePlane(std::span<const uint8_t> interleaved, int channels, int c,
+                       std::span<uint8_t> plane);
+
+// Scatters a dense plane back into channel `c` of the interleaved buffer.
+void InterleavePlane(std::span<const uint8_t> plane, int channels, int c,
+                     std::span<uint8_t> interleaved);
+
+// --- affine quantization -----------------------------------------------------
+
+// Min and max over a byte span (0/0 for empty input).
+void PlaneMinMax(std::span<const uint8_t> plane, uint8_t* min_out, uint8_t* max_out);
+
+// q[i] = round((plane[i] - zero) / scale), clamped to [0, levels-1]. scale
+// must be > 0. Results are written one value per byte (packing is separate).
+void QuantizePlane(std::span<const uint8_t> plane, float scale, float zero, int levels,
+                   std::span<uint8_t> quantized);
+
+// plane[i] = round(zero + q[i] * scale), clamped to [0, 255].
+void DequantizePlane(std::span<const uint8_t> quantized, float scale, float zero,
+                     std::span<uint8_t> plane);
+
+// Packs one-value-per-byte 4-bit codes into nibbles, low nibble first.
+// packed must hold (codes.size() + 1) / 2 bytes.
+void PackNibbles(std::span<const uint8_t> codes, std::span<uint8_t> packed);
+
+// Inverse of PackNibbles; codes.size() values are produced.
+void UnpackNibbles(std::span<const uint8_t> packed, std::span<uint8_t> codes);
+
+// --- low-rank float primitives ----------------------------------------------
+
+// Widens a uint8 plane into floats.
+void PlaneToFloat(std::span<const uint8_t> plane, std::span<float> out);
+
+// out[r] = sum_c a[r * cols + c] * x[c]   (row-major A, rows x cols).
+void MatVec(std::span<const float> a, size_t rows, size_t cols, std::span<const float> x,
+            std::span<float> out);
+
+// out[c] = sum_r a[r * cols + c] * x[r]   (A^T x).
+void MatTVec(std::span<const float> a, size_t rows, size_t cols, std::span<const float> x,
+             std::span<float> out);
+
+// a[r * cols + c] -= u[r] * v[c]  (rank-1 deflation update).
+void SubtractOuter(std::span<float> a, size_t rows, size_t cols, std::span<const float> u,
+                   std::span<const float> v);
+
+// a[r * cols + c] += u[r] * v[c]  (rank-1 reconstruction update).
+void AddOuter(std::span<float> a, size_t rows, size_t cols, std::span<const float> u,
+              std::span<const float> v);
+
+// Plain left-to-right dot product (deterministic).
+float DotF32(std::span<const float> a, std::span<const float> b);
+
+// Rounds a float work plane back to uint8 with clamping.
+void FloatToPlane(std::span<const float> in, std::span<uint8_t> plane);
+
+}  // namespace sand
+
+#endif  // SAND_COMPRESS_COMPRESS_KERNELS_H_

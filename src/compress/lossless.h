@@ -32,13 +32,19 @@ Result<std::vector<uint8_t>> LosslessDecompress(std::span<const uint8_t> compres
 Result<std::vector<uint8_t>> CompressFrame(const Frame& frame);
 Result<Frame> DecompressFrame(std::span<const uint8_t> compressed);
 
-// Stats for the most common question in tests/benches.
+// Stats for the most common question in tests/benches. An empty sample is a
+// neutral 1.0 ratio — 0.0 would read as "infinite compression" downstream.
 struct CompressionStats {
   size_t raw_bytes = 0;
   size_t compressed_bytes = 0;
   double Ratio() const {
-    return compressed_bytes == 0 ? 0.0
-                                 : static_cast<double>(raw_bytes) / compressed_bytes;
+    if (raw_bytes == 0) {
+      return 1.0;
+    }
+    if (compressed_bytes == 0) {
+      return 1.0;
+    }
+    return static_cast<double>(raw_bytes) / compressed_bytes;
   }
 };
 

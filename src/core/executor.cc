@@ -68,13 +68,44 @@ Result<CustomOpFn> CustomOpRegistry::Lookup(const std::string& name) const {
 }
 
 std::string NodeCacheKey(const VideoObjectGraph& graph, const ConcreteNode& node) {
-  // A flat namespace: "cache/<video>/<node-key>"; node keys are already
-  // deterministic chains of resolved op signatures, but contain characters
-  // awkward for file paths, so hash them and keep a readable prefix.
+  // A flat namespace: "cache/<video>/<class><frame>/n<hash>"; node keys are
+  // already deterministic chains of resolved op signatures, but contain
+  // characters awkward for file paths, so hash them and keep a readable
+  // prefix. The class segment ('f' = decoded frame, 'a' = augmented/merged
+  // view) plus the source-frame index is what lets the storage tier's
+  // compression policy pick a codec per view class (ClassifyCacheKey)
+  // without understanding op chains.
   uint64_t h = HashCombine(0x53414e44ULL, node.key);
-  return StrFormat("cache/%s/n%016llx", graph.video_name.c_str(),
+  const char cls = node.chain_depth == 0 ? 'f' : 'a';
+  return StrFormat("cache/%s/%c%lld/n%016llx", graph.video_name.c_str(), cls,
+                   static_cast<long long>(node.source_frame),
                    static_cast<unsigned long long>(h));
 }
+
+namespace {
+
+// The decoded-frame ancestor an augmented view derives from, or null when
+// the lineage does not reach one (e.g. it stops at the video source).
+const ConcreteNode* BaseFrameNode(const VideoObjectGraph& graph, const ConcreteNode& node) {
+  const ConcreteNode* cur = &node;
+  while (cur->chain_depth > 0) {
+    const ConcreteNode* next = nullptr;
+    for (int pid : cur->parents) {
+      const ConcreteNode& parent = graph.node(pid);
+      if (parent.op.type != ConcreteOpType::kSource) {
+        next = &parent;
+        break;
+      }
+    }
+    if (next == nullptr) {
+      return nullptr;
+    }
+    cur = next;
+  }
+  return cur->op.type != ConcreteOpType::kSource ? cur : nullptr;
+}
+
+}  // namespace
 
 SubtreeExecutor::SubtreeExecutor(const VideoObjectGraph& graph, ContainerCache* containers,
                                  TieredCache* cache, CpuMeter* meter, WorkerPool* decode_pool)
@@ -229,15 +260,25 @@ Result<Frame> SubtreeExecutor::FinishProduced(const ConcreteNode& node, Frame pr
                                               bool allow_cache_store) {
   if (node.cache && allow_cache_store && cache_ != nullptr) {
     std::string key = NodeCacheKey(graph_, node);
+    // Teach the cache's codec the aug-view -> base-frame lineage so the SVD
+    // codec can share the base frame's factors across augmentations.
+    if (cache_->compression_enabled() && node.chain_depth > 0) {
+      if (const ConcreteNode* base = BaseFrameNode(graph_, node)) {
+        cache_->NoteBaseObject(key, NodeCacheKey(graph_, *base));
+      }
+    }
     // The Contains pre-check only skips the serialize/compress work when a
     // racing job already stored the node; correctness rests on the atomic
     // PutIfAbsent below (two jobs can no longer both insert).
     if (!cache_->Contains(key)) {
       // Leaves live hot in memory, raw; everything spilled to the disk
-      // tier is losslessly compressed first.
+      // tier is losslessly compressed first — by the cache's own codec when
+      // it compresses disk puts (which also unlocks the lossy codecs), by
+      // the legacy explicit CompressFrame otherwise.
       Tier tier = node.is_leaf ? Tier::kMemory : Tier::kDisk;
+      const bool cache_encodes = tier == Tier::kDisk && cache_->compresses_disk_puts();
       Result<std::vector<uint8_t>> bytes = [&]() -> Result<std::vector<uint8_t>> {
-        if (tier == Tier::kMemory) {
+        if (tier == Tier::kMemory || cache_encodes) {
           return produced.Serialize();
         }
         if (meter_ != nullptr) {

@@ -72,6 +72,10 @@ SandService::SandService(std::shared_ptr<ObjectStore> dataset_store, DatasetMeta
   }
   task_progress_.assign(tasks_.size(), 0);
   task_active_.assign(tasks_.size(), true);
+  // The cache outlives this service (callers own it), so Shutdown() detaches
+  // the pool again before it is destroyed; the codec itself stays installed
+  // and keeps decoding (and encoding inline) after we are gone.
+  cache_->SetCompression(options_.compression, async_pool_.get());
 }
 
 SandService::~SandService() { Shutdown(); }
@@ -93,7 +97,9 @@ void SandService::Shutdown() {
   // The pool drains first: its units submit to (and block on) scheduler
   // jobs, so the scheduler must still be accepting work while they finish.
   // The decode pool goes last: executors on both of the other pools fan
-  // GOP slices into it until they drain.
+  // GOP slices into it until they drain. Pending async demotions drain with
+  // the pool; the cache must stop submitting to it before it dies.
+  cache_->SetCompressionPool(nullptr);
   async_pool_->Shutdown();
   scheduler_->Shutdown();
   if (decode_pool_ != nullptr) {
@@ -949,9 +955,35 @@ void SandService::MaybeEvict() {
     }
     return a.next_use > b.next_use;  // then farthest next use
   });
+  // Pass 1 (compression enabled): spill spent memory-resident candidates
+  // through the codec — cheap cycles instead of lost bytes. Demotions run
+  // async, so their savings are credited as estimated headroom below rather
+  // than waiting for the spill to land.
+  uint64_t estimated_savings = 0;
+  if (cache_->compression_enabled()) {
+    const double ratio = std::max(1.0, cache_->CompressionRatio());
+    for (const Candidate& candidate : candidates) {
+      if (!candidate.spent) {
+        break;  // sorted spent-first
+      }
+      if (used <= threshold + estimated_savings) {
+        break;
+      }
+      Result<uint64_t> size = cache_->memory().SizeOf(candidate.key);
+      if (!size.ok()) {
+        continue;  // not memory-resident; nothing to spill
+      }
+      if (cache_->Demote(candidate.key).ok()) {
+        estimated_savings +=
+            *size - static_cast<uint64_t>(static_cast<double>(*size) / ratio);
+      }
+    }
+  }
+  // Pass 2: delete until (projected) under the watermark.
   uint64_t evicted = 0;
   for (const Candidate& candidate : candidates) {
-    if (cache_->MemoryUsedBytes() + cache_->DiskUsedBytes() <= threshold) {
+    if (cache_->MemoryUsedBytes() + cache_->DiskUsedBytes() <=
+        threshold + estimated_savings) {
       break;
     }
     if (cache_->Delete(candidate.key).ok()) {

@@ -85,6 +85,10 @@ struct ServiceOptions {
   uint64_t storage_budget_bytes = 256ULL * 1024 * 1024;
   double evict_watermark = 0.75;
   size_t container_cache_entries = 8;
+  // Transparent cache compression (DESIGN.md §11): installed on the cache at
+  // construction; encodes run on the async pool so demotion stays off the
+  // demand path. Disabled by default (the cache stores raw bytes, as before).
+  CompressionPolicy compression;
 };
 
 struct ServiceStats {

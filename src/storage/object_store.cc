@@ -17,6 +17,7 @@
 #include "src/common/crc32.h"
 #include "src/common/logging.h"
 #include "src/common/strings.h"
+#include "src/common/worker_pool.h"
 #include "src/obs/trace.h"
 
 namespace sand {
@@ -720,6 +721,7 @@ TieredCache::TieredCache(std::shared_ptr<ObjectStore> memory, std::shared_ptr<Ob
       bytes_written_memory_(obs::Registry::Get().GetCounter("sand.cache.memory.bytes_written")),
       bytes_written_disk_(obs::Registry::Get().GetCounter("sand.cache.disk.bytes_written")),
       disk_retries_(obs::Registry::Get().GetCounter("sand.store.disk.retries")),
+      demote_failures_(obs::Registry::Get().GetCounter("sand.cache.demote_failures")),
       memory_used_(obs::Registry::Get().GetGauge("sand.cache.memory.used_bytes")),
       disk_used_(obs::Registry::Get().GetGauge("sand.cache.disk.used_bytes")),
       pinned_keys_(obs::Registry::Get().GetGauge("sand.cache.pinned_keys")),
@@ -728,6 +730,82 @@ TieredCache::TieredCache(std::shared_ptr<ObjectStore> memory, std::shared_ptr<Ob
 void TieredCache::UpdateUsageGauges() {
   memory_used_->Set(static_cast<int64_t>(memory_->UsedBytes()));
   disk_used_->Set(static_cast<int64_t>(disk_->UsedBytes()));
+}
+
+void TieredCache::SetCompression(const CompressionPolicy& policy, WorkerPool* pool) {
+  std::shared_ptr<ObjectCodec> codec;
+  if (policy.enabled) {
+    codec = std::make_shared<ObjectCodec>(policy);
+    // Shared-basis decode refetches the base object through the normal read
+    // path (which decodes transparently, so the basis always comes from raw
+    // frame bytes).
+    codec->set_base_fetcher([this](const std::string& key) { return GetShared(key); });
+  }
+  {
+    std::lock_guard<std::mutex> lock(codec_mutex_);
+    codec_ = std::move(codec);
+  }
+  compress_pool_.store(policy.enabled ? pool : nullptr, std::memory_order_release);
+  compression_on_.store(policy.enabled, std::memory_order_release);
+}
+
+void TieredCache::SetCompressionPool(WorkerPool* pool) {
+  compress_pool_.store(pool, std::memory_order_release);
+}
+
+void TieredCache::NoteBaseObject(const std::string& key, const std::string& base_key) {
+  if (auto codec = Codec()) {
+    codec->NoteBaseObject(key, base_key);
+  }
+}
+
+double TieredCache::CompressionRatio() const {
+  auto codec = Codec();
+  return codec ? codec->CumulativeRatio() : 1.0;
+}
+
+bool TieredCache::compresses_disk_puts() const {
+  auto codec = Codec();
+  return codec != nullptr && codec->policy().compress_on_disk_put;
+}
+
+std::shared_ptr<ObjectCodec> TieredCache::Codec() const {
+  if (!compression_on_.load(std::memory_order_acquire)) {
+    return nullptr;
+  }
+  std::lock_guard<std::mutex> lock(codec_mutex_);
+  return codec_;
+}
+
+std::optional<std::vector<uint8_t>> TieredCache::MaybeEncodeForDisk(
+    const std::string& key, std::span<const uint8_t> data, Tier tier) {
+  if (tier != Tier::kDisk) {
+    return std::nullopt;
+  }
+  auto codec = Codec();
+  if (!codec || !codec->policy().compress_on_disk_put) {
+    return std::nullopt;
+  }
+  auto encoded = codec->Encode(key, data);
+  if (!encoded.ok() || !encoded->has_value()) {
+    // Encode trouble never fails a put; the object is stored raw.
+    return std::nullopt;
+  }
+  return std::move((**encoded).bytes);
+}
+
+Result<SharedBytes> TieredCache::MaybeDecode(SharedBytes data) {
+  if (!compression_on_.load(std::memory_order_acquire) ||
+      !ObjectCodec::IsEncoded(std::span<const uint8_t>(*data))) {
+    return data;
+  }
+  auto codec = Codec();
+  if (!codec) {
+    return data;
+  }
+  SAND_ASSIGN_OR_RETURN(std::vector<uint8_t> decoded,
+                        codec->Decode(std::span<const uint8_t>(*data)));
+  return MakeSharedBytes(std::move(decoded));
 }
 
 bool TieredCache::DiskAvailable() {
@@ -791,6 +869,9 @@ auto TieredCache::DiskOpWithRetry(Fn&& fn) -> decltype(fn()) {
 
 Status TieredCache::Put(const std::string& key, std::span<const uint8_t> data, Tier tier) {
   SAND_SPAN("store_put");
+  const std::optional<std::vector<uint8_t>> encoded = MaybeEncodeForDisk(key, data, tier);
+  const std::span<const uint8_t> disk_data =
+      encoded ? std::span<const uint8_t>(*encoded) : data;
   if (tier == Tier::kMemory) {
     Status status = memory_->Put(key, data);
     if (status.ok()) {
@@ -802,21 +883,22 @@ Status TieredCache::Put(const std::string& key, std::span<const uint8_t> data, T
     // Memory full: fall through to disk rather than failing the pipeline.
   }
   Status status = DiskAvailable()
-                      ? DiskOpWithRetry([&] { return disk_->Put(key, data); })
+                      ? DiskOpWithRetry([&] { return disk_->Put(key, disk_data); })
                       : Unavailable("disk tier offline: " + key);
   if (status.ok()) {
     disk_puts_->Add(1);
-    bytes_written_disk_->Add(data.size());
+    bytes_written_disk_->Add(disk_data.size());
     UpdateUsageGauges();
     return status;
   }
   if (tier == Tier::kDisk && TransientDiskError(status)) {
     // Degraded mode: keep the pipeline alive in memory. The object simply
-    // is not durable until the tier recovers.
-    Status fallback = memory_->Put(key, data);
+    // is not durable until the tier recovers. The encoded form is parked to
+    // keep the footprint small; reads decode it transparently.
+    Status fallback = memory_->Put(key, disk_data);
     if (fallback.ok()) {
       memory_puts_->Add(1);
-      bytes_written_memory_->Add(data.size());
+      bytes_written_memory_->Add(disk_data.size());
       UpdateUsageGauges();
       return fallback;
     }
@@ -839,12 +921,18 @@ Status TieredCache::PutShared(const std::string& key, SharedBytes data, Tier tie
     }
     // Memory full: fall through to disk rather than failing the pipeline.
   }
-  Status status = DiskAvailable()
-                      ? DiskOpWithRetry([&] { return disk_->PutShared(key, data); })
-                      : Unavailable("disk tier offline: " + key);
+  const std::optional<std::vector<uint8_t>> encoded =
+      MaybeEncodeForDisk(key, std::span<const uint8_t>(*data), tier);
+  Status status =
+      DiskAvailable()
+          ? DiskOpWithRetry([&] {
+              return encoded ? disk_->Put(key, std::span<const uint8_t>(*encoded))
+                             : disk_->PutShared(key, data);
+            })
+          : Unavailable("disk tier offline: " + key);
   if (status.ok()) {
     disk_puts_->Add(1);
-    bytes_written_disk_->Add(data->size());
+    bytes_written_disk_->Add(encoded ? encoded->size() : data->size());
     UpdateUsageGauges();
     return status;
   }
@@ -863,6 +951,9 @@ Status TieredCache::PutShared(const std::string& key, SharedBytes data, Tier tie
 Result<bool> TieredCache::PutIfAbsent(const std::string& key, std::span<const uint8_t> data,
                                       Tier tier) {
   SAND_SPAN("store_put");
+  const std::optional<std::vector<uint8_t>> encoded = MaybeEncodeForDisk(key, data, tier);
+  const std::span<const uint8_t> disk_data =
+      encoded ? std::span<const uint8_t>(*encoded) : data;
   if (tier == Tier::kMemory) {
     Result<bool> inserted = memory_->PutIfAbsent(key, data);
     if (inserted.ok()) {
@@ -877,22 +968,22 @@ Result<bool> TieredCache::PutIfAbsent(const std::string& key, std::span<const ui
   }
   Result<bool> inserted =
       DiskAvailable()
-          ? DiskOpWithRetry([&] { return disk_->PutIfAbsent(key, data); })
+          ? DiskOpWithRetry([&] { return disk_->PutIfAbsent(key, disk_data); })
           : Result<bool>(Unavailable("disk tier offline: " + key));
   if (inserted.ok()) {
     if (*inserted) {
       disk_puts_->Add(1);
-      bytes_written_disk_->Add(data.size());
+      bytes_written_disk_->Add(disk_data.size());
       UpdateUsageGauges();
     }
     return inserted;
   }
   if (tier == Tier::kDisk && TransientDiskError(inserted.status())) {
-    Result<bool> fallback = memory_->PutIfAbsent(key, data);
+    Result<bool> fallback = memory_->PutIfAbsent(key, disk_data);
     if (fallback.ok()) {
       if (*fallback) {
         memory_puts_->Add(1);
-        bytes_written_memory_->Add(data.size());
+        bytes_written_memory_->Add(disk_data.size());
         UpdateUsageGauges();
       }
       return fallback;
@@ -921,7 +1012,21 @@ Result<SharedBytes> TieredCache::GetShared(const std::string& key) {
   if (hot.ok()) {
     memory_hits_->Add(1);
     bytes_read_memory_->Add((*hot)->size());
-    return hot;
+    // The hot tier normally holds raw bytes, but disk-offline degradation
+    // can park an encoded object in memory; decode it on the way out.
+    Result<SharedBytes> decoded = MaybeDecode(*hot);
+    if (!decoded.ok()) {
+      // Undecodable container (corrupt, or its shared-basis base is gone):
+      // drop it and report a miss so the caller rematerializes.
+      (void)Delete(key);
+      misses_->Add(1);
+      return NotFound("compressed object unreadable: " + key);
+    }
+    if (*decoded != *hot && memory_->PutShared(key, *decoded).ok()) {
+      // Keep the hot tier raw so the next hit skips the decode.
+      UpdateUsageGauges();
+    }
+    return decoded;
   }
   if (!DiskAvailable()) {
     // Degraded: a cold object reads as a miss (the caller rematerializes),
@@ -930,19 +1035,25 @@ Result<SharedBytes> TieredCache::GetShared(const std::string& key) {
     return NotFound("disk tier offline: " + key);
   }
   Result<SharedBytes> cold = DiskOpWithRetry([&] { return disk_->GetShared(key); });
-  if (cold.ok()) {
-    disk_hits_->Add(1);
-    bytes_read_disk_->Add((*cold)->size());
-    // Best-effort promotion reusing the just-read buffer (no copy); ignore
-    // failure (memory may be full).
-    if (memory_->PutShared(key, *cold).ok()) {
-      promotions_->Add(1);
-      UpdateUsageGauges();
-    }
-  } else {
+  if (!cold.ok()) {
     misses_->Add(1);
+    return cold;
   }
-  return cold;
+  disk_hits_->Add(1);
+  bytes_read_disk_->Add((*cold)->size());
+  Result<SharedBytes> decoded = MaybeDecode(*cold);
+  if (!decoded.ok()) {
+    (void)Delete(key);
+    misses_->Add(1);
+    return NotFound("compressed object unreadable: " + key);
+  }
+  // Best-effort promotion of the decoded bytes (the just-read buffer when
+  // the object was stored raw); ignore failure (memory may be full).
+  if (memory_->PutShared(key, *decoded).ok()) {
+    promotions_->Add(1);
+    UpdateUsageGauges();
+  }
+  return decoded;
 }
 
 Result<std::vector<uint8_t>> TieredCache::Get(const std::string& key) {
@@ -1008,11 +1119,58 @@ Status TieredCache::Demote(const std::string& key) {
   if (!DiskAvailable()) {
     return Unavailable("disk tier offline: cannot demote " + key);
   }
+  if (Codec() != nullptr) {
+    if (WorkerPool* pool = compress_pool_.load(std::memory_order_acquire)) {
+      // Encode off the demand path; Demote returns as soon as the spill is
+      // enqueued. A full queue falls back to the inline path below.
+      if (pool->TrySubmit([this, key] {
+            const Status status = DemoteCompressed(key);
+            if (!status.ok() && status.code() != ErrorCode::kNotFound &&
+                status.code() != ErrorCode::kFailedPrecondition) {
+              demote_failures_->Add(1);
+              SAND_LOG(kWarning) << "async demote of " << key
+                                 << " failed: " << status.ToString();
+            }
+          })) {
+        return Status::Ok();
+      }
+    }
+  }
+  return DemoteCompressed(key);
+}
+
+Status TieredCache::DemoteCompressed(const std::string& key) {
+  // Re-checked here because the async path runs arbitrarily later than the
+  // Demote call that enqueued it.
+  if (IsPinned(key)) {
+    return FailedPrecondition("pinned: " + key);
+  }
+  if (!DiskAvailable()) {
+    return Unavailable("disk tier offline: cannot demote " + key);
+  }
   SAND_ASSIGN_OR_RETURN(SharedBytes data, memory_->GetShared(key));
-  SAND_RETURN_IF_ERROR(DiskOpWithRetry([&] { return disk_->Put(key, *data); }));
-  SAND_RETURN_IF_ERROR(memory_->Delete(key));
+  std::span<const uint8_t> to_write(*data);
+  std::vector<uint8_t> encoded;
+  if (auto codec = Codec()) {
+    auto enc = codec->Encode(key, to_write);
+    if (enc.ok() && enc->has_value()) {
+      encoded = std::move((**enc).bytes);
+      to_write = encoded;
+    }
+    // Encode trouble never loses the object; it spills raw.
+  }
+  SAND_RETURN_IF_ERROR(DiskOpWithRetry([&] { return disk_->Put(key, to_write); }));
+  {
+    // Atomic against Pin: once a key is pinned, the hot copy stays resident
+    // (the disk copy is then a harmless spare that reads identically).
+    std::lock_guard<std::mutex> lock(pin_mutex_);
+    if (pins_.count(key) > 0) {
+      return Status::Ok();
+    }
+    (void)memory_->Delete(key);
+  }
   demotions_->Add(1);
-  bytes_written_disk_->Add(data->size());
+  bytes_written_disk_->Add(to_write.size());
   UpdateUsageGauges();
   return Status::Ok();
 }

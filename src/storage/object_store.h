@@ -33,9 +33,12 @@
 #include "src/common/bytes.h"
 #include "src/common/clock.h"
 #include "src/common/result.h"
+#include "src/compress/lossy.h"
 #include "src/obs/metrics.h"
 
 namespace sand {
+
+class WorkerPool;
 
 // Key-hash shards per store. 16 shards keep lock collisions rare at the
 // scheduler thread counts this repo runs (4-16 workers) while costing only
@@ -306,8 +309,36 @@ class TieredCache {
   void Unpin(const std::string& key);
   bool IsPinned(const std::string& key);
 
-  // Moves an object from memory to disk (spill) keeping it cached.
+  // Moves an object from memory to disk (spill) keeping it cached. With
+  // compression enabled the object is encoded on the way down (per the
+  // policy's codec for its key class); when a worker pool is attached the
+  // encode+spill runs asynchronously and Demote returns as soon as the work
+  // is enqueued, so demotion never blocks the demand path.
   Status Demote(const std::string& key);
+
+  // --- Transparent compression (DESIGN.md §11) ----------------------------
+  // Installs the compression policy (and optionally the worker pool that
+  // runs async demotions). Objects are encoded on Demote — and on disk-tier
+  // Put when the policy says so — and transparently decoded on GetShared
+  // hits; a compressed object that fails to decode is dropped and surfaces
+  // as a miss, never as corrupt bytes. Call before the cache is shared with
+  // concurrent readers (service startup), like the constructor arguments.
+  void SetCompression(const CompressionPolicy& policy, WorkerPool* pool = nullptr);
+  // Attaches/detaches the async demotion pool. The pool owner must detach
+  // (nullptr) before destroying the pool; pass a drained pool only.
+  void SetCompressionPool(WorkerPool* pool);
+  bool compression_enabled() const {
+    return compression_on_.load(std::memory_order_relaxed);
+  }
+  // True when disk-tier puts are encoded by the policy (not just Demote
+  // spills); producers can then hand the cache raw bytes for every tier.
+  bool compresses_disk_puts() const;
+  // Records that `key` (an augmented-frame view) derives from `base_key`
+  // (its decoded source frame) so the SVD codec can share basis factors.
+  void NoteBaseObject(const std::string& key, const std::string& base_key);
+  // Cumulative raw/encoded ratio of this cache's codec (1.0 when disabled
+  // or before the first encode); the eviction planner's savings estimate.
+  double CompressionRatio() const;
 
   // Durable write into the disk tier with the retry policy. Unlike
   // Put(.., Tier::kDisk) this does NOT fall back to memory — callers asked
@@ -328,6 +359,20 @@ class TieredCache {
 
  private:
   void UpdateUsageGauges();
+
+  // Snapshot of the codec engine (null when compression is disabled).
+  std::shared_ptr<ObjectCodec> Codec() const;
+  // Encodes `data` per the policy when `tier` is the disk tier and the
+  // policy compresses disk puts; nullopt means "store raw".
+  std::optional<std::vector<uint8_t>> MaybeEncodeForDisk(const std::string& key,
+                                                         std::span<const uint8_t> data,
+                                                         Tier tier);
+  // Decodes `data` when it is a compressed container; passthrough otherwise.
+  // An undecodable object returns the decode error (callers turn it into a
+  // miss).
+  Result<SharedBytes> MaybeDecode(SharedBytes data);
+  // The encode+spill half of Demote (runs inline or on the worker pool).
+  Status DemoteCompressed(const std::string& key);
 
   // Runs one disk-tier op with the retry policy and records the outcome in
   // the circuit breaker. `fn` must be idempotent (all store ops are).
@@ -353,6 +398,14 @@ class TieredCache {
   std::mutex pin_mutex_;
   std::map<std::string, int> pins_;
 
+  // Compression state. codec_ is published under codec_mutex_ (cold path);
+  // compression_on_ is the hot-path gate, and the pool pointer is atomic so
+  // the owner can detach it at shutdown without racing demotions.
+  std::atomic<bool> compression_on_{false};
+  mutable std::mutex codec_mutex_;
+  std::shared_ptr<ObjectCodec> codec_;
+  std::atomic<WorkerPool*> compress_pool_{nullptr};
+
   // Registry-backed counters (process-global, cached here).
   obs::Counter* memory_hits_;
   obs::Counter* disk_hits_;
@@ -366,6 +419,7 @@ class TieredCache {
   obs::Counter* bytes_written_memory_;
   obs::Counter* bytes_written_disk_;
   obs::Counter* disk_retries_;
+  obs::Counter* demote_failures_;
   obs::Gauge* memory_used_;
   obs::Gauge* disk_used_;
   obs::Gauge* pinned_keys_;

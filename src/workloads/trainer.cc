@@ -1,6 +1,21 @@
 #include "src/workloads/trainer.h"
 
+#include <algorithm>
+#include <vector>
+
 namespace sand {
+
+namespace {
+
+// Exact q-quantile of the recorded samples (nearest-rank); 0 when empty.
+Nanos SampleQuantile(std::vector<Nanos>& samples, double q) {
+  if (samples.empty()) return 0;
+  size_t rank = static_cast<size_t>(q * static_cast<double>(samples.size() - 1));
+  std::nth_element(samples.begin(), samples.begin() + rank, samples.end());
+  return samples[rank];
+}
+
+}  // namespace
 
 Result<RunMetrics> RunTraining(BatchSource& source, GpuModel& gpu, const ModelProfile& profile,
                                const TrainRunOptions& options, CpuMeter* meter) {
@@ -9,14 +24,17 @@ Result<RunMetrics> RunTraining(BatchSource& source, GpuModel& gpu, const ModelPr
   gpu.BeginRun();
   Stopwatch run_watch;
   const int64_t iterations = source.IterationsPerEpoch();
+  std::vector<Nanos> iter_samples;
+  iter_samples.reserve(static_cast<size_t>(options.epochs * iterations));
   for (int64_t epoch = options.epoch_begin; epoch < options.epoch_begin + options.epochs;
        ++epoch) {
     for (int64_t iter = 0; iter < iterations; ++iter) {
-      Stopwatch stall_watch;
+      Stopwatch iter_watch;
       SAND_ASSIGN_OR_RETURN(SharedBytes batch, source.NextBatch(epoch, iter));
-      metrics.stall_ns += stall_watch.Elapsed();
+      metrics.stall_ns += iter_watch.Elapsed();
       metrics.bytes_consumed += batch->size();
       gpu.TrainStep(profile.gpu_step);
+      iter_samples.push_back(iter_watch.Elapsed());
       ++metrics.batches;
     }
   }
@@ -26,6 +44,8 @@ Result<RunMetrics> RunTraining(BatchSource& source, GpuModel& gpu, const ModelPr
   metrics.wall_ns = run_watch.Elapsed();
   metrics.gpu_busy_ns = gpu_stats.busy_ns;
   metrics.gpu_nvdec_ns = gpu_stats.nvdec_ns;
+  metrics.iter_p50_ns = SampleQuantile(iter_samples, 0.50);
+  metrics.iter_p95_ns = SampleQuantile(iter_samples, 0.95);
   metrics.cpu_busy_ns =
       meter != nullptr ? meter->TotalBusy() - cpu_busy_before : 0;
   metrics.energy =

@@ -43,6 +43,8 @@ struct RunMetrics {
   Nanos cpu_busy_ns = 0;     // preprocessing CPU time (all worker threads)
   uint64_t batches = 0;
   uint64_t bytes_consumed = 0;
+  Nanos iter_p50_ns = 0;     // per-iteration wall time percentiles (exact,
+  Nanos iter_p95_ns = 0;     // from the recorded per-iteration samples)
   EnergyBreakdown energy;
 
   double GpuUtilization() const {

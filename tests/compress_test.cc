@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "src/common/rng.h"
 #include "src/compress/lossless.h"
+#include "src/compress/lossy.h"
 
 namespace sand {
 namespace {
@@ -115,8 +119,13 @@ TEST(CompressionStatsTest, Ratio) {
   stats.raw_bytes = 1000;
   stats.compressed_bytes = 250;
   EXPECT_DOUBLE_EQ(stats.Ratio(), 4.0);
+  // Empty samples are a neutral 1.0, never an "infinite compression" 0.0.
+  stats.raw_bytes = 0;
   stats.compressed_bytes = 0;
-  EXPECT_DOUBLE_EQ(stats.Ratio(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.Ratio(), 1.0);
+  stats.raw_bytes = 1000;
+  stats.compressed_bytes = 0;
+  EXPECT_DOUBLE_EQ(stats.Ratio(), 1.0);
 }
 
 // Property sweep: round-trip over a grid of (rows, stride, content seed).
@@ -138,6 +147,248 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values<size_t>(1, 7, 33),
                        ::testing::Values<size_t>(1, 16, 61, 256),
                        ::testing::Values<uint64_t>(11, 12, 13)));
+
+// --- lossy object codecs (src/compress/lossy.h) ------------------------------
+
+// A serialized frame (12-byte header + interleaved pixels) with smooth,
+// nearly-separable content: y/x gradients plus a per-channel offset and a
+// touch of noise, which is what low-rank factorization thrives on.
+std::vector<uint8_t> SerializedFrame(uint32_t h, uint32_t w, uint32_t c, uint64_t seed) {
+  std::vector<uint8_t> out(12 + static_cast<size_t>(h) * w * c);
+  auto put_u32 = [&](size_t at, uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out[at + i] = static_cast<uint8_t>(v >> (8 * i));
+    }
+  };
+  put_u32(0, h);
+  put_u32(4, w);
+  put_u32(8, c);
+  Rng rng(seed);
+  size_t at = 12;
+  for (uint32_t y = 0; y < h; ++y) {
+    for (uint32_t x = 0; x < w; ++x) {
+      for (uint32_t ch = 0; ch < c; ++ch) {
+        double v = 40.0 + y * 1.1 + x * 0.9 + ch * 15.0 + (rng.NextDouble() - 0.5) * 2.0;
+        out[at++] = static_cast<uint8_t>(std::clamp(v, 0.0, 255.0));
+      }
+    }
+  }
+  return out;
+}
+
+int MaxAbsError(const std::vector<uint8_t>& a, const std::vector<uint8_t>& b) {
+  EXPECT_EQ(a.size(), b.size());
+  int worst = 0;
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    worst = std::max(worst, std::abs(static_cast<int>(a[i]) - static_cast<int>(b[i])));
+  }
+  return worst;
+}
+
+TEST(ClassifyCacheKeyTest, ViewTaxonomy) {
+  EXPECT_EQ(ClassifyCacheKey("cache/vid0/f3/n0123456789abcdef"), ObjectClass::kFrame);
+  EXPECT_EQ(ClassifyCacheKey("cache/vid0/a3/n0123456789abcdef"), ObjectClass::kAugFrame);
+  EXPECT_EQ(ClassifyCacheKey("/train/5/12/view"), ObjectClass::kBatch);
+  EXPECT_EQ(ClassifyCacheKey("checkpoint/task0/epoch3"), ObjectClass::kOpaque);
+  EXPECT_EQ(ClassifyCacheKey("cache/vid0"), ObjectClass::kFrame);
+}
+
+CompressionPolicy PolicyWith(Codec frame_codec) {
+  CompressionPolicy policy;
+  policy.enabled = true;
+  policy.frame_codec = frame_codec;
+  policy.aug_codec = frame_codec;
+  policy.min_object_bytes = 64;
+  return policy;
+}
+
+TEST(ObjectCodecTest, LosslessRoundTripBitExact) {
+  ObjectCodec codec(PolicyWith(Codec::kLossless));
+  const auto raw = SerializedFrame(32, 48, 3, 21);
+  auto encoded = codec.Encode("cache/v/f0/nabc", raw);
+  ASSERT_TRUE(encoded.ok());
+  ASSERT_TRUE(encoded->has_value());
+  EXPECT_EQ((*encoded)->codec, Codec::kLossless);
+  EXPECT_LT((*encoded)->bytes.size(), raw.size());
+  EXPECT_TRUE(ObjectCodec::IsEncoded((*encoded)->bytes));
+  auto decoded = codec.Decode((*encoded)->bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, raw);  // bit-exact
+}
+
+TEST(ObjectCodecTest, QuantBoundedError) {
+  ObjectCodec codec(PolicyWith(Codec::kQuant8));
+  const auto raw = SerializedFrame(32, 48, 3, 22);
+  auto encoded = codec.Encode("cache/v/f0/nabc", raw);
+  ASSERT_TRUE(encoded.ok());
+  ASSERT_TRUE(encoded->has_value());
+  EXPECT_EQ((*encoded)->codec, Codec::kQuant8);
+  // 4-bit nibble packing alone halves the payload before the entropy stage.
+  EXPECT_LT((*encoded)->bytes.size(), raw.size() / 2);
+  auto decoded = codec.Decode((*encoded)->bytes);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), raw.size());
+  // Header is reproduced exactly; pixels within half a quantization step
+  // (range / 15 levels / 2) plus rounding.
+  EXPECT_TRUE(std::equal(raw.begin(), raw.begin() + 12, decoded->begin()));
+  EXPECT_LE(MaxAbsError(raw, *decoded), 255 / 15 / 2 + 2);
+}
+
+TEST(ObjectCodecTest, QuantFallsBackLosslessOnOpaqueBytes) {
+  ObjectCodec codec(PolicyWith(Codec::kQuant8));
+  // Frame-classed key but non-frame bytes: must fall back to the exact path.
+  const auto raw = SmoothRows(40, 50, 23);
+  auto encoded = codec.Encode("cache/v/f0/nabc", raw);
+  ASSERT_TRUE(encoded.ok());
+  ASSERT_TRUE(encoded->has_value());
+  EXPECT_EQ((*encoded)->codec, Codec::kLossless);
+  auto decoded = codec.Decode((*encoded)->bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, raw);
+}
+
+TEST(ObjectCodecTest, SvdSelfContainedBoundedError) {
+  ObjectCodec codec(PolicyWith(Codec::kSvd));
+  const auto raw = SerializedFrame(48, 64, 3, 24);
+  auto encoded = codec.Encode("cache/v/a0/nabc", raw);
+  ASSERT_TRUE(encoded.ok());
+  ASSERT_TRUE(encoded->has_value());
+  EXPECT_EQ((*encoded)->codec, Codec::kSvd);
+  EXPECT_FALSE((*encoded)->shared_basis);
+  // Rank-8 factors of a 48x64x3 frame are ~4x smaller than the pixels.
+  EXPECT_LT((*encoded)->bytes.size(), raw.size() / 4);
+  auto decoded = codec.Decode((*encoded)->bytes);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded->size(), raw.size());
+  EXPECT_TRUE(std::equal(raw.begin(), raw.begin() + 12, decoded->begin()));
+  // Near-separable content is close to rank-2; rank-8 + int8 factor
+  // quantization reconstructs within a tight band.
+  EXPECT_LE(MaxAbsError(raw, *decoded), 24);
+}
+
+TEST(ObjectCodecTest, SvdSharedBasisAcrossAugmentations) {
+  ObjectCodec codec(PolicyWith(Codec::kSvd));
+  const auto base = SerializedFrame(48, 64, 3, 25);
+  // An "augmentation": same structure, slightly shifted intensities.
+  auto aug = base;
+  for (size_t i = 12; i < aug.size(); ++i) {
+    aug[i] = static_cast<uint8_t>(std::min(255, aug[i] + 4));
+  }
+  codec.set_base_fetcher([&](const std::string& key) -> Result<SharedBytes> {
+    if (key == "cache/v/f7/nbase") {
+      return MakeSharedBytes(std::vector<uint8_t>(base));
+    }
+    return NotFound("no such base: " + key);
+  });
+  codec.NoteBaseObject("cache/v/a7/naug", "cache/v/f7/nbase");
+
+  auto encoded = codec.Encode("cache/v/a7/naug", aug);
+  ASSERT_TRUE(encoded.ok());
+  ASSERT_TRUE(encoded->has_value());
+  EXPECT_EQ((*encoded)->codec, Codec::kSvd);
+  EXPECT_TRUE((*encoded)->shared_basis);
+
+  // Sharing the base's factors drops the stored basis: the shared container
+  // must be smaller than the self-contained encoding of the same bytes.
+  ObjectCodec self_codec(PolicyWith(Codec::kSvd));
+  auto self_encoded = self_codec.Encode("cache/v/a7/naug", aug);
+  ASSERT_TRUE(self_encoded.ok() && self_encoded->has_value());
+  EXPECT_LT((*encoded)->bytes.size(), (*self_encoded)->bytes.size());
+
+  auto decoded = codec.Decode((*encoded)->bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_LE(MaxAbsError(aug, *decoded), 32);
+}
+
+TEST(ObjectCodecTest, SharedBasisDecodeFailsAsMissWhenBaseGone) {
+  ObjectCodec codec(PolicyWith(Codec::kSvd));
+  const auto base = SerializedFrame(32, 48, 3, 26);
+  auto aug = base;
+  bool base_available = true;
+  codec.set_base_fetcher([&](const std::string&) -> Result<SharedBytes> {
+    if (base_available) {
+      return MakeSharedBytes(std::vector<uint8_t>(base));
+    }
+    return NotFound("evicted");
+  });
+  codec.NoteBaseObject("cache/v/a1/naug", "cache/v/f1/nbase");
+  auto encoded = codec.Encode("cache/v/a1/naug", aug);
+  ASSERT_TRUE(encoded.ok() && encoded->has_value());
+  ASSERT_TRUE((*encoded)->shared_basis);
+
+  // Fresh codec: empty basis cache, base unavailable -> NotFound (a miss),
+  // never corrupt bytes.
+  ObjectCodec reader(PolicyWith(Codec::kSvd));
+  base_available = false;
+  reader.set_base_fetcher([&](const std::string&) -> Result<SharedBytes> {
+    return NotFound("evicted");
+  });
+  auto decoded = reader.Decode((*encoded)->bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(ObjectCodecTest, SmallObjectsStoredRaw) {
+  CompressionPolicy policy = PolicyWith(Codec::kLossless);
+  policy.min_object_bytes = 1024;
+  ObjectCodec codec(policy);
+  std::vector<uint8_t> raw(100, 7);
+  auto encoded = codec.Encode("cache/v/f0/nabc", raw);
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_FALSE(encoded->has_value());
+}
+
+TEST(ObjectCodecTest, NoneCodecStoresRaw) {
+  CompressionPolicy policy = PolicyWith(Codec::kLossless);
+  policy.opaque_codec = Codec::kNone;
+  ObjectCodec codec(policy);
+  const auto raw = SmoothRows(64, 64, 27);
+  auto encoded = codec.Encode("checkpoint/task0/epoch1", raw);
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_FALSE(encoded->has_value());
+}
+
+TEST(ObjectCodecTest, DecodeRejectsCorruptContainer) {
+  ObjectCodec codec(PolicyWith(Codec::kLossless));
+  const auto raw = SerializedFrame(16, 24, 3, 28);
+  auto encoded = codec.Encode("cache/v/f0/nabc", raw);
+  ASSERT_TRUE(encoded.ok() && encoded->has_value());
+  auto bytes = (*encoded)->bytes;
+  bytes[bytes.size() / 2] ^= 0xff;  // corrupt the payload
+  EXPECT_FALSE(codec.Decode(bytes).ok());
+  // Truncation is also rejected, never UB.
+  std::vector<uint8_t> cut(bytes.begin(), bytes.begin() + 20);
+  EXPECT_FALSE(codec.Decode(cut).ok());
+}
+
+TEST(ObjectCodecTest, EncodeIsIdempotentOnContainers) {
+  ObjectCodec codec(PolicyWith(Codec::kLossless));
+  const auto raw = SerializedFrame(16, 24, 3, 29);
+  auto encoded = codec.Encode("cache/v/f0/nabc", raw);
+  ASSERT_TRUE(encoded.ok() && encoded->has_value());
+  // Feeding an already-encoded object back in must not double-wrap it.
+  auto again = codec.Encode("cache/v/f0/nabc", (*encoded)->bytes);
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(again->has_value());
+}
+
+TEST(ObjectCodecTest, CumulativeRatioTracksEncodes) {
+  ObjectCodec codec(PolicyWith(Codec::kQuant8));
+  EXPECT_DOUBLE_EQ(codec.CumulativeRatio(), 1.0);
+  const auto raw = SerializedFrame(32, 48, 3, 30);
+  auto encoded = codec.Encode("cache/v/f0/nabc", raw);
+  ASSERT_TRUE(encoded.ok() && encoded->has_value());
+  EXPECT_GT(codec.CumulativeRatio(), 2.0);
+}
+
+TEST(CodecNameTest, RoundTrip) {
+  for (Codec codec : {Codec::kNone, Codec::kLossless, Codec::kQuant8, Codec::kSvd}) {
+    auto parsed = CodecFromName(CodecName(codec));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, codec);
+  }
+  EXPECT_FALSE(CodecFromName("gzip").has_value());
+}
 
 }  // namespace
 }  // namespace sand

@@ -16,13 +16,15 @@ TEST(GpuModelTest, TrainStepAccountsBusyTime) {
   spec.time_scale = 1.0;
   GpuModel gpu(spec);
   gpu.BeginRun();
-  gpu.TrainStep(FromMillis(2));
-  gpu.TrainStep(FromMillis(3));
+  // Steps long enough that scheduler noise under a loaded parallel ctest
+  // (tens of ms) cannot halve the measured utilization.
+  gpu.TrainStep(FromMillis(20));
+  gpu.TrainStep(FromMillis(30));
   gpu.EndRun();
   GpuRunStats stats = gpu.run_stats();
   EXPECT_EQ(stats.steps, 2u);
-  EXPECT_EQ(stats.busy_ns, FromMillis(5));
-  EXPECT_GE(stats.wall_ns, FromMillis(5));
+  EXPECT_EQ(stats.busy_ns, FromMillis(50));
+  EXPECT_GE(stats.wall_ns, FromMillis(50));
   EXPECT_GT(stats.Utilization(), 0.5);
 }
 

@@ -25,6 +25,10 @@ echo "==== kernel smoke (bench_micro_kernels --smoke) ===="
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_micro_kernels
 "$BUILD_DIR/bench/bench_micro_kernels" --smoke
 
+echo "==== codec smoke (bench_fig17_storage_pruning --smoke) ===="
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_fig17_storage_pruning
+"$BUILD_DIR/bench/bench_fig17_storage_pruning" --smoke
+
 if [ "${SKIP_TSAN:-0}" != "1" ]; then
   echo "==== tsan suite ===="
   tools/check_tsan.sh
@@ -33,7 +37,8 @@ fi
 if [ "${SKIP_ASAN:-0}" != "1" ]; then
   echo "==== asan suite ===="
   ASAN_BUILD_DIR=${ASAN_BUILD_DIR:-build-asan}
-  ASAN_TESTS=(vfs_test prefetch_test core_test codec_test fault_injection_test)
+  ASAN_TESTS=(vfs_test prefetch_test core_test codec_test fault_injection_test
+              compress_test compress_tier_test)
   cmake -B "$ASAN_BUILD_DIR" -S . -DSAND_ASAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$ASAN_BUILD_DIR" -j"$(nproc)" --target "${ASAN_TESTS[@]}"
   for test in "${ASAN_TESTS[@]}"; do

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_PR6.json — the committed structured-results report —
+# from the three --json-out instrumented benches. Run from the repo root
+# after a release build:
+#
+#   cmake -B build -S . && cmake --build build -j
+#   tools/make_bench_json.sh build BENCH_PR6.json
+#
+# Each bench writes {"bench": ..., "results": [...]}; the report is the
+# JSON array of the three.
+set -euo pipefail
+
+BUILD="${1:-build}"
+OUT="${2:-BENCH_PR6.json}"
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+echo "make_bench_json: fig11 (single task)..." >&2
+"$BUILD/bench/bench_fig11_single_task" --json-out "$TMP/fig11.json" >/dev/null
+echo "make_bench_json: fig17 (storage pruning + codec sweep)..." >&2
+"$BUILD/bench/bench_fig17_storage_pruning" --json-out "$TMP/fig17.json" >/dev/null
+echo "make_bench_json: micro (codec throughput)..." >&2
+"$BUILD/bench/bench_micro_compress" --json-out "$TMP/micro.json" >/dev/null
+
+{
+  printf '[\n'
+  cat "$TMP/fig11.json"
+  printf ',\n'
+  cat "$TMP/fig17.json"
+  printf ',\n'
+  cat "$TMP/micro.json"
+  printf ']\n'
+} >"$OUT"
+echo "make_bench_json: wrote $OUT" >&2

@@ -260,5 +260,18 @@ int main(int argc, char** argv) {
   if (cc_hits + cc_misses > 0) {
     PrintRatio("container cache hit rate", cc_hits, cc_hits + cc_misses, "");
   }
+  // Compressed cache tier (DESIGN.md §11): raw bytes per stored byte over
+  // everything the codec touched, and what decoding costs each cache hit.
+  double enc_raw = GetOr(flat, "counters.sand.compress.encoded_raw_bytes");
+  double enc_out = GetOr(flat, "counters.sand.compress.encoded_bytes");
+  if (enc_out > 0) {
+    PrintRatio("compression ratio", enc_raw, enc_out, "x");
+  }
+  double compress_hits = GetOr(flat, "counters.sand.compress.hits");
+  double decode_ns_sum = GetOr(flat, "histograms.sand.compress.decode_ns.sum");
+  if (compress_hits > 0 && decode_ns_sum > 0) {
+    std::printf("  %-38s %s\n", "decode overhead per hit",
+                HumanTime(decode_ns_sum / compress_hits).c_str());
+  }
   return 0;
 }
