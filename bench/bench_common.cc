@@ -19,6 +19,7 @@ std::string g_trace_out;
 std::string g_json_out;
 std::string g_bench_name;                 // basename(argv[0]) for the report
 std::vector<std::string> g_json_records;  // serialized rows, in record order
+bool g_smoke = false;
 
 std::string EscapeJson(const std::string& s) {
   std::string out;
@@ -93,10 +94,14 @@ void ParseBenchFlags(int argc, char** argv) {
       g_trace_out = take_value("--trace-out");
     } else if (std::strcmp(argv[i], "--json-out") == 0) {
       g_json_out = take_value("--json-out");
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      g_smoke = true;
+    } else if (std::strcmp(argv[i], "--no-trace") == 0) {
+      obs::Tracer::Get().SetEnabled(false);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--metrics-out <file>] [--trace-out <file>] "
-                   "[--json-out <file>]\n",
+                   "[--json-out <file>] [--smoke] [--no-trace]\n",
                    argv[0]);
       std::exit(2);
     }
@@ -111,6 +116,8 @@ void ParseBenchFlags(int argc, char** argv) {
 }
 
 bool JsonOutEnabled() { return !g_json_out.empty(); }
+
+bool SmokeMode() { return g_smoke; }
 
 void RecordBenchResult(const std::string& name,
                        const std::vector<std::pair<std::string, std::string>>& params,

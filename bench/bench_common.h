@@ -82,12 +82,21 @@ Result<std::vector<uint8_t>> BuildOneBatch(const BenchEnv& env, const TaskConfig
 //                          RecordBenchResult call (name, params,
 //                          throughput, p50/p95 iteration latency, and an
 //                          obs metrics snapshot taken at record time)
+//   --smoke                ask the bench to run a minimal configuration
+//                          (fewer models/epochs); used by the check_build
+//                          trace gate. Benches opt in via SmokeMode().
+//   --no-trace             disable the span ring before the bench starts;
+//                          the on-vs-off pair bounds tracing overhead.
 // Unknown flags print usage and exit(2).
 void ParseBenchFlags(int argc, char** argv);
 
 // True when --json-out was given; benches can skip optional configurations
 // (or reset the obs registry between them) only when a report is wanted.
 bool JsonOutEnabled();
+
+// True when --smoke was given; benches shrink to their fastest meaningful
+// configuration (first model profile, few epochs).
+bool SmokeMode();
 
 // Appends one result row to the --json-out report (no-op without the
 // flag). `params` are configuration name/value pairs, emitted verbatim as

@@ -15,7 +15,13 @@ using namespace sand;
 int main(int argc, char** argv) {
   sand::ParseBenchFlags(argc, argv);
   BenchEnv env = MakeBenchEnv();
-  const int64_t epochs = 8;
+  // Smoke mode (check_build's trace gate): one model, short windows —
+  // enough to exercise every pipeline stage without the full sweep.
+  const int64_t epochs = SmokeMode() ? 2 : 8;
+  std::vector<ModelProfile> profiles = AllModelProfiles();
+  if (SmokeMode()) {
+    profiles.resize(1);
+  }
 
   PrintBenchHeader("Fig. 11: single-task training time and GPU utilization",
                    "Fig. 11(a)+(b), plus the naive-caching comparison of §7.2");
@@ -26,7 +32,7 @@ int main(int argc, char** argv) {
               "(ms)", "(ms)", "(ms)", "ideal", "sand", "sand");
   PrintRule();
 
-  for (const ModelProfile& profile : AllModelProfiles()) {
+  for (const ModelProfile& profile : profiles) {
     PipelineRun cpu = RunCpuPipeline(env, profile, epochs);
     PipelineRun naive = RunCpuPipeline(env, profile, epochs, /*naive_cache=*/true);
     PipelineRun gpu = RunGpuPipeline(env, profile, epochs);
@@ -72,9 +78,9 @@ int main(int argc, char** argv) {
   std::printf("%-10s %-11s %-11s %-8s |\n", "", "(ms/iter)", "(ms/iter)", "");
   PrintRule();
 
-  const int64_t demand_warmup = 2;
-  const int64_t demand_epochs = 6;
-  for (const ModelProfile& profile : AllModelProfiles()) {
+  const int64_t demand_warmup = SmokeMode() ? 1 : 2;
+  const int64_t demand_epochs = SmokeMode() ? 2 : 6;
+  for (const ModelProfile& profile : profiles) {
     auto run_demand = [&](int window) -> std::pair<double, PrefetchStats> {
       ServiceOptions options = BenchServiceOptions(demand_warmup + demand_epochs);
       options.pre_materialize = false;

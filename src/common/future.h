@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "src/common/result.h"
+#include "src/common/trace_context.h"
 
 namespace sand {
 
@@ -88,8 +89,17 @@ class Future {
   }
 
   // Runs `callback` with the result: inline if already resolved, otherwise
-  // on the fulfilling thread. Callbacks must not block.
+  // on the fulfilling thread. Callbacks must not block. The registering
+  // thread's trace context travels with the callback, so a continuation
+  // that fires on the fulfilling thread still attributes its work (and
+  // parents its spans) to the request that registered it.
   void OnReady(std::function<void(const Result<T>&)> callback) const {
+    if (CurrentTraceContext().active()) {
+      callback = [ctx = CurrentTraceContext(), inner = std::move(callback)](const Result<T>& r) {
+        ScopedTraceContext scope(ctx);
+        inner(r);
+      };
+    }
     {
       std::lock_guard<std::mutex> lock(state_->mutex);
       if (!state_->value.has_value()) {

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "src/common/trace_context.h"
+
 namespace sand {
 
 WorkerPool::WorkerPool(Options options) : options_(options) {
@@ -24,6 +26,15 @@ WorkerPool::WorkerPool(Options options) : options_(options) {
 WorkerPool::~WorkerPool() { Shutdown(); }
 
 bool WorkerPool::TrySubmit(std::function<void()> task) {
+  // Capture the submitter's trace context so the span recorded by the
+  // worker parents under the span that submitted the task, not under
+  // whatever the worker happened to run last.
+  if (CurrentTraceContext().active()) {
+    task = [ctx = CurrentTraceContext(), inner = std::move(task)] {
+      ScopedTraceContext scope(ctx);
+      inner();
+    };
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (shutdown_ || pending_ >= options_.max_queued) {

@@ -4,7 +4,10 @@
 #include <condition_variable>
 
 #include "src/common/strings.h"
+#include "src/common/threading.h"
+#include "src/common/trace_context.h"
 #include "src/compress/lossless.h"
+#include "src/obs/attribution.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/tensor/image_ops.h"
@@ -130,6 +133,8 @@ Result<VideoDecoder*> SubtreeExecutor::EnsureDecoderLocked() {
 }
 
 Result<Frame> SubtreeExecutor::Decode(int64_t frame_index) {
+  SAND_SPAN("decode");
+  Nanos decode_start = SinceProcessStart();
   uint64_t decoded = 0;
   Result<Frame> frame = [&]() -> Result<Frame> {
     // The forward cursor is single-threaded state; concurrent Produce calls
@@ -154,6 +159,11 @@ Result<Frame> SubtreeExecutor::Decode(int64_t frame_index) {
   }
   ExecMetrics::Get().frames_decoded->Add(decoded);
   ExecMetrics::Get().decode_ops->Add(1);
+  // Decode CPU is the dominant materialization cost; bill it to the job
+  // the current request context attributes this work to.
+  if (obs::JobMetrics* job = obs::JobMetricsFor(CurrentTraceContext().job_id)) {
+    job->decode_ns->Add(static_cast<uint64_t>(SinceProcessStart() - decode_start));
+  }
   return frame;
 }
 
@@ -242,6 +252,9 @@ std::optional<Result<Frame>> SubtreeExecutor::TryCacheLoad(const ConcreteNode& n
     ++stats_.cache_hits;
   }
   ExecMetrics::Get().cache_hits->Add(1);
+  if (obs::JobMetrics* job = obs::JobMetricsFor(CurrentTraceContext().job_id)) {
+    job->cache_hits->Add(1);
+  }
   return InsertMemo(node.id, *std::move(frame));
 }
 

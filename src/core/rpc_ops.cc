@@ -5,8 +5,58 @@
 
 #include <cstring>
 
+#include "src/common/trace_context.h"
+#include "src/obs/trace.h"
+
 namespace sand {
 namespace {
+
+// Request frames lead with the submitting request's trace context so work
+// in the op worker process is attributable to the job that caused it:
+//   u32 magic "SCTX" | u64 trace_id | u64 parent_span_id | u32 job_id |
+//   u8 request_class | <serialized Frame>
+// A request without the magic is a bare frame (pre-context peers).
+constexpr uint32_t kCtxMagic = 0x53435458;  // "SCTX"
+constexpr size_t kCtxHeaderSize = 4 + 8 + 8 + 4 + 1;
+
+template <typename T>
+void PutRaw(std::vector<uint8_t>& out, T value) {
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(&value);
+  out.insert(out.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+T GetRaw(const uint8_t* p) {
+  T value;
+  std::memcpy(&value, p, sizeof(T));
+  return value;
+}
+
+std::vector<uint8_t> EncodeRequest(const TraceContext& ctx, const std::vector<uint8_t>& frame) {
+  std::vector<uint8_t> out;
+  out.reserve(kCtxHeaderSize + frame.size());
+  PutRaw(out, kCtxMagic);
+  PutRaw(out, ctx.trace_id);
+  PutRaw(out, ctx.parent_span_id);
+  PutRaw(out, ctx.job_id);
+  PutRaw(out, static_cast<uint8_t>(ctx.request_class));
+  out.insert(out.end(), frame.begin(), frame.end());
+  return out;
+}
+
+// Splits `request` into context + frame bytes. Context is zeroed when the
+// header is absent.
+std::vector<uint8_t> DecodeRequest(const std::vector<uint8_t>& request, TraceContext* ctx) {
+  *ctx = TraceContext{};
+  if (request.size() < kCtxHeaderSize || GetRaw<uint32_t>(request.data()) != kCtxMagic) {
+    return request;
+  }
+  ctx->trace_id = GetRaw<uint64_t>(request.data() + 4);
+  ctx->parent_span_id = GetRaw<uint64_t>(request.data() + 12);
+  ctx->job_id = GetRaw<uint32_t>(request.data() + 20);
+  ctx->request_class = static_cast<RequestClass>(request[24]);
+  return std::vector<uint8_t>(request.begin() + kCtxHeaderSize, request.end());
+}
 
 // Full-buffer read/write helpers over raw fds (pipes deliver partial
 // chunks for large frames).
@@ -59,8 +109,16 @@ bool ReadMessage(int fd, std::vector<uint8_t>& payload) {
 void RunOpWorkerLoop(int fd_in, int fd_out, const CustomOpFn& fn) {
   std::vector<uint8_t> request;
   while (ReadMessage(fd_in, request)) {
+    // Restore the parent's trace context around the op: spans recorded
+    // here land in *this worker's* ring (a forked copy), but they carry
+    // the caller's trace/span/job ids, so a worker-side dump aligns with
+    // the parent's by id.
+    TraceContext ctx;
+    std::vector<uint8_t> frame_bytes = DecodeRequest(request, &ctx);
+    ScopedTraceContext trace_scope(ctx);
+    SAND_SPAN("rpc_op_worker");
     std::vector<uint8_t> response;
-    Result<Frame> input = Frame::Deserialize(request);
+    Result<Frame> input = Frame::Deserialize(frame_bytes);
     if (input.ok()) {
       Result<Frame> output = fn(*input);
       if (output.ok()) {
@@ -114,8 +172,9 @@ SubprocessOpRunner::~SubprocessOpRunner() {
 }
 
 Result<Frame> SubprocessOpRunner::Apply(const Frame& input) {
+  SAND_SPAN("rpc_apply");
   std::lock_guard<std::mutex> lock(mutex_);
-  if (!WriteMessage(to_worker_, input.Serialize())) {
+  if (!WriteMessage(to_worker_, EncodeRequest(CurrentTraceContext(), input.Serialize()))) {
     return Unavailable("op worker pipe closed (write)");
   }
   std::vector<uint8_t> response;

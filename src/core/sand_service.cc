@@ -6,7 +6,11 @@
 #include "src/common/logging.h"
 #include "src/common/strings.h"
 #include "src/common/threading.h"
+#include "src/common/trace_context.h"
 #include "src/core/batch_format.h"
+#include "src/obs/attribution.h"
+#include "src/obs/health.h"
+#include "src/obs/history.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -24,6 +28,13 @@ struct ServiceMetrics {
   obs::Counter* async_units;
   obs::Counter* speculative_batches;
   obs::Histogram* batch_assemble_ns;
+  // Derived gauges refreshed by PublishObservability (the health monitor's
+  // pool-saturation inputs and the history recorder's utilization columns).
+  obs::Gauge* pool_async_pending;
+  obs::Gauge* pool_async_capacity;
+  obs::Gauge* pool_decode_pending;
+  obs::Gauge* pool_decode_capacity;
+  obs::Gauge* cache_mem_used_bytes;
   static ServiceMetrics& Get() {
     static ServiceMetrics m{
         obs::Registry::Get().GetCounter("sand.service.batches_served"),
@@ -34,6 +45,11 @@ struct ServiceMetrics {
         obs::Registry::Get().GetCounter("sand.service.async_units"),
         obs::Registry::Get().GetCounter("sand.service.speculative_batches"),
         obs::Registry::Get().GetHistogram("sand.service.batch_assemble_ns"),
+        obs::Registry::Get().GetGauge("sand.pool.async.pending"),
+        obs::Registry::Get().GetGauge("sand.pool.async.capacity"),
+        obs::Registry::Get().GetGauge("sand.pool.decode.pending"),
+        obs::Registry::Get().GetGauge("sand.pool.decode.capacity"),
+        obs::Registry::Get().GetGauge("sand.cache.mem_used_bytes"),
     };
     return m;
   }
@@ -76,6 +92,36 @@ SandService::SandService(std::shared_ptr<ObjectStore> dataset_store, DatasetMeta
   // the pool again before it is destroyed; the codec itself stays installed
   // and keeps decoding (and encoding inline) after we are gone.
   cache_->SetCompression(options_.compression, async_pool_.get());
+
+  // Observability wiring (DESIGN.md §12): ring size, health budgets, and
+  // the periodic history sampler (which also refreshes our gauges and
+  // evaluates health each tick).
+  if (options_.trace_ring_slots > 0 &&
+      options_.trace_ring_slots != obs::Tracer::Get().Capacity()) {
+    obs::Tracer::Get().Resize(options_.trace_ring_slots);
+  }
+  obs::HealthMonitor::Get().SetThresholds(options_.health);
+  history_sampler_ = obs::HistoryRecorder::Get().AddSampler([this] {
+    PublishObservability();
+    obs::HealthMonitor::Get().Evaluate();
+  });
+  if (options_.history_sample_ms > 0) {
+    obs::HistoryRecorder::Options history_options;
+    history_options.interval_ms = options_.history_sample_ms;
+    obs::HistoryRecorder::Get().Start(history_options);
+    started_history_ = true;
+  }
+}
+
+void SandService::PublishObservability() {
+  ServiceMetrics& m = ServiceMetrics::Get();
+  m.pool_async_pending->Set(static_cast<int64_t>(async_pool_->Pending()));
+  m.pool_async_capacity->Set(static_cast<int64_t>(options_.async_queue_depth));
+  if (decode_pool_ != nullptr) {
+    m.pool_decode_pending->Set(static_cast<int64_t>(decode_pool_->Pending()));
+    m.pool_decode_capacity->Set(static_cast<int64_t>(options_.decode_queue_depth));
+  }
+  m.cache_mem_used_bytes->Set(static_cast<int64_t>(cache_->MemoryUsedBytes()));
 }
 
 SandService::~SandService() { Shutdown(); }
@@ -94,6 +140,16 @@ Status SandService::Start() {
 }
 
 void SandService::Shutdown() {
+  // The history sampler reads the pools and cache; detach it (blocking
+  // until any in-flight tick finishes) before they are torn down.
+  if (history_sampler_ != 0) {
+    obs::HistoryRecorder::Get().RemoveSampler(history_sampler_);
+    history_sampler_ = 0;
+  }
+  if (started_history_) {
+    obs::HistoryRecorder::Get().Stop();
+    started_history_ = false;
+  }
   // The pool drains first: its units submit to (and block on) scheduler
   // jobs, so the scheduler must still be accepting work while they finish.
   // The decode pool goes last: executors on both of the other pools fan
@@ -355,7 +411,10 @@ Future<SharedBytes> SandService::MaterializeAsync(const ViewPath& path, bool spe
   auto promise = std::make_shared<Promise<SharedBytes>>();
   Future<SharedBytes> future = promise->future();
   bool spec_batch = speculative && path.type == ViewType::kBatchView;
+  // TrySubmit captures the caller's trace context; the span below runs on
+  // the pool thread but parents under the span submitting this unit.
   bool submitted = async_pool_->TrySubmit([this, path, promise, spec_batch] {
+    SAND_SPAN("async_unit");
     promise->Set(spec_batch ? MaterializeSpeculative(path) : Materialize(path));
   });
   if (!submitted) {
@@ -364,7 +423,10 @@ Future<SharedBytes> SandService::MaterializeAsync(const ViewPath& path, bool spe
       return Future<SharedBytes>::FromResult(
           Result<SharedBytes>(ResourceExhausted("async pool saturated: " + path.Format())));
     }
-    // Demand callers block on the future anyway; compute inline.
+    // Demand callers block on the future anyway; compute inline. The span
+    // marks the degraded mode: a trace showing "async_inline" instead of
+    // "async_unit" means the pool was saturated at submission.
+    SAND_SPAN("async_inline");
     return Future<SharedBytes>::FromResult(Materialize(path));
   }
   {
@@ -483,6 +545,9 @@ void SandService::FinishBatchServe(const ViewPath& path,
     ++stats_.batches_served;
   }
   ServiceMetrics::Get().batches_served->Add(1);
+  if (obs::JobMetrics* job = obs::JobMetricsFor(obs::JobRegistry::Get().Intern(path.task))) {
+    job->batches_served->Add(1);
+  }
   {
     // Track training progress for deadlines and eviction.
     std::lock_guard<std::mutex> lock(progress_mutex_);

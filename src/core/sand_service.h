@@ -34,6 +34,7 @@
 #include "src/core/executor.h"
 #include "src/graph/concrete_graph.h"
 #include "src/graph/dataset_meta.h"
+#include "src/obs/health.h"
 #include "src/pruning/graph_pruning.h"
 #include "src/sched/scheduler.h"
 #include "src/sim/cpu_meter.h"
@@ -79,6 +80,17 @@ struct ServiceOptions {
   // planning each chunk so newly ingested videos join the next chunk's
   // plan. Null = static dataset.
   std::function<Result<DatasetMeta>()> dataset_refresh;
+
+  // Observability (DESIGN.md §12).
+  // Tracer ring capacity in slots; 0 keeps the current ring (default 16Ki,
+  // or SAND_TRACE_RING_SLOTS). Applied at construction; swapping discards
+  // prior events, so set it on the first service in the process.
+  size_t trace_ring_slots = 0;
+  // /.sand/history sampling cadence; 0 disables the background sampler
+  // (the view then only grows via explicit HistoryRecorder::SampleNow).
+  int64_t history_sample_ms = 0;
+  // Budgets for the /.sand/health verdict.
+  obs::HealthThresholds health;
 
   // Storage.
   bool enable_pruning = true;  // false: cache leaves only (Fig. 17 ablation)
@@ -129,6 +141,9 @@ class SandService : public ViewProvider {
   Status OnSessionClose(const std::string& task) override;
   void OnViewClose(const ViewPath& path) override;
   Result<std::vector<std::string>> ListChildren(const std::string& path) override;
+  // Refreshes derived gauges (pool depths, cache residency) — called by
+  // SandFs before /.sand control snapshots and by the history sampler.
+  void PublishObservability() override;
 
   // --- Introspection ------------------------------------------------------
   SandFs& fs() { return fs_; }
@@ -272,6 +287,13 @@ class SandService : public ViewProvider {
 
   std::mutex stats_mutex_;
   ServiceStats stats_;
+
+  // History-recorder hookup (DESIGN.md §12): the sampler publishes this
+  // service's derived gauges and evaluates health each tick. Removed (and
+  // the recorder stopped, if we started it) at the top of Shutdown, before
+  // the pools it reads are torn down.
+  uint64_t history_sampler_ = 0;
+  bool started_history_ = false;
 };
 
 }  // namespace sand

@@ -1,0 +1,104 @@
+// Ring-buffered time-series recorder (DESIGN.md §12).
+//
+// /.sand/metrics answers "what is the total now"; it cannot answer "when
+// did the pool saturate" or "was the hit rate falling before the stall".
+// HistoryRecorder fills that gap: a background thread samples every
+// counter and gauge in the Registry (plus any registered sampler-published
+// gauges) at a fixed cadence into a bounded ring, exported as the SAND
+// view "/.sand/history".
+//
+// Default cadence 200 ms with 1200 samples resident = the last 4 minutes,
+// a few hundred KiB. The dump format keeps samples compact by interning
+// metric names once:
+//
+//   {"interval_ms": 200,
+//    "names": ["sand.cache.hits", ...],
+//    "samples": [{"t_ms": 1234, "v": [17, ...]}, ...]}
+//
+// `v[i]` is the value of `names[i]` at that tick; metrics registered after
+// a sample was taken render as 0 in older rows (columns only grow).
+//
+// Samplers are callbacks run at the top of each tick *before* the registry
+// sweep — components use them to publish instantaneous state that is not
+// naturally a metric write (pool queue depths, cache residency). They also
+// drive the health monitor's periodic evaluation. AddSampler/RemoveSampler
+// hold the recorder mutex during ticks, so removal is safe against a
+// concurrent tick (never returns while the callback runs).
+
+#ifndef SAND_OBS_HISTORY_H_
+#define SAND_OBS_HISTORY_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace sand {
+namespace obs {
+
+class HistoryRecorder {
+ public:
+  struct Options {
+    int64_t interval_ms = 200;  // sampling cadence
+    size_t capacity = 1200;     // samples resident (1200 x 200 ms = 4 min)
+  };
+
+  static HistoryRecorder& Get();
+
+  // Starts the sampling thread (idempotent; restarts with new options if
+  // stopped). interval_ms <= 0 disables periodic sampling; SampleNow()
+  // still works for deterministic tests.
+  void Start(const Options& options);
+  // Stops and joins the sampling thread. Recorded history is retained.
+  void Stop();
+
+  // Registers `fn` to run at the top of every tick; returns a handle for
+  // RemoveSampler. The callback must not call back into the recorder.
+  uint64_t AddSampler(std::function<void()> fn);
+  // Blocks until no tick is running the callback, then removes it.
+  void RemoveSampler(uint64_t handle);
+
+  // Takes one sample synchronously (tests, and the final flush in Stop).
+  void SampleNow();
+
+  // The ring as JSON (shape documented above). Safe concurrent with ticks.
+  std::string ToJson();
+
+  // Drops recorded samples and the interned name table (tests).
+  void Clear();
+
+  size_t SampleCount();
+
+ private:
+  struct Sample {
+    int64_t t_ms = 0;
+    std::vector<int64_t> values;  // indexed like names_
+  };
+
+  HistoryRecorder() = default;
+
+  void SampleLocked();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;  // wakes the thread for prompt Stop
+  Options options_;
+  bool running_ = false;
+  std::thread thread_;
+
+  std::vector<std::string> names_;  // interned column order, grow-only
+  std::unordered_map<std::string, size_t> name_index_;
+  std::deque<Sample> samples_;
+
+  uint64_t next_sampler_id_ = 1;
+  std::vector<std::pair<uint64_t, std::function<void()>>> samplers_;
+};
+
+}  // namespace obs
+}  // namespace sand
+
+#endif  // SAND_OBS_HISTORY_H_

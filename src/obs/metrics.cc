@@ -120,25 +120,40 @@ Histogram* Registry::GetHistogram(const std::string& name) {
   return slot.get();
 }
 
-std::string Registry::ToJson() {
+std::string Registry::ToJson(const std::string& prefix, bool strip_prefix) {
+  auto matches = [&prefix](const std::string& name) {
+    return prefix.empty() || name.rfind(prefix, 0) == 0;
+  };
+  auto emitted = [&](const std::string& name) {
+    return strip_prefix ? name.substr(prefix.size()) : name;
+  };
   std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream out;
   out << "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, counter] : counters_) {
-    out << (first ? "\n" : ",\n") << "    \"" << name << "\": " << counter->Value();
+    if (!matches(name)) {
+      continue;
+    }
+    out << (first ? "\n" : ",\n") << "    \"" << emitted(name) << "\": " << counter->Value();
     first = false;
   }
   out << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
   first = true;
   for (const auto& [name, gauge] : gauges_) {
-    out << (first ? "\n" : ",\n") << "    \"" << name << "\": " << gauge->Value();
+    if (!matches(name)) {
+      continue;
+    }
+    out << (first ? "\n" : ",\n") << "    \"" << emitted(name) << "\": " << gauge->Value();
     first = false;
   }
   out << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
   first = true;
   for (const auto& [name, histogram] : histograms_) {
-    out << (first ? "\n" : ",\n") << "    \"" << name << "\": {"
+    if (!matches(name)) {
+      continue;
+    }
+    out << (first ? "\n" : ",\n") << "    \"" << emitted(name) << "\": {"
         << "\"count\": " << histogram->Count() << ", \"sum\": " << histogram->Sum()
         << ", \"mean\": " << histogram->Mean() << ", \"p50\": " << histogram->Quantile(0.5)
         << ", \"p90\": " << histogram->Quantile(0.9) << ", \"p95\": " << histogram->Quantile(0.95)
@@ -147,6 +162,16 @@ std::string Registry::ToJson() {
   }
   out << (first ? "" : "\n  ") << "}\n}\n";
   return out.str();
+}
+
+void Registry::VisitNumeric(const std::function<void(const std::string&, int64_t)>& fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, counter] : counters_) {
+    fn(name, static_cast<int64_t>(counter->Value()));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    fn(name, gauge->Value());
+  }
 }
 
 void Registry::ResetAll() {

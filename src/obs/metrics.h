@@ -26,6 +26,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -125,8 +126,17 @@ class Registry {
   //    "gauges": {name: value, ...},
   //    "histograms": {name: {"count":..,"sum":..,"mean":..,
   //                          "p50":..,"p90":..,"p95":..,"p99":..,"max":..}}}
-  // Names are emitted in sorted order so output is stable.
-  std::string ToJson();
+  // Names are emitted in sorted order so output is stable. A non-empty
+  // `prefix` restricts the dump to metrics whose name starts with it;
+  // `strip_prefix` then drops the prefix from emitted names (per-job
+  // views: "/.sand/jobs/<tag>/metrics" shows "reads", not
+  // "sand.job.<tag>.reads").
+  std::string ToJson(const std::string& prefix = "", bool strip_prefix = false);
+
+  // Calls `fn(name, value)` for every counter and gauge (not histograms),
+  // holding the registry mutex: `fn` must not call back into the registry.
+  // Feeds the history recorder's periodic samples.
+  void VisitNumeric(const std::function<void(const std::string&, int64_t)>& fn);
 
   // Zeroes every registered metric (benches measuring deltas, tests).
   // Metrics stay registered; pointers remain valid.

@@ -112,6 +112,7 @@ void MaterializationScheduler::WorkerLoop() {
       }
     }
     {
+      ScopedTraceContext trace_scope(job.ctx);
       SAND_SPAN("sched_job");
       Nanos start = SinceProcessStart();
       job.run();

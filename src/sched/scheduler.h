@@ -30,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/trace_context.h"
 #include "src/obs/metrics.h"
 
 namespace sand {
@@ -45,6 +46,9 @@ struct MaterializationJob {
   // pre-materialization instead of outranking it on deadline.
   bool speculative = false;
   std::function<void()> run;
+  // Captured at construction on the submitting thread; the worker restores
+  // it around run() so the job's spans join the submitter's trace.
+  TraceContext ctx = CurrentTraceContext();
 };
 
 struct SchedulerStats {

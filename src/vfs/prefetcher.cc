@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/trace_context.h"
+#include "src/obs/attribution.h"
 #include "src/obs/trace.h"
 #include "src/vfs/sand_fs.h"
 
@@ -116,7 +118,20 @@ void Prefetcher::OnBatchAccess(const ViewPath& path) {
   // resolves inline, which would re-enter OnSpeculationDone while we hold
   // mutex_. The inflight entry is already reserved, so concurrent demand
   // accesses cannot double-issue the same view.
+  obs::JobMetrics* job = obs::JobMetricsFor(obs::JobRegistry::Get().Intern(path.task));
   for (Issue& issue : to_issue) {
+    // Each speculative unit is its own trace root (kSpeculative class,
+    // still attributed to the task): readahead work must be separable
+    // from — not interleaved into — the demand flame that triggered it.
+    TraceContext spec_ctx;
+    spec_ctx.trace_id = NextTraceId();
+    spec_ctx.job_id = obs::JobRegistry::Get().Intern(issue.view.task);
+    spec_ctx.request_class = RequestClass::kSpeculative;
+    ScopedTraceContext trace_scope(spec_ctx);
+    SAND_SPAN("prefetch_issue");
+    if (job != nullptr) {
+      job->speculative_issued->Add(1);
+    }
     Future<SharedBytes> future = provider_->MaterializeAsync(issue.view, /*speculative=*/true);
     {
       std::lock_guard<std::mutex> lock(mutex_);
@@ -164,6 +179,9 @@ void Prefetcher::OnSpeculationDone(const std::string& key, const std::string& ta
     }
     ++stats_.wasted;
     wasted_->Add(1);
+    if (obs::JobMetrics* job = obs::JobMetricsFor(obs::JobRegistry::Get().Intern(task))) {
+      job->speculative_wasted->Add(1);
+    }
     return;
   }
   session.last_batch_bytes = (*result.value()).size();
@@ -270,10 +288,15 @@ void Prefetcher::EvictCompletedLocked() {
     if (victim == completed_.end()) {
       return;  // everything pinned; capacity pressure yields to pins
     }
+    std::string victim_task = victim->second.task;
     completed_index_.erase(victim->first);
     completed_.erase(victim);
     ++stats_.wasted;
     wasted_->Add(1);
+    if (obs::JobMetrics* job =
+            obs::JobMetricsFor(obs::JobRegistry::Get().Intern(victim_task))) {
+      job->speculative_wasted->Add(1);
+    }
   }
 }
 

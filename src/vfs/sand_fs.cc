@@ -6,6 +6,11 @@
 #include <utility>
 
 #include "src/common/strings.h"
+#include "src/common/threading.h"
+#include "src/common/trace_context.h"
+#include "src/obs/attribution.h"
+#include "src/obs/health.h"
+#include "src/obs/history.h"
 #include "src/obs/trace.h"
 
 namespace sand {
@@ -17,16 +22,44 @@ SandFs::SandFs(ViewProvider* provider, PrefetchOptions prefetch)
       reads_(obs::Registry::Get().GetCounter("sand.fs.reads")),
       closes_(obs::Registry::Get().GetCounter("sand.fs.closes")),
       xattrs_(obs::Registry::Get().GetCounter("sand.fs.xattrs")),
-      bytes_read_(obs::Registry::Get().GetCounter("sand.fs.bytes_read")) {}
+      bytes_read_(obs::Registry::Get().GetCounter("sand.fs.bytes_read")),
+      materialize_wait_ns_(obs::Registry::Get().GetHistogram("sand.fs.materialize_wait_ns")) {}
 
-Result<int> SandFs::OpenControl(const std::string& name) {
+Result<int> SandFs::OpenControl(const std::vector<std::string>& parts) {
+  // Derived gauges (pool depths, cache residency) are provider state, not
+  // metric writes; let it publish them before we snapshot.
+  provider_->PublishObservability();
   std::string body;
-  if (name == "metrics") {
+  const std::string& name = parts[0];
+  if (parts.size() == 1 && name == "metrics") {
     body = obs::Registry::Get().ToJson();
-  } else if (name == "trace") {
+  } else if (parts.size() == 1 && name == "trace") {
     body = obs::Tracer::Get().ToChromeJson();
+  } else if (parts.size() == 1 && name == "health") {
+    body = obs::HealthMonitor::Get().EvaluateToJson();
+  } else if (parts.size() == 1 && name == "history") {
+    body = obs::HistoryRecorder::Get().ToJson();
+  } else if (parts.size() == 3 && name == "jobs" && parts[2] == "metrics") {
+    // "/.sand/jobs/<tag>/metrics": the job's slice of the registry with
+    // the "sand.job.<tag>." prefix stripped back off.
+    const std::string& tag = parts[1];
+    bool known = false;
+    for (const std::string& t : obs::JobRegistry::Get().Tags()) {
+      if (t == tag) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return NotFound(std::string("no job: ") + kControlRoot + "/jobs/" + tag);
+    }
+    body = obs::Registry::Get().ToJson("sand.job." + tag + ".", /*strip_prefix=*/true);
   } else {
-    return NotFound(std::string("no control view: ") + kControlRoot + "/" + name);
+    std::string joined = parts[0];
+    for (size_t i = 1; i < parts.size(); ++i) {
+      joined += "/" + parts[i];
+    }
+    return NotFound(std::string("no control view: ") + kControlRoot + "/" + joined);
   }
   std::lock_guard<std::mutex> lock(mutex_);
   int fd = next_fd_++;
@@ -46,9 +79,10 @@ Result<int> SandFs::Open(const std::string& path, const OpenOptions& options) {
   // "/{task}" with no further components is a session handle.
   std::vector<std::string> parts = Split(std::string_view(path).substr(1), '/');
   // The introspection namespace is served by the fs itself: the metrics
-  // snapshot and trace dump are views like everything else in SAND.
-  if (parts.size() == 2 && parts[0] == ".sand") {
-    return OpenControl(parts[1]);
+  // snapshot, trace dump, per-job slices, history, and health verdict are
+  // views like everything else in SAND.
+  if (parts.size() >= 2 && parts[0] == ".sand") {
+    return OpenControl(std::vector<std::string>(parts.begin() + 1, parts.end()));
   }
   if (parts.size() == 1 && parts[0] == ".sand") {
     return InvalidArgument("open: /.sand is a directory (use ListDir)");
@@ -123,6 +157,14 @@ Status SandFs::EnsureData(int fd) {
     pending = it->second.pending;  // shared handle; valid once issued
     from_prefetch = it->second.pending_from_prefetch;
   }
+  // This access materializes: it is a demand request entry. Root a trace
+  // here (continuing any enclosing one) and attribute everything the
+  // request causes — pool tasks, decode slices, rpc round trips — to the
+  // task as job. Every span below parents under "fs_ensure_data".
+  uint32_t job_id = obs::JobRegistry::Get().Intern(path.task);
+  ScopedTraceContext trace_scope(BeginRequestContext(job_id, RequestClass::kDemand));
+  SAND_SPAN("fs_ensure_data");
+  Nanos wait_start = SinceProcessStart();
   if (!pending.valid()) {
     // First access: consume a speculation if the prefetcher has (or is
     // computing) this view, else issue a demand materialization. Both run
@@ -148,7 +190,15 @@ Status SandFs::EnsureData(int fd) {
   if (!result.ok()) {
     return result.status();
   }
-  return CommitData(fd, result.TakeValue(), from_prefetch);
+  SharedBytes data = result.TakeValue();
+  uint64_t waited = static_cast<uint64_t>(SinceProcessStart() - wait_start);
+  materialize_wait_ns_->Record(waited);
+  if (obs::JobMetrics* job = obs::JobMetricsFor(job_id)) {
+    job->materialize_wait_ns->Record(waited);
+    job->reads->Add(1);
+    job->bytes_read->Add(data->size());
+  }
+  return CommitData(fd, std::move(data), from_prefetch);
 }
 
 Status SandFs::CommitData(int fd, SharedBytes data, bool from_prefetch) {
@@ -287,7 +337,13 @@ Result<std::vector<std::string>> SandFs::ListDir(const std::string& path) {
     return InvalidArgument("listdir: path must be absolute: " + path);
   }
   if (path == kControlRoot || path == std::string(kControlRoot) + "/") {
-    return std::vector<std::string>{"metrics", "trace"};
+    return std::vector<std::string>{"health", "history", "jobs", "metrics", "trace"};
+  }
+  if (path == std::string(kControlRoot) + "/jobs") {
+    return obs::JobRegistry::Get().Tags();  // already sorted
+  }
+  if (path.rfind(std::string(kControlRoot) + "/jobs/", 0) == 0) {
+    return std::vector<std::string>{"metrics"};
   }
   SAND_ASSIGN_OR_RETURN(std::vector<std::string> children, provider_->ListChildren(path));
   std::sort(children.begin(), children.end());

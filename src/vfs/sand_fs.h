@@ -29,8 +29,14 @@
 //   Open("/.sand/metrics")             -> JSON snapshot of the global obs
 //                                         registry (tools/sand_stat reads it)
 //   Open("/.sand/trace")               -> Chrome trace-event JSON of the
-//                                         span ring buffer
-// Both snapshot at Open time; Read/PRead/ReadAll then behave like any view.
+//                                         span ring buffer (causally linked
+//                                         per-request spans, DESIGN.md §12)
+//   Open("/.sand/jobs/<tag>/metrics")  -> per-job slice of the registry
+//                                         (tags = task names seen so far)
+//   Open("/.sand/history")             -> ring-buffered time series of all
+//                                         counters/gauges (HistoryRecorder)
+//   Open("/.sand/health")              -> health/SLO verdict (HealthMonitor)
+// All snapshot at Open time; Read/PRead/ReadAll then behave like any view.
 
 #ifndef SAND_VFS_SAND_FS_H_
 #define SAND_VFS_SAND_FS_H_
@@ -96,6 +102,11 @@ class ViewProvider {
   virtual Result<std::vector<std::string>> ListChildren(const std::string& path) {
     return Unavailable("listing not supported: " + path);
   }
+
+  // Called before a /.sand control view snapshots: providers refresh
+  // gauges that are derived state rather than metric writes (pool queue
+  // depths, cache residency), so the snapshot is current. Optional.
+  virtual void PublishObservability() {}
 };
 
 // Per-open knobs (the O_* analogue of Table 2's open flags).
@@ -188,8 +199,9 @@ class SandFs {
   // fires the served/readahead notifications. Caller must NOT hold mutex_.
   Status CommitData(int fd, SharedBytes data, bool from_prefetch);
 
-  // Serves Open("/.sand/<name>"); NotFound for unknown names.
-  Result<int> OpenControl(const std::string& name);
+  // Serves Open("/.sand/...") given the components after ".sand";
+  // NotFound for unknown names.
+  Result<int> OpenControl(const std::vector<std::string>& parts);
 
   ViewProvider* provider_;
   Prefetcher prefetcher_;
@@ -204,6 +216,9 @@ class SandFs {
   obs::Counter* closes_;
   obs::Counter* xattrs_;
   obs::Counter* bytes_read_;
+  // Reader-observed wait per materializing access; the health monitor's
+  // p99 SLO input.
+  obs::Histogram* materialize_wait_ns_;
 };
 
 }  // namespace sand

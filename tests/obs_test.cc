@@ -3,12 +3,17 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/obs/attribution.h"
+#include "src/obs/health.h"
+#include "src/obs/history.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/vfs/sand_fs.h"
@@ -232,24 +237,49 @@ TEST(TracerTest, NestedSpansRecordInnerFirst) {
   EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
 }
 
-TEST(TracerTest, RingWrapsWithoutGrowing) {
+TEST(TracerTest, RingWrapsWithoutGrowingAndCountsDrops) {
   Tracer& tracer = Tracer::Get();
   tracer.Clear();
   uint64_t base = tracer.RecordedCount();
-  constexpr uint64_t kEvents = Tracer::kCapacity + 100;
+  uint64_t dropped_base = tracer.DroppedCount();
+  const uint64_t capacity = tracer.Capacity();
+  const uint64_t kEvents = capacity + 100;
   for (uint64_t i = 0; i < kEvents; ++i) {
-    tracer.Record("wrap_span", Nanos{static_cast<int64_t>(i)}, Nanos{1});
+    tracer.Record("wrap_span", Nanos{static_cast<int64_t>(i)}, Nanos{1}, /*span_id=*/0,
+                  TraceContext{});
   }
   EXPECT_EQ(tracer.RecordedCount() - base, kEvents);
+  // Overwritten events are surfaced, not silently forgotten (Clear resets
+  // head_, so every ticket past the fresh capacity is a drop).
+  EXPECT_EQ(tracer.DroppedCount() - dropped_base, kEvents - capacity);
+  EXPECT_GE(Registry::Get().GetCounter("sand.trace.dropped")->Value(), kEvents - capacity);
   std::string json = tracer.ToChromeJson();
   EXPECT_TRUE(JsonLooksValid(json)) << json.substr(0, 200);
-  // The dump holds at most kCapacity events; oldest were overwritten.
+  // The dump holds at most `capacity` events; oldest were overwritten.
   size_t events = 0;
   for (size_t pos = json.find("wrap_span"); pos != std::string::npos;
        pos = json.find("wrap_span", pos + 1)) {
     ++events;
   }
-  EXPECT_EQ(events, Tracer::kCapacity);
+  EXPECT_EQ(events, capacity);
+}
+
+TEST(TracerTest, ResizeSwapsInFreshRing) {
+  Tracer& tracer = Tracer::Get();
+  size_t original = tracer.Capacity();
+  tracer.Resize(2048);
+  EXPECT_EQ(tracer.Capacity(), 2048u);
+  {
+    SAND_SPAN("post_resize_span");
+  }
+  std::vector<obs::TraceEvent> events = tracer.Snapshot();
+  ASSERT_FALSE(events.empty());
+  EXPECT_STREQ(events.back().name, "post_resize_span");
+  // Requests below the floor are clamped, not honored.
+  tracer.Resize(1);
+  EXPECT_EQ(tracer.Capacity(), 1024u);
+  tracer.Resize(original);
+  tracer.Clear();
 }
 
 TEST(TracerTest, DisabledSpansSkipTheRing) {
@@ -356,14 +386,143 @@ TEST(ControlViewTest, ControlDirAndErrors) {
   SandFs fs(&provider);
   auto listing = fs.ListDir("/.sand");
   ASSERT_TRUE(listing.ok());
-  EXPECT_EQ(*listing, (std::vector<std::string>{"metrics", "trace"}));
+  EXPECT_EQ(*listing,
+            (std::vector<std::string>{"health", "history", "jobs", "metrics", "trace"}));
   EXPECT_FALSE(fs.Open("/.sand").ok());
   EXPECT_FALSE(fs.Open("/.sand/bogus").ok());
+  EXPECT_FALSE(fs.Open("/.sand/jobs/nonexistent-job/metrics").ok());
   // getxattr has no meaning on a control fd.
   auto fd = fs.Open("/.sand/metrics");
   ASSERT_TRUE(fd.ok());
   EXPECT_FALSE(fs.GetXattr(*fd, "path").ok());
   EXPECT_TRUE(fs.Close(*fd).ok());
+}
+
+TEST(ControlViewTest, PerJobMetricsView) {
+  obs::JobRegistry& jobs = obs::JobRegistry::Get();
+  uint32_t id = jobs.Intern("obs-view-job");
+  ASSERT_NE(id, 0u);
+  obs::JobMetrics* metrics = obs::JobMetricsFor(id);
+  ASSERT_NE(metrics, nullptr);
+  metrics->reads->Add(4);
+  metrics->bytes_read->Add(4096);
+
+  NullProvider provider;
+  SandFs fs(&provider);
+  auto tags = fs.ListDir("/.sand/jobs");
+  ASSERT_TRUE(tags.ok());
+  EXPECT_NE(std::find(tags->begin(), tags->end(), "obs-view-job"), tags->end());
+
+  auto fd = fs.Open("/.sand/jobs/obs-view-job/metrics");
+  ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+  auto bytes = fs.ReadAll(*fd);
+  ASSERT_TRUE(bytes.ok());
+  std::string body(bytes->begin(), bytes->end());
+  EXPECT_TRUE(JsonLooksValid(body)) << body.substr(0, 200);
+  // The job prefix is stripped: the view shows "reads", not
+  // "sand.job.obs-view-job.reads" — and nothing from other jobs.
+  EXPECT_NE(body.find("\"reads\": 4"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"bytes_read\": 4096"), std::string::npos) << body;
+  EXPECT_EQ(body.find("sand.job."), std::string::npos) << body;
+  EXPECT_EQ(body.find("sand.fs."), std::string::npos) << body;
+  EXPECT_TRUE(fs.Close(*fd).ok());
+}
+
+TEST(ControlViewTest, HistoryViewRecordsSamples) {
+  obs::HistoryRecorder& recorder = obs::HistoryRecorder::Get();
+  recorder.Clear();
+  Registry::Get().GetGauge("test.obs.history.gauge")->Set(17);
+  recorder.SampleNow();
+  Registry::Get().GetGauge("test.obs.history.gauge")->Set(23);
+  recorder.SampleNow();
+  EXPECT_EQ(recorder.SampleCount(), 2u);
+
+  NullProvider provider;
+  SandFs fs(&provider);
+  auto fd = fs.Open("/.sand/history");
+  ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+  auto bytes = fs.ReadAll(*fd);
+  ASSERT_TRUE(bytes.ok());
+  std::string body(bytes->begin(), bytes->end());
+  EXPECT_TRUE(JsonLooksValid(body)) << body.substr(0, 200);
+  EXPECT_NE(body.find("\"interval_ms\""), std::string::npos);
+  EXPECT_NE(body.find("\"test.obs.history.gauge\""), std::string::npos);
+  EXPECT_NE(body.find("\"samples\""), std::string::npos);
+  EXPECT_TRUE(fs.Close(*fd).ok());
+}
+
+TEST(HistoryRecorderTest, PeriodicSamplingAndSamplers) {
+  obs::HistoryRecorder& recorder = obs::HistoryRecorder::Get();
+  recorder.Clear();
+  Counter sampler_calls;
+  uint64_t handle = recorder.AddSampler([&sampler_calls] { sampler_calls.Add(1); });
+  obs::HistoryRecorder::Options options;
+  options.interval_ms = 5;
+  options.capacity = 4;
+  recorder.Start(options);
+  while (recorder.SampleCount() < 4) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  recorder.Stop();
+  recorder.RemoveSampler(handle);
+  EXPECT_GE(sampler_calls.Value(), 4u);
+  // Ring capacity bounds resident samples.
+  EXPECT_EQ(recorder.SampleCount(), 4u);
+  recorder.Clear();
+}
+
+TEST(ControlViewTest, HealthViewAndViolationCounters) {
+  obs::HealthMonitor& monitor = obs::HealthMonitor::Get();
+  obs::HealthThresholds saved = monitor.GetThresholds();
+
+  // Healthy by default: permissive budgets, no degraded disk.
+  Registry::Get().GetGauge("sand.store.disk.degraded")->Set(0);
+  monitor.SetThresholds(obs::HealthThresholds{});
+  NullProvider provider;
+  SandFs fs(&provider);
+  {
+    auto fd = fs.Open("/.sand/health");
+    ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+    auto bytes = fs.ReadAll(*fd);
+    ASSERT_TRUE(bytes.ok());
+    std::string body(bytes->begin(), bytes->end());
+    EXPECT_TRUE(JsonLooksValid(body)) << body;
+    EXPECT_NE(body.find("\"status\": \"ok\""), std::string::npos) << body;
+    EXPECT_TRUE(fs.Close(*fd).ok());
+  }
+
+  // One violation -> degraded, plus a sand.health.* counter bump.
+  uint64_t disk_violations = Registry::Get().GetCounter("sand.health.disk_degraded")->Value();
+  Registry::Get().GetGauge("sand.store.disk.degraded")->Set(1);
+  {
+    auto fd = fs.Open("/.sand/health");
+    ASSERT_TRUE(fd.ok());
+    auto bytes = fs.ReadAll(*fd);
+    ASSERT_TRUE(bytes.ok());
+    std::string body(bytes->begin(), bytes->end());
+    EXPECT_NE(body.find("\"status\": \"degraded\""), std::string::npos) << body;
+    EXPECT_NE(body.find("\"check\": \"disk_degraded\""), std::string::npos) << body;
+    EXPECT_TRUE(fs.Close(*fd).ok());
+  }
+  EXPECT_GT(Registry::Get().GetCounter("sand.health.disk_degraded")->Value(), disk_violations);
+
+  // A second violation -> unhealthy. Saturate the (gauge-reported) pool.
+  Registry::Get().GetGauge("sand.pool.async.capacity")->Set(10);
+  Registry::Get().GetGauge("sand.pool.async.pending")->Set(10);
+  {
+    auto fd = fs.Open("/.sand/health");
+    ASSERT_TRUE(fd.ok());
+    auto bytes = fs.ReadAll(*fd);
+    ASSERT_TRUE(bytes.ok());
+    std::string body(bytes->begin(), bytes->end());
+    EXPECT_NE(body.find("\"status\": \"unhealthy\""), std::string::npos) << body;
+    EXPECT_TRUE(fs.Close(*fd).ok());
+  }
+
+  Registry::Get().GetGauge("sand.store.disk.degraded")->Set(0);
+  Registry::Get().GetGauge("sand.pool.async.pending")->Set(0);
+  Registry::Get().GetGauge("sand.pool.async.capacity")->Set(0);
+  monitor.SetThresholds(saved);
 }
 
 }  // namespace

@@ -5,9 +5,11 @@
 # build tree. This is the tier-1 gate plus the concurrency/lifetime gates.
 #
 # Usage: tools/check_build.sh
-#   BUILD_DIR       override the default build tree (default: build)
-#   SKIP_TSAN=1     skip the ThreadSanitizer suite
-#   SKIP_ASAN=1     skip the AddressSanitizer suite
+#   BUILD_DIR         override the default build tree (default: build)
+#   SKIP_TSAN=1       skip the ThreadSanitizer suite
+#   SKIP_ASAN=1       skip the AddressSanitizer suite
+#   MAKE_BENCH_JSON=1 also regenerate BENCH_PR7.json (slow: full benches
+#                     plus the tracing-overhead comparison)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,6 +30,44 @@ cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_micro_kernels
 echo "==== codec smoke (bench_fig17_storage_pruning --smoke) ===="
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_fig17_storage_pruning
 "$BUILD_DIR/bench/bench_fig17_storage_pruning" --smoke
+
+echo "==== trace smoke (bench_fig11_single_task --smoke, /.sand/trace gate) ===="
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target bench_fig11_single_task
+TRACE_TMP="$(mktemp -d)"
+trap 'rm -rf "$TRACE_TMP"' EXIT
+"$BUILD_DIR/bench/bench_fig11_single_task" --smoke \
+    --trace-out "$TRACE_TMP/trace.json" >/dev/null
+# The gate: the dump must parse as JSON and contain at least one
+# connected request flame — >=4 spans sharing a trace id across >=2
+# threads, every non-root span's parent recorded in the same trace.
+python3 - "$TRACE_TMP/trace.json" <<'EOF'
+import collections, json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)  # gate 1: valid JSON
+by_trace = collections.defaultdict(list)
+for e in doc["traceEvents"]:
+    if e.get("ph") == "X" and "args" in e:
+        by_trace[e["args"]["trace"]].append(e)
+connected = 0
+for evs in by_trace.values():
+    if len(evs) < 4 or len({e["tid"] for e in evs}) < 2:
+        continue
+    spans = {e["args"]["span"] for e in evs}
+    roots = sum(1 for e in evs if e["args"]["parent"] == 0)
+    if roots == 1 and all(
+        e["args"]["parent"] in spans for e in evs if e["args"]["parent"] != 0
+    ):
+        connected += 1
+if connected < 1:
+    sys.exit(f"trace gate: no connected multi-thread flame in {len(by_trace)} traces")
+print(f"trace gate: {connected} connected flames across {len(by_trace)} traces")
+EOF
+
+if [ "${MAKE_BENCH_JSON:-0}" = "1" ]; then
+  echo "==== bench report (tools/make_bench_json.sh -> BENCH_PR7.json) ===="
+  tools/make_bench_json.sh "$BUILD_DIR" BENCH_PR7.json
+fi
 
 if [ "${SKIP_TSAN:-0}" != "1" ]; then
   echo "==== tsan suite ===="

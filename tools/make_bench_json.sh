@@ -1,17 +1,23 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_PR6.json — the committed structured-results report —
-# from the three --json-out instrumented benches. Run from the repo root
-# after a release build:
+# Regenerates BENCH_PR7.json — the committed structured-results report —
+# from the three --json-out instrumented benches, plus a tracing-overhead
+# measurement (fig11 smoke runs with the span ring on vs off). Run from
+# the repo root after a release build:
 #
 #   cmake -B build -S . && cmake --build build -j
-#   tools/make_bench_json.sh build BENCH_PR6.json
+#   tools/make_bench_json.sh build BENCH_PR7.json
 #
 # Each bench writes {"bench": ..., "results": [...]}; the report is the
-# JSON array of the three.
+# JSON array of the three plus a "trace_overhead" object. The overhead
+# budget for always-on tracing is <3% on the fig11 demand bench; the
+# comparison uses avg iteration time (histogram quantiles are bucket
+# midpoints — too coarse for a small delta), min over OVERHEAD_RUNS runs
+# of each configuration to cut scheduler noise.
 set -euo pipefail
 
 BUILD="${1:-build}"
-OUT="${2:-BENCH_PR6.json}"
+OUT="${2:-BENCH_PR7.json}"
+OVERHEAD_RUNS="${OVERHEAD_RUNS:-3}"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
 
@@ -22,6 +28,43 @@ echo "make_bench_json: fig17 (storage pruning + codec sweep)..." >&2
 echo "make_bench_json: micro (codec throughput)..." >&2
 "$BUILD/bench/bench_micro_compress" --json-out "$TMP/micro.json" >/dev/null
 
+echo "make_bench_json: tracing overhead (fig11 --smoke, on vs off x$OVERHEAD_RUNS)..." >&2
+for i in $(seq 1 "$OVERHEAD_RUNS"); do
+  "$BUILD/bench/bench_fig11_single_task" --smoke --json-out "$TMP/on_$i.json" >/dev/null
+  "$BUILD/bench/bench_fig11_single_task" --smoke --no-trace \
+      --json-out "$TMP/off_$i.json" >/dev/null
+done
+
+python3 - "$TMP" "$OVERHEAD_RUNS" >"$TMP/overhead.json" <<'EOF'
+import json, sys
+
+tmp, runs = sys.argv[1], int(sys.argv[2])
+
+def sand_avg_iter_ms(path):
+    """Mean avg_iteration_ms over the sand-pipeline rows of one run."""
+    with open(path) as f:
+        doc = json.load(f)
+    rows = [r for r in doc["results"] if r["params"].get("pipeline") == "sand"]
+    if not rows:
+        raise SystemExit(f"{path}: no sand rows")
+    return sum(r["avg_iteration_ms"] for r in rows) / len(rows)
+
+on = min(sand_avg_iter_ms(f"{tmp}/on_{i}.json") for i in range(1, runs + 1))
+off = min(sand_avg_iter_ms(f"{tmp}/off_{i}.json") for i in range(1, runs + 1))
+overhead_pct = (on - off) / off * 100.0 if off > 0 else 0.0
+json.dump({
+    "bench": "trace_overhead",
+    "metric": "fig11 smoke sand-pipeline avg iteration ms, min of runs",
+    "runs_per_config": runs,
+    "tracing_on_ms": round(on, 4),
+    "tracing_off_ms": round(off, 4),
+    "overhead_pct": round(overhead_pct, 3),
+    "budget_pct": 3.0,
+    "within_budget": overhead_pct < 3.0,
+}, sys.stdout, indent=2)
+print()
+EOF
+
 {
   printf '[\n'
   cat "$TMP/fig11.json"
@@ -29,6 +72,8 @@ echo "make_bench_json: micro (codec throughput)..." >&2
   cat "$TMP/fig17.json"
   printf ',\n'
   cat "$TMP/micro.json"
+  printf ',\n'
+  cat "$TMP/overhead.json"
   printf ']\n'
 } >"$OUT"
 echo "make_bench_json: wrote $OUT" >&2

@@ -92,8 +92,14 @@ struct Parser {
 
 // name -> value for flat objects; histograms become "name.field" entries.
 using FlatMetrics = std::map<std::string, double>;
+// name -> value for string leaves (health status, violation check names).
+using FlatStrings = std::map<std::string, std::string>;
 
-bool ParseObjectInto(Parser& p, const std::string& prefix, FlatMetrics& out) {
+bool ParseValueInto(Parser& p, const std::string& prefix, FlatMetrics& out,
+                    FlatStrings& strings);
+
+bool ParseObjectInto(Parser& p, const std::string& prefix, FlatMetrics& out,
+                     FlatStrings& strings) {
   if (!p.Consume('{')) {
     return false;
   }
@@ -106,17 +112,8 @@ bool ParseObjectInto(Parser& p, const std::string& prefix, FlatMetrics& out) {
       return false;
     }
     std::string full = prefix.empty() ? *key : prefix + "." + *key;
-    p.SkipWs();
-    if (p.pos < p.text.size() && p.text[p.pos] == '{') {
-      if (!ParseObjectInto(p, full, out)) {
-        return false;
-      }
-    } else {
-      auto value = p.ParseNumber();
-      if (!value) {
-        return false;
-      }
-      out[full] = *value;
+    if (!ParseValueInto(p, full, out, strings)) {
+      return false;
     }
     if (p.Consume('}')) {
       return true;
@@ -125,6 +122,74 @@ bool ParseObjectInto(Parser& p, const std::string& prefix, FlatMetrics& out) {
       return false;
     }
   }
+}
+
+bool ParseArrayInto(Parser& p, const std::string& prefix, FlatMetrics& out,
+                    FlatStrings& strings) {
+  if (!p.Consume('[')) {
+    return false;
+  }
+  if (p.Consume(']')) {
+    return true;
+  }
+  size_t index = 0;
+  while (true) {
+    if (!ParseValueInto(p, prefix + "." + std::to_string(index++), out, strings)) {
+      return false;
+    }
+    if (p.Consume(']')) {
+      return true;
+    }
+    if (!p.Consume(',')) {
+      return false;
+    }
+  }
+}
+
+// Tolerant by design: a metrics view may mix numeric leaves with strings,
+// booleans, null, and arrays (e.g. /.sand/health). Unknown leaf shapes are
+// skipped rather than failing the whole snapshot.
+bool ParseValueInto(Parser& p, const std::string& prefix, FlatMetrics& out,
+                    FlatStrings& strings) {
+  p.SkipWs();
+  if (p.pos >= p.text.size()) {
+    return false;
+  }
+  char c = p.text[p.pos];
+  if (c == '{') {
+    return ParseObjectInto(p, prefix, out, strings);
+  }
+  if (c == '[') {
+    return ParseArrayInto(p, prefix, out, strings);
+  }
+  if (c == '"') {
+    auto s = p.ParseString();
+    if (!s) {
+      return false;
+    }
+    strings[prefix] = *s;
+    return true;
+  }
+  if (p.text.compare(p.pos, 4, "true") == 0) {
+    p.pos += 4;
+    out[prefix] = 1.0;
+    return true;
+  }
+  if (p.text.compare(p.pos, 5, "false") == 0) {
+    p.pos += 5;
+    out[prefix] = 0.0;
+    return true;
+  }
+  if (p.text.compare(p.pos, 4, "null") == 0) {
+    p.pos += 4;
+    return true;
+  }
+  auto value = p.ParseNumber();
+  if (!value) {
+    return false;
+  }
+  out[prefix] = *value;
+  return true;
 }
 
 // --- formatting --------------------------------------------------------------
@@ -167,18 +232,120 @@ void PrintRatio(const char* label, double numerator, double denominator, const c
   std::printf("  %-38s %.2f%s\n", label, numerator / denominator, unit);
 }
 
+// --- per-job attribution table ("--jobs") ------------------------------------
+//
+// Groups the registry's "sand.job.<tag>.<metric>" namespace (see
+// src/obs/attribution.h) back into one row per job. Works on a full
+// registry snapshot; jobs with no recorded activity simply print zeros.
+
+int PrintJobs(const FlatMetrics& flat) {
+  // job tag -> metric leaf -> value. Tag is everything between "sand.job."
+  // and the final metric name; histograms contribute "<name>.<field>".
+  std::map<std::string, FlatMetrics> jobs;
+  const std::string kCounterPrefix = "counters.sand.job.";
+  const std::string kHistPrefix = "histograms.sand.job.";
+  for (const auto& [key, value] : flat) {
+    std::string rest;
+    bool is_hist = false;
+    if (key.rfind(kCounterPrefix, 0) == 0) {
+      rest = key.substr(kCounterPrefix.size());
+    } else if (key.rfind(kHistPrefix, 0) == 0) {
+      rest = key.substr(kHistPrefix.size());
+      is_hist = true;
+    } else {
+      continue;
+    }
+    // Counters: "<tag>.<metric>" where the metric has no dots. Histograms:
+    // "<tag>.<metric>.<field>". Job tags themselves may contain dots, so
+    // split from the right.
+    size_t cut = rest.rfind('.');
+    if (is_hist && cut != std::string::npos) {
+      cut = rest.rfind('.', cut - 1);
+    }
+    if (cut == std::string::npos || cut == 0) {
+      continue;
+    }
+    jobs[rest.substr(0, cut)][rest.substr(cut + 1)] = value;
+  }
+  if (jobs.empty()) {
+    std::fprintf(stderr, "sand_stat: no sand.job.* metrics in snapshot\n");
+    return 1;
+  }
+  std::printf("%-24s %10s %12s %8s %8s %10s %10s %12s\n", "job", "reads", "bytes",
+              "batches", "hits", "spec_iss", "spec_waste", "wait_p99");
+  for (const auto& [tag, m] : jobs) {
+    std::printf("%-24s %10s %12s %8s %8s %10s %10s %12s\n", tag.c_str(),
+                HumanCount(GetOr(m, "reads")).c_str(),
+                HumanCount(GetOr(m, "bytes_read")).c_str(),
+                HumanCount(GetOr(m, "batches_served")).c_str(),
+                HumanCount(GetOr(m, "cache_hits")).c_str(),
+                HumanCount(GetOr(m, "speculative_issued")).c_str(),
+                HumanCount(GetOr(m, "speculative_wasted")).c_str(),
+                HumanTime(GetOr(m, "materialize_wait_ns.p99")).c_str());
+  }
+  return 0;
+}
+
+// --- health verdict ("--health") ---------------------------------------------
+//
+// Renders the /.sand/health view: overall status plus one line per
+// violation with observed value vs threshold.
+
+int PrintHealth(const FlatMetrics& flat, const FlatStrings& strings) {
+  auto status = strings.find("status");
+  if (status == strings.end()) {
+    std::fprintf(stderr, "sand_stat: input is not a health snapshot\n");
+    return 1;
+  }
+  std::printf("status: %s  (checks evaluated: %s)\n", status->second.c_str(),
+              HumanCount(GetOr(flat, "checks_evaluated")).c_str());
+  for (size_t i = 0;; ++i) {
+    std::string base = "violations." + std::to_string(i);
+    auto check = strings.find(base + ".check");
+    if (check == strings.end()) {
+      break;
+    }
+    bool is_time = check->second.size() > 3 &&
+                   check->second.compare(check->second.size() - 3, 3, "_ns") == 0;
+    double value = GetOr(flat, base + ".value");
+    double threshold = GetOr(flat, base + ".threshold");
+    std::printf("  VIOLATION %-28s value %-14s threshold %s\n", check->second.c_str(),
+                (is_time ? HumanTime(value) : HumanCount(value)).c_str(),
+                (is_time ? HumanTime(threshold) : HumanCount(threshold)).c_str());
+  }
+  return status->second == "ok" ? 0 : 3;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string input;
-  if (argc > 2) {
-    std::fprintf(stderr, "usage: %s [metrics.json|-]\n", argv[0]);
+  enum class Mode { kMetrics, kJobs, kHealth } mode = Mode::kMetrics;
+  std::string path;
+  bool path_set = false;
+  bool usage_error = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--jobs") {
+      mode = Mode::kJobs;
+    } else if (arg == "--health") {
+      mode = Mode::kHealth;
+    } else if (!path_set) {
+      path = arg;
+      path_set = true;
+    } else {
+      usage_error = true;
+    }
+  }
+  if (usage_error) {
+    std::fprintf(stderr, "usage: %s [--jobs|--health] [snapshot.json|-]\n", argv[0]);
     return 2;
   }
-  if (argc == 2 && std::string(argv[1]) != "-") {
-    std::FILE* f = std::fopen(argv[1], "rb");
+
+  std::string input;
+  if (path_set && path != "-") {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
     if (f == nullptr) {
-      std::fprintf(stderr, "sand_stat: cannot open %s\n", argv[1]);
+      std::fprintf(stderr, "sand_stat: cannot open %s\n", path.c_str());
       return 1;
     }
     char chunk[4096];
@@ -195,9 +362,16 @@ int main(int argc, char** argv) {
 
   Parser parser(input);
   FlatMetrics flat;
-  if (!ParseObjectInto(parser, "", flat) || flat.empty()) {
+  FlatStrings strings;
+  if (!ParseObjectInto(parser, "", flat, strings) || (flat.empty() && strings.empty())) {
     std::fprintf(stderr, "sand_stat: input is not a metrics snapshot\n");
     return 1;
+  }
+  if (mode == Mode::kJobs) {
+    return PrintJobs(flat);
+  }
+  if (mode == Mode::kHealth) {
+    return PrintHealth(flat, strings);
   }
 
   // The registry nests everything under counters/gauges/histograms.
