@@ -48,7 +48,9 @@ TraceContext BeginRequestContext(uint32_t job_id, RequestClass request_class) {
     ctx.parent_span_id = 0;
   }
   // Attribution always reflects the innermost request entry: a speculative
-  // unit serving a demand read keeps the demand reader's job/class.
+  // unit serving a demand read keeps the demand reader's job/class. The
+  // tenant, by contrast, is a property of the *connection* (set by the
+  // socket front-end before any request entry), so it is inherited as-is.
   ctx.job_id = job_id;
   ctx.request_class = request_class;
   return ctx;

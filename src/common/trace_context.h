@@ -43,6 +43,12 @@ struct TraceContext {
   uint64_t trace_id = 0;
   uint64_t parent_span_id = 0;
   uint32_t job_id = 0;
+  // Interned tenant tag (obs::TenantRegistry); 0 means "no tenant" (an
+  // in-process caller). Set once by the socket front-end when a connection
+  // authenticates and then inherited by everything the request causes —
+  // pool tasks, scheduler jobs, decode slices — so the scheduler can
+  // fair-share across tenants and metrics attribute to them.
+  uint32_t tenant_id = 0;
   RequestClass request_class = RequestClass::kNone;
 
   bool active() const { return trace_id != 0; }

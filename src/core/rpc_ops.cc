@@ -14,10 +14,17 @@ namespace {
 // Request frames lead with the submitting request's trace context so work
 // in the op worker process is attributable to the job that caused it:
 //   u32 magic "SCTX" | u64 trace_id | u64 parent_span_id | u32 job_id |
-//   u8 request_class | <serialized Frame>
+//   u32 tenant_id | u8 request_class | <serialized Frame>
 // A request without the magic is a bare frame (pre-context peers).
 constexpr uint32_t kCtxMagic = 0x53435458;  // "SCTX"
-constexpr size_t kCtxHeaderSize = 4 + 8 + 8 + 4 + 1;
+constexpr size_t kCtxHeaderSize = 4 + 8 + 8 + 4 + 4 + 1;
+
+// Response frames lead with a status byte so a worker-side failure
+// reaches the caller as a real Status instead of a bare "op error":
+//   u8 0 (ok) | <serialized Frame>
+//   u8 nonzero ErrorCode | <utf-8 status message>
+// A zero-length response (a pre-status peer, or a worker that died mid-
+// write) still decodes as an error, with no detail.
 
 template <typename T>
 void PutRaw(std::vector<uint8_t>& out, T value) {
@@ -39,6 +46,7 @@ std::vector<uint8_t> EncodeRequest(const TraceContext& ctx, const std::vector<ui
   PutRaw(out, ctx.trace_id);
   PutRaw(out, ctx.parent_span_id);
   PutRaw(out, ctx.job_id);
+  PutRaw(out, ctx.tenant_id);
   PutRaw(out, static_cast<uint8_t>(ctx.request_class));
   out.insert(out.end(), frame.begin(), frame.end());
   return out;
@@ -54,8 +62,26 @@ std::vector<uint8_t> DecodeRequest(const std::vector<uint8_t>& request, TraceCon
   ctx->trace_id = GetRaw<uint64_t>(request.data() + 4);
   ctx->parent_span_id = GetRaw<uint64_t>(request.data() + 12);
   ctx->job_id = GetRaw<uint32_t>(request.data() + 20);
-  ctx->request_class = static_cast<RequestClass>(request[24]);
+  ctx->tenant_id = GetRaw<uint32_t>(request.data() + 24);
+  ctx->request_class = static_cast<RequestClass>(request[28]);
   return std::vector<uint8_t>(request.begin() + kCtxHeaderSize, request.end());
+}
+
+std::vector<uint8_t> EncodeOkResponse(const std::vector<uint8_t>& frame) {
+  std::vector<uint8_t> out;
+  out.reserve(1 + frame.size());
+  out.push_back(0);
+  out.insert(out.end(), frame.begin(), frame.end());
+  return out;
+}
+
+std::vector<uint8_t> EncodeErrorResponse(const Status& status) {
+  std::vector<uint8_t> out;
+  const std::string& message = status.message();
+  out.reserve(1 + message.size());
+  out.push_back(static_cast<uint8_t>(status.code()));
+  out.insert(out.end(), message.begin(), message.end());
+  return out;
 }
 
 // Full-buffer read/write helpers over raw fds (pipes deliver partial
@@ -119,11 +145,12 @@ void RunOpWorkerLoop(int fd_in, int fd_out, const CustomOpFn& fn) {
     SAND_SPAN("rpc_op_worker");
     std::vector<uint8_t> response;
     Result<Frame> input = Frame::Deserialize(frame_bytes);
-    if (input.ok()) {
+    if (!input.ok()) {
+      response = EncodeErrorResponse(input.status());
+    } else {
       Result<Frame> output = fn(*input);
-      if (output.ok()) {
-        response = output->Serialize();
-      }
+      response = output.ok() ? EncodeOkResponse(output->Serialize())
+                             : EncodeErrorResponse(output.status());
     }
     if (!WriteMessage(fd_out, response)) {
       return;
@@ -182,10 +209,19 @@ Result<Frame> SubprocessOpRunner::Apply(const Frame& input) {
     return Unavailable("op worker pipe closed (read)");
   }
   if (response.empty()) {
-    return Internal("op worker reported failure");
+    return Internal("op worker reported failure (no status)");
+  }
+  if (response[0] != 0) {
+    // The worker shipped the failing op's own status across the pipe;
+    // re-raise it verbatim so remote failures diagnose like local ones.
+    auto code = response[0] <= static_cast<uint8_t>(ErrorCode::kInternal)
+                    ? static_cast<ErrorCode>(response[0])
+                    : ErrorCode::kInternal;
+    std::string message(response.begin() + 1, response.end());
+    return Status(code, "op worker: " + message);
   }
   ++round_trips_;
-  return Frame::Deserialize(response);
+  return Frame::Deserialize(std::vector<uint8_t>(response.begin() + 1, response.end()));
 }
 
 Status SubprocessOpRunner::RegisterAsCustomOp(const std::string& name,

@@ -150,6 +150,11 @@ class SandService : public ViewProvider {
   CpuMeter& cpu_meter() { return cpu_meter_; }
   TieredCache& cache() { return *cache_; }
   SchedulerStats scheduler_stats() { return scheduler_->stats(); }
+  // Tenant scheduler quota passthrough — the socket front-end's
+  // sched_cap_hook target (net::SandServer::Options).
+  void SetTenantRunningCap(uint32_t tenant_id, int max_running) {
+    scheduler_->SetTenantRunningCap(tenant_id, max_running);
+  }
   WorkerPoolStats async_pool_stats() { return async_pool_->stats(); }
   // Stats of the shared GOP-decode pool; zeros when decode_threads == 0.
   WorkerPoolStats decode_pool_stats() {

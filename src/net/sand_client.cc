@@ -1,0 +1,165 @@
+#include "src/net/sand_client.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+namespace sand {
+namespace net {
+
+namespace {
+
+std::vector<uint8_t> RequestHead(Command command) {
+  return {static_cast<uint8_t>(command)};
+}
+
+}  // namespace
+
+Result<std::unique_ptr<SandClient>> SandClient::Connect(const Options& options) {
+  if (options.tenant.empty()) {
+    return InvalidArgument("SandClient::Connect: tenant tag is required");
+  }
+  Result<int> socket_fd = options.unix_path.empty()
+                              ? ConnectTcp(options.host, options.port)
+                              : ConnectUnix(options.unix_path);
+  if (!socket_fd.ok()) {
+    return socket_fd.status();
+  }
+  std::unique_ptr<SandClient> client(new SandClient(*socket_fd));
+
+  std::vector<uint8_t> hello = RequestHead(Command::kHello);
+  PutU16(hello, kProtocolVersion);
+  PutString(hello, options.tenant);
+  std::vector<uint8_t> response;
+  SAND_RETURN_IF_ERROR(client->RoundTrip(hello, response));
+  WireReader reader(response);
+  (void)reader.TakeU8();  // status head, already checked
+  SAND_ASSIGN_OR_RETURN(client->tenant_id_, reader.TakeU32());
+  return client;
+}
+
+SandClient::~SandClient() {
+  if (socket_fd_ >= 0) {
+    ::close(socket_fd_);
+  }
+}
+
+Status SandClient::RoundTrip(const std::vector<uint8_t>& request,
+                             std::vector<uint8_t>& response) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (socket_fd_ < 0) {
+    return Unavailable("connection closed");
+  }
+  if (!WriteFrame(socket_fd_, request) || !ReadFrame(socket_fd_, response)) {
+    // A half-finished exchange poisons the stream; fail every later call
+    // fast instead of desynchronizing request/response pairing.
+    ::close(socket_fd_);
+    socket_fd_ = -1;
+    return Unavailable("server connection lost");
+  }
+  return DecodeResponseStatus(response);
+}
+
+Result<int> SandClient::Open(const std::string& path, const OpenOptions& options) {
+  SAND_RETURN_IF_ERROR(options.Validate());
+  std::vector<uint8_t> request = RequestHead(Command::kOpen);
+  PutString(request, path);
+  PutBytes(request, options.Serialize());
+  std::vector<uint8_t> response;
+  SAND_RETURN_IF_ERROR(RoundTrip(request, response));
+  WireReader reader(response);
+  (void)reader.TakeU8();
+  SAND_ASSIGN_OR_RETURN(int fd, reader.TakeI32());
+  return fd;
+}
+
+Result<size_t> SandClient::Read(int fd, std::span<uint8_t> buffer) {
+  std::vector<uint8_t> request = RequestHead(Command::kRead);
+  PutI32(request, fd);
+  PutU64(request, buffer.size());
+  std::vector<uint8_t> response;
+  SAND_RETURN_IF_ERROR(RoundTrip(request, response));
+  WireReader reader(response);
+  (void)reader.TakeU8();
+  SAND_ASSIGN_OR_RETURN(std::vector<uint8_t> data, reader.TakeBytes());
+  size_t count = std::min(data.size(), buffer.size());
+  std::memcpy(buffer.data(), data.data(), count);
+  return count;
+}
+
+Result<size_t> SandClient::PRead(int fd, std::span<uint8_t> buffer, uint64_t offset) {
+  std::vector<uint8_t> request = RequestHead(Command::kPRead);
+  PutI32(request, fd);
+  PutU64(request, offset);
+  PutU64(request, buffer.size());
+  std::vector<uint8_t> response;
+  SAND_RETURN_IF_ERROR(RoundTrip(request, response));
+  WireReader reader(response);
+  (void)reader.TakeU8();
+  SAND_ASSIGN_OR_RETURN(std::vector<uint8_t> data, reader.TakeBytes());
+  size_t count = std::min(data.size(), buffer.size());
+  std::memcpy(buffer.data(), data.data(), count);
+  return count;
+}
+
+Result<SharedBytes> SandClient::ReadAllShared(int fd) {
+  std::vector<uint8_t> request = RequestHead(Command::kReadAll);
+  PutI32(request, fd);
+  std::vector<uint8_t> response;
+  SAND_RETURN_IF_ERROR(RoundTrip(request, response));
+  WireReader reader(response);
+  (void)reader.TakeU8();
+  SAND_ASSIGN_OR_RETURN(std::vector<uint8_t> data, reader.TakeBytes());
+  return std::make_shared<const std::vector<uint8_t>>(std::move(data));
+}
+
+Result<uint64_t> SandClient::SizeOf(int fd) {
+  std::vector<uint8_t> request = RequestHead(Command::kSizeOf);
+  PutI32(request, fd);
+  std::vector<uint8_t> response;
+  SAND_RETURN_IF_ERROR(RoundTrip(request, response));
+  WireReader reader(response);
+  (void)reader.TakeU8();
+  SAND_ASSIGN_OR_RETURN(uint64_t size, reader.TakeU64());
+  return size;
+}
+
+Result<std::string> SandClient::GetXattr(int fd, const std::string& name) {
+  std::vector<uint8_t> request = RequestHead(Command::kGetXattr);
+  PutI32(request, fd);
+  PutString(request, name);
+  std::vector<uint8_t> response;
+  SAND_RETURN_IF_ERROR(RoundTrip(request, response));
+  WireReader reader(response);
+  (void)reader.TakeU8();
+  SAND_ASSIGN_OR_RETURN(std::string value, reader.TakeString());
+  return value;
+}
+
+Result<std::vector<std::string>> SandClient::ListDir(const std::string& path) {
+  std::vector<uint8_t> request = RequestHead(Command::kListDir);
+  PutString(request, path);
+  std::vector<uint8_t> response;
+  SAND_RETURN_IF_ERROR(RoundTrip(request, response));
+  WireReader reader(response);
+  (void)reader.TakeU8();
+  SAND_ASSIGN_OR_RETURN(uint32_t count, reader.TakeU32());
+  std::vector<std::string> entries;
+  entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    SAND_ASSIGN_OR_RETURN(std::string entry, reader.TakeString());
+    entries.push_back(std::move(entry));
+  }
+  return entries;
+}
+
+Status SandClient::Close(int fd) {
+  std::vector<uint8_t> request = RequestHead(Command::kClose);
+  PutI32(request, fd);
+  std::vector<uint8_t> response;
+  return RoundTrip(request, response);
+}
+
+}  // namespace net
+}  // namespace sand

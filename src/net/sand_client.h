@@ -1,0 +1,79 @@
+// SandClient: SandApi over a socket (DESIGN.md §13).
+//
+// The remote half of the one-API-two-transports split: a training loop
+// written against SandApi runs unchanged whether it holds a SandFs or a
+// SandClient. Connect() dials the server, performs the HELLO handshake
+// binding the connection to a tenant tag, and returns a ready client.
+//
+// One connection, serial requests: calls are serialized on an internal
+// mutex (the protocol is strict request/response). Trainers wanting
+// parallel reads open multiple clients — each is its own session, which
+// is also the unit of server-side cleanup. Status codes round-trip: a
+// RESOURCE_EXHAUSTED here is the server's admission control talking, and
+// retrying after a backoff is the intended response.
+
+#ifndef SAND_NET_SAND_CLIENT_H_
+#define SAND_NET_SAND_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/net/wire.h"
+#include "src/vfs/sand_api.h"
+
+namespace sand {
+namespace net {
+
+class SandClient : public SandApi {
+ public:
+  struct Options {
+    // Dial a unix socket when unix_path is set, else host:port TCP.
+    std::string unix_path;
+    std::string host = "127.0.0.1";
+    int port = -1;
+    // Tenant tag sent in HELLO; required.
+    std::string tenant;
+  };
+
+  // Dials, handshakes, returns a connected client (or the HELLO error —
+  // e.g. FAILED_PRECONDITION for an unknown tenant on a server with
+  // auto-registration off).
+  static Result<std::unique_ptr<SandClient>> Connect(const Options& options);
+
+  ~SandClient() override;
+
+  SandClient(const SandClient&) = delete;
+  SandClient& operator=(const SandClient&) = delete;
+
+  // Tenant id the server assigned at HELLO (obs::TenantRegistry dense id).
+  uint32_t tenant_id() const { return tenant_id_; }
+
+  using SandApi::Open;
+  Result<int> Open(const std::string& path, const OpenOptions& options) override;
+  Result<size_t> Read(int fd, std::span<uint8_t> buffer) override;
+  Result<size_t> PRead(int fd, std::span<uint8_t> buffer, uint64_t offset) override;
+  Result<SharedBytes> ReadAllShared(int fd) override;
+  Result<uint64_t> SizeOf(int fd) override;
+  Result<std::string> GetXattr(int fd, const std::string& name) override;
+  Result<std::vector<std::string>> ListDir(const std::string& path) override;
+  Status Close(int fd) override;
+
+ private:
+  explicit SandClient(int socket_fd) : socket_fd_(socket_fd) {}
+
+  // One request/response round trip; on ok, `response` holds the full
+  // payload (status head included). UNAVAILABLE when the connection died.
+  Status RoundTrip(const std::vector<uint8_t>& request, std::vector<uint8_t>& response);
+
+  std::mutex mutex_;
+  int socket_fd_ = -1;
+  uint32_t tenant_id_ = 0;
+};
+
+}  // namespace net
+}  // namespace sand
+
+#endif  // SAND_NET_SAND_CLIENT_H_

@@ -1,0 +1,563 @@
+#include "src/net/sand_server.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <future>
+#include <utility>
+
+#include "src/common/threading.h"
+#include "src/common/trace_context.h"
+#include "src/net/wire.h"
+#include "src/obs/attribution.h"
+#include "src/obs/metrics.h"
+
+namespace sand {
+namespace net {
+
+namespace {
+
+bool IsControlPath(const std::string& path) {
+  return path.rfind("/.sand", 0) == 0;
+}
+
+// First path component ("task" in /{task}/{epoch}/...): the unit tenant
+// isolation keys on.
+std::string TaskComponent(const std::string& path) {
+  size_t start = path.find_first_not_of('/');
+  if (start == std::string::npos) {
+    return "";
+  }
+  size_t end = path.find('/', start);
+  return path.substr(start, end == std::string::npos ? std::string::npos : end - start);
+}
+
+bool TenantMayAccess(const std::string& tag, const std::string& path) {
+  if (IsControlPath(path) || path == "/" || path.empty()) {
+    return true;
+  }
+  std::string task = TaskComponent(path);
+  return task == tag || task.rfind(tag + "_", 0) == 0;
+}
+
+}  // namespace
+
+SandServer::SandServer(SandApi* backend, Options options)
+    : backend_(backend),
+      options_(std::move(options)),
+      request_pool_(WorkerPool::Options{
+          std::max(1, options_.request_threads),
+          std::max<size_t>(1, options_.request_queue_depth)}) {}
+
+SandServer::~SandServer() { Stop(); }
+
+Status SandServer::Start() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (running_) {
+    return FailedPrecondition("server already started");
+  }
+  if (options_.unix_path.empty() && options_.tcp_port < 0) {
+    return InvalidArgument("no listen endpoint: set unix_path and/or tcp_port");
+  }
+  std::vector<int> fds;
+  if (!options_.unix_path.empty()) {
+    auto fd = ListenUnix(options_.unix_path, /*backlog=*/64);
+    if (!fd.ok()) {
+      return fd.status();
+    }
+    fds.push_back(*fd);
+  }
+  if (options_.tcp_port >= 0) {
+    int bound = -1;
+    auto fd = ListenTcp(options_.tcp_port, /*backlog=*/64, &bound);
+    if (!fd.ok()) {
+      for (int open_fd : fds) {
+        ::close(open_fd);
+      }
+      return fd.status();
+    }
+    fds.push_back(*fd);
+    bound_tcp_port_ = bound;
+  }
+  listen_fds_ = fds;
+  running_ = true;
+  for (int fd : listen_fds_) {
+    accept_threads_.emplace_back([this, fd] { AcceptLoop(fd); });
+  }
+  return Status::Ok();
+}
+
+void SandServer::Stop() {
+  std::vector<std::thread> accept_threads;
+  std::vector<std::unique_ptr<Connection>> connections;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) {
+      return;
+    }
+    running_ = false;
+    for (int fd : listen_fds_) {
+      ::shutdown(fd, SHUT_RDWR);
+      ::close(fd);
+    }
+    listen_fds_.clear();
+    accept_threads.swap(accept_threads_);
+    connections.swap(connections_);
+  }
+  for (std::thread& thread : accept_threads) {
+    if (thread.joinable()) {
+      thread.join();
+    }
+  }
+  for (auto& conn : connections) {
+    ::shutdown(conn->socket_fd, SHUT_RDWR);
+  }
+  for (auto& conn : connections) {
+    if (conn->thread.joinable()) {
+      conn->thread.join();
+    }
+  }
+  if (!options_.unix_path.empty()) {
+    ::unlink(options_.unix_path.c_str());
+  }
+}
+
+void SandServer::RegisterTenant(const std::string& tag, const TenantQuotas& quotas) {
+  uint32_t id = obs::TenantRegistry::Get().Intern(tag);
+  std::lock_guard<std::mutex> lock(tenants_mutex_);
+  auto& state = tenants_[id];
+  if (state == nullptr) {
+    state = std::make_unique<TenantState>();
+  }
+  state->quotas = quotas;
+  if (options_.sched_cap_hook) {
+    options_.sched_cap_hook(id, quotas.sched_max_running);
+  }
+}
+
+SandServer::TenantState* SandServer::TenantFor(uint32_t tenant_id) {
+  std::lock_guard<std::mutex> lock(tenants_mutex_);
+  auto it = tenants_.find(tenant_id);
+  return it == tenants_.end() ? nullptr : it->second.get();
+}
+
+void SandServer::AcceptLoop(int listen_fd) {
+  while (true) {
+    int socket_fd = ::accept(listen_fd, nullptr, nullptr);
+    if (socket_fd < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return;  // listener shut down
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_) {
+      ::close(socket_fd);
+      return;
+    }
+    auto conn = std::make_unique<Connection>();
+    conn->socket_fd = socket_fd;
+    Connection* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.connections_accepted;
+      ++stats_.active_connections;
+    }
+    conn->thread = std::thread([this, raw] { ServeConnection(raw); });
+    connections_.push_back(std::move(conn));
+  }
+}
+
+void SandServer::ServeConnection(Connection* conn) {
+  std::vector<uint8_t> request;
+  while (ReadFrame(conn->socket_fd, request)) {
+    WireReader reader(request);
+    auto command_byte = reader.TakeU8();
+    if (!command_byte.ok()) {
+      break;  // empty frame: protocol violation, drop the connection
+    }
+    Command command = static_cast<Command>(*command_byte);
+
+    std::vector<uint8_t> response;
+    if (command == Command::kHello) {
+      response = HandleHello(conn, reader);
+    } else if (conn->tenant_id == 0) {
+      response = EncodeErrorResponse(
+          FailedPrecondition("HELLO with a tenant tag must precede other commands"));
+    } else if (command == Command::kClose) {
+      // Close runs inline and is never refused: cleanup must always be
+      // possible, or backpressure would turn into an fd leak.
+      response = HandleClose(conn, reader);
+    } else {
+      TenantState* tenant = TenantFor(conn->tenant_id);
+      obs::TenantMetrics* metrics = obs::TenantMetricsFor(conn->tenant_id);
+      bool admitted = true;
+      if (tenant != nullptr && tenant->quotas.max_inflight > 0) {
+        if (tenant->inflight.fetch_add(1) >= tenant->quotas.max_inflight) {
+          tenant->inflight.fetch_sub(1);
+          admitted = false;
+        }
+      } else if (tenant != nullptr) {
+        tenant->inflight.fetch_add(1);
+      }
+      if (!admitted) {
+        {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++stats_.rejected_quota;
+        }
+        if (metrics != nullptr) {
+          metrics->rejected->Add(1);
+        }
+        response = EncodeErrorResponse(ResourceExhausted(
+            "tenant '" + conn->tenant_tag + "' inflight quota exceeded"));
+      } else {
+        if (metrics != nullptr) {
+          metrics->inflight->Add(1);
+        }
+        TraceContext ctx = BeginRequestContext(/*job_id=*/0, RequestClass::kDemand);
+        ctx.tenant_id = conn->tenant_id;
+        std::promise<std::vector<uint8_t>> done;
+        std::future<std::vector<uint8_t>> result = done.get_future();
+        Nanos start = SinceProcessStart();
+        bool submitted = request_pool_.TrySubmit([this, conn, command, &reader, ctx, &done] {
+          ScopedTraceContext scope(ctx);
+          done.set_value(Dispatch(conn, command, reader));
+        });
+        if (!submitted) {
+          {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.rejected_backpressure;
+          }
+          if (metrics != nullptr) {
+            metrics->rejected->Add(1);
+          }
+          response = EncodeErrorResponse(
+              ResourceExhausted("server saturated: request queue is full, retry"));
+        } else {
+          response = result.get();
+          {
+            std::lock_guard<std::mutex> lock(stats_mutex_);
+            ++stats_.requests_served;
+          }
+          if (metrics != nullptr) {
+            metrics->requests->Add(1);
+            metrics->materialize_wait_ns->Record(
+                static_cast<uint64_t>(SinceProcessStart() - start));
+            if (!response.empty() && response[0] == 0) {
+              metrics->bytes_read->Add(static_cast<int64_t>(response.size() - 1));
+            }
+          }
+        }
+        if (metrics != nullptr) {
+          metrics->inflight->Add(-1);
+        }
+        if (tenant != nullptr) {
+          tenant->inflight.fetch_sub(1);
+        }
+      }
+    }
+    if (!WriteFrame(conn->socket_fd, response)) {
+      break;
+    }
+  }
+
+  // Session teardown: everything the connection still holds open is
+  // closed, releasing pins and budget charges. A client that vanished
+  // mid-materialize leaks nothing.
+  for (const auto& [fd, charged] : conn->owned_fds) {
+    backend_->Close(fd);
+    if (charged > 0) {
+      if (TenantState* tenant = TenantFor(conn->tenant_id)) {
+        tenant->resident_bytes.fetch_sub(charged);
+      }
+      if (obs::TenantMetrics* metrics = obs::TenantMetricsFor(conn->tenant_id)) {
+        metrics->resident_bytes->Add(-static_cast<int64_t>(charged));
+      }
+    }
+  }
+  conn->owned_fds.clear();
+  ::close(conn->socket_fd);
+  conn->done.store(true);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  --stats_.active_connections;
+}
+
+std::vector<uint8_t> SandServer::HandleHello(Connection* conn, WireReader& reader) {
+  auto version = reader.TakeU16();
+  if (!version.ok()) {
+    return EncodeErrorResponse(version.status());
+  }
+  if (*version != kProtocolVersion) {
+    return EncodeErrorResponse(InvalidArgument(
+        "protocol version mismatch: server speaks " + std::to_string(kProtocolVersion) +
+        ", client sent " + std::to_string(*version)));
+  }
+  auto tag = reader.TakeString();
+  if (!tag.ok()) {
+    return EncodeErrorResponse(tag.status());
+  }
+  if (tag->empty()) {
+    return EncodeErrorResponse(InvalidArgument("empty tenant tag"));
+  }
+  uint32_t id = obs::TenantRegistry::Get().Intern(*tag);
+  {
+    std::lock_guard<std::mutex> lock(tenants_mutex_);
+    auto it = tenants_.find(id);
+    if (it == tenants_.end()) {
+      if (!options_.auto_register_tenants) {
+        return EncodeErrorResponse(FailedPrecondition("unknown tenant: " + *tag));
+      }
+      auto state = std::make_unique<TenantState>();
+      state->quotas = options_.default_quotas;
+      if (options_.sched_cap_hook) {
+        options_.sched_cap_hook(id, state->quotas.sched_max_running);
+      }
+      tenants_.emplace(id, std::move(state));
+    }
+  }
+  conn->tenant_id = id;
+  conn->tenant_tag = *tag;
+  if (obs::TenantMetrics* metrics = obs::TenantMetricsFor(id)) {
+    metrics->sessions->Add(1);
+  }
+  std::vector<uint8_t> response = EncodeOkHead();
+  PutU32(response, id);
+  return response;
+}
+
+std::vector<uint8_t> SandServer::HandleOpen(Connection* conn, WireReader& reader) {
+  auto path = reader.TakeString();
+  if (!path.ok()) {
+    return EncodeErrorResponse(path.status());
+  }
+  auto options_bytes = reader.TakeBytes();
+  if (!options_bytes.ok()) {
+    return EncodeErrorResponse(options_bytes.status());
+  }
+  OpenOptions open_options;
+  if (!options_bytes->empty()) {
+    auto decoded = OpenOptions::Deserialize(*options_bytes);
+    if (!decoded.ok()) {
+      return EncodeErrorResponse(decoded.status());
+    }
+    open_options = *decoded;
+  }
+  if (options_.isolate_tenant_tasks && !TenantMayAccess(conn->tenant_tag, *path)) {
+    return EncodeErrorResponse(FailedPrecondition(
+        "tenant '" + conn->tenant_tag + "' may not access task '" +
+        TaskComponent(*path) + "'"));
+  }
+  // Storage budget: admission happens at Open. Reads on fds the tenant
+  // already holds keep serving even over budget — refusing those would
+  // wedge a training loop mid-batch instead of pacing it.
+  if (TenantState* tenant = TenantFor(conn->tenant_id)) {
+    uint64_t budget = tenant->quotas.storage_budget_bytes;
+    if (budget > 0 && !IsControlPath(*path) &&
+        tenant->resident_bytes.load() >= budget) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.rejected_quota;
+      }
+      if (obs::TenantMetrics* metrics = obs::TenantMetricsFor(conn->tenant_id)) {
+        metrics->rejected->Add(1);
+      }
+      return EncodeErrorResponse(ResourceExhausted(
+          "tenant '" + conn->tenant_tag + "' storage budget exceeded (" +
+          std::to_string(tenant->resident_bytes.load()) + " of " +
+          std::to_string(budget) + " bytes open)"));
+    }
+  }
+  auto fd = backend_->Open(*path, open_options);
+  if (!fd.ok()) {
+    return EncodeErrorResponse(fd.status());
+  }
+  conn->owned_fds.emplace(*fd, 0);
+  std::vector<uint8_t> response = EncodeOkHead();
+  PutI32(response, *fd);
+  return response;
+}
+
+std::vector<uint8_t> SandServer::HandleClose(Connection* conn, WireReader& reader) {
+  auto fd = reader.TakeI32();
+  if (!fd.ok()) {
+    return EncodeErrorResponse(fd.status());
+  }
+  if (!FdOwned(conn, *fd)) {
+    return EncodeErrorResponse(InvalidArgument("fd not owned by this connection"));
+  }
+  ReleaseFd(conn, *fd);
+  Status status = backend_->Close(*fd);
+  if (!status.ok()) {
+    return EncodeErrorResponse(status);
+  }
+  return EncodeOkHead();
+}
+
+void SandServer::ChargeFd(Connection* conn, int fd, uint64_t bytes) {
+  auto it = conn->owned_fds.find(fd);
+  if (it == conn->owned_fds.end() || it->second != 0 || bytes == 0) {
+    return;
+  }
+  it->second = bytes;
+  if (TenantState* tenant = TenantFor(conn->tenant_id)) {
+    tenant->resident_bytes.fetch_add(bytes);
+  }
+  if (obs::TenantMetrics* metrics = obs::TenantMetricsFor(conn->tenant_id)) {
+    metrics->resident_bytes->Add(static_cast<int64_t>(bytes));
+  }
+}
+
+void SandServer::ReleaseFd(Connection* conn, int fd) {
+  auto it = conn->owned_fds.find(fd);
+  if (it == conn->owned_fds.end()) {
+    return;
+  }
+  uint64_t charged = it->second;
+  conn->owned_fds.erase(it);
+  if (charged == 0) {
+    return;
+  }
+  if (TenantState* tenant = TenantFor(conn->tenant_id)) {
+    tenant->resident_bytes.fetch_sub(charged);
+  }
+  if (obs::TenantMetrics* metrics = obs::TenantMetricsFor(conn->tenant_id)) {
+    metrics->resident_bytes->Add(-static_cast<int64_t>(charged));
+  }
+}
+
+std::vector<uint8_t> SandServer::Dispatch(Connection* conn, Command command,
+                                          WireReader& reader) {
+  switch (command) {
+    case Command::kOpen:
+      return HandleOpen(conn, reader);
+
+    case Command::kRead:
+    case Command::kPRead: {
+      auto fd = reader.TakeI32();
+      if (!fd.ok()) {
+        return EncodeErrorResponse(fd.status());
+      }
+      uint64_t offset = 0;
+      if (command == Command::kPRead) {
+        auto off = reader.TakeU64();
+        if (!off.ok()) {
+          return EncodeErrorResponse(off.status());
+        }
+        offset = *off;
+      }
+      auto max_bytes = reader.TakeU64();
+      if (!max_bytes.ok()) {
+        return EncodeErrorResponse(max_bytes.status());
+      }
+      if (!FdOwned(conn, *fd)) {
+        return EncodeErrorResponse(InvalidArgument("fd not owned by this connection"));
+      }
+      uint64_t count = std::min<uint64_t>(*max_bytes, kMaxFrameBytes / 2);
+      std::vector<uint8_t> buffer(static_cast<size_t>(count));
+      Result<size_t> read =
+          command == Command::kRead
+              ? backend_->Read(*fd, std::span<uint8_t>(buffer))
+              : backend_->PRead(*fd, std::span<uint8_t>(buffer), offset);
+      if (!read.ok()) {
+        return EncodeErrorResponse(read.status());
+      }
+      buffer.resize(*read);
+      if (auto size = backend_->SizeOf(*fd); size.ok()) {
+        ChargeFd(conn, *fd, *size);
+      }
+      std::vector<uint8_t> response = EncodeOkHead();
+      PutBytes(response, buffer);
+      return response;
+    }
+
+    case Command::kReadAll: {
+      auto fd = reader.TakeI32();
+      if (!fd.ok()) {
+        return EncodeErrorResponse(fd.status());
+      }
+      if (!FdOwned(conn, *fd)) {
+        return EncodeErrorResponse(InvalidArgument("fd not owned by this connection"));
+      }
+      auto bytes = backend_->ReadAllShared(*fd);
+      if (!bytes.ok()) {
+        return EncodeErrorResponse(bytes.status());
+      }
+      ChargeFd(conn, *fd, (*bytes)->size());
+      std::vector<uint8_t> response = EncodeOkHead();
+      PutU32(response, static_cast<uint32_t>((*bytes)->size()));
+      response.insert(response.end(), (*bytes)->begin(), (*bytes)->end());
+      return response;
+    }
+
+    case Command::kSizeOf: {
+      auto fd = reader.TakeI32();
+      if (!fd.ok()) {
+        return EncodeErrorResponse(fd.status());
+      }
+      if (!FdOwned(conn, *fd)) {
+        return EncodeErrorResponse(InvalidArgument("fd not owned by this connection"));
+      }
+      auto size = backend_->SizeOf(*fd);
+      if (!size.ok()) {
+        return EncodeErrorResponse(size.status());
+      }
+      ChargeFd(conn, *fd, *size);
+      std::vector<uint8_t> response = EncodeOkHead();
+      PutU64(response, *size);
+      return response;
+    }
+
+    case Command::kGetXattr: {
+      auto fd = reader.TakeI32();
+      if (!fd.ok()) {
+        return EncodeErrorResponse(fd.status());
+      }
+      auto name = reader.TakeString();
+      if (!name.ok()) {
+        return EncodeErrorResponse(name.status());
+      }
+      if (!FdOwned(conn, *fd)) {
+        return EncodeErrorResponse(InvalidArgument("fd not owned by this connection"));
+      }
+      auto value = backend_->GetXattr(*fd, *name);
+      if (!value.ok()) {
+        return EncodeErrorResponse(value.status());
+      }
+      std::vector<uint8_t> response = EncodeOkHead();
+      PutString(response, *value);
+      return response;
+    }
+
+    case Command::kListDir: {
+      auto path = reader.TakeString();
+      if (!path.ok()) {
+        return EncodeErrorResponse(path.status());
+      }
+      auto entries = backend_->ListDir(*path);
+      if (!entries.ok()) {
+        return EncodeErrorResponse(entries.status());
+      }
+      std::vector<uint8_t> response = EncodeOkHead();
+      PutU32(response, static_cast<uint32_t>(entries->size()));
+      for (const std::string& entry : *entries) {
+        PutString(response, entry);
+      }
+      return response;
+    }
+
+    case Command::kHello:
+    case Command::kClose:
+      break;  // handled inline by ServeConnection
+  }
+  return EncodeErrorResponse(
+      InvalidArgument("unknown command " + std::to_string(static_cast<int>(command))));
+}
+
+ServerStats SandServer::stats() {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace net
+}  // namespace sand

@@ -75,6 +75,56 @@ inline JobMetrics* JobMetricsFor(uint32_t job_id) {
   return JobRegistry::Get().MetricsFor(job_id);
 }
 
+class Gauge;
+
+// The per-tenant metric bundle ("sand.tenant.<tag>.<metric>"). A tenant is
+// a paying consumer of the shared service — one socket identity with
+// quotas — where a job is one training task; a tenant typically runs many
+// jobs. Carved out per tenant as "/.sand/tenants/<tag>/metrics" by SandFs.
+struct TenantMetrics {
+  Counter* sessions = nullptr;        // connections that authenticated as this tenant
+  Counter* requests = nullptr;        // wire requests served
+  Counter* rejected = nullptr;        // admission-control refusals (RESOURCE_EXHAUSTED)
+  Counter* bytes_read = nullptr;      // payload bytes shipped to the tenant
+  Counter* sched_jobs_run = nullptr;  // scheduler jobs attributed to the tenant
+  Gauge* inflight = nullptr;          // requests currently executing
+  Gauge* resident_bytes = nullptr;    // open-object bytes counted against its budget
+  Histogram* materialize_wait_ns = nullptr;  // per-request service time
+};
+
+// Tenant tag <-> dense id intern table; ids travel in
+// TraceContext.tenant_id. Same shape and lifetime rules as JobRegistry.
+class TenantRegistry {
+ public:
+  static TenantRegistry& Get();
+
+  // Returns the id for `tag`, creating it (and its metric bundle) on first
+  // use. Empty tags map to 0 (no tenant).
+  uint32_t Intern(const std::string& tag);
+
+  // Tag for `id`; "-" for 0/unknown.
+  std::string NameOf(uint32_t id);
+
+  // Metric bundle for `id`; nullptr for 0/unknown.
+  TenantMetrics* MetricsFor(uint32_t id);
+
+  // All interned tags, sorted (directory listing for /.sand/tenants).
+  std::vector<std::string> Tags();
+
+ private:
+  TenantRegistry() = default;
+
+  std::mutex mutex_;
+  std::unordered_map<std::string, uint32_t> ids_;
+  std::vector<std::string> tags_;                      // index = id - 1
+  std::vector<std::unique_ptr<TenantMetrics>> metrics_;  // index = id - 1
+};
+
+// Convenience: bundle for the id, nullptr when no tenant.
+inline TenantMetrics* TenantMetricsFor(uint32_t tenant_id) {
+  return TenantRegistry::Get().MetricsFor(tenant_id);
+}
+
 }  // namespace obs
 }  // namespace sand
 

@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "src/common/threading.h"
+#include "src/obs/attribution.h"
 #include "src/obs/trace.h"
 
 namespace sand {
@@ -15,6 +16,7 @@ MaterializationScheduler::MaterializationScheduler(Options options)
       deadline_pops_(obs::Registry::Get().GetCounter("sand.sched.deadline_pops")),
       sjf_pops_(obs::Registry::Get().GetCounter("sand.sched.sjf_pops")),
       speculative_pops_(obs::Registry::Get().GetCounter("sand.sched.speculative_pops")),
+      capped_skips_(obs::Registry::Get().GetCounter("sand.sched.capped_skips")),
       queue_depth_(obs::Registry::Get().GetGauge("sand.sched.queue_depth")),
       job_latency_ns_(obs::Registry::Get().GetHistogram("sand.sched.job_latency_ns")) {
   if (options_.num_threads < 1) {
@@ -38,29 +40,106 @@ void MaterializationScheduler::Submit(MaterializationJob job) {
   wake_.notify_one();
 }
 
+bool MaterializationScheduler::TenantCappedLocked(const MaterializationJob& job) {
+  auto cap = tenant_caps_.find(job.ctx.tenant_id);
+  if (cap == tenant_caps_.end()) {
+    return false;
+  }
+  auto running = tenant_running_.find(job.ctx.tenant_id);
+  return running != tenant_running_.end() && running->second >= cap->second;
+}
+
+bool MaterializationScheduler::HasRunnableLocked() {
+  if (tenant_caps_.empty()) {
+    return !queue_.empty();
+  }
+  for (const MaterializationJob& job : queue_) {
+    if (!TenantCappedLocked(job)) {
+      return true;
+    }
+  }
+  return false;
+}
+
 MaterializationJob MaterializationScheduler::PopLocked() {
   assert(!queue_.empty());
-  auto best = queue_.begin();
-  if (!options_.disable_priorities) {
-    // Demand-feeding first (FIFO among themselves).
+  ++pop_seq_;
+  // A pop that had to pass over a quota-capped tenant's work is the signal
+  // quota enforcement is active (tests and the /.sand/tenants views read it).
+  if (!tenant_caps_.empty()) {
+    for (const MaterializationJob& job : queue_) {
+      if (TenantCappedLocked(job)) {
+        ++stats_.capped_skips;
+        capped_skips_->Add(1);
+        break;
+      }
+    }
+  }
+  auto runnable = [this](const MaterializationJob& job) { return !TenantCappedLocked(job); };
+  // The least-recently-served runnable tenant in `served` wins; queue
+  // order breaks ties, so single-tenant workloads reduce to the legacy
+  // policy exactly.
+  auto pick_tenant = [&](bool demand_class, const std::map<uint32_t, uint64_t>& served,
+                         bool* found) -> uint32_t {
+    uint32_t best_tenant = 0;
+    uint64_t best_seq = 0;
+    *found = false;
+    for (const MaterializationJob& job : queue_) {
+      if (job.demand_feeding != demand_class || !runnable(job)) {
+        continue;
+      }
+      auto it = served.find(job.ctx.tenant_id);
+      uint64_t seq = it == served.end() ? 0 : it->second;
+      if (!*found || seq < best_seq) {
+        *found = true;
+        best_tenant = job.ctx.tenant_id;
+        best_seq = seq;
+      }
+    }
+    return best_tenant;
+  };
+
+  auto best = queue_.end();
+  if (options_.disable_priorities) {
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
-      if (it->demand_feeding) {
+      if (runnable(*it)) {
         best = it;
         break;
       }
     }
-    if (!best->demand_feeding) {
+  } else {
+    // Demand-feeding first: rotate across tenants with queued demand work,
+    // FIFO within the chosen tenant.
+    bool have_demand = false;
+    uint32_t demand_tenant = pick_tenant(/*demand_class=*/true, demand_last_served_, &have_demand);
+    if (have_demand) {
+      for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->demand_feeding && it->ctx.tenant_id == demand_tenant) {
+          best = it;
+          break;
+        }
+      }
+      demand_last_served_[demand_tenant] = pop_seq_;
+    } else {
+      bool have_background = false;
+      uint32_t tenant =
+          pick_tenant(/*demand_class=*/false, background_last_served_, &have_background);
+      assert(have_background && "PopLocked without a runnable job");
+      background_last_served_[tenant] = pop_seq_;
       double pressure = options_.memory_pressure ? options_.memory_pressure() : 0.0;
       bool use_sjf = pressure >= options_.sjf_watermark;
       auto better = [use_sjf](const MaterializationJob& a, const MaterializationJob& b) {
         return use_sjf ? a.remaining_work < b.remaining_work : a.deadline < b.deadline;
       };
-      // Rank within each background class, then pick the class: alternate
-      // when both speculative (prefetch) and pre-materialization jobs are
-      // queued so neither starves the other.
+      // Rank the chosen tenant's jobs within each background class, then
+      // pick the class: alternate when both speculative (prefetch) and
+      // pre-materialization jobs are queued so neither starves the other.
       auto best_pre = queue_.end();
       auto best_spec = queue_.end();
       for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+        if (it->demand_feeding || it->ctx.tenant_id != tenant || !runnable(*it)) {
+          continue;
+        }
         auto& slot = it->speculative ? best_spec : best_pre;
         if (slot == queue_.end() || better(*it, *slot)) {
           slot = it;
@@ -87,10 +166,24 @@ MaterializationJob MaterializationScheduler::PopLocked() {
       }
     }
   }
+  assert(best != queue_.end() && "PopLocked without a runnable job");
   MaterializationJob job = std::move(*best);
   queue_.erase(best);
+  ++tenant_running_[job.ctx.tenant_id];
   queue_depth_->Set(static_cast<int64_t>(queue_.size()));
   return job;
+}
+
+void MaterializationScheduler::SetTenantRunningCap(uint32_t tenant_id, int max_running) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (max_running <= 0) {
+      tenant_caps_.erase(tenant_id);
+    } else {
+      tenant_caps_[tenant_id] = std::max(1, max_running);
+    }
+  }
+  wake_.notify_all();
 }
 
 void MaterializationScheduler::WorkerLoop() {
@@ -98,18 +191,27 @@ void MaterializationScheduler::WorkerLoop() {
     MaterializationJob job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      // A queue holding only quota-capped tenants' jobs is not runnable
+      // yet: sleep until one of their running jobs finishes (completion
+      // notifies wake_) rather than overrun the cap. Caps are >= 1, so a
+      // capped tenant always has something running to wake us.
+      wake_.wait(lock, [this] { return shutdown_ ? queue_.empty() || HasRunnableLocked()
+                                                 : HasRunnableLocked(); });
       if (queue_.empty()) {
         return;  // shutdown with nothing left
       }
       job = PopLocked();
       ++active_;
       ++stats_.jobs_run;
+      ++stats_.jobs_run_by_tenant[job.ctx.tenant_id];
       jobs_run_->Add(1);
       if (job.demand_feeding) {
         ++stats_.demand_jobs_run;
         demand_jobs_run_->Add(1);
       }
+    }
+    if (obs::TenantMetrics* tenant = obs::TenantMetricsFor(job.ctx.tenant_id)) {
+      tenant->sched_jobs_run->Add(1);
     }
     {
       ScopedTraceContext trace_scope(job.ctx);
@@ -121,7 +223,14 @@ void MaterializationScheduler::WorkerLoop() {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --active_;
+      auto running = tenant_running_.find(job.ctx.tenant_id);
+      if (running != tenant_running_.end() && --running->second <= 0) {
+        tenant_running_.erase(running);
+      }
     }
+    // Completion may unblock a worker parked on a capped tenant as well as
+    // a WaitIdle caller.
+    wake_.notify_all();
     idle_.notify_all();
   }
 }

@@ -18,6 +18,15 @@
 // of future epochs. When both classes are queued, pops alternate between
 // them (EDF/SJF ordering applies within each class) — neither readahead
 // nor pre-materialization can monopolize the background share.
+//
+// Multi-tenant fair-share (DESIGN.md §13): jobs carry the submitting
+// tenant in their TraceContext. Within each class, pops rotate across
+// tenants that have queued work (least-recently-served tenant first, job
+// order within the tenant unchanged), so one tenant flooding the queue
+// cannot starve another's demand class. A tenant may additionally be
+// capped to N concurrently running jobs (SetTenantRunningCap); a capped
+// tenant's jobs are skipped while it is at its limit — workers sleep
+// rather than overrun a quota, and wake when a job finishes.
 
 #ifndef SAND_SCHED_SCHEDULER_H_
 #define SAND_SCHED_SCHEDULER_H_
@@ -26,6 +35,7 @@
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <map>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -57,6 +67,9 @@ struct SchedulerStats {
   uint64_t deadline_pops = 0;    // background pops under the EDF policy
   uint64_t sjf_pops = 0;         // background pops under the SJF policy
   uint64_t speculative_pops = 0;  // background pops that chose a prefetch job
+  uint64_t capped_skips = 0;      // pops that bypassed a tenant at its running cap
+  // Jobs completed per tenant id (0 = untenanted in-process work).
+  std::map<uint32_t, uint64_t> jobs_run_by_tenant;
 };
 
 class MaterializationScheduler {
@@ -79,6 +92,11 @@ class MaterializationScheduler {
 
   void Submit(MaterializationJob job);
 
+  // Caps how many of `tenant_id`'s jobs may run concurrently (its
+  // scheduler quota). Clamped to >= 1 so a capped tenant always makes
+  // progress; 0 removes the cap. Takes effect at the next pop.
+  void SetTenantRunningCap(uint32_t tenant_id, int max_running);
+
   // Blocks until the queue is empty and all workers are idle.
   void WaitIdle();
 
@@ -91,8 +109,12 @@ class MaterializationScheduler {
  private:
   void WorkerLoop();
   // Extracts the next job per the current policy. Caller holds mutex_ and
-  // has verified the queue is non-empty.
+  // has verified HasRunnableLocked().
   MaterializationJob PopLocked();
+  // True when some queued job belongs to a tenant under its running cap.
+  bool HasRunnableLocked();
+  // True when `job`'s tenant is at its running cap right now.
+  bool TenantCappedLocked(const MaterializationJob& job);
 
   Options options_;
   std::mutex mutex_;
@@ -105,6 +127,15 @@ class MaterializationScheduler {
   // Fair alternation between the speculative and pre-materialization
   // background classes when both have queued jobs.
   bool last_pop_speculative_ = false;
+  // Tenant rotation state: the pop sequence at which each tenant was last
+  // served, per class group (demand vs background). Least-recently-served
+  // tenant wins the next pop of that group.
+  uint64_t pop_seq_ = 0;
+  std::map<uint32_t, uint64_t> demand_last_served_;
+  std::map<uint32_t, uint64_t> background_last_served_;
+  // Per-tenant running-job counts and caps (0 entries are erased).
+  std::map<uint32_t, int> tenant_running_;
+  std::map<uint32_t, int> tenant_caps_;
   SchedulerStats stats_;
 
   // Registry mirrors of stats_ plus live queue depth ("sand.sched.*" in
@@ -115,6 +146,7 @@ class MaterializationScheduler {
   obs::Counter* deadline_pops_;
   obs::Counter* sjf_pops_;
   obs::Counter* speculative_pops_;
+  obs::Counter* capped_skips_;
   obs::Gauge* queue_depth_;
   obs::Histogram* job_latency_ns_;
 };

@@ -1,0 +1,89 @@
+#include "src/vfs/sand_api.h"
+
+namespace sand {
+namespace {
+
+// Wire tags. Never reuse a retired tag number; add new fields with new
+// tags so old decoders skip them.
+constexpr uint8_t kWireVersion = 1;
+constexpr uint8_t kTagPrefetchWindow = 1;
+constexpr uint8_t kTagPin = 2;
+constexpr uint8_t kTagNonblock = 3;
+
+void PutField(std::vector<uint8_t>& out, uint8_t tag, uint64_t value) {
+  out.push_back(tag);
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<uint8_t>(value >> shift));
+  }
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<uint64_t>(p[i]) << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
+Status OpenOptions::Validate() const {
+  if (prefetch_window < -1) {
+    return InvalidArgument("open options: prefetch_window < -1");
+  }
+  if (nonblock && prefetch_window > 0 && !pin) {
+    return InvalidArgument(
+        "open options: nonblock polling of speculative readahead "
+        "(prefetch_window > 0) requires pin=true, or the result may be "
+        "evicted between polls");
+  }
+  return Status::Ok();
+}
+
+std::vector<uint8_t> OpenOptions::Serialize() const {
+  std::vector<uint8_t> out;
+  out.push_back(kWireVersion);
+  out.push_back(3);  // field count
+  PutField(out, kTagPrefetchWindow, static_cast<uint64_t>(static_cast<int64_t>(prefetch_window)));
+  PutField(out, kTagPin, pin ? 1 : 0);
+  PutField(out, kTagNonblock, nonblock ? 1 : 0);
+  return out;
+}
+
+Result<OpenOptions> OpenOptions::Deserialize(const std::vector<uint8_t>& bytes) {
+  if (bytes.size() < 2) {
+    return InvalidArgument("open options: truncated header");
+  }
+  // Any version is acceptable: the field list is self-describing and
+  // unknown tags are skipped. The byte exists so a future incompatible
+  // layout can be detected instead of misparsed.
+  if (bytes[0] == 0) {
+    return InvalidArgument("open options: bad version 0");
+  }
+  size_t fields = bytes[1];
+  if (bytes.size() != 2 + fields * 9) {
+    return InvalidArgument("open options: truncated field list");
+  }
+  OpenOptions options;
+  for (size_t i = 0; i < fields; ++i) {
+    const uint8_t* field = bytes.data() + 2 + i * 9;
+    uint64_t value = GetU64(field + 1);
+    switch (field[0]) {
+      case kTagPrefetchWindow:
+        options.prefetch_window = static_cast<int>(static_cast<int64_t>(value));
+        break;
+      case kTagPin:
+        options.pin = value != 0;
+        break;
+      case kTagNonblock:
+        options.nonblock = value != 0;
+        break;
+      default:
+        break;  // unknown field from a newer peer: tolerated
+    }
+  }
+  SAND_RETURN_IF_ERROR(options.Validate());
+  return options;
+}
+
+}  // namespace sand

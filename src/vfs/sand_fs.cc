@@ -54,6 +54,22 @@ Result<int> SandFs::OpenControl(const std::vector<std::string>& parts) {
       return NotFound(std::string("no job: ") + kControlRoot + "/jobs/" + tag);
     }
     body = obs::Registry::Get().ToJson("sand.job." + tag + ".", /*strip_prefix=*/true);
+  } else if (parts.size() == 3 && name == "tenants" && parts[2] == "metrics") {
+    // "/.sand/tenants/<tag>/metrics": the tenant's registry slice — the
+    // socket front-end's per-tenant sessions/requests/rejections/bytes
+    // plus whatever the scheduler attributed to it.
+    const std::string& tag = parts[1];
+    bool known = false;
+    for (const std::string& t : obs::TenantRegistry::Get().Tags()) {
+      if (t == tag) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return NotFound(std::string("no tenant: ") + kControlRoot + "/tenants/" + tag);
+    }
+    body = obs::Registry::Get().ToJson("sand.tenant." + tag + ".", /*strip_prefix=*/true);
   } else {
     std::string joined = parts[0];
     for (size_t i = 1; i < parts.size(); ++i) {
@@ -76,6 +92,7 @@ Result<int> SandFs::Open(const std::string& path, const OpenOptions& options) {
   if (path.empty() || path.front() != '/') {
     return InvalidArgument("open: path must be absolute: " + path);
   }
+  SAND_RETURN_IF_ERROR(options.Validate());
   // "/{task}" with no further components is a session handle.
   std::vector<std::string> parts = Split(std::string_view(path).substr(1), '/');
   // The introspection namespace is served by the fs itself: the metrics
@@ -273,20 +290,6 @@ Result<size_t> SandFs::PRead(int fd, std::span<uint8_t> buffer, uint64_t offset)
   return count;
 }
 
-Result<std::vector<uint8_t>> SandFs::ReadAll(int fd) {
-  SAND_RETURN_IF_ERROR(EnsureData(fd));
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = fds_.find(fd);
-  if (it == fds_.end()) {
-    return InvalidArgument(StrFormat("bad fd %d", fd));
-  }
-  ++stats_.reads;
-  stats_.bytes_read += it->second.data->size();
-  reads_->Add(1);
-  bytes_read_->Add(it->second.data->size());
-  return *it->second.data;
-}
-
 Result<SharedBytes> SandFs::ReadAllShared(int fd) {
   SAND_RETURN_IF_ERROR(EnsureData(fd));
   std::lock_guard<std::mutex> lock(mutex_);
@@ -337,12 +340,18 @@ Result<std::vector<std::string>> SandFs::ListDir(const std::string& path) {
     return InvalidArgument("listdir: path must be absolute: " + path);
   }
   if (path == kControlRoot || path == std::string(kControlRoot) + "/") {
-    return std::vector<std::string>{"health", "history", "jobs", "metrics", "trace"};
+    return std::vector<std::string>{"health", "history", "jobs", "metrics", "tenants", "trace"};
   }
   if (path == std::string(kControlRoot) + "/jobs") {
     return obs::JobRegistry::Get().Tags();  // already sorted
   }
   if (path.rfind(std::string(kControlRoot) + "/jobs/", 0) == 0) {
+    return std::vector<std::string>{"metrics"};
+  }
+  if (path == std::string(kControlRoot) + "/tenants") {
+    return obs::TenantRegistry::Get().Tags();  // already sorted
+  }
+  if (path.rfind(std::string(kControlRoot) + "/tenants/", 0) == 0) {
     return std::vector<std::string>{"metrics"};
   }
   SAND_ASSIGN_OR_RETURN(std::vector<std::string> children, provider_->ListChildren(path));

@@ -55,6 +55,7 @@
 #include "src/graph/view.h"
 #include "src/obs/metrics.h"
 #include "src/vfs/prefetcher.h"
+#include "src/vfs/sand_api.h"
 
 namespace sand {
 
@@ -109,21 +110,6 @@ class ViewProvider {
   virtual void PublishObservability() {}
 };
 
-// Per-open knobs (the O_* analogue of Table 2's open flags).
-struct OpenOptions {
-  // Readahead depth when this opens a task session: -1 keeps the fs-wide
-  // default, 0 disables prefetching for the task, >0 speculates that many
-  // upcoming batch views. Ignored for non-session paths.
-  int prefetch_window = -1;
-  // Keep the materialized result resident in the prefetcher beyond
-  // Close(fd) (until the task session closes). For batch views re-read by
-  // multiple consumers.
-  bool pin = false;
-  // O_NONBLOCK: first Read/ReadAll returns UNAVAILABLE while the object is
-  // still materializing instead of blocking; poll until it succeeds.
-  bool nonblock = false;
-};
-
 struct SandFsStats {
   uint64_t opens = 0;
   uint64_t reads = 0;
@@ -132,7 +118,9 @@ struct SandFsStats {
   uint64_t bytes_read = 0;
 };
 
-class SandFs {
+// The in-process SandApi backend: fds resolve directly against the
+// ViewProvider, reads are zero-copy references to materialized buffers.
+class SandFs : public SandApi {
  public:
   // Prefix of the introspection namespace ("/.sand/...").
   static constexpr const char* kControlRoot = "/.sand";
@@ -141,36 +129,32 @@ class SandFs {
   // disables speculation, preserving the synchronous demand path.
   explicit SandFs(ViewProvider* provider, PrefetchOptions prefetch = {});
 
+  using SandApi::Open;  // the options-free overload
+
   // Opens a view or session path; returns a file descriptor.
-  Result<int> Open(const std::string& path) { return Open(path, OpenOptions{}); }
-  Result<int> Open(const std::string& path, const OpenOptions& options);
+  Result<int> Open(const std::string& path, const OpenOptions& options) override;
 
   // Sequential read from the fd's cursor. Returns bytes copied; 0 at EOF.
-  Result<size_t> Read(int fd, std::span<uint8_t> buffer);
+  Result<size_t> Read(int fd, std::span<uint8_t> buffer) override;
 
   // Positional read.
-  Result<size_t> PRead(int fd, std::span<uint8_t> buffer, uint64_t offset);
+  Result<size_t> PRead(int fd, std::span<uint8_t> buffer, uint64_t offset) override;
 
-  // Reads the whole object (materializing if needed). Copies.
-  // DEPRECATED: prefer ReadAllShared — it returns the materialized buffer
-  // itself instead of copying it; this wrapper remains for byte-oriented
-  // callers and will not grow new features.
-  Result<std::vector<uint8_t>> ReadAll(int fd);
-
-  // Zero-copy variant: a reference to the fd's materialized buffer. The
+  // Zero-copy read: a reference to the fd's materialized buffer. The
   // buffer outlives Close(fd) for as long as the caller pins it; treat it
-  // as immutable.
-  Result<SharedBytes> ReadAllShared(int fd);
+  // as immutable. (The copying ReadAll wrapper this surface once carried
+  // was removed after the PR 3 deprecation cycle; see DESIGN.md §13.)
+  Result<SharedBytes> ReadAllShared(int fd) override;
 
   // Size of the object behind fd (materializes if needed).
-  Result<uint64_t> SizeOf(int fd);
+  Result<uint64_t> SizeOf(int fd) override;
 
-  Result<std::string> GetXattr(int fd, const std::string& name);
+  Result<std::string> GetXattr(int fd, const std::string& name) override;
 
   // Lists directory entries (readdir analogue), sorted.
-  Result<std::vector<std::string>> ListDir(const std::string& path);
+  Result<std::vector<std::string>> ListDir(const std::string& path) override;
 
-  Status Close(int fd);
+  Status Close(int fd) override;
 
   SandFsStats stats();
 

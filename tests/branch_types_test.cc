@@ -68,8 +68,8 @@ Result<std::vector<Clip>> ServeBatch(const Env& env, const TaskConfig& task) {
   SandService service(env.store, env.meta, cache, {task}, options);
   SAND_RETURN_IF_ERROR(service.Start());
   SAND_ASSIGN_OR_RETURN(int fd, service.fs().Open("/branchy/0/0/view"));
-  SAND_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, service.fs().ReadAll(fd));
-  return ParseBatch(bytes);
+  SAND_ASSIGN_OR_RETURN(SharedBytes bytes, service.fs().ReadAllShared(fd));
+  return ParseBatch(*bytes);
 }
 
 TEST(BranchTypesTest, MultiFansOutToParallelStreams) {

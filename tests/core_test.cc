@@ -78,11 +78,11 @@ TEST(SandServiceTest, ServesWellFormedBatches) {
   SandFs& fs = rig.service->fs();
   auto fd = fs.Open("/train/0/0/view");
   ASSERT_TRUE(fd.ok());
-  auto bytes = fs.ReadAll(*fd);
+  auto bytes = fs.ReadAllShared(*fd);
   ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
   ASSERT_TRUE(fs.Close(*fd).ok());
 
-  auto header = ParseBatchHeader(*bytes);
+  auto header = ParseBatchHeader(**bytes);
   ASSERT_TRUE(header.ok()) << header.status().ToString();
   EXPECT_EQ(header->n_clips, 2u);
   EXPECT_EQ(header->frames_per_clip, 3u);
@@ -100,11 +100,11 @@ TEST(SandServiceTest, BatchesAreDeterministic) {
     auto fd2 = rig2.service->fs().Open(path);
     ASSERT_TRUE(fd1.ok());
     ASSERT_TRUE(fd2.ok());
-    auto bytes1 = rig1.service->fs().ReadAll(*fd1);
-    auto bytes2 = rig2.service->fs().ReadAll(*fd2);
+    auto bytes1 = rig1.service->fs().ReadAllShared(*fd1);
+    auto bytes2 = rig2.service->fs().ReadAllShared(*fd2);
     ASSERT_TRUE(bytes1.ok());
     ASSERT_TRUE(bytes2.ok());
-    EXPECT_EQ(*bytes1, *bytes2) << "identical services must serve identical batches";
+    EXPECT_EQ(**bytes1, **bytes2) << "identical services must serve identical batches";
   }
 }
 
@@ -120,9 +120,9 @@ TEST(SandServiceTest, AllEpochsAcrossChunksReadable) {
                                    static_cast<long long>(iter));
       auto fd = fs.Open(path);
       ASSERT_TRUE(fd.ok());
-      auto bytes = fs.ReadAll(*fd);
+      auto bytes = fs.ReadAllShared(*fd);
       ASSERT_TRUE(bytes.ok()) << path << ": " << bytes.status().ToString();
-      EXPECT_TRUE(ParseBatchHeader(*bytes).ok());
+      EXPECT_TRUE(ParseBatchHeader(**bytes).ok());
       ASSERT_TRUE(fs.Close(*fd).ok());
     }
   }
@@ -141,9 +141,9 @@ TEST(SandServiceTest, FrameViewMatchesGroundTruth) {
     std::string path = StrFormat("/train/vid000/frame%lld", static_cast<long long>(index));
     auto fd = fs.Open(path);
     ASSERT_TRUE(fd.ok());
-    auto bytes = fs.ReadAll(*fd);
+    auto bytes = fs.ReadAllShared(*fd);
     if (bytes.ok()) {
-      auto frame = Frame::Deserialize(*bytes);
+      auto frame = Frame::Deserialize(**bytes);
       ASSERT_TRUE(frame.ok());
       Frame expected = SynthesizeFrame(VideoSeed(77, 0), index, 24, 32, 3);
       EXPECT_EQ(*frame, expected) << "decoded frame must be lossless";
@@ -167,7 +167,7 @@ TEST(SandServiceTest, PreMaterializationFillsCache) {
   // Batch reads should now mostly hit the cache.
   auto fd = rig.service->fs().Open("/train/0/0/view");
   ASSERT_TRUE(fd.ok());
-  ASSERT_TRUE(rig.service->fs().ReadAll(*fd).ok());
+  ASSERT_TRUE(rig.service->fs().ReadAllShared(*fd).ok());
   EXPECT_GT(rig.service->stats().exec.cache_hits, 0u);
 }
 
@@ -184,11 +184,11 @@ TEST(SandServiceTest, TightBudgetStillServesCorrectBatches) {
   auto fd2 = rig_loose.service->fs().Open("/train/0/1/view");
   ASSERT_TRUE(fd1.ok());
   ASSERT_TRUE(fd2.ok());
-  auto bytes1 = rig_tight.service->fs().ReadAll(*fd1);
-  auto bytes2 = rig_loose.service->fs().ReadAll(*fd2);
+  auto bytes1 = rig_tight.service->fs().ReadAllShared(*fd1);
+  auto bytes2 = rig_loose.service->fs().ReadAllShared(*fd2);
   ASSERT_TRUE(bytes1.ok());
   ASSERT_TRUE(bytes2.ok());
-  EXPECT_EQ(*bytes1, *bytes2);
+  EXPECT_EQ(**bytes1, **bytes2);
 }
 
 TEST(SandServiceTest, MetadataXattrs) {
@@ -219,10 +219,10 @@ TEST(SandServiceTest, UnknownBatchRejected) {
   TestRig rig = MakeRig(DefaultOptions());
   auto fd = rig.service->fs().Open("/train/0/999/view");
   ASSERT_TRUE(fd.ok());
-  EXPECT_FALSE(rig.service->fs().ReadAll(*fd).ok());
+  EXPECT_FALSE(rig.service->fs().ReadAllShared(*fd).ok());
   auto fd2 = rig.service->fs().Open("/wrongtask/0/0/view");
   ASSERT_TRUE(fd2.ok());
-  EXPECT_FALSE(rig.service->fs().ReadAll(*fd2).ok());
+  EXPECT_FALSE(rig.service->fs().ReadAllShared(*fd2).ok());
 }
 
 TEST(SandServiceTest, MultiTaskSharingMergesWork) {
@@ -250,11 +250,11 @@ TEST(SandServiceTest, MultiTaskSharingMergesWork) {
   // second task's read is nearly free (cache hits).
   auto fd_a = rig.service->fs().Open("/a/0/0/view");
   ASSERT_TRUE(fd_a.ok());
-  ASSERT_TRUE(rig.service->fs().ReadAll(*fd_a).ok());
+  ASSERT_TRUE(rig.service->fs().ReadAllShared(*fd_a).ok());
   uint64_t decoded_after_a = rig.service->stats().exec.frames_decoded;
   auto fd_b = rig.service->fs().Open("/b/0/0/view");
   ASSERT_TRUE(fd_b.ok());
-  ASSERT_TRUE(rig.service->fs().ReadAll(*fd_b).ok());
+  ASSERT_TRUE(rig.service->fs().ReadAllShared(*fd_b).ok());
   uint64_t decoded_after_b = rig.service->stats().exec.frames_decoded;
   EXPECT_LE(decoded_after_b - decoded_after_a, decoded_after_a)
       << "task b must reuse task a's decoded objects";
@@ -304,7 +304,7 @@ TEST(SandServiceTest, RecoveryFindsPersistedObjects) {
   // And the recovered service serves batches without redecoding everything.
   auto fd = service.fs().Open("/train/0/0/view");
   ASSERT_TRUE(fd.ok());
-  EXPECT_TRUE(service.fs().ReadAll(*fd).ok());
+  EXPECT_TRUE(service.fs().ReadAllShared(*fd).ok());
   std::filesystem::remove_all(dir);
 }
 
@@ -335,9 +335,9 @@ TEST(SandServiceTest, CustomOpThroughRegistry) {
   TestRig rig = MakeRig(DefaultOptions(), SmallDataset(), {task});
   auto fd = rig.service->fs().Open("/train/0/0/view");
   ASSERT_TRUE(fd.ok());
-  auto bytes = rig.service->fs().ReadAll(*fd);
+  auto bytes = rig.service->fs().ReadAllShared(*fd);
   ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
-  auto clips = ParseBatch(*bytes);
+  auto clips = ParseBatch(**bytes);
   ASSERT_TRUE(clips.ok());
   for (const Clip& clip : *clips) {
     for (const Frame& frame : clip.frames) {

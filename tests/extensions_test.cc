@@ -420,7 +420,7 @@ TEST(SubprocessOpTest, MultipleSequentialCalls) {
   }
 }
 
-Result<Frame> AlwaysFails(const Frame&) { return Internal("nope"); }
+Result<Frame> AlwaysFails(const Frame&) { return ResourceExhausted("gpu quota: nope"); }
 
 TEST(SubprocessOpTest, WorkerErrorsSurface) {
   auto runner = SubprocessOpRunner::Spawn(&AlwaysFails);
@@ -428,8 +428,15 @@ TEST(SubprocessOpTest, WorkerErrorsSurface) {
   Frame frame(4, 4, 1);
   auto out = (*runner)->Apply(frame);
   EXPECT_FALSE(out.ok());
+  // The worker's own status — code and message — crosses the pipe instead
+  // of a bare "op error", so remote failures are diagnosable.
+  EXPECT_EQ(out.status().code(), ErrorCode::kResourceExhausted);
+  EXPECT_NE(out.status().message().find("gpu quota: nope"), std::string::npos)
+      << out.status().ToString();
   // The worker stays alive after an op error.
-  EXPECT_FALSE((*runner)->Apply(frame).ok());
+  auto again = (*runner)->Apply(frame);
+  EXPECT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), ErrorCode::kResourceExhausted);
 }
 
 TEST(SubprocessOpTest, RegistersAsCustomOp) {

@@ -316,9 +316,9 @@ TEST(ChaosTest, TrainingSurvivesFaultyDiskAndRecoversConsistently) {
                                      static_cast<long long>(iter));
         auto fd = service.fs().Open(path);
         ASSERT_TRUE(fd.ok()) << path;
-        auto bytes = service.fs().ReadAll(*fd);
+        auto bytes = service.fs().ReadAllShared(*fd);
         ASSERT_TRUE(bytes.ok()) << path << ": " << bytes.status().ToString();
-        EXPECT_TRUE(ParseBatchHeader(*bytes).ok()) << path;
+        EXPECT_TRUE(ParseBatchHeader(**bytes).ok()) << path;
         ASSERT_TRUE(service.fs().Close(*fd).ok());
       }
     }
@@ -376,7 +376,7 @@ TEST(ChaosTest, ServiceDegradesToMemoryOnlyOnDeadDisk) {
     std::string path = StrFormat("/train/0/%lld/view", static_cast<long long>(iter));
     auto fd = service.fs().Open(path);
     ASSERT_TRUE(fd.ok());
-    auto bytes = service.fs().ReadAll(*fd);
+    auto bytes = service.fs().ReadAllShared(*fd);
     ASSERT_TRUE(bytes.ok()) << "reads must keep working memory-only: "
                             << bytes.status().ToString();
     ASSERT_TRUE(service.fs().Close(*fd).ok());

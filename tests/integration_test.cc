@@ -65,7 +65,7 @@ TEST(IntegrationTest, SandDecodesLessThanOnDemand) {
     for (int64_t iter = 0; iter < ipe; ++iter) {
       auto fd = service.fs().Open(ViewPath::Batch("train", epoch, iter).Format());
       ASSERT_TRUE(fd.ok());
-      ASSERT_TRUE(service.fs().ReadAll(*fd).ok());
+      ASSERT_TRUE(service.fs().ReadAllShared(*fd).ok());
       ASSERT_TRUE(service.fs().Close(*fd).ok());
     }
   }
@@ -235,7 +235,7 @@ TEST(IntegrationTest, RemoteTrafficSavings) {
     for (int64_t iter = 0; iter < ipe; ++iter) {
       auto fd = service.fs().Open(ViewPath::Batch("train", epoch, iter).Format());
       ASSERT_TRUE(fd.ok());
-      ASSERT_TRUE(service.fs().ReadAll(*fd).ok());
+      ASSERT_TRUE(service.fs().ReadAllShared(*fd).ok());
     }
   }
   uint64_t sand_traffic = sand_remote->traffic().bytes_read;
@@ -275,9 +275,9 @@ TEST(IntegrationTest, PrunedServiceServesEverything) {
     for (int64_t iter = 0; iter < 2; ++iter) {
       auto fd = service.fs().Open(ViewPath::Batch("train", epoch, iter).Format());
       ASSERT_TRUE(fd.ok());
-      auto bytes = service.fs().ReadAll(*fd);
+      auto bytes = service.fs().ReadAllShared(*fd);
       ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
-      EXPECT_TRUE(ParseBatchHeader(*bytes).ok());
+      EXPECT_TRUE(ParseBatchHeader(**bytes).ok());
     }
   }
 }

@@ -336,9 +336,9 @@ TEST(ControlViewTest, MetricsRoundTripThroughSandFs) {
   SandFs fs(&provider);
   auto fd = fs.Open("/.sand/metrics");
   ASSERT_TRUE(fd.ok()) << fd.status().ToString();
-  auto bytes = fs.ReadAll(*fd);
+  auto bytes = fs.ReadAllShared(*fd);
   ASSERT_TRUE(bytes.ok());
-  std::string body(bytes->begin(), bytes->end());
+  std::string body((*bytes)->begin(), (*bytes)->end());
   EXPECT_TRUE(JsonLooksValid(body)) << body.substr(0, 200);
   EXPECT_NE(body.find("\"test.obs.view.marker\": 99"), std::string::npos) << body;
   // Same bytes as asking the registry directly... modulo metrics recorded
@@ -354,9 +354,9 @@ TEST(ControlViewTest, TraceRoundTripThroughSandFs) {
   SandFs fs(&provider);
   auto fd = fs.Open("/.sand/trace");
   ASSERT_TRUE(fd.ok()) << fd.status().ToString();
-  auto bytes = fs.ReadAll(*fd);
+  auto bytes = fs.ReadAllShared(*fd);
   ASSERT_TRUE(bytes.ok());
-  std::string body(bytes->begin(), bytes->end());
+  std::string body((*bytes)->begin(), (*bytes)->end());
   EXPECT_TRUE(JsonLooksValid(body)) << body.substr(0, 200);
   EXPECT_NE(body.find("view_probe_span"), std::string::npos);
   EXPECT_NE(body.find("\"traceEvents\""), std::string::npos);
@@ -369,15 +369,15 @@ TEST(ControlViewTest, SnapshotIsStableAfterOpen) {
   SandFs fs(&provider);
   auto fd = fs.Open("/.sand/metrics");
   ASSERT_TRUE(fd.ok());
-  auto before = fs.ReadAll(*fd);
+  auto before = fs.ReadAllShared(*fd);
   ASSERT_TRUE(before.ok());
   // Mutate the registry after the open: the snapshot must not change.
   Registry::Get().GetCounter("test.obs.view.late")->Add(1);
-  std::vector<uint8_t> buffer(before->size());
+  std::vector<uint8_t> buffer((*before)->size());
   auto n = fs.PRead(*fd, buffer, 0);
   ASSERT_TRUE(n.ok());
-  EXPECT_EQ(*n, before->size());
-  EXPECT_EQ(buffer, *before);
+  EXPECT_EQ(*n, (*before)->size());
+  EXPECT_EQ(buffer, **before);
   EXPECT_TRUE(fs.Close(*fd).ok());
 }
 
@@ -387,7 +387,8 @@ TEST(ControlViewTest, ControlDirAndErrors) {
   auto listing = fs.ListDir("/.sand");
   ASSERT_TRUE(listing.ok());
   EXPECT_EQ(*listing,
-            (std::vector<std::string>{"health", "history", "jobs", "metrics", "trace"}));
+            (std::vector<std::string>{"health", "history", "jobs", "metrics", "tenants",
+                                      "trace"}));
   EXPECT_FALSE(fs.Open("/.sand").ok());
   EXPECT_FALSE(fs.Open("/.sand/bogus").ok());
   EXPECT_FALSE(fs.Open("/.sand/jobs/nonexistent-job/metrics").ok());
@@ -415,9 +416,9 @@ TEST(ControlViewTest, PerJobMetricsView) {
 
   auto fd = fs.Open("/.sand/jobs/obs-view-job/metrics");
   ASSERT_TRUE(fd.ok()) << fd.status().ToString();
-  auto bytes = fs.ReadAll(*fd);
+  auto bytes = fs.ReadAllShared(*fd);
   ASSERT_TRUE(bytes.ok());
-  std::string body(bytes->begin(), bytes->end());
+  std::string body((*bytes)->begin(), (*bytes)->end());
   EXPECT_TRUE(JsonLooksValid(body)) << body.substr(0, 200);
   // The job prefix is stripped: the view shows "reads", not
   // "sand.job.obs-view-job.reads" — and nothing from other jobs.
@@ -441,9 +442,9 @@ TEST(ControlViewTest, HistoryViewRecordsSamples) {
   SandFs fs(&provider);
   auto fd = fs.Open("/.sand/history");
   ASSERT_TRUE(fd.ok()) << fd.status().ToString();
-  auto bytes = fs.ReadAll(*fd);
+  auto bytes = fs.ReadAllShared(*fd);
   ASSERT_TRUE(bytes.ok());
-  std::string body(bytes->begin(), bytes->end());
+  std::string body((*bytes)->begin(), (*bytes)->end());
   EXPECT_TRUE(JsonLooksValid(body)) << body.substr(0, 200);
   EXPECT_NE(body.find("\"interval_ms\""), std::string::npos);
   EXPECT_NE(body.find("\"test.obs.history.gauge\""), std::string::npos);
@@ -483,9 +484,9 @@ TEST(ControlViewTest, HealthViewAndViolationCounters) {
   {
     auto fd = fs.Open("/.sand/health");
     ASSERT_TRUE(fd.ok()) << fd.status().ToString();
-    auto bytes = fs.ReadAll(*fd);
+    auto bytes = fs.ReadAllShared(*fd);
     ASSERT_TRUE(bytes.ok());
-    std::string body(bytes->begin(), bytes->end());
+    std::string body((*bytes)->begin(), (*bytes)->end());
     EXPECT_TRUE(JsonLooksValid(body)) << body;
     EXPECT_NE(body.find("\"status\": \"ok\""), std::string::npos) << body;
     EXPECT_TRUE(fs.Close(*fd).ok());
@@ -497,9 +498,9 @@ TEST(ControlViewTest, HealthViewAndViolationCounters) {
   {
     auto fd = fs.Open("/.sand/health");
     ASSERT_TRUE(fd.ok());
-    auto bytes = fs.ReadAll(*fd);
+    auto bytes = fs.ReadAllShared(*fd);
     ASSERT_TRUE(bytes.ok());
-    std::string body(bytes->begin(), bytes->end());
+    std::string body((*bytes)->begin(), (*bytes)->end());
     EXPECT_NE(body.find("\"status\": \"degraded\""), std::string::npos) << body;
     EXPECT_NE(body.find("\"check\": \"disk_degraded\""), std::string::npos) << body;
     EXPECT_TRUE(fs.Close(*fd).ok());
@@ -512,9 +513,9 @@ TEST(ControlViewTest, HealthViewAndViolationCounters) {
   {
     auto fd = fs.Open("/.sand/health");
     ASSERT_TRUE(fd.ok());
-    auto bytes = fs.ReadAll(*fd);
+    auto bytes = fs.ReadAllShared(*fd);
     ASSERT_TRUE(bytes.ok());
-    std::string body(bytes->begin(), bytes->end());
+    std::string body((*bytes)->begin(), (*bytes)->end());
     EXPECT_NE(body.find("\"status\": \"unhealthy\""), std::string::npos) << body;
     EXPECT_TRUE(fs.Close(*fd).ok());
   }

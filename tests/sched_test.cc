@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -204,6 +206,116 @@ TEST(SchedulerTest, ConcurrentSubmitters) {
   }
   scheduler.WaitIdle();
   EXPECT_EQ(count.load(), 200);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenant fair-share (DESIGN.md §13).
+
+MaterializationJob TenantJob(int id, uint32_t tenant, OrderRecorder& recorder,
+                             bool demand = false) {
+  MaterializationJob job;
+  job.demand_feeding = demand;
+  job.deadline = id;  // submission order doubles as EDF key
+  job.run = [id, &recorder] { recorder.Record(id); };
+  job.ctx.tenant_id = tenant;
+  return job;
+}
+
+TEST(SchedulerTest, DemandPopsRotateAcrossTenants) {
+  MaterializationScheduler::Options options;
+  options.num_threads = 1;
+  MaterializationScheduler scheduler(options);
+  OrderRecorder recorder;
+  Gate gate;
+  MaterializationJob blocker;
+  blocker.run = [&gate] { gate.Wait(); };
+  scheduler.Submit(std::move(blocker));
+  // Tenant 1 floods the demand class before tenant 2 submits anything.
+  scheduler.Submit(TenantJob(1, 1, recorder, /*demand=*/true));
+  scheduler.Submit(TenantJob(2, 1, recorder, /*demand=*/true));
+  scheduler.Submit(TenantJob(3, 1, recorder, /*demand=*/true));
+  scheduler.Submit(TenantJob(11, 2, recorder, /*demand=*/true));
+  scheduler.Submit(TenantJob(12, 2, recorder, /*demand=*/true));
+  scheduler.Submit(TenantJob(13, 2, recorder, /*demand=*/true));
+  gate.Open();
+  scheduler.WaitIdle();
+  // Least-recently-served rotation: the flood does not starve tenant 2.
+  EXPECT_EQ(recorder.order(), (std::vector<int>{1, 11, 2, 12, 3, 13}));
+  SchedulerStats stats = scheduler.stats();
+  EXPECT_EQ(stats.jobs_run_by_tenant[1], 3u);
+  EXPECT_EQ(stats.jobs_run_by_tenant[2], 3u);
+}
+
+TEST(SchedulerTest, BackgroundPopsRotateAcrossTenants) {
+  MaterializationScheduler::Options options;
+  options.num_threads = 1;
+  MaterializationScheduler scheduler(options);
+  OrderRecorder recorder;
+  Gate gate;
+  MaterializationJob blocker;
+  blocker.run = [&gate] { gate.Wait(); };
+  scheduler.Submit(std::move(blocker));
+  scheduler.Submit(TenantJob(1, 1, recorder));
+  scheduler.Submit(TenantJob(2, 1, recorder));
+  scheduler.Submit(TenantJob(11, 2, recorder));
+  scheduler.Submit(TenantJob(12, 2, recorder));
+  gate.Open();
+  scheduler.WaitIdle();
+  EXPECT_EQ(recorder.order(), (std::vector<int>{1, 11, 2, 12}));
+}
+
+TEST(SchedulerTest, TenantRunningCapNeverExceeded) {
+  MaterializationScheduler::Options options;
+  options.num_threads = 4;
+  MaterializationScheduler scheduler(options);
+  scheduler.SetTenantRunningCap(1, 1);
+  std::atomic<int> inflight{0};
+  std::atomic<int> max_inflight{0};
+  for (int i = 0; i < 6; ++i) {
+    MaterializationJob job;
+    job.ctx.tenant_id = 1;
+    job.run = [&inflight, &max_inflight] {
+      int current = inflight.fetch_add(1) + 1;
+      int seen = max_inflight.load();
+      while (current > seen && !max_inflight.compare_exchange_weak(seen, current)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      inflight.fetch_sub(1);
+    };
+    scheduler.Submit(std::move(job));
+  }
+  scheduler.WaitIdle();
+  EXPECT_EQ(max_inflight.load(), 1) << "cap of 1 must serialize the tenant's jobs";
+  EXPECT_EQ(scheduler.stats().jobs_run_by_tenant[1], 6u);
+}
+
+TEST(SchedulerTest, CappedTenantDoesNotStarveOthers) {
+  MaterializationScheduler::Options options;
+  options.num_threads = 2;
+  MaterializationScheduler scheduler(options);
+  scheduler.SetTenantRunningCap(1, 1);
+  OrderRecorder recorder;
+  Gate gate;
+  MaterializationJob blocker;
+  blocker.ctx.tenant_id = 1;
+  blocker.run = [&gate] { gate.Wait(); };
+  scheduler.Submit(std::move(blocker));
+  // Make sure the blocker was popped (tenant 1 is now at its cap) before
+  // queueing the contenders.
+  while (scheduler.PendingCount() > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  scheduler.Submit(TenantJob(1, 1, recorder));
+  MaterializationJob other = TenantJob(2, 2, recorder);
+  other.run = [&recorder, &gate] {
+    recorder.Record(2);
+    gate.Open();  // only now may tenant 1 proceed
+  };
+  scheduler.Submit(std::move(other));
+  scheduler.WaitIdle();
+  EXPECT_EQ(recorder.order(), (std::vector<int>{2, 1}))
+      << "the free worker must skip the capped tenant's queued job";
+  EXPECT_GE(scheduler.stats().capped_skips, 1u);
 }
 
 }  // namespace

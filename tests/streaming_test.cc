@@ -85,7 +85,7 @@ TEST(StreamingServiceTest, NewVideosJoinTheNextChunk) {
   // Epoch 0: 4 videos -> 2 iterations.
   auto fd = service.fs().Open("/online/0/1/view");
   ASSERT_TRUE(fd.ok());
-  ASSERT_TRUE(service.fs().ReadAll(*fd).ok());
+  ASSERT_TRUE(service.fs().ReadAllShared(*fd).ok());
 
   // Four more videos arrive before epoch 1 is planned.
   for (int i = 0; i < 4; ++i) {
@@ -94,9 +94,9 @@ TEST(StreamingServiceTest, NewVideosJoinTheNextChunk) {
   // Epoch 1's chunk sees 8 videos -> 4 iterations; iteration 3 now exists.
   auto fd2 = service.fs().Open("/online/1/3/view");
   ASSERT_TRUE(fd2.ok());
-  auto bytes = service.fs().ReadAll(*fd2);
+  auto bytes = service.fs().ReadAllShared(*fd2);
   ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
-  EXPECT_TRUE(ParseBatchHeader(*bytes).ok());
+  EXPECT_TRUE(ParseBatchHeader(**bytes).ok());
 
   // The namespace reflects the grown dataset.
   auto listing = service.fs().ListDir("/online");
@@ -151,12 +151,12 @@ TEST(StreamingServiceTest, IngestGatedVideosBlockUntilPublished) {
 
   auto fd = service.fs().Open("/gated/0/0/view");
   ASSERT_TRUE(fd.ok());
-  EXPECT_FALSE(service.fs().ReadAll(*fd).ok()) << "vid001 not ingested yet";
+  EXPECT_FALSE(service.fs().ReadAllShared(*fd).ok()) << "vid001 not ingested yet";
 
   live->AdvanceTo(FromSeconds(5));
   auto fd2 = service.fs().Open("/gated/0/0/view");
   ASSERT_TRUE(fd2.ok());
-  EXPECT_TRUE(service.fs().ReadAll(*fd2).ok()) << "after ingest the batch materializes";
+  EXPECT_TRUE(service.fs().ReadAllShared(*fd2).ok()) << "after ingest the batch materializes";
 }
 
 }  // namespace

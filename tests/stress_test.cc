@@ -70,11 +70,11 @@ TEST(StressTest, ConcurrentReadersAcrossTasks) {
             failures.fetch_add(1);
             continue;
           }
-          auto bytes = service.fs().ReadAll(*fd);
-          if (!bytes.ok() || !ParseBatchHeader(*bytes).ok()) {
+          auto bytes = service.fs().ReadAllShared(*fd);
+          if (!bytes.ok() || !ParseBatchHeader(**bytes).ok()) {
             failures.fetch_add(1);
           } else {
-            bytes_total.fetch_add(bytes->size());
+            bytes_total.fetch_add((*bytes)->size());
           }
           (void)service.fs().Close(*fd);
         }
@@ -110,7 +110,7 @@ TEST(StressTest, EvictionKeepsServingUnderTinyBudget) {
     for (int64_t iter = 0; iter < 3; ++iter) {
       auto fd = service.fs().Open(ViewPath::Batch("train", epoch, iter).Format());
       ASSERT_TRUE(fd.ok());
-      auto bytes = service.fs().ReadAll(*fd);
+      auto bytes = service.fs().ReadAllShared(*fd);
       ASSERT_TRUE(bytes.ok()) << epoch << "/" << iter << ": "
                               << bytes.status().ToString();
       (void)service.fs().Close(*fd);
@@ -140,7 +140,7 @@ TEST(StressTest, CorruptedCacheEntriesAreRecomputed) {
   // Read once to know the good bytes, then trash every cached object.
   auto fd = service.fs().Open("/train/0/0/view");
   ASSERT_TRUE(fd.ok());
-  auto good = service.fs().ReadAll(*fd);
+  auto good = service.fs().ReadAllShared(*fd);
   ASSERT_TRUE(good.ok());
   for (const std::string& key : cache->memory().ListKeys()) {
     ASSERT_TRUE(cache->memory().Put(key, std::vector<uint8_t>{1, 2, 3}).ok());
@@ -151,9 +151,9 @@ TEST(StressTest, CorruptedCacheEntriesAreRecomputed) {
   // Serving still works: corrupt entries are detected, dropped, recomputed.
   auto fd2 = service.fs().Open("/train/0/1/view");
   ASSERT_TRUE(fd2.ok());
-  auto bytes = service.fs().ReadAll(*fd2);
+  auto bytes = service.fs().ReadAllShared(*fd2);
   ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
-  EXPECT_TRUE(ParseBatchHeader(*bytes).ok());
+  EXPECT_TRUE(ParseBatchHeader(**bytes).ok());
 }
 
 TEST(StressTest, StoreConcurrentPutGet) {

@@ -102,9 +102,9 @@ TEST_F(SandFsTest, ReadAllAndSize) {
   auto fd = fs_.Open("/train/vid0/frame3");
   ASSERT_TRUE(fd.ok());
   EXPECT_EQ(*fs_.SizeOf(*fd), 2u);
-  auto all = fs_.ReadAll(*fd);
+  auto all = fs_.ReadAllShared(*fd);
   ASSERT_TRUE(all.ok());
-  EXPECT_EQ(*all, (std::vector<uint8_t>{9, 9}));
+  EXPECT_EQ(**all, (std::vector<uint8_t>{9, 9}));
 }
 
 TEST_F(SandFsTest, GetXattrDelegates) {
@@ -165,6 +165,77 @@ TEST_F(SandFsTest, StatsAccumulate) {
   EXPECT_EQ(stats.reads, 1u);
   EXPECT_EQ(stats.closes, 1u);
   EXPECT_EQ(stats.bytes_read, 8u);
+}
+
+// ---------------------------------------------------------------------------
+// OpenOptions: validation and the versioned wire form (DESIGN.md §13).
+
+TEST(OpenOptionsTest, ValidateRejectsBadCombos) {
+  OpenOptions options;
+  options.prefetch_window = -2;
+  EXPECT_EQ(options.Validate().code(), ErrorCode::kInvalidArgument);
+
+  options = OpenOptions{};
+  options.nonblock = true;
+  options.prefetch_window = 4;
+  options.pin = false;  // nonblock poller of speculative readahead must pin
+  EXPECT_EQ(options.Validate().code(), ErrorCode::kInvalidArgument);
+  options.pin = true;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(OpenOptionsTest, WireRoundTrip) {
+  OpenOptions options;
+  options.prefetch_window = 7;
+  options.pin = true;
+  options.nonblock = false;
+  auto decoded = OpenOptions::Deserialize(options.Serialize());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(*decoded == options);
+
+  // Defaults survive too (prefetch_window = -1 is a negative i64 on the wire).
+  auto defaults = OpenOptions::Deserialize(OpenOptions{}.Serialize());
+  ASSERT_TRUE(defaults.ok());
+  EXPECT_TRUE(*defaults == OpenOptions{});
+}
+
+TEST(OpenOptionsTest, UnknownFieldsFromNewerPeerAreSkipped) {
+  OpenOptions options;
+  options.prefetch_window = 3;
+  std::vector<uint8_t> bytes = options.Serialize();
+  // Append a field with an unassigned tag, as a newer client would.
+  bytes.push_back(99);
+  for (int i = 0; i < 8; ++i) {
+    bytes.push_back(0xAB);
+  }
+  bytes[1] += 1;  // field count
+  auto decoded = OpenOptions::Deserialize(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(*decoded == options);
+}
+
+TEST(OpenOptionsTest, RejectsMalformedWireForm) {
+  EXPECT_EQ(OpenOptions::Deserialize({}).status().code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(OpenOptions::Deserialize({0, 0}).status().code(),
+            ErrorCode::kInvalidArgument);  // version 0
+  std::vector<uint8_t> truncated = OpenOptions{}.Serialize();
+  truncated.pop_back();
+  EXPECT_EQ(OpenOptions::Deserialize(truncated).status().code(),
+            ErrorCode::kInvalidArgument);
+  // Invalid decoded combos fail like local Validate() does.
+  OpenOptions bad;
+  bad.nonblock = true;
+  bad.prefetch_window = 2;
+  EXPECT_EQ(OpenOptions::Deserialize(bad.Serialize()).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(SandFsTest, OpenValidatesOptions) {
+  OpenOptions bad;
+  bad.prefetch_window = -5;
+  auto fd = fs_.Open("/train/0/0/view", bad);
+  ASSERT_FALSE(fd.ok());
+  EXPECT_EQ(fd.status().code(), ErrorCode::kInvalidArgument);
 }
 
 }  // namespace

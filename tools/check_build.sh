@@ -8,7 +8,7 @@
 #   BUILD_DIR         override the default build tree (default: build)
 #   SKIP_TSAN=1       skip the ThreadSanitizer suite
 #   SKIP_ASAN=1       skip the AddressSanitizer suite
-#   MAKE_BENCH_JSON=1 also regenerate BENCH_PR7.json (slow: full benches
+#   MAKE_BENCH_JSON=1 also regenerate BENCH_PR8.json (slow: full benches
 #                     plus the tracing-overhead comparison)
 set -euo pipefail
 
@@ -64,9 +64,37 @@ if connected < 1:
 print(f"trace gate: {connected} connected flames across {len(by_trace)} traces")
 EOF
 
+echo "==== serving smoke (sand_server + 2 remote_trainer tenants) ===="
+cmake --build "$BUILD_DIR" -j"$(nproc)" --target sand_server remote_trainer sand_stat
+SERVE_TMP="$(mktemp -d)"
+SOCK="$SERVE_TMP/sand.sock"
+"$BUILD_DIR/tools/sand_server" --socket "$SOCK" --tenant alpha:2:64 \
+    > "$SERVE_TMP/server.log" 2>&1 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true; wait "$SERVER_PID" 2>/dev/null || true; rm -rf "$TRACE_TMP" "$SERVE_TMP"' EXIT
+for _ in $(seq 50); do [ -S "$SOCK" ] && break; sleep 0.1; done
+[ -S "$SOCK" ] || { cat "$SERVE_TMP/server.log"; echo "serving gate: server did not come up" >&2; exit 1; }
+# Two tenants train concurrently over the same socket...
+"$BUILD_DIR/examples/remote_trainer" --socket "$SOCK" --tenant alpha >/dev/null &
+TRAINER_A=$!
+"$BUILD_DIR/examples/remote_trainer" --socket "$SOCK" --tenant beta >/dev/null &
+TRAINER_B=$!
+wait "$TRAINER_A"
+wait "$TRAINER_B"
+# ...and the gate: the control tree, read over the same wire, must show
+# both tenants with served requests.
+"$BUILD_DIR/tools/sand_stat" --remote "$SOCK" --tenants | tee "$SERVE_TMP/tenants.txt"
+grep -q '^alpha ' "$SERVE_TMP/tenants.txt" && grep -q '^beta ' "$SERVE_TMP/tenants.txt" \
+    || { echo "serving gate: missing tenant rows" >&2; exit 1; }
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+grep -q 'shutting down' "$SERVE_TMP/server.log" \
+    || { cat "$SERVE_TMP/server.log"; echo "serving gate: no clean shutdown" >&2; exit 1; }
+echo "serving gate: 2 tenants served + clean shutdown"
+
 if [ "${MAKE_BENCH_JSON:-0}" = "1" ]; then
-  echo "==== bench report (tools/make_bench_json.sh -> BENCH_PR7.json) ===="
-  tools/make_bench_json.sh "$BUILD_DIR" BENCH_PR7.json
+  echo "==== bench report (tools/make_bench_json.sh -> BENCH_PR8.json) ===="
+  tools/make_bench_json.sh "$BUILD_DIR" BENCH_PR8.json
 fi
 
 if [ "${SKIP_TSAN:-0}" != "1" ]; then
@@ -78,7 +106,7 @@ if [ "${SKIP_ASAN:-0}" != "1" ]; then
   echo "==== asan suite ===="
   ASAN_BUILD_DIR=${ASAN_BUILD_DIR:-build-asan}
   ASAN_TESTS=(vfs_test prefetch_test core_test codec_test fault_injection_test
-              compress_test compress_tier_test)
+              compress_test compress_tier_test net_test)
   cmake -B "$ASAN_BUILD_DIR" -S . -DSAND_ASAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$ASAN_BUILD_DIR" -j"$(nproc)" --target "${ASAN_TESTS[@]}"
   for test in "${ASAN_TESTS[@]}"; do

@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_PR7.json — the committed structured-results report —
-# from the three --json-out instrumented benches, plus a tracing-overhead
+# Regenerates BENCH_PR8.json — the committed structured-results report —
+# from the four --json-out instrumented benches, plus a tracing-overhead
 # measurement (fig11 smoke runs with the span ring on vs off). Run from
 # the repo root after a release build:
 #
 #   cmake -B build -S . && cmake --build build -j
-#   tools/make_bench_json.sh build BENCH_PR7.json
+#   tools/make_bench_json.sh build BENCH_PR8.json
 #
 # Each bench writes {"bench": ..., "results": [...]}; the report is the
-# JSON array of the three plus a "trace_overhead" object. The overhead
+# JSON array of the four plus a "trace_overhead" object. The
+# net_multiclient rows carry the multi-tenant serving acceptance: the
+# "net_multiclient_fairshare" row must have fair_share_ok=true (a
+# scheduler-capped greedy tenant may not push another tenant's p99 batch
+# latency past 2x its solo baseline). The overhead
 # budget for always-on tracing is <3% on the fig11 demand bench; the
 # comparison uses avg iteration time (histogram quantiles are bucket
 # midpoints — too coarse for a small delta), min over OVERHEAD_RUNS runs
@@ -16,7 +20,7 @@
 set -euo pipefail
 
 BUILD="${1:-build}"
-OUT="${2:-BENCH_PR7.json}"
+OUT="${2:-BENCH_PR8.json}"
 OVERHEAD_RUNS="${OVERHEAD_RUNS:-3}"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -27,6 +31,19 @@ echo "make_bench_json: fig17 (storage pruning + codec sweep)..." >&2
 "$BUILD/bench/bench_fig17_storage_pruning" --json-out "$TMP/fig17.json" >/dev/null
 echo "make_bench_json: micro (codec throughput)..." >&2
 "$BUILD/bench/bench_micro_compress" --json-out "$TMP/micro.json" >/dev/null
+echo "make_bench_json: net (multi-tenant serving)..." >&2
+"$BUILD/bench/bench_net_multiclient" --json-out "$TMP/net.json" >/dev/null
+python3 - "$TMP/net.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+rows = [r for r in doc["results"] if r["name"] == "net_multiclient_fairshare"]
+if not rows:
+    sys.exit("net bench: no fairshare row")
+if rows[0]["params"]["fair_share_ok"] != "true":
+    sys.exit(f"net bench: fair-share violated: {rows[0]['params']}")
+print(f"net bench: fair-share ok (ratio {rows[0]['params']['ratio']})", file=sys.stderr)
+EOF
 
 echo "make_bench_json: tracing overhead (fig11 --smoke, on vs off x$OVERHEAD_RUNS)..." >&2
 for i in $(seq 1 "$OVERHEAD_RUNS"); do
@@ -72,6 +89,8 @@ EOF
   cat "$TMP/fig17.json"
   printf ',\n'
   cat "$TMP/micro.json"
+  printf ',\n'
+  cat "$TMP/net.json"
   printf ',\n'
   cat "$TMP/overhead.json"
   printf ']\n'

@@ -1,0 +1,203 @@
+// sand_server: serves a SAND instance over a unix/TCP socket.
+//
+// Stands up the full in-process stack (synthetic dataset -> SandService ->
+// SandFs) and fronts it with net::SandServer so out-of-process trainers
+// (examples/remote_trainer, sand_stat --remote) can speak the SandApi verb
+// set over the wire. One server process, many tenants:
+//
+//   build/tools/sand_server --socket /tmp/sand.sock \
+//       --tenant alpha:2:64 --tenant beta
+//
+// registers tenant "alpha" capped at 2 concurrent scheduler jobs and a
+// 64 MiB storage budget, and "beta" with defaults. Unknown tenants are
+// auto-registered with default quotas unless --no-auto-tenants.
+//
+// Runs until SIGINT/SIGTERM.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/strings.h"
+#include "src/common/units.h"
+#include "src/core/sand_service.h"
+#include "src/net/sand_server.h"
+#include "src/workloads/models.h"
+#include "src/workloads/synthetic.h"
+
+using namespace sand;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true); }
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--socket PATH] [--tcp PORT] [--threads N]\n"
+               "          [--tenant TAG[:SCHED_CAP[:BUDGET_MIB]]]... \n"
+               "          [--no-auto-tenants] [--isolate-tenants]\n"
+               "          [--task NAME]... [--videos N] [--epochs N]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SetLogLevel(LogLevel::kWarning);
+
+  std::string socket_path;
+  int tcp_port = -1;
+  int threads = 4;
+  bool auto_tenants = true;
+  bool isolate = false;
+  int videos = 8;
+  int epochs = 4;
+  std::vector<std::string> tasks;
+  // tag -> (sched cap, budget bytes)
+  std::vector<std::pair<std::string, net::TenantQuotas>> tenants;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--socket") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      socket_path = v;
+    } else if (arg == "--tcp") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      tcp_port = std::atoi(v);
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      threads = std::atoi(v);
+    } else if (arg == "--no-auto-tenants") {
+      auto_tenants = false;
+    } else if (arg == "--isolate-tenants") {
+      isolate = true;
+    } else if (arg == "--videos") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      videos = std::atoi(v);
+    } else if (arg == "--epochs") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      epochs = std::atoi(v);
+    } else if (arg == "--task") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      tasks.push_back(v);
+    } else if (arg == "--tenant") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      std::vector<std::string> parts = Split(v, ':');
+      if (parts.empty() || parts[0].empty()) return Usage(argv[0]);
+      net::TenantQuotas quotas;
+      if (parts.size() > 1) quotas.sched_max_running = std::atoi(parts[1].c_str());
+      if (parts.size() > 2) {
+        quotas.storage_budget_bytes =
+            static_cast<uint64_t>(std::atoll(parts[2].c_str())) * kMiB;
+      }
+      tenants.emplace_back(parts[0], quotas);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (socket_path.empty() && tcp_port < 0) {
+    return Usage(argv[0]);
+  }
+  if (tasks.empty()) {
+    tasks.push_back("train");
+  }
+
+  // --- the in-process stack the socket fronts -----------------------------
+  auto dataset_store = std::make_shared<MemoryStore>();
+  SyntheticDatasetOptions dataset;
+  dataset.num_videos = videos;
+  dataset.frames_per_video = 48;
+  dataset.height = 48;
+  dataset.width = 64;
+  auto meta = BuildSyntheticDataset(*dataset_store, dataset);
+  if (!meta.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", meta.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<TaskConfig> configs;
+  for (const std::string& task : tasks) {
+    auto config = ParseTaskConfigText(MakeTaskConfigYaml(SlowFastProfile(), meta->path, task));
+    if (!config.ok()) {
+      std::fprintf(stderr, "config %s: %s\n", task.c_str(),
+                   config.status().ToString().c_str());
+      return 1;
+    }
+    configs.push_back(*config);
+  }
+  auto cache = std::make_shared<TieredCache>(std::make_shared<MemoryStore>(128ULL * kMiB),
+                                             std::make_shared<MemoryStore>(512ULL * kMiB));
+  ServiceOptions service_options;
+  service_options.k_epochs = 2;
+  service_options.total_epochs = epochs;
+  service_options.storage_budget_bytes = 256 * kMiB;
+  SandService service(dataset_store, *meta, cache, configs, service_options);
+  if (auto status = service.Start(); !status.ok()) {
+    std::fprintf(stderr, "start: %s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  // --- the socket front-end -----------------------------------------------
+  net::SandServer::Options options;
+  options.unix_path = socket_path;
+  options.tcp_port = tcp_port;
+  options.request_threads = threads;
+  options.auto_register_tenants = auto_tenants;
+  options.isolate_tenant_tasks = isolate;
+  options.sched_cap_hook = [&service](uint32_t tenant_id, int cap) {
+    service.SetTenantRunningCap(tenant_id, cap);
+  };
+  net::SandServer server(&service.fs(), options);
+  for (const auto& [tag, quotas] : tenants) {
+    server.RegisterTenant(tag, quotas);
+  }
+  if (auto status = server.Start(); !status.ok()) {
+    std::fprintf(stderr, "listen: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  if (!socket_path.empty()) {
+    std::printf("sand_server: listening on unix:%s\n", socket_path.c_str());
+  }
+  if (tcp_port >= 0) {
+    std::printf("sand_server: listening on tcp:127.0.0.1:%d\n", server.tcp_port());
+  }
+  std::printf("sand_server: %zu task(s), %zu registered tenant(s), auto-register %s\n",
+              tasks.size(), tenants.size(), auto_tenants ? "on" : "off");
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::printf("sand_server: shutting down\n");
+  net::ServerStats stats = server.stats();
+  server.Stop();
+  service.Shutdown();
+  std::printf("sand_server: served %llu requests over %llu connections "
+              "(%llu backpressure, %llu quota refusals)\n",
+              static_cast<unsigned long long>(stats.requests_served),
+              static_cast<unsigned long long>(stats.connections_accepted),
+              static_cast<unsigned long long>(stats.rejected_backpressure),
+              static_cast<unsigned long long>(stats.rejected_quota));
+  return 0;
+}

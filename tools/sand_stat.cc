@@ -8,6 +8,13 @@
 //   build/bench/bench_fig11_single_task --metrics-out /tmp/m.json
 //   build/tools/sand_stat /tmp/m.json
 //
+// With --remote ENDPOINT the snapshot is fetched live from a running
+// sand_server over its socket instead (ENDPOINT is a unix socket path or
+// host:port); the control view read is picked by the mode: /.sand/metrics
+// for the default and --jobs/--tenants tables, /.sand/health for --health.
+//
+//   build/tools/sand_stat --remote /tmp/sand.sock --tenants
+//
 // Output: counters and gauges aligned and sorted, histogram quantiles in
 // human time units (the convention is that *_ns histograms hold
 // nanoseconds), plus derived ratios (cache hit rate, decode
@@ -16,11 +23,14 @@
 #include <cctype>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <optional>
 #include <sstream>
 #include <string>
+
+#include "src/net/sand_client.h"
 
 namespace {
 
@@ -286,6 +296,96 @@ int PrintJobs(const FlatMetrics& flat) {
   return 0;
 }
 
+// --- per-tenant attribution table ("--tenants") ------------------------------
+//
+// Same regrouping as PrintJobs but over the "sand.tenant.<tag>.*"
+// namespace (src/obs/attribution.h): one row per socket tenant with its
+// traffic, refusals, and budget residency.
+
+int PrintTenants(const FlatMetrics& flat) {
+  std::map<std::string, FlatMetrics> tenants;
+  const std::string kPrefixes[] = {"counters.sand.tenant.", "gauges.sand.tenant.",
+                                   "histograms.sand.tenant."};
+  for (const auto& [key, value] : flat) {
+    for (const std::string& prefix : kPrefixes) {
+      if (key.rfind(prefix, 0) != 0) {
+        continue;
+      }
+      std::string rest = key.substr(prefix.size());
+      size_t cut = rest.rfind('.');
+      if (prefix[0] == 'h' && cut != std::string::npos && cut != 0) {
+        cut = rest.rfind('.', cut - 1);
+      }
+      if (cut != std::string::npos && cut != 0) {
+        tenants[rest.substr(0, cut)][rest.substr(cut + 1)] = value;
+      }
+      break;
+    }
+  }
+  if (tenants.empty()) {
+    std::fprintf(stderr, "sand_stat: no sand.tenant.* metrics in snapshot\n");
+    return 1;
+  }
+  std::printf("%-16s %9s %10s %9s %12s %9s %12s %12s\n", "tenant", "sessions",
+              "requests", "rejected", "bytes", "inflight", "resident", "wait_p99");
+  for (const auto& [tag, m] : tenants) {
+    std::printf("%-16s %9s %10s %9s %12s %9s %12s %12s\n", tag.c_str(),
+                HumanCount(GetOr(m, "sessions")).c_str(),
+                HumanCount(GetOr(m, "requests")).c_str(),
+                HumanCount(GetOr(m, "rejected")).c_str(),
+                HumanCount(GetOr(m, "bytes_read")).c_str(),
+                HumanCount(GetOr(m, "inflight")).c_str(),
+                HumanCount(GetOr(m, "resident_bytes")).c_str(),
+                HumanTime(GetOr(m, "materialize_wait_ns.p99")).c_str());
+  }
+  return 0;
+}
+
+// --- remote snapshot ("--remote") --------------------------------------------
+//
+// Dials a sand_server as a read-only tenant and fetches one control view.
+// The endpoint is a unix socket path (contains '/') or host:port.
+
+std::optional<std::string> FetchRemote(const std::string& endpoint,
+                                       const std::string& tenant,
+                                       const std::string& view) {
+  sand::net::SandClient::Options options;
+  if (endpoint.find('/') != std::string::npos) {
+    options.unix_path = endpoint;
+  } else {
+    size_t colon = endpoint.rfind(':');
+    if (colon == std::string::npos) {
+      options.port = std::atoi(endpoint.c_str());
+    } else {
+      if (colon > 0) {
+        options.host = endpoint.substr(0, colon);
+      }
+      options.port = std::atoi(endpoint.c_str() + colon + 1);
+    }
+  }
+  options.tenant = tenant;
+  auto client = sand::net::SandClient::Connect(options);
+  if (!client.ok()) {
+    std::fprintf(stderr, "sand_stat: connect %s: %s\n", endpoint.c_str(),
+                 client.status().ToString().c_str());
+    return std::nullopt;
+  }
+  auto fd = (*client)->Open(view);
+  if (!fd.ok()) {
+    std::fprintf(stderr, "sand_stat: open %s: %s\n", view.c_str(),
+                 fd.status().ToString().c_str());
+    return std::nullopt;
+  }
+  auto body = (*client)->ReadAllShared(*fd);
+  (void)(*client)->Close(*fd);
+  if (!body.ok()) {
+    std::fprintf(stderr, "sand_stat: read %s: %s\n", view.c_str(),
+                 body.status().ToString().c_str());
+    return std::nullopt;
+  }
+  return std::string((*body)->begin(), (*body)->end());
+}
+
 // --- health verdict ("--health") ---------------------------------------------
 //
 // Renders the /.sand/health view: overall status plus one line per
@@ -319,16 +419,24 @@ int PrintHealth(const FlatMetrics& flat, const FlatStrings& strings) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  enum class Mode { kMetrics, kJobs, kHealth } mode = Mode::kMetrics;
+  enum class Mode { kMetrics, kJobs, kTenants, kHealth } mode = Mode::kMetrics;
   std::string path;
+  std::string remote;
+  std::string tenant = "sand_stat";
   bool path_set = false;
   bool usage_error = false;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--jobs") {
       mode = Mode::kJobs;
+    } else if (arg == "--tenants") {
+      mode = Mode::kTenants;
     } else if (arg == "--health") {
       mode = Mode::kHealth;
+    } else if (arg == "--remote" && i + 1 < argc) {
+      remote = argv[++i];
+    } else if (arg == "--tenant" && i + 1 < argc) {
+      tenant = argv[++i];
     } else if (!path_set) {
       path = arg;
       path_set = true;
@@ -336,13 +444,24 @@ int main(int argc, char** argv) {
       usage_error = true;
     }
   }
-  if (usage_error) {
-    std::fprintf(stderr, "usage: %s [--jobs|--health] [snapshot.json|-]\n", argv[0]);
+  if (usage_error || (path_set && !remote.empty())) {
+    std::fprintf(stderr,
+                 "usage: %s [--jobs|--tenants|--health] [snapshot.json|-]\n"
+                 "       %s [--jobs|--tenants|--health] --remote ENDPOINT "
+                 "[--tenant TAG]\n",
+                 argv[0], argv[0]);
     return 2;
   }
 
   std::string input;
-  if (path_set && path != "-") {
+  if (!remote.empty()) {
+    std::string view = mode == Mode::kHealth ? "/.sand/health" : "/.sand/metrics";
+    auto body = FetchRemote(remote, tenant, view);
+    if (!body) {
+      return 1;
+    }
+    input = *body;
+  } else if (path_set && path != "-") {
     std::FILE* f = std::fopen(path.c_str(), "rb");
     if (f == nullptr) {
       std::fprintf(stderr, "sand_stat: cannot open %s\n", path.c_str());
@@ -369,6 +488,9 @@ int main(int argc, char** argv) {
   }
   if (mode == Mode::kJobs) {
     return PrintJobs(flat);
+  }
+  if (mode == Mode::kTenants) {
+    return PrintTenants(flat);
   }
   if (mode == Mode::kHealth) {
     return PrintHealth(flat, strings);
