@@ -103,15 +103,20 @@ void SandServer::Stop() {
     }
     listen_fds_.clear();
     accept_threads.swap(accept_threads_);
+    // Sever live connections under the lock: ServeConnection closes (and
+    // -1s) socket_fd under this same mutex, so a still-open fd here cannot
+    // be a recycled descriptor number belonging to someone else.
+    for (auto& conn : connections_) {
+      if (conn->socket_fd >= 0) {
+        ::shutdown(conn->socket_fd, SHUT_RDWR);
+      }
+    }
     connections.swap(connections_);
   }
   for (std::thread& thread : accept_threads) {
     if (thread.joinable()) {
       thread.join();
     }
-  }
-  for (auto& conn : connections) {
-    ::shutdown(conn->socket_fd, SHUT_RDWR);
   }
   for (auto& conn : connections) {
     if (conn->thread.joinable()) {
@@ -155,6 +160,19 @@ void SandServer::AcceptLoop(int listen_fd) {
     if (!running_) {
       ::close(socket_fd);
       return;
+    }
+    // Reap finished connections so a long-lived server is bounded by its
+    // *live* session count, not every session it ever accepted. A done
+    // connection set its flag as its final act, so the join is immediate.
+    for (auto it = connections_.begin(); it != connections_.end();) {
+      if ((*it)->done.load()) {
+        if ((*it)->thread.joinable()) {
+          (*it)->thread.join();
+        }
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
     }
     auto conn = std::make_unique<Connection>();
     conn->socket_fd = socket_fd;
@@ -277,13 +295,30 @@ void SandServer::ServeConnection(Connection* conn) {
     }
   }
   conn->owned_fds.clear();
-  ::close(conn->socket_fd);
+  {
+    // Close under mutex_ and mark the fd gone so Stop never shutdowns a
+    // descriptor number the kernel has already handed to someone else.
+    std::lock_guard<std::mutex> lock(mutex_);
+    ::close(conn->socket_fd);
+    conn->socket_fd = -1;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    --stats_.active_connections;
+  }
+  // Last act: after this the accept loop may join and free us.
   conn->done.store(true);
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  --stats_.active_connections;
 }
 
 std::vector<uint8_t> SandServer::HandleHello(Connection* conn, WireReader& reader) {
+  if (conn->tenant_id != 0) {
+    // Re-authenticating as another tenant would strand this connection's
+    // fd charges on the old tenant's budget; a session is one tenant for
+    // life — reconnect to switch.
+    return EncodeErrorResponse(
+        FailedPrecondition("connection already authenticated as tenant '" +
+                           conn->tenant_tag + "'"));
+  }
   auto version = reader.TakeU16();
   if (!version.ok()) {
     return EncodeErrorResponse(version.status());
@@ -453,7 +488,17 @@ std::vector<uint8_t> SandServer::Dispatch(Connection* conn, Command command,
       if (!FdOwned(conn, *fd)) {
         return EncodeErrorResponse(InvalidArgument("fd not owned by this connection"));
       }
+      // The client's max_bytes is untrusted: clamp the buffer to what the
+      // object can actually yield before allocating, falling back to half
+      // a frame only when the backend cannot size the fd.
       uint64_t count = std::min<uint64_t>(*max_bytes, kMaxFrameBytes / 2);
+      if (auto size = backend_->SizeOf(*fd); size.ok()) {
+        ChargeFd(conn, *fd, *size);
+        uint64_t available = command == Command::kPRead
+                                 ? (offset < *size ? *size - offset : 0)
+                                 : *size;
+        count = std::min(count, available);
+      }
       std::vector<uint8_t> buffer(static_cast<size_t>(count));
       Result<size_t> read =
           command == Command::kRead
@@ -463,9 +508,6 @@ std::vector<uint8_t> SandServer::Dispatch(Connection* conn, Command command,
         return EncodeErrorResponse(read.status());
       }
       buffer.resize(*read);
-      if (auto size = backend_->SizeOf(*fd); size.ok()) {
-        ChargeFd(conn, *fd, *size);
-      }
       std::vector<uint8_t> response = EncodeOkHead();
       PutBytes(response, buffer);
       return response;
@@ -484,6 +526,14 @@ std::vector<uint8_t> SandServer::Dispatch(Connection* conn, Command command,
         return EncodeErrorResponse(bytes.status());
       }
       ChargeFd(conn, *fd, (*bytes)->size());
+      if ((*bytes)->size() > kMaxFrameBytes - 16) {
+        // Too big for one response frame: answer with an error the client
+        // can act on (chunk via PRead) instead of dying on WriteFrame.
+        return EncodeErrorResponse(OutOfRange(
+            "object is " + std::to_string((*bytes)->size()) +
+            " bytes, larger than the " + std::to_string(kMaxFrameBytes) +
+            "-byte frame cap; read it in chunks with PRead"));
+      }
       std::vector<uint8_t> response = EncodeOkHead();
       PutU32(response, static_cast<uint32_t>((*bytes)->size()));
       response.insert(response.end(), (*bytes)->begin(), (*bytes)->end());
@@ -534,9 +584,25 @@ std::vector<uint8_t> SandServer::Dispatch(Connection* conn, Command command,
       if (!path.ok()) {
         return EncodeErrorResponse(path.status());
       }
+      // Same isolation gate as Open: entry names are data too.
+      if (options_.isolate_tenant_tasks && !TenantMayAccess(conn->tenant_tag, *path)) {
+        return EncodeErrorResponse(FailedPrecondition(
+            "tenant '" + conn->tenant_tag + "' may not list task '" +
+            TaskComponent(*path) + "'"));
+      }
       auto entries = backend_->ListDir(*path);
       if (!entries.ok()) {
         return EncodeErrorResponse(entries.status());
+      }
+      // The root listing enumerates task names; under isolation a tenant
+      // only sees its own (plus the shared control tree).
+      if (options_.isolate_tenant_tasks && TaskComponent(*path).empty()) {
+        entries->erase(
+            std::remove_if(entries->begin(), entries->end(),
+                           [conn](const std::string& entry) {
+                             return !TenantMayAccess(conn->tenant_tag, "/" + entry);
+                           }),
+            entries->end());
       }
       std::vector<uint8_t> response = EncodeOkHead();
       PutU32(response, static_cast<uint32_t>(entries->size()));

@@ -31,7 +31,13 @@ uint64_t GetLe(const uint8_t* data, int bytes) {
 
 bool WriteFull(int fd, const uint8_t* data, size_t count) {
   while (count > 0) {
-    ssize_t n = ::write(fd, data, count);
+    // MSG_NOSIGNAL: a peer that disconnected mid-response must surface as
+    // EPIPE on this connection, not SIGPIPE terminating the whole
+    // multi-tenant process. Pipes (ENOTSOCK) fall back to write(2).
+    ssize_t n = ::send(fd, data, count, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) {
+      n = ::write(fd, data, count);
+    }
     if (n < 0) {
       if (errno == EINTR) {
         continue;

@@ -23,10 +23,11 @@
 namespace sand {
 namespace net {
 
-// Upper bound on one frame. Batches are tens of MiB at most; anything
-// larger is a corrupt or hostile length word and is refused before the
-// allocation, not after.
-inline constexpr uint32_t kMaxFrameBytes = 1u << 30;
+// Upper bound on one frame. Batches are tens of MiB at most; 128 MiB
+// leaves headroom for outsized objects while keeping the worst-case
+// allocation a hostile length word can force per connection bounded.
+// ReadFrame refuses larger length words before the allocation, not after.
+inline constexpr uint32_t kMaxFrameBytes = 1u << 27;
 
 // Protocol revision sent in HELLO; bumped on incompatible changes.
 inline constexpr uint16_t kProtocolVersion = 1;

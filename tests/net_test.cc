@@ -53,6 +53,24 @@ class NetFakeProvider : public ViewProvider {
     return NotFound("unknown xattr " + name);
   }
 
+  Result<std::vector<std::string>> ListChildren(const std::string& path) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::string prefix = path == "/" ? "/" : path + "/";
+    std::vector<std::string> children;
+    for (const auto& [key, bytes] : objects_) {
+      if (key.rfind(prefix, 0) != 0) {
+        continue;
+      }
+      std::string rest = key.substr(prefix.size());
+      std::string child = rest.substr(0, rest.find('/'));
+      if (!child.empty() &&
+          std::find(children.begin(), children.end(), child) == children.end()) {
+        children.push_back(child);
+      }
+    }
+    return children;
+  }
+
   Status OnSessionOpen(const std::string& task) override {
     std::lock_guard<std::mutex> lock(mutex_);
     sessions_[task] += 1;
@@ -217,6 +235,110 @@ TEST_F(NetTest, HelloIsMandatoryAndVersionChecked) {
   SandClient::Options bad;
   bad.unix_path = socket_path_;
   EXPECT_EQ(SandClient::Connect(bad).status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(NetTest, SecondHelloIsRejected) {
+  StartServer();
+  auto socket_fd = net::ConnectUnix(socket_path_);
+  ASSERT_TRUE(socket_fd.ok());
+  std::vector<uint8_t> hello{static_cast<uint8_t>(net::Command::kHello)};
+  net::PutU16(hello, net::kProtocolVersion);
+  net::PutString(hello, "alpha");
+  std::vector<uint8_t> response;
+  ASSERT_TRUE(net::WriteFrame(*socket_fd, hello));
+  ASSERT_TRUE(net::ReadFrame(*socket_fd, response));
+  ASSERT_TRUE(net::DecodeResponseStatus(response).ok());
+
+  // Re-badging as another tenant mid-session would let fd charges taken
+  // as "alpha" be released against "beta"'s budget: refused.
+  std::vector<uint8_t> rebadge{static_cast<uint8_t>(net::Command::kHello)};
+  net::PutU16(rebadge, net::kProtocolVersion);
+  net::PutString(rebadge, "beta");
+  ASSERT_TRUE(net::WriteFrame(*socket_fd, rebadge));
+  ASSERT_TRUE(net::ReadFrame(*socket_fd, response));
+  EXPECT_EQ(net::DecodeResponseStatus(response).code(),
+            ErrorCode::kFailedPrecondition);
+
+  // The connection itself stays healthy as the original tenant.
+  std::vector<uint8_t> open{static_cast<uint8_t>(net::Command::kOpen)};
+  net::PutString(open, "/train/0/0/view");
+  net::PutBytes(open, OpenOptions{}.Serialize());
+  ASSERT_TRUE(net::WriteFrame(*socket_fd, open));
+  ASSERT_TRUE(net::ReadFrame(*socket_fd, response));
+  EXPECT_TRUE(net::DecodeResponseStatus(response).ok());
+  ::close(*socket_fd);
+}
+
+TEST_F(NetTest, OversizedFrameLengthDropsConnection) {
+  StartServer();
+  auto socket_fd = net::ConnectUnix(socket_path_);
+  ASSERT_TRUE(socket_fd.ok());
+  // A hostile length word above kMaxFrameBytes must be refused before any
+  // allocation: the server drops the connection instead of resizing.
+  uint8_t header[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+  ASSERT_EQ(::write(*socket_fd, header, sizeof(header)),
+            static_cast<ssize_t>(sizeof(header)));
+  std::vector<uint8_t> response;
+  EXPECT_FALSE(net::ReadFrame(*socket_fd, response)) << "expected EOF";
+  ::close(*socket_fd);
+
+  // The server is still serving other clients.
+  auto client = Connect("alpha");
+  ASSERT_NE(client, nullptr);
+  auto fd = client->Open("/train/0/0/view");
+  ASSERT_TRUE(fd.ok());
+  EXPECT_TRUE(client->ReadAllShared(*fd).ok());
+}
+
+TEST_F(NetTest, ClientVanishingMidResponseDoesNotKillServer) {
+  StartServer();
+  provider_.SetGated(true);
+
+  // Raw session: HELLO, Open, then a ReadAll that parks behind the gate.
+  auto socket_fd = net::ConnectUnix(socket_path_);
+  ASSERT_TRUE(socket_fd.ok());
+  std::vector<uint8_t> hello{static_cast<uint8_t>(net::Command::kHello)};
+  net::PutU16(hello, net::kProtocolVersion);
+  net::PutString(hello, "alpha");
+  std::vector<uint8_t> response;
+  ASSERT_TRUE(net::WriteFrame(*socket_fd, hello));
+  ASSERT_TRUE(net::ReadFrame(*socket_fd, response));
+  std::vector<uint8_t> open{static_cast<uint8_t>(net::Command::kOpen)};
+  net::PutString(open, "/train/0/0/view");
+  net::PutBytes(open, OpenOptions{}.Serialize());
+  ASSERT_TRUE(net::WriteFrame(*socket_fd, open));
+  ASSERT_TRUE(net::ReadFrame(*socket_fd, response));
+  ASSERT_TRUE(net::DecodeResponseStatus(response).ok());
+  net::WireReader reader(response);
+  (void)*reader.TakeU8();
+  int fd = *reader.TakeI32();
+  std::vector<uint8_t> read_all{static_cast<uint8_t>(net::Command::kReadAll)};
+  net::PutI32(read_all, fd);
+  ASSERT_TRUE(net::WriteFrame(*socket_fd, read_all));
+  provider_.WaitMaterializeStarted(1);
+
+  // Vanish while the server still owes us a response; when the gate opens
+  // the server writes into a dead socket. That must be EPIPE on that
+  // connection, not SIGPIPE killing the process (which would abort the
+  // whole test binary here).
+  ::close(*socket_fd);
+  provider_.SetGated(false);
+
+  auto survivor = Connect("beta");
+  ASSERT_NE(survivor, nullptr);
+  auto survivor_fd = survivor->Open("/train/0/1/view");
+  ASSERT_TRUE(survivor_fd.ok());
+  EXPECT_TRUE(survivor->ReadAllShared(*survivor_fd).ok());
+  // And the vanished session's resources were torn down.
+  std::vector<std::string> closed;
+  for (int i = 0; i < 500; ++i) {
+    closed = provider_.ClosedViews();
+    if (std::find(closed.begin(), closed.end(), "/train/0/0/view") != closed.end()) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_NE(std::find(closed.begin(), closed.end(), "/train/0/0/view"), closed.end());
 }
 
 TEST_F(NetTest, EightConcurrentClientsAcrossTwoTenants) {
@@ -449,6 +571,19 @@ TEST_F(NetTest, TenantTaskIsolation) {
   EXPECT_EQ(foreign.status().code(), ErrorCode::kFailedPrecondition);
   EXPECT_TRUE(client->Open("/alpha_train/0/0/view").ok());
   EXPECT_TRUE(client->Open("/.sand/metrics").ok()) << "control tree stays shared";
+
+  // ListDir honors the same gate: a foreign task's entry names are data.
+  auto foreign_list = client->ListDir("/train");
+  ASSERT_FALSE(foreign_list.ok());
+  EXPECT_EQ(foreign_list.status().code(), ErrorCode::kFailedPrecondition);
+  EXPECT_TRUE(client->ListDir("/alpha_train").ok());
+  EXPECT_TRUE(client->ListDir("/.sand").ok()) << "control tree stays listable";
+  // The root listing is filtered down to the tenant's own tasks.
+  auto root = client->ListDir("/");
+  ASSERT_TRUE(root.ok()) << root.status().ToString();
+  EXPECT_EQ(std::find(root->begin(), root->end(), "train"), root->end())
+      << "foreign task name leaked through the root listing";
+  EXPECT_NE(std::find(root->begin(), root->end(), "alpha_train"), root->end());
 }
 
 TEST_F(NetTest, SchedulerCapHookReceivesQuotas) {

@@ -55,6 +55,9 @@ int Usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   SetLogLevel(LogLevel::kWarning);
+  // wire.cc sends with MSG_NOSIGNAL, but ignore SIGPIPE process-wide too:
+  // a trainer vanishing mid-response must never take down the server.
+  std::signal(SIGPIPE, SIG_IGN);
 
   std::string socket_path;
   int tcp_port = -1;
