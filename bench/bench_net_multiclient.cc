@@ -1,8 +1,9 @@
 // Multi-client serving bench: per-tenant tail latency through the socket
-// front-end (DESIGN.md §13), and the fair-share acceptance check for the
-// tenant scheduler caps.
+// front-end (DESIGN.md §13), the fair-share acceptance check for the
+// tenant scheduler caps, and the pipelined-vs-serial throughput sweep.
 //
-// Three scenarios, each against a fresh sand server on a unix socket:
+// Part 1 — fair share. Three scenarios, each against a fresh sand server
+// on a unix socket:
 //
 //   solo               4 "alpha" clients, one task each, no contention
 //   greedy-uncapped    + 4 "greedy" clients hammering their own tasks
@@ -14,11 +15,19 @@
 // greedy tenant behind a scheduler cap must not degrade alpha's p99 batch
 // latency more than 2x over solo. The uncapped scenario is the contrast —
 // what the same load does without the cap.
+//
+// Part 2 — pipelining (ISSUE 9 acceptance). One connection, one
+// cache-resident ~14 KB batch, N ReadAll round trips: a v1 client issues
+// them serially (one RTT each); a v2 client keeps a sliding window of
+// `depth` ReadAllSharedAsync requests in flight. Small payloads make the
+// run latency-dominated, which is exactly what the request ids buy back:
+// the gate is pipelined depth-16 throughput >= 2x serial.
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <deque>
 #include <memory>
 #include <string>
 #include <thread>
@@ -248,6 +257,224 @@ void RecordTenant(const std::string& scenario, const std::string& tenant,
                     run);
 }
 
+// ---------------------------------------------------------------------------
+// Pipelined-vs-serial sweep.
+
+// A deliberately tiny batch (2 clips x 4 frames x 24x24 crop ~ 14 KB): at
+// this size one RPC is dominated by round-trip latency, not payload
+// bytes, so the sweep isolates what pipelining actually changes.
+ModelProfile TinyRpcProfile() {
+  ModelProfile profile = SlowFastProfile();
+  profile.name = "tiny_rpc";
+  profile.videos_per_batch = 2;
+  profile.frames_per_video = 4;
+  profile.crop_h = 24;
+  profile.crop_w = 24;
+  return profile;
+}
+
+struct SweepPoint {
+  std::string mode;  // "serial-v1" or "pipelined"
+  int depth = 1;     // window size (1 for the serial baseline)
+  uint64_t ops = 0;
+  uint64_t refused = 0;
+  int64_t wall_ns = 0;
+  double ops_per_sec = 0.0;
+};
+
+// Keeps `depth` ReadAllSharedAsync requests in flight on one connection,
+// completing them in issue order; RESOURCE_EXHAUSTED replies are absorbed
+// and reissued the way a trainer's read-ahead window would.
+SweepPoint RunPipelinedReads(SandApi& api, int fd, int depth, int total_ops) {
+  SweepPoint point;
+  point.mode = "pipelined";
+  point.depth = depth;
+  std::deque<Future<SharedBytes>> window;
+  int to_issue = total_ops;
+  auto start = std::chrono::steady_clock::now();
+  while (to_issue > 0 || !window.empty()) {
+    while (to_issue > 0 && static_cast<int>(window.size()) < depth) {
+      window.push_back(api.ReadAllSharedAsync(fd));
+      --to_issue;
+    }
+    auto result = window.front().Get();
+    window.pop_front();
+    if (result.ok()) {
+      ++point.ops;
+    } else if (result.status().code() == ErrorCode::kResourceExhausted) {
+      ++point.refused;
+      ++to_issue;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    } else {
+      std::fprintf(stderr, "pipelined read: %s\n", result.status().ToString().c_str());
+      std::exit(1);
+    }
+  }
+  point.wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  point.ops_per_sec =
+      point.wall_ns > 0 ? 1e9 * static_cast<double>(point.ops) / point.wall_ns : 0.0;
+  return point;
+}
+
+void PrintSweepRow(const SweepPoint& point, double serial_ops_per_sec) {
+  double speedup = serial_ops_per_sec > 0 ? point.ops_per_sec / serial_ops_per_sec : 0.0;
+  std::printf("%-10s %5d %7llu %8llu %9.2f %11.0f %8.2fx\n", point.mode.c_str(),
+              point.depth, static_cast<unsigned long long>(point.ops),
+              static_cast<unsigned long long>(point.refused), ToMillis(point.wall_ns),
+              point.ops_per_sec, speedup);
+}
+
+void RecordSweepPoint(const SweepPoint& point, double serial_ops_per_sec) {
+  PipelineRun run;
+  run.metrics.batches = point.ops;
+  run.metrics.wall_ns = point.wall_ns;
+  double speedup = serial_ops_per_sec > 0 ? point.ops_per_sec / serial_ops_per_sec : 0.0;
+  RecordBenchResult("net_pipeline",
+                    {{"mode", point.mode},
+                     {"depth", std::to_string(point.depth)},
+                     {"ops_per_sec", std::to_string(point.ops_per_sec)},
+                     {"refused", std::to_string(point.refused)},
+                     {"speedup_vs_serial", std::to_string(speedup)}},
+                    run);
+}
+
+// Returns the depth-16 speedup over the serial v1 baseline (the gated
+// acceptance number).
+double RunPipelineSweep(bool smoke) {
+  obs::Registry::Get().ResetAll();
+
+  auto dataset_store = std::make_shared<MemoryStore>();
+  SyntheticDatasetOptions dataset;
+  dataset.num_videos = 8;
+  auto meta = BuildSyntheticDataset(*dataset_store, dataset);
+  if (!meta.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", meta.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto config = ParseTaskConfigText(MakeTaskConfigYaml(TinyRpcProfile(), meta->path, "pipe0"));
+  if (!config.ok()) {
+    std::fprintf(stderr, "config: %s\n", config.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto cache = std::make_shared<TieredCache>(std::make_shared<MemoryStore>(128ULL * kMiB),
+                                             std::make_shared<MemoryStore>(512ULL * kMiB));
+  ServiceOptions service_options;
+  service_options.k_epochs = 2;
+  service_options.total_epochs = 2;
+  service_options.storage_budget_bytes = 256 * kMiB;
+  SandService service(dataset_store, *meta, cache, {*config}, service_options);
+  if (auto status = service.Start(); !status.ok()) {
+    std::fprintf(stderr, "start: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+
+  std::string socket_path = std::string(::getenv("TMPDIR") ? ::getenv("TMPDIR") : "/tmp") +
+                            "/bench_net_" + std::to_string(::getpid()) + "_pipeline.sock";
+  net::SandServer::Options server_options;
+  server_options.unix_path = socket_path;
+  server_options.request_threads = 4;
+  // Deep windows must be absorbed by the queue, not bounced: the sweep
+  // measures pipelining, not admission control.
+  server_options.request_queue_depth = 128;
+  net::SandServer server(&service.fs(), server_options);
+  if (auto status = server.Start(); !status.ok()) {
+    std::fprintf(stderr, "listen: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+
+  const int total_ops = smoke ? 400 : 2000;
+  const std::string batch_path = ViewPath::Batch("pipe0", 0, 0).Format();
+
+  net::SandClient::Options client_options;
+  client_options.unix_path = socket_path;
+  client_options.tenant = "alpha";
+
+  // Serial baseline: a v1 client, one request per round trip.
+  SweepPoint serial;
+  serial.mode = "serial-v1";
+  {
+    net::SandClient::Options v1 = client_options;
+    v1.protocol_version = 1;
+    auto client = net::SandClient::Connect(v1);
+    if (!client.ok()) {
+      std::fprintf(stderr, "connect v1: %s\n", client.status().ToString().c_str());
+      std::exit(1);
+    }
+    auto fd = (*client)->Open(batch_path);
+    if (!fd.ok() || !(*client)->ReadAllShared(*fd).ok()) {  // warm the cache
+      std::fprintf(stderr, "warmup failed\n");
+      std::exit(1);
+    }
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < total_ops; ++i) {
+      if ((*client)->ReadAllShared(*fd).ok()) {
+        ++serial.ops;
+      }
+    }
+    serial.wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+    serial.ops_per_sec =
+        serial.wall_ns > 0 ? 1e9 * static_cast<double>(serial.ops) / serial.wall_ns : 0.0;
+  }
+
+  std::printf("\nPipelined vs serial: %d cache-resident ~14 KB ReadAll round trips, "
+              "one connection\n\n",
+              total_ops);
+  std::printf("%-10s %5s %7s %8s %9s %11s %9s\n", "mode", "depth", "ops", "refused",
+              "wall ms", "ops/s", "speedup");
+  PrintRule();
+  PrintSweepRow(serial, serial.ops_per_sec);
+  RecordSweepPoint(serial, serial.ops_per_sec);
+
+  double depth16_speedup = 0.0;
+  double depth16_ops_per_sec = 0.0;
+  {
+    auto client = net::SandClient::Connect(client_options);
+    if (!client.ok()) {
+      std::fprintf(stderr, "connect v2: %s\n", client.status().ToString().c_str());
+      std::exit(1);
+    }
+    auto fd = (*client)->Open(batch_path);
+    if (!fd.ok() || !(*client)->ReadAllShared(*fd).ok()) {
+      std::fprintf(stderr, "warmup failed\n");
+      std::exit(1);
+    }
+    for (int depth : {1, 4, 16, 64}) {
+      SweepPoint point = RunPipelinedReads(**client, *fd, depth, total_ops);
+      PrintSweepRow(point, serial.ops_per_sec);
+      RecordSweepPoint(point, serial.ops_per_sec);
+      if (depth == 16) {
+        depth16_speedup =
+            serial.ops_per_sec > 0 ? point.ops_per_sec / serial.ops_per_sec : 0.0;
+        depth16_ops_per_sec = point.ops_per_sec;
+      }
+    }
+  }
+
+  PrintRule();
+  bool pipeline_ok = depth16_speedup >= 2.0;
+  std::printf("pipeline check: depth-16 speedup %.2fx over serial (budget >= 2.00x) -> %s\n",
+              depth16_speedup, pipeline_ok ? "OK" : "VIOLATED");
+  if (JsonOutEnabled()) {
+    PipelineRun verdict;
+    verdict.metrics.batches = static_cast<uint64_t>(total_ops);
+    RecordBenchResult("net_pipeline_speedup",
+                      {{"serial_ops_per_sec", std::to_string(serial.ops_per_sec)},
+                       {"depth16_ops_per_sec", std::to_string(depth16_ops_per_sec)},
+                       {"speedup", std::to_string(depth16_speedup)},
+                       {"budget", "2.0"},
+                       {"pipeline_ok", pipeline_ok ? "true" : "false"}},
+                      verdict);
+  }
+
+  server.Stop();
+  service.Shutdown();
+  return depth16_speedup;
+}
+
 }  // namespace
 }  // namespace sand
 
@@ -303,5 +530,7 @@ int main(int argc, char** argv) {
                        {"fair_share_ok", fair ? "true" : "false"}},
                       verdict);
   }
+
+  RunPipelineSweep(SmokeMode());
   return 0;
 }

@@ -1,0 +1,132 @@
+#include "src/net/client_pool.h"
+
+#include <utility>
+
+namespace sand {
+namespace net {
+
+Result<std::unique_ptr<ClientPool>> ClientPool::Connect(const Options& options) {
+  if (options.connections <= 0) {
+    return InvalidArgument("ClientPool::Connect: need at least one connection");
+  }
+  SandClient::Options per_conn = options.client;
+  per_conn.max_inflight = options.max_inflight_per_conn;
+  std::unique_ptr<ClientPool> pool(new ClientPool());
+  for (int i = 0; i < options.connections; ++i) {
+    auto client = SandClient::Connect(per_conn);
+    if (!client.ok()) {
+      return client.status();  // drops the already-dialed connections
+    }
+    pool->clients_.push_back(std::move(*client));
+  }
+  return pool;
+}
+
+size_t ClientPool::inflight() const {
+  size_t total = 0;
+  for (const auto& client : clients_) {
+    total += client->inflight();
+  }
+  return total;
+}
+
+SandClient* ClientPool::LeastLoaded() const {
+  SandClient* best = clients_.front().get();
+  size_t best_load = best->inflight();
+  for (size_t i = 1; i < clients_.size(); ++i) {
+    size_t load = clients_[i]->inflight();
+    if (load < best_load) {
+      best = clients_[i].get();
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+SandClient* ClientPool::OwnerOf(int fd) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = fd_owner_.find(fd);
+  return it == fd_owner_.end() ? nullptr : it->second;
+}
+
+Result<int> ClientPool::Open(const std::string& path, const OpenOptions& options) {
+  SandClient* client = LeastLoaded();
+  SAND_ASSIGN_OR_RETURN(int fd, client->Open(path, options));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fd_owner_[fd] = client;
+  }
+  return fd;
+}
+
+Result<size_t> ClientPool::Read(int fd, std::span<uint8_t> buffer) {
+  SandClient* owner = OwnerOf(fd);
+  if (owner == nullptr) {
+    return InvalidArgument("fd not owned by this pool");
+  }
+  return owner->Read(fd, buffer);
+}
+
+Result<size_t> ClientPool::PRead(int fd, std::span<uint8_t> buffer, uint64_t offset) {
+  SandClient* owner = OwnerOf(fd);
+  if (owner == nullptr) {
+    return InvalidArgument("fd not owned by this pool");
+  }
+  return owner->PRead(fd, buffer, offset);
+}
+
+Result<SharedBytes> ClientPool::ReadAllShared(int fd) {
+  SandClient* owner = OwnerOf(fd);
+  if (owner == nullptr) {
+    return InvalidArgument("fd not owned by this pool");
+  }
+  return owner->ReadAllShared(fd);
+}
+
+Future<SharedBytes> ClientPool::ReadAllSharedAsync(int fd) {
+  SandClient* owner = OwnerOf(fd);
+  if (owner == nullptr) {
+    return Future<SharedBytes>::FromResult(
+        Result<SharedBytes>(InvalidArgument("fd not owned by this pool")));
+  }
+  return owner->ReadAllSharedAsync(fd);
+}
+
+Result<uint64_t> ClientPool::SizeOf(int fd) {
+  SandClient* owner = OwnerOf(fd);
+  if (owner == nullptr) {
+    return InvalidArgument("fd not owned by this pool");
+  }
+  return owner->SizeOf(fd);
+}
+
+Result<std::string> ClientPool::GetXattr(int fd, const std::string& name) {
+  SandClient* owner = OwnerOf(fd);
+  if (owner == nullptr) {
+    return InvalidArgument("fd not owned by this pool");
+  }
+  return owner->GetXattr(fd, name);
+}
+
+Result<std::vector<std::string>> ClientPool::ListDir(const std::string& path) {
+  return LeastLoaded()->ListDir(path);
+}
+
+Status ClientPool::Close(int fd) {
+  SandClient* owner = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = fd_owner_.find(fd);
+    if (it != fd_owner_.end()) {
+      owner = it->second;
+      fd_owner_.erase(it);
+    }
+  }
+  if (owner == nullptr) {
+    return InvalidArgument("fd not owned by this pool");
+  }
+  return owner->Close(fd);
+}
+
+}  // namespace net
+}  // namespace sand

@@ -1,0 +1,90 @@
+// ClientPool: one SandApi over N pipelined connections to one server.
+//
+// A single SandClient connection already pipelines, but one connection is
+// still one byte stream: its responses serialize through one socket
+// buffer and one demux thread, and the server charges admission per
+// connection. A trainer process that wants to fan out — several loader
+// threads, deep read-ahead windows — opens a small pool instead and uses
+// it exactly like a single client: ClientPool is itself a SandApi.
+//
+// Routing: path verbs (Open, ListDir) go to the least-loaded connection
+// (fewest requests in flight). Fd verbs are pinned — server fds are
+// connection-scoped, so the pool remembers which connection opened each
+// fd and routes every later verb on it there (a foreign fd is
+// INVALID_ARGUMENT, same as the server would answer). All connections
+// authenticate as the same tenant, so server-side quotas see one tenant
+// regardless of the fan-out.
+//
+// Backpressure: each connection carries Options::max_inflight_per_conn;
+// when the picked connection is at its cap the call fails immediately
+// with RESOURCE_EXHAUSTED — the same retry-after-backoff contract as the
+// server's admission control, surfaced before bytes ever hit the wire.
+
+#ifndef SAND_NET_CLIENT_POOL_H_
+#define SAND_NET_CLIENT_POOL_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/net/sand_client.h"
+#include "src/vfs/sand_api.h"
+
+namespace sand {
+namespace net {
+
+class ClientPool : public SandApi {
+ public:
+  struct Options {
+    // Endpoint + tenant for every connection (SandClient::Options
+    // max_inflight is overridden by max_inflight_per_conn below).
+    SandClient::Options client;
+    // Connections to dial; each is its own session on the server.
+    int connections = 2;
+    // Per-connection inflight cap; <= 0 means unlimited.
+    int max_inflight_per_conn = 64;
+  };
+
+  // Dials all connections up front; any HELLO failure fails the pool.
+  static Result<std::unique_ptr<ClientPool>> Connect(const Options& options);
+
+  ~ClientPool() override = default;
+
+  ClientPool(const ClientPool&) = delete;
+  ClientPool& operator=(const ClientPool&) = delete;
+
+  uint32_t tenant_id() const { return clients_.front()->tenant_id(); }
+  size_t connections() const { return clients_.size(); }
+  // Total requests in flight across the pool.
+  size_t inflight() const;
+
+  using SandApi::Open;
+  Result<int> Open(const std::string& path, const OpenOptions& options) override;
+  Result<size_t> Read(int fd, std::span<uint8_t> buffer) override;
+  Result<size_t> PRead(int fd, std::span<uint8_t> buffer, uint64_t offset) override;
+  Result<SharedBytes> ReadAllShared(int fd) override;
+  Future<SharedBytes> ReadAllSharedAsync(int fd) override;
+  Result<uint64_t> SizeOf(int fd) override;
+  Result<std::string> GetXattr(int fd, const std::string& name) override;
+  Result<std::vector<std::string>> ListDir(const std::string& path) override;
+  Status Close(int fd) override;
+
+ private:
+  ClientPool() = default;
+
+  // Fewest-inflight connection (ties break toward the first).
+  SandClient* LeastLoaded() const;
+  // The connection that owns `fd`, or null.
+  SandClient* OwnerOf(int fd) const;
+
+  std::vector<std::unique_ptr<SandClient>> clients_;
+  mutable std::mutex mutex_;  // fd_owner_
+  std::map<int, SandClient*> fd_owner_;
+};
+
+}  // namespace net
+}  // namespace sand
+
+#endif  // SAND_NET_CLIENT_POOL_H_

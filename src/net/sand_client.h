@@ -3,24 +3,43 @@
 // The remote half of the one-API-two-transports split: a training loop
 // written against SandApi runs unchanged whether it holds a SandFs or a
 // SandClient. Connect() dials the server, performs the HELLO handshake
-// binding the connection to a tenant tag, and returns a ready client.
+// binding the connection to a tenant tag and negotiating the protocol
+// version, and returns a ready client.
 //
-// One connection, serial requests: calls are serialized on an internal
-// mutex (the protocol is strict request/response). Trainers wanting
-// parallel reads open multiple clients — each is its own session, which
-// is also the unit of server-side cleanup. Status codes round-trip: a
-// RESOURCE_EXHAUSTED here is the server's admission control talking, and
-// retrying after a backoff is the intended response.
+// One connection, many requests in flight: the wire protocol is pipelined
+// (v2 frames carry a u64 request id), so any number of threads may issue
+// verbs concurrently and a single demultiplexing reader thread matches
+// responses — which arrive in whatever order the server completes them —
+// back to per-request Promises. The sync verbs are the async path plus a
+// Get(); ReadAllSharedAsync exposes it directly so one thread can keep a
+// window of reads outstanding.
+//
+// Against a v1 (serial-protocol) server the same machinery degrades
+// gracefully: the HELLO negotiates version 1, frames carry no ids, and
+// responses are matched FIFO — which is exactly the ordering a serial
+// server guarantees. Callers should then keep at most one request in
+// flight per connection (ClientPool and the sync verbs do this naturally
+// when max_inflight is 1).
+//
+// Status codes round-trip: a RESOURCE_EXHAUSTED here is either the
+// server's admission control talking or this client's own inflight cap
+// (Options::max_inflight); retrying after a backoff is the intended
+// response to both. A transport failure poisons the connection: every
+// in-flight and future request fails fast with UNAVAILABLE instead of
+// desynchronizing request/response pairing.
 
 #ifndef SAND_NET_SAND_CLIENT_H_
 #define SAND_NET_SAND_CLIENT_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "src/common/future.h"
 #include "src/net/wire.h"
 #include "src/vfs/sand_api.h"
 
@@ -36,11 +55,20 @@ class SandClient : public SandApi {
     int port = -1;
     // Tenant tag sent in HELLO; required.
     std::string tenant;
+    // Highest protocol version to offer in HELLO. The connection runs at
+    // min(offered, server); set 1 to force the serial protocol (tests, or
+    // talking to a pre-pipelining server that rejects unknown versions —
+    // Connect retries at v1 automatically on a version-mismatch HELLO).
+    uint16_t protocol_version = kProtocolVersion;
+    // Max requests this connection keeps in flight; further issues fail
+    // immediately with RESOURCE_EXHAUSTED (client-side backpressure, the
+    // mirror of the server's tenant inflight quota). <= 0 means unlimited.
+    int max_inflight = 0;
   };
 
   // Dials, handshakes, returns a connected client (or the HELLO error —
   // e.g. FAILED_PRECONDITION for an unknown tenant on a server with
-  // auto-registration off).
+  // auto-registration off, or for a peer-cred refusal).
   static Result<std::unique_ptr<SandClient>> Connect(const Options& options);
 
   ~SandClient() override;
@@ -50,27 +78,54 @@ class SandClient : public SandApi {
 
   // Tenant id the server assigned at HELLO (obs::TenantRegistry dense id).
   uint32_t tenant_id() const { return tenant_id_; }
+  // Protocol version negotiated at HELLO (1 = serial, 2 = pipelined).
+  uint16_t negotiated_version() const { return version_; }
+  // Requests currently awaiting a response (ClientPool's load signal).
+  size_t inflight() const;
 
   using SandApi::Open;
   Result<int> Open(const std::string& path, const OpenOptions& options) override;
   Result<size_t> Read(int fd, std::span<uint8_t> buffer) override;
   Result<size_t> PRead(int fd, std::span<uint8_t> buffer, uint64_t offset) override;
   Result<SharedBytes> ReadAllShared(int fd) override;
+  Future<SharedBytes> ReadAllSharedAsync(int fd) override;
   Result<uint64_t> SizeOf(int fd) override;
   Result<std::string> GetXattr(int fd, const std::string& name) override;
   Result<std::vector<std::string>> ListDir(const std::string& path) override;
   Status Close(int fd) override;
 
  private:
-  explicit SandClient(int socket_fd) : socket_fd_(socket_fd) {}
+  SandClient(int socket_fd, uint16_t version)
+      : socket_fd_(socket_fd), version_(version) {}
 
-  // One request/response round trip; on ok, `response` holds the full
-  // payload (status head included). UNAVAILABLE when the connection died.
-  Status RoundTrip(const std::vector<uint8_t>& request, std::vector<uint8_t>& response);
+  // Sends one request (command byte + body) and returns a future for the
+  // raw response payload (status head included, request id stripped).
+  // Resolves with RESOURCE_EXHAUSTED at the inflight cap and UNAVAILABLE
+  // on a dead connection.
+  Future<std::vector<uint8_t>> Issue(std::vector<uint8_t> request);
+  // Issue + Get + status decode: the sync round trip. On ok, `response`
+  // holds the payload (status head at byte 0).
+  Status Call(std::vector<uint8_t> request, std::vector<uint8_t>& response);
 
-  std::mutex mutex_;
+  // Demultiplexer: reads response frames, matches ids (or FIFO order on
+  // v1) to pending promises. Exits when the stream dies, failing every
+  // pending request with UNAVAILABLE.
+  void ReaderLoop();
+  void StartReader();
+  // Fails all pending requests and marks the stream dead. Caller must not
+  // hold mutex_.
+  void Poison(const Status& status);
+
+  mutable std::mutex mutex_;  // pending_, next_request_id_, dead_, writes
+  std::map<uint64_t, Promise<std::vector<uint8_t>>> pending_;
+  uint64_t next_request_id_ = 1;
+  bool dead_ = false;
+
+  std::thread reader_;
   int socket_fd_ = -1;
+  uint16_t version_ = kProtocolVersion;
   uint32_t tenant_id_ = 0;
+  int max_inflight_ = 0;
 };
 
 }  // namespace net

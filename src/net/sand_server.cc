@@ -4,7 +4,7 @@
 #include <unistd.h>
 
 #include <algorithm>
-#include <future>
+#include <chrono>
 #include <utility>
 
 #include "src/common/threading.h"
@@ -48,7 +48,8 @@ SandServer::SandServer(SandApi* backend, Options options)
       options_(std::move(options)),
       request_pool_(WorkerPool::Options{
           std::max(1, options_.request_threads),
-          std::max<size_t>(1, options_.request_queue_depth)}) {}
+          std::max<size_t>(1, options_.request_queue_depth)}),
+      idle_reaped_counter_(obs::Registry::Get().GetCounter("sand.net.idle_reaped")) {}
 
 SandServer::~SandServer() { Stop(); }
 
@@ -85,11 +86,15 @@ Status SandServer::Start() {
   for (int fd : listen_fds_) {
     accept_threads_.emplace_back([this, fd] { AcceptLoop(fd); });
   }
+  if (options_.idle_timeout_ms > 0) {
+    reaper_thread_ = std::thread([this] { ReaperLoop(); });
+  }
   return Status::Ok();
 }
 
 void SandServer::Stop() {
   std::vector<std::thread> accept_threads;
+  std::thread reaper_thread;
   std::vector<std::unique_ptr<Connection>> connections;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -103,6 +108,7 @@ void SandServer::Stop() {
     }
     listen_fds_.clear();
     accept_threads.swap(accept_threads_);
+    reaper_thread.swap(reaper_thread_);
     // Sever live connections under the lock: ServeConnection closes (and
     // -1s) socket_fd under this same mutex, so a still-open fd here cannot
     // be a recycled descriptor number belonging to someone else.
@@ -112,6 +118,10 @@ void SandServer::Stop() {
       }
     }
     connections.swap(connections_);
+  }
+  reaper_cv_.notify_all();
+  if (reaper_thread.joinable()) {
+    reaper_thread.join();
   }
   for (std::thread& thread : accept_threads) {
     if (thread.joinable()) {
@@ -156,6 +166,9 @@ void SandServer::AcceptLoop(int listen_fd) {
       }
       return;  // listener shut down
     }
+    // Small-frame RPCs must not stall behind Nagle; dead trainers must not
+    // pin sessions (and their budget charges) forever.
+    TuneStreamSocket(socket_fd, /*keepalive=*/true);
     std::lock_guard<std::mutex> lock(mutex_);
     if (!running_) {
       ::close(socket_fd);
@@ -176,6 +189,7 @@ void SandServer::AcceptLoop(int listen_fd) {
     }
     auto conn = std::make_unique<Connection>();
     conn->socket_fd = socket_fd;
+    conn->last_active_ns.store(static_cast<int64_t>(SinceProcessStart()));
     Connection* raw = conn.get();
     {
       std::lock_guard<std::mutex> stats_lock(stats_mutex_);
@@ -187,73 +201,151 @@ void SandServer::AcceptLoop(int listen_fd) {
   }
 }
 
+void SandServer::ReaperLoop() {
+  const int64_t timeout_ns = static_cast<int64_t>(options_.idle_timeout_ms) * 1000000;
+  const auto poll_every =
+      std::chrono::milliseconds(std::max(1, options_.idle_timeout_ms / 4));
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (running_) {
+    reaper_cv_.wait_for(lock, poll_every);
+    if (!running_) {
+      return;
+    }
+    int64_t now = static_cast<int64_t>(SinceProcessStart());
+    for (auto& conn : connections_) {
+      if (conn->done.load() || conn->reaped.load() || conn->socket_fd < 0) {
+        continue;
+      }
+      {
+        // A connection waiting on a slow materialize is busy, not idle.
+        std::lock_guard<std::mutex> inflight_lock(conn->inflight_mutex);
+        if (conn->inflight > 0) {
+          continue;
+        }
+      }
+      if (now - conn->last_active_ns.load() < timeout_ns) {
+        continue;
+      }
+      // Shutdown (not close) wakes the reader thread out of ReadFrame; the
+      // normal teardown path then releases the session's fds and charges.
+      conn->reaped.store(true);
+      ::shutdown(conn->socket_fd, SHUT_RDWR);
+      idle_reaped_counter_->Add(1);
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.idle_reaped;
+    }
+  }
+}
+
 void SandServer::ServeConnection(Connection* conn) {
   std::vector<uint8_t> request;
   while (ReadFrame(conn->socket_fd, request)) {
+    conn->last_active_ns.store(static_cast<int64_t>(SinceProcessStart()));
     WireReader reader(request);
+    // Request ids exist only after a v2 HELLO; the HELLO frame itself is
+    // always v1-shaped so the version parses before negotiation.
+    const bool has_id = conn->tenant_id != 0 && conn->protocol_version >= 2;
+    uint64_t request_id = 0;
+    if (has_id) {
+      auto id = reader.TakeU64();
+      if (!id.ok()) {
+        break;  // truncated frame: protocol violation, drop the connection
+      }
+      request_id = *id;
+    }
     auto command_byte = reader.TakeU8();
     if (!command_byte.ok()) {
       break;  // empty frame: protocol violation, drop the connection
     }
     Command command = static_cast<Command>(*command_byte);
 
-    std::vector<uint8_t> response;
     if (command == Command::kHello) {
-      response = HandleHello(conn, reader);
-    } else if (conn->tenant_id == 0) {
-      response = EncodeErrorResponse(
-          FailedPrecondition("HELLO with a tenant tag must precede other commands"));
-    } else if (command == Command::kClose) {
+      if (!WriteResponse(conn, has_id, request_id,
+                         WireResponse{HandleHello(conn, reader), nullptr})) {
+        break;
+      }
+      continue;
+    }
+    if (conn->tenant_id == 0) {
+      if (!WriteResponse(conn, has_id, request_id,
+                         WireResponse{EncodeErrorResponse(FailedPrecondition(
+                                          "HELLO with a tenant tag must precede "
+                                          "other commands")),
+                                      nullptr})) {
+        break;
+      }
+      continue;
+    }
+    if (command == Command::kClose) {
       // Close runs inline and is never refused: cleanup must always be
       // possible, or backpressure would turn into an fd leak.
-      response = HandleClose(conn, reader);
-    } else {
-      TenantState* tenant = TenantFor(conn->tenant_id);
-      obs::TenantMetrics* metrics = obs::TenantMetricsFor(conn->tenant_id);
-      bool admitted = true;
-      if (tenant != nullptr && tenant->quotas.max_inflight > 0) {
-        if (tenant->inflight.fetch_add(1) >= tenant->quotas.max_inflight) {
-          tenant->inflight.fetch_sub(1);
-          admitted = false;
-        }
-      } else if (tenant != nullptr) {
-        tenant->inflight.fetch_add(1);
+      if (!WriteResponse(conn, has_id, request_id,
+                         WireResponse{HandleClose(conn, reader), nullptr})) {
+        break;
       }
-      if (!admitted) {
-        {
-          std::lock_guard<std::mutex> lock(stats_mutex_);
-          ++stats_.rejected_quota;
-        }
-        if (metrics != nullptr) {
-          metrics->rejected->Add(1);
-        }
-        response = EncodeErrorResponse(ResourceExhausted(
-            "tenant '" + conn->tenant_tag + "' inflight quota exceeded"));
-      } else {
-        if (metrics != nullptr) {
-          metrics->inflight->Add(1);
-        }
-        TraceContext ctx = BeginRequestContext(/*job_id=*/0, RequestClass::kDemand);
-        ctx.tenant_id = conn->tenant_id;
-        std::promise<std::vector<uint8_t>> done;
-        std::future<std::vector<uint8_t>> result = done.get_future();
-        Nanos start = SinceProcessStart();
-        bool submitted = request_pool_.TrySubmit([this, conn, command, &reader, ctx, &done] {
+      continue;
+    }
+
+    // Data verb: admission-check on the reader thread, execute on the pool.
+    TenantState* tenant = TenantFor(conn->tenant_id);
+    obs::TenantMetrics* metrics = obs::TenantMetricsFor(conn->tenant_id);
+    bool admitted = true;
+    if (tenant != nullptr && tenant->quotas.max_inflight > 0) {
+      // Each pipelined request takes a quota slot up front, so a deep
+      // client window cannot out-run the tenant's inflight cap.
+      if (tenant->inflight.fetch_add(1) >= tenant->quotas.max_inflight) {
+        tenant->inflight.fetch_sub(1);
+        admitted = false;
+      }
+    } else if (tenant != nullptr) {
+      tenant->inflight.fetch_add(1);
+    }
+    if (!admitted) {
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.rejected_quota;
+      }
+      if (metrics != nullptr) {
+        metrics->rejected->Add(1);
+      }
+      if (!WriteResponse(conn, has_id, request_id,
+                         WireResponse{EncodeErrorResponse(ResourceExhausted(
+                                          "tenant '" + conn->tenant_tag +
+                                          "' inflight quota exceeded")),
+                                      nullptr})) {
+        break;
+      }
+      continue;
+    }
+
+    if (metrics != nullptr) {
+      metrics->inflight->Add(1);
+    }
+    TraceContext ctx = BeginRequestContext(/*job_id=*/0, RequestClass::kDemand);
+    ctx.tenant_id = conn->tenant_id;
+    Nanos start = SinceProcessStart();
+    {
+      std::lock_guard<std::mutex> lock(conn->inflight_mutex);
+      ++conn->inflight;
+    }
+    // The task owns its request bytes; the reader's `request` is free for
+    // the next frame immediately. `cursor` re-synchronizes a fresh reader
+    // past the id and command this thread already consumed.
+    size_t cursor = reader.position();
+    bool submitted = request_pool_.TrySubmit(
+        [this, conn, tenant, metrics, command, has_id, request_id, ctx, start,
+         cursor, body = request]() mutable {
           ScopedTraceContext scope(ctx);
-          done.set_value(Dispatch(conn, command, reader));
-        });
-        if (!submitted) {
-          {
-            std::lock_guard<std::mutex> lock(stats_mutex_);
-            ++stats_.rejected_backpressure;
+          WireReader task_reader(body);
+          (void)task_reader.Skip(cursor);
+          WireResponse response = Dispatch(conn, command, task_reader);
+          // Release the tenant quota slot before the response hits the wire:
+          // a client that observes completion and immediately issues the next
+          // request must find the slot free, not race our bookkeeping.
+          if (tenant != nullptr) {
+            tenant->inflight.fetch_sub(1);
           }
-          if (metrics != nullptr) {
-            metrics->rejected->Add(1);
-          }
-          response = EncodeErrorResponse(
-              ResourceExhausted("server saturated: request queue is full, retry"));
-        } else {
-          response = result.get();
+          bool wrote = WriteResponse(conn, has_id, request_id, response);
           {
             std::lock_guard<std::mutex> lock(stats_mutex_);
             ++stats_.requests_served;
@@ -262,39 +354,84 @@ void SandServer::ServeConnection(Connection* conn) {
             metrics->requests->Add(1);
             metrics->materialize_wait_ns->Record(
                 static_cast<uint64_t>(SinceProcessStart() - start));
-            if (!response.empty() && response[0] == 0) {
-              metrics->bytes_read->Add(static_cast<int64_t>(response.size() - 1));
+            if (!response.head.empty() && response.head[0] == 0) {
+              uint64_t bytes = response.head.size() - 1;
+              if (response.body != nullptr) {
+                bytes += response.body->size();
+              }
+              metrics->bytes_read->Add(static_cast<int64_t>(bytes));
             }
+            metrics->inflight->Add(-1);
           }
-        }
-        if (metrics != nullptr) {
-          metrics->inflight->Add(-1);
-        }
-        if (tenant != nullptr) {
-          tenant->inflight.fetch_sub(1);
-        }
+          if (!wrote) {
+            // Client is gone: wake the reader out of ReadFrame so the
+            // session tears down instead of idling on a dead socket.
+            ::shutdown(conn->socket_fd, SHUT_RDWR);
+          }
+          std::lock_guard<std::mutex> lock(conn->inflight_mutex);
+          --conn->inflight;
+          conn->inflight_cv.notify_all();
+        });
+    if (!submitted) {
+      {
+        std::lock_guard<std::mutex> lock(conn->inflight_mutex);
+        --conn->inflight;
       }
+      if (metrics != nullptr) {
+        metrics->inflight->Add(-1);
+      }
+      if (tenant != nullptr) {
+        tenant->inflight.fetch_sub(1);
+      }
+      {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++stats_.rejected_backpressure;
+      }
+      if (metrics != nullptr) {
+        metrics->rejected->Add(1);
+      }
+      if (!WriteResponse(conn, has_id, request_id,
+                         WireResponse{EncodeErrorResponse(ResourceExhausted(
+                                          "server saturated: request queue is "
+                                          "full, retry")),
+                                      nullptr})) {
+        break;
+      }
+      continue;
     }
-    if (!WriteFrame(conn->socket_fd, response)) {
-      break;
+    if (conn->protocol_version < 2) {
+      // v1 contract: strictly serial, responses in request order. Waiting
+      // here also makes the client-side FIFO demux sound.
+      std::unique_lock<std::mutex> lock(conn->inflight_mutex);
+      conn->inflight_cv.wait(lock, [conn] { return conn->inflight == 0; });
     }
+  }
+
+  // Drain: pipelined dispatches still hold this connection's state (and
+  // its socket, for their response writes); teardown must not race them.
+  {
+    std::unique_lock<std::mutex> lock(conn->inflight_mutex);
+    conn->inflight_cv.wait(lock, [conn] { return conn->inflight == 0; });
   }
 
   // Session teardown: everything the connection still holds open is
   // closed, releasing pins and budget charges. A client that vanished
   // mid-materialize leaks nothing.
-  for (const auto& [fd, charged] : conn->owned_fds) {
-    backend_->Close(fd);
-    if (charged > 0) {
-      if (TenantState* tenant = TenantFor(conn->tenant_id)) {
-        tenant->resident_bytes.fetch_sub(charged);
-      }
-      if (obs::TenantMetrics* metrics = obs::TenantMetricsFor(conn->tenant_id)) {
-        metrics->resident_bytes->Add(-static_cast<int64_t>(charged));
+  {
+    std::lock_guard<std::mutex> fd_lock(conn->fd_mutex);
+    for (const auto& [fd, charged] : conn->owned_fds) {
+      backend_->Close(fd);
+      if (charged > 0) {
+        if (TenantState* tenant = TenantFor(conn->tenant_id)) {
+          tenant->resident_bytes.fetch_sub(charged);
+        }
+        if (obs::TenantMetrics* metrics = obs::TenantMetricsFor(conn->tenant_id)) {
+          metrics->resident_bytes->Add(-static_cast<int64_t>(charged));
+        }
       }
     }
+    conn->owned_fds.clear();
   }
-  conn->owned_fds.clear();
   {
     // Close under mutex_ and mark the fd gone so Stop never shutdowns a
     // descriptor number the kernel has already handed to someone else.
@@ -310,6 +447,24 @@ void SandServer::ServeConnection(Connection* conn) {
   conn->done.store(true);
 }
 
+bool SandServer::WriteResponse(Connection* conn, bool has_id, uint64_t request_id,
+                               const WireResponse& response) {
+  std::vector<uint8_t> head;
+  head.reserve((has_id ? 8 : 0) + response.head.size());
+  if (has_id) {
+    PutU64(head, request_id);
+  }
+  head.insert(head.end(), response.head.begin(), response.head.end());
+  const uint8_t* body = nullptr;
+  size_t body_size = 0;
+  if (response.body != nullptr) {
+    body = response.body->data();
+    body_size = response.body->size();
+  }
+  std::lock_guard<std::mutex> lock(conn->write_mutex);
+  return WriteFrameScatter(conn->socket_fd, head, body, body_size);
+}
+
 std::vector<uint8_t> SandServer::HandleHello(Connection* conn, WireReader& reader) {
   if (conn->tenant_id != 0) {
     // Re-authenticating as another tenant would strand this connection's
@@ -323,17 +478,33 @@ std::vector<uint8_t> SandServer::HandleHello(Connection* conn, WireReader& reade
   if (!version.ok()) {
     return EncodeErrorResponse(version.status());
   }
-  if (*version != kProtocolVersion) {
+  if (*version < kMinProtocolVersion) {
     return EncodeErrorResponse(InvalidArgument(
-        "protocol version mismatch: server speaks " + std::to_string(kProtocolVersion) +
-        ", client sent " + std::to_string(*version)));
+        "protocol version mismatch: server speaks " +
+        std::to_string(kMinProtocolVersion) + ".." +
+        std::to_string(kProtocolVersion) + ", client sent " +
+        std::to_string(*version)));
   }
+  uint16_t negotiated = std::min<uint16_t>(*version, kProtocolVersion);
   auto tag = reader.TakeString();
   if (!tag.ok()) {
     return EncodeErrorResponse(tag.status());
   }
   if (tag->empty()) {
     return EncodeErrorResponse(InvalidArgument("empty tenant tag"));
+  }
+  if (!options_.allowed_uids.empty()) {
+    // Fails closed: no credential (e.g. a TCP peer) refuses like a wrong
+    // uid would — the allowlist is only satisfiable over a unix socket.
+    auto uid = PeerUid(conn->socket_fd);
+    if (!uid.ok()) {
+      return EncodeErrorResponse(uid.status());
+    }
+    if (std::find(options_.allowed_uids.begin(), options_.allowed_uids.end(),
+                  *uid) == options_.allowed_uids.end()) {
+      return EncodeErrorResponse(FailedPrecondition(
+          "peer uid " + std::to_string(*uid) + " not in server allowlist"));
+    }
   }
   uint32_t id = obs::TenantRegistry::Get().Intern(*tag);
   {
@@ -353,11 +524,14 @@ std::vector<uint8_t> SandServer::HandleHello(Connection* conn, WireReader& reade
   }
   conn->tenant_id = id;
   conn->tenant_tag = *tag;
+  conn->protocol_version = negotiated;
   if (obs::TenantMetrics* metrics = obs::TenantMetricsFor(id)) {
     metrics->sessions->Add(1);
   }
   std::vector<uint8_t> response = EncodeOkHead();
   PutU32(response, id);
+  // Appended after the v1 payload: old clients stop reading before it.
+  PutU16(response, negotiated);
   return response;
 }
 
@@ -407,7 +581,10 @@ std::vector<uint8_t> SandServer::HandleOpen(Connection* conn, WireReader& reader
   if (!fd.ok()) {
     return EncodeErrorResponse(fd.status());
   }
-  conn->owned_fds.emplace(*fd, 0);
+  {
+    std::lock_guard<std::mutex> fd_lock(conn->fd_mutex);
+    conn->owned_fds.emplace(*fd, 0);
+  }
   std::vector<uint8_t> response = EncodeOkHead();
   PutI32(response, *fd);
   return response;
@@ -430,6 +607,10 @@ std::vector<uint8_t> SandServer::HandleClose(Connection* conn, WireReader& reade
 }
 
 void SandServer::ChargeFd(Connection* conn, int fd, uint64_t bytes) {
+  // Tenant/metric updates stay under fd_mutex so a concurrent ReleaseFd
+  // (pipelined read racing an inline Close) cannot release a charge this
+  // thread has recorded but not yet applied.
+  std::lock_guard<std::mutex> fd_lock(conn->fd_mutex);
   auto it = conn->owned_fds.find(fd);
   if (it == conn->owned_fds.end() || it->second != 0 || bytes == 0) {
     return;
@@ -444,6 +625,7 @@ void SandServer::ChargeFd(Connection* conn, int fd, uint64_t bytes) {
 }
 
 void SandServer::ReleaseFd(Connection* conn, int fd) {
+  std::lock_guard<std::mutex> fd_lock(conn->fd_mutex);
   auto it = conn->owned_fds.find(fd);
   if (it == conn->owned_fds.end()) {
     return;
@@ -461,32 +643,33 @@ void SandServer::ReleaseFd(Connection* conn, int fd) {
   }
 }
 
-std::vector<uint8_t> SandServer::Dispatch(Connection* conn, Command command,
-                                          WireReader& reader) {
+SandServer::WireResponse SandServer::Dispatch(Connection* conn, Command command,
+                                              WireReader& reader) {
   switch (command) {
     case Command::kOpen:
-      return HandleOpen(conn, reader);
+      return {HandleOpen(conn, reader), nullptr};
 
     case Command::kRead:
     case Command::kPRead: {
       auto fd = reader.TakeI32();
       if (!fd.ok()) {
-        return EncodeErrorResponse(fd.status());
+        return {EncodeErrorResponse(fd.status()), nullptr};
       }
       uint64_t offset = 0;
       if (command == Command::kPRead) {
         auto off = reader.TakeU64();
         if (!off.ok()) {
-          return EncodeErrorResponse(off.status());
+          return {EncodeErrorResponse(off.status()), nullptr};
         }
         offset = *off;
       }
       auto max_bytes = reader.TakeU64();
       if (!max_bytes.ok()) {
-        return EncodeErrorResponse(max_bytes.status());
+        return {EncodeErrorResponse(max_bytes.status()), nullptr};
       }
       if (!FdOwned(conn, *fd)) {
-        return EncodeErrorResponse(InvalidArgument("fd not owned by this connection"));
+        return {EncodeErrorResponse(InvalidArgument("fd not owned by this connection")),
+                nullptr};
       }
       // The client's max_bytes is untrusted: clamp the buffer to what the
       // object can actually yield before allocating, falling back to half
@@ -505,94 +688,100 @@ std::vector<uint8_t> SandServer::Dispatch(Connection* conn, Command command,
               ? backend_->Read(*fd, std::span<uint8_t>(buffer))
               : backend_->PRead(*fd, std::span<uint8_t>(buffer), offset);
       if (!read.ok()) {
-        return EncodeErrorResponse(read.status());
+        return {EncodeErrorResponse(read.status()), nullptr};
       }
       buffer.resize(*read);
       std::vector<uint8_t> response = EncodeOkHead();
       PutBytes(response, buffer);
-      return response;
+      return {std::move(response), nullptr};
     }
 
     case Command::kReadAll: {
       auto fd = reader.TakeI32();
       if (!fd.ok()) {
-        return EncodeErrorResponse(fd.status());
+        return {EncodeErrorResponse(fd.status()), nullptr};
       }
       if (!FdOwned(conn, *fd)) {
-        return EncodeErrorResponse(InvalidArgument("fd not owned by this connection"));
+        return {EncodeErrorResponse(InvalidArgument("fd not owned by this connection")),
+                nullptr};
       }
       auto bytes = backend_->ReadAllShared(*fd);
       if (!bytes.ok()) {
-        return EncodeErrorResponse(bytes.status());
+        return {EncodeErrorResponse(bytes.status()), nullptr};
       }
       ChargeFd(conn, *fd, (*bytes)->size());
       if ((*bytes)->size() > kMaxFrameBytes - 16) {
         // Too big for one response frame: answer with an error the client
-        // can act on (chunk via PRead) instead of dying on WriteFrame.
-        return EncodeErrorResponse(OutOfRange(
-            "object is " + std::to_string((*bytes)->size()) +
-            " bytes, larger than the " + std::to_string(kMaxFrameBytes) +
-            "-byte frame cap; read it in chunks with PRead"));
+        // can act on (chunk via PRead) instead of dying on the write.
+        return {EncodeErrorResponse(OutOfRange(
+                    "object is " + std::to_string((*bytes)->size()) +
+                    " bytes, larger than the " + std::to_string(kMaxFrameBytes) +
+                    "-byte frame cap; read it in chunks with PRead")),
+                nullptr};
       }
-      std::vector<uint8_t> response = EncodeOkHead();
-      PutU32(response, static_cast<uint32_t>((*bytes)->size()));
-      response.insert(response.end(), (*bytes)->begin(), (*bytes)->end());
-      return response;
+      // The payload ships as the scatter-gather tail of the frame, straight
+      // from the cache's buffer: the head carries only status + length.
+      std::vector<uint8_t> head = EncodeOkHead();
+      PutU32(head, static_cast<uint32_t>((*bytes)->size()));
+      return {std::move(head), *bytes};
     }
 
     case Command::kSizeOf: {
       auto fd = reader.TakeI32();
       if (!fd.ok()) {
-        return EncodeErrorResponse(fd.status());
+        return {EncodeErrorResponse(fd.status()), nullptr};
       }
       if (!FdOwned(conn, *fd)) {
-        return EncodeErrorResponse(InvalidArgument("fd not owned by this connection"));
+        return {EncodeErrorResponse(InvalidArgument("fd not owned by this connection")),
+                nullptr};
       }
       auto size = backend_->SizeOf(*fd);
       if (!size.ok()) {
-        return EncodeErrorResponse(size.status());
+        return {EncodeErrorResponse(size.status()), nullptr};
       }
       ChargeFd(conn, *fd, *size);
       std::vector<uint8_t> response = EncodeOkHead();
       PutU64(response, *size);
-      return response;
+      return {std::move(response), nullptr};
     }
 
     case Command::kGetXattr: {
       auto fd = reader.TakeI32();
       if (!fd.ok()) {
-        return EncodeErrorResponse(fd.status());
+        return {EncodeErrorResponse(fd.status()), nullptr};
       }
       auto name = reader.TakeString();
       if (!name.ok()) {
-        return EncodeErrorResponse(name.status());
+        return {EncodeErrorResponse(name.status()), nullptr};
       }
       if (!FdOwned(conn, *fd)) {
-        return EncodeErrorResponse(InvalidArgument("fd not owned by this connection"));
+        return {EncodeErrorResponse(InvalidArgument("fd not owned by this connection")),
+                nullptr};
       }
       auto value = backend_->GetXattr(*fd, *name);
       if (!value.ok()) {
-        return EncodeErrorResponse(value.status());
+        return {EncodeErrorResponse(value.status()), nullptr};
       }
       std::vector<uint8_t> response = EncodeOkHead();
       PutString(response, *value);
-      return response;
+      return {std::move(response), nullptr};
     }
 
     case Command::kListDir: {
       auto path = reader.TakeString();
       if (!path.ok()) {
-        return EncodeErrorResponse(path.status());
+        return {EncodeErrorResponse(path.status()), nullptr};
       }
       // Same isolation gate as Open: entry names are data too.
       if (options_.isolate_tenant_tasks && !TenantMayAccess(conn->tenant_tag, *path)) {
-        return EncodeErrorResponse(FailedPrecondition(
-            "tenant '" + conn->tenant_tag + "' may not list task '" +
-            TaskComponent(*path) + "'"));
+        return {EncodeErrorResponse(FailedPrecondition(
+                    "tenant '" + conn->tenant_tag + "' may not list task '" +
+                    TaskComponent(*path) + "'")),
+                nullptr};
       }
       auto entries = backend_->ListDir(*path);
       if (!entries.ok()) {
-        return EncodeErrorResponse(entries.status());
+        return {EncodeErrorResponse(entries.status()), nullptr};
       }
       // The root listing enumerates task names; under isolation a tenant
       // only sees its own (plus the shared control tree).
@@ -609,15 +798,16 @@ std::vector<uint8_t> SandServer::Dispatch(Connection* conn, Command command,
       for (const std::string& entry : *entries) {
         PutString(response, entry);
       }
-      return response;
+      return {std::move(response), nullptr};
     }
 
     case Command::kHello:
     case Command::kClose:
       break;  // handled inline by ServeConnection
   }
-  return EncodeErrorResponse(
-      InvalidArgument("unknown command " + std::to_string(static_cast<int>(command))));
+  return {EncodeErrorResponse(InvalidArgument(
+              "unknown command " + std::to_string(static_cast<int>(command)))),
+          nullptr};
 }
 
 ServerStats SandServer::stats() {

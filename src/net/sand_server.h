@@ -8,6 +8,17 @@
 // every fd it opens is owned by the connection and force-closed when it
 // disconnects, so a trainer crash mid-materialize leaks nothing.
 //
+// Pipelining: HELLO negotiates a protocol version. v2 connections carry a
+// u64 request id on every frame; the per-connection reader thread
+// admission-checks each request and hands it to the shared worker pool
+// immediately, so many requests from one connection execute concurrently
+// and responses are written *out of order, as they complete* (a
+// per-connection write mutex keeps frames atomic; bulk ReadAllShared
+// payloads leave via scatter-gather writes straight from the cache's
+// SharedBytes, no frame-assembly copy). v1 connections keep the strict
+// serial contract: one request dispatched at a time, responses in order —
+// old clients work unchanged against a pipelined server.
+//
 // Tenancy:
 //   - HELLO interns the tag in obs::TenantRegistry; the dense id rides
 //     TraceContext.tenant_id through every pool task and scheduler job
@@ -15,25 +26,34 @@
 //     fair-share rotation and running caps key on.
 //   - Admission control is two gates, checked per request *before* work
 //     starts: the tenant inflight quota (max concurrent requests across
-//     all of the tenant's connections) and the shared request pool's
-//     bounded queue (WorkerPool::TrySubmit). Either refusal is an
-//     immediate RESOURCE_EXHAUSTED response — saturation never blocks the
-//     socket, so a client always gets an answer it can retry on.
+//     all of the tenant's connections — pipelined requests each take a
+//     slot, so a deep window cannot bypass the quota) and the shared
+//     request pool's bounded queue (WorkerPool::TrySubmit). Either
+//     refusal is an immediate RESOURCE_EXHAUSTED response — saturation
+//     never blocks the socket, so a client always gets an answer it can
+//     retry on.
 //   - The storage budget counts bytes of objects a tenant holds open
 //     (charged when a read first learns an object's size, released on
 //     close/disconnect). Over budget, new Opens are refused with
 //     RESOURCE_EXHAUSTED while reads on already-open fds still serve.
+//   - Optional SO_PEERCRED auth on unix sockets: with Options::
+//     allowed_uids set, HELLO is refused (FAILED_PRECONDITION) unless the
+//     peer's kernel-reported uid is on the list — a local process can no
+//     longer claim an arbitrary tenant tag just by connecting.
 //   - Per-tenant metrics land in "sand.tenant.<tag>.*", served by SandFs
 //     as /.sand/tenants/<tag>/metrics — readable over this same protocol.
 //
 // Threading: one accept thread per listener, one reader thread per
-// connection (requests on a connection are serial; concurrency comes from
-// connections), verbs execute on the shared WorkerPool.
+// connection, verbs execute on the shared WorkerPool and write their own
+// responses; an optional reaper thread shuts down connections idle past
+// Options::idle_timeout_ms (counted in sand.net.idle_reaped), releasing
+// their fd and budget charges.
 
 #ifndef SAND_NET_SAND_SERVER_H_
 #define SAND_NET_SAND_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -43,12 +63,17 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/bytes.h"
 #include "src/common/result.h"
 #include "src/common/worker_pool.h"
 #include "src/net/wire.h"
 #include "src/vfs/sand_api.h"
 
 namespace sand {
+namespace obs {
+class Counter;
+}  // namespace obs
+
 namespace net {
 
 // Per-tenant resource limits. Defaults are permissive; RegisterTenant (or
@@ -70,6 +95,7 @@ struct ServerStats {
   uint64_t requests_served = 0;
   uint64_t rejected_backpressure = 0;  // pool TrySubmit refusals
   uint64_t rejected_quota = 0;         // tenant inflight / storage refusals
+  uint64_t idle_reaped = 0;            // connections closed by the idle reaper
   int active_connections = 0;
 };
 
@@ -95,6 +121,17 @@ class SandServer {
     // its own tag or "<tag>_..." (control paths under /.sand stay open to
     // everyone). Off by default: single-team deployments share tasks.
     bool isolate_tenant_tasks = false;
+
+    // Connections with no traffic and no requests in flight for longer
+    // than this are shut down (their fds and budget charges released);
+    // <= 0 disables reaping. Each reap bumps sand.net.idle_reaped.
+    int idle_timeout_ms = 0;
+
+    // Unix-socket peer-cred allowlist: when non-empty, HELLO checks the
+    // connecting process's uid (SO_PEERCRED) against this list and
+    // refuses with FAILED_PRECONDITION on a miss — or when no credential
+    // is available at all (TCP), so the allowlist fails closed.
+    std::vector<uint32_t> allowed_uids;
 
     // Wired by the embedder to the scheduler that serves the backend,
     // e.g. [&](uint32_t id, int cap) { sched.SetTenantRunningCap(id, cap); }.
@@ -140,20 +177,51 @@ class SandServer {
     std::thread thread;
     std::atomic<bool> done{false};
 
-    // All state below is touched only by the connection's reader thread
-    // and the (serial) handler it is waiting on.
+    // Set once by HandleHello on the reader thread before any concurrent
+    // dispatch exists; read-only afterwards.
+    uint16_t protocol_version = 1;
     uint32_t tenant_id = 0;
     std::string tenant_tag;
+
+    // Response frames from concurrently-completing dispatches must not
+    // interleave mid-frame.
+    std::mutex write_mutex;
+
     // fd -> bytes charged against the tenant storage budget (0 until a
-    // read learns the object's size).
+    // read learns the object's size). Pipelined dispatches and the inline
+    // Close handler touch this concurrently.
+    std::mutex fd_mutex;
     std::map<int, uint64_t> owned_fds;
+
+    // Requests dispatched to the pool and not yet answered; teardown
+    // waits for zero before closing the session's fds.
+    std::mutex inflight_mutex;
+    std::condition_variable inflight_cv;
+    int inflight = 0;
+
+    // Monotonic ns of the last request frame (idle reaping).
+    std::atomic<int64_t> last_active_ns{0};
+    std::atomic<bool> reaped{false};
+  };
+
+  // A response ready to leave: scalar head (status byte + small body) and
+  // an optional bulk payload that rides a scatter-gather write.
+  struct WireResponse {
+    std::vector<uint8_t> head;
+    SharedBytes body;  // may be null
   };
 
   void AcceptLoop(int listen_fd);
   void ServeConnection(Connection* conn);
-  // Executes one decoded request, producing a full response payload
-  // (status head + body). Runs on the request pool for data verbs.
-  std::vector<uint8_t> Dispatch(Connection* conn, Command command, WireReader& reader);
+  void ReaperLoop();
+  // Executes one decoded request, producing the response. Runs on the
+  // request pool for data verbs.
+  WireResponse Dispatch(Connection* conn, Command command, WireReader& reader);
+
+  // Frames and writes one response (request id prepended on v2) under the
+  // connection's write mutex.
+  bool WriteResponse(Connection* conn, bool has_id, uint64_t request_id,
+                     const WireResponse& response);
 
   std::vector<uint8_t> HandleHello(Connection* conn, WireReader& reader);
   std::vector<uint8_t> HandleOpen(Connection* conn, WireReader& reader);
@@ -163,6 +231,7 @@ class SandServer {
   void ChargeFd(Connection* conn, int fd, uint64_t bytes);
   void ReleaseFd(Connection* conn, int fd);
   bool FdOwned(Connection* conn, int fd) const {
+    std::lock_guard<std::mutex> lock(conn->fd_mutex);
     return conn->owned_fds.count(fd) != 0;
   }
 
@@ -171,10 +240,13 @@ class SandServer {
   SandApi* backend_;
   Options options_;
   WorkerPool request_pool_;
+  obs::Counter* idle_reaped_counter_;
 
   std::mutex mutex_;  // listeners_, connections_, running_
+  std::condition_variable reaper_cv_;
   std::vector<int> listen_fds_;
   std::vector<std::thread> accept_threads_;
+  std::thread reaper_thread_;
   std::vector<std::unique_ptr<Connection>> connections_;
   bool running_ = false;
   int bound_tcp_port_ = -1;

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -147,6 +148,12 @@ std::vector<uint8_t> WireReader::TakeRest() {
   return rest;
 }
 
+Status WireReader::Skip(size_t count) {
+  SAND_RETURN_IF_ERROR(Need(count));
+  pos_ += count;
+  return Status::Ok();
+}
+
 std::vector<uint8_t> EncodeOkHead() { return {0}; }
 
 std::vector<uint8_t> EncodeErrorResponse(const Status& status) {
@@ -184,6 +191,56 @@ bool WriteFrame(int fd, const std::vector<uint8_t>& payload) {
   }
   return WriteFull(fd, header, sizeof(header)) &&
          WriteFull(fd, payload.data(), payload.size());
+}
+
+bool WriteFrameScatter(int fd, const std::vector<uint8_t>& head,
+                       const uint8_t* body, size_t body_size) {
+  size_t total = head.size() + body_size;
+  if (total > kMaxFrameBytes) {
+    return false;
+  }
+  uint8_t header[4];
+  uint32_t size = static_cast<uint32_t>(total);
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<uint8_t>(size >> (8 * i));
+  }
+  iovec iov[3];
+  iov[0].iov_base = header;
+  iov[0].iov_len = sizeof(header);
+  iov[1].iov_base = const_cast<uint8_t*>(head.data());
+  iov[1].iov_len = head.size();
+  iov[2].iov_base = const_cast<uint8_t*>(body);
+  iov[2].iov_len = body_size;
+  int iov_count = body_size > 0 ? 3 : 2;
+  size_t remaining = sizeof(header) + total;
+  int first = 0;
+  while (remaining > 0) {
+    msghdr msg{};
+    msg.msg_iov = iov + first;
+    msg.msg_iovlen = static_cast<size_t>(iov_count - first);
+    ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n < 0 && errno == ENOTSOCK) {
+      n = ::writev(fd, iov + first, iov_count - first);
+    }
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    remaining -= static_cast<size_t>(n);
+    // Advance the iovec cursor past what the kernel took.
+    size_t taken = static_cast<size_t>(n);
+    while (first < iov_count && taken >= iov[first].iov_len) {
+      taken -= iov[first].iov_len;
+      ++first;
+    }
+    if (first < iov_count) {
+      iov[first].iov_base = static_cast<uint8_t*>(iov[first].iov_base) + taken;
+      iov[first].iov_len -= taken;
+    }
+  }
+  return true;
 }
 
 bool ReadFrame(int fd, std::vector<uint8_t>& payload) {
@@ -294,9 +351,31 @@ Result<int> ConnectTcp(const std::string& host, int port) {
     ::close(fd);
     return status;
   }
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  TuneStreamSocket(fd, /*keepalive=*/false);
   return fd;
+}
+
+void TuneStreamSocket(int fd, bool keepalive) {
+  int one = 1;
+  // TCP_NODELAY: a pipelined client sends many small request frames
+  // back-to-back; letting Nagle batch them behind delayed ACKs turns
+  // sub-millisecond round trips into 40 ms ones. Fails with ENOTSOCK /
+  // EOPNOTSUPP on unix sockets and pipes, which is fine — those have no
+  // Nagle to disable.
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (keepalive) {
+    ::setsockopt(fd, SOL_SOCKET, SO_KEEPALIVE, &one, sizeof(one));
+  }
+}
+
+Result<uint32_t> PeerUid(int fd) {
+  ucred cred{};
+  socklen_t len = sizeof(cred);
+  if (::getsockopt(fd, SOL_SOCKET, SO_PEERCRED, &cred, &len) != 0) {
+    return FailedPrecondition(std::string("no peer credential: ") +
+                              std::strerror(errno));
+  }
+  return static_cast<uint32_t>(cred.uid);
 }
 
 }  // namespace net

@@ -5,8 +5,22 @@
 // byte on every response so failures cross the wire as real Status values.
 //
 //   frame    : u32 length | payload          (length caps at kMaxFrameBytes)
-//   request  : u8 command | command body
-//   response : u8 status (ErrorCode; 0 = ok) | ok body or error message
+//
+// Two payload shapes, negotiated per connection at HELLO:
+//
+//   v1 (serial — strict request/response, one outstanding per connection)
+//     request  : u8 command | command body
+//     response : u8 status (ErrorCode; 0 = ok) | ok body or error message
+//
+//   v2 (pipelined — any number outstanding, responses out of order)
+//     request  : u64 request_id | u8 command | command body
+//     response : u64 request_id | u8 status | ok body or error message
+//
+// The HELLO exchange itself is always v1-shaped (it is what carries the
+// version), so a server can parse it before knowing what the client
+// speaks; the negotiated version (min of both sides) governs every frame
+// after the ok HELLO response. Request ids are client-assigned and only
+// need to be unique among that connection's in-flight requests.
 //
 // Strings are u32 length | bytes. All helpers here are transport-agnostic
 // byte shuffling; the verbs live in sand_server.cc / sand_client.cc.
@@ -29,8 +43,12 @@ namespace net {
 // ReadFrame refuses larger length words before the allocation, not after.
 inline constexpr uint32_t kMaxFrameBytes = 1u << 27;
 
-// Protocol revision sent in HELLO; bumped on incompatible changes.
-inline constexpr uint16_t kProtocolVersion = 1;
+// Highest protocol revision this build speaks, sent in HELLO. The server
+// accepts any client in [kMinProtocolVersion, kProtocolVersion] and the
+// connection runs at the minimum of the two sides, so old serial clients
+// keep working against a pipelined server.
+inline constexpr uint16_t kProtocolVersion = 2;
+inline constexpr uint16_t kMinProtocolVersion = 1;
 
 // Request commands. Mirrors the SandApi verb set plus the HELLO
 // authentication handshake.
@@ -71,8 +89,12 @@ class WireReader {
   Result<std::vector<uint8_t>> TakeBytes();
   // The unread remainder (for trailing payloads).
   std::vector<uint8_t> TakeRest();
+  // Advances past `count` bytes (re-parsing a payload whose header was
+  // already consumed by another reader).
+  Status Skip(size_t count);
 
   size_t remaining() const { return buffer_.size() - pos_; }
+  size_t position() const { return pos_; }
 
  private:
   Status Need(size_t count);
@@ -101,6 +123,15 @@ Status DecodeResponseStatus(const std::vector<uint8_t>& response);
 bool WriteFrame(int fd, const std::vector<uint8_t>& payload);
 bool ReadFrame(int fd, std::vector<uint8_t>& payload);
 
+// Scatter-gather frame write: emits one frame whose payload is
+// `head` followed by `body_size` bytes at `body`, without assembling the
+// concatenation in memory. The length word, head, and body go out in a
+// single sendmsg when the fd is a socket, so a large ReadAllShared payload
+// travels from the cache's SharedBytes allocation straight to the kernel
+// with no frame-assembly copy. `body` may be null when body_size is 0.
+bool WriteFrameScatter(int fd, const std::vector<uint8_t>& head,
+                       const uint8_t* body, size_t body_size);
+
 // --- sockets -----------------------------------------------------------------
 
 // Listening endpoints. Unix paths are unlinked before bind; TCP binds
@@ -111,6 +142,17 @@ Result<int> ListenTcp(int port, int backlog, int* bound_port);
 // Client connects. Both return a connected stream fd.
 Result<int> ConnectUnix(const std::string& path);
 Result<int> ConnectTcp(const std::string& host, int port);
+
+// Per-connection socket tuning for the request/response workload: disables
+// Nagle (TCP_NODELAY — small frames must not wait for delayed ACKs) and,
+// when `keepalive` is set, turns on SO_KEEPALIVE so a silently vanished
+// peer is eventually detected. No-ops harmlessly on unix sockets/pipes.
+void TuneStreamSocket(int fd, bool keepalive);
+
+// Credentials of the peer of a connected unix socket (SO_PEERCRED).
+// Fails on TCP and non-socket fds — callers enforcing a uid allowlist
+// treat that as "no credential", i.e. refuse.
+Result<uint32_t> PeerUid(int fd);
 
 }  // namespace net
 }  // namespace sand

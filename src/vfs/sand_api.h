@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/common/bytes.h"
+#include "src/common/future.h"
 #include "src/common/result.h"
 
 namespace sand {
@@ -90,6 +91,18 @@ class SandApi {
   // materialized allocation itself (zero-copy); remote it is the one
   // receive buffer of the response (one copy, off the wire).
   virtual Result<SharedBytes> ReadAllShared(int fd) = 0;
+
+  // Asynchronous bulk read: resolves to exactly what ReadAllShared(fd)
+  // would return. The base adapter resolves synchronously (in-process
+  // reads are already cache-speed); SandClient overrides it with a truly
+  // pipelined implementation — many async reads issued back-to-back share
+  // one connection and complete out of order, so a trainer overlaps its
+  // next batches' wire latency with the current step. A refused request
+  // (RESOURCE_EXHAUSTED) resolves the future with that status; retry with
+  // backoff exactly as for the sync verb.
+  virtual Future<SharedBytes> ReadAllSharedAsync(int fd) {
+    return Future<SharedBytes>::FromResult(ReadAllShared(fd));
+  }
 
   // Size of the object behind fd (materializes if needed).
   virtual Result<uint64_t> SizeOf(int fd) = 0;

@@ -1,9 +1,12 @@
 // Loopback tests for the SandServer / SandClient socket transport
 // (DESIGN.md §13): tenant sessions, quota enforcement, backpressure as
-// RESOURCE_EXHAUSTED over the wire, and leak-free disconnects. Runs in
-// the TSan suite (tools/check_tsan.sh).
+// RESOURCE_EXHAUSTED over the wire, leak-free disconnects, and the v2
+// pipelined protocol (out-of-order completion, request-id demux, version
+// negotiation, idle reaping, peer-cred auth). Runs in the TSan suite
+// (tools/check_tsan.sh).
 
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -12,10 +15,13 @@
 #include <condition_variable>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/common/future.h"
+#include "src/net/client_pool.h"
 #include "src/net/sand_client.h"
 #include "src/net/sand_server.h"
 #include "src/vfs/sand_fs.h"
@@ -23,6 +29,7 @@
 namespace sand {
 namespace {
 
+using net::ClientPool;
 using net::SandClient;
 using net::SandServer;
 using net::ServerStats;
@@ -33,17 +40,20 @@ using net::TenantQuotas;
 class NetFakeProvider : public ViewProvider {
  public:
   Result<SharedBytes> Materialize(const ViewPath& path) override {
+    std::string key = path.Format();
     {
       std::unique_lock<std::mutex> lock(mutex_);
       ++materialize_started_;
       started_cv_.notify_all();
-      gate_cv_.wait(lock, [this] { return !gated_; });
-      auto it = objects_.find(path.Format());
+      gate_cv_.wait(lock, [this, &key] {
+        return !gated_ && gated_paths_.count(key) == 0;
+      });
+      auto it = objects_.find(key);
       if (it != objects_.end()) {
         return std::make_shared<const std::vector<uint8_t>>(it->second);
       }
     }
-    return NotFound("no object " + path.Format());
+    return NotFound("no object " + key);
   }
 
   Result<std::string> GetMetadata(const ViewPath& path, const std::string& name) override {
@@ -97,6 +107,19 @@ class NetFakeProvider : public ViewProvider {
     }
     gate_cv_.notify_all();
   }
+  // Gates a single object: its Materialize blocks while others flow. The
+  // lever for proving out-of-order completion on one pipelined connection.
+  void SetPathGated(const std::string& path, bool gated) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (gated) {
+        gated_paths_.insert(path);
+      } else {
+        gated_paths_.erase(path);
+      }
+    }
+    gate_cv_.notify_all();
+  }
   // Blocks until at least `count` Materialize calls have started (i.e. are
   // holding a request-pool slot).
   void WaitMaterializeStarted(int count) {
@@ -117,6 +140,7 @@ class NetFakeProvider : public ViewProvider {
   std::condition_variable gate_cv_;
   std::condition_variable started_cv_;
   bool gated_ = false;
+  std::set<std::string> gated_paths_;
   int materialize_started_ = 0;
   std::map<std::string, std::vector<uint8_t>> objects_;
   std::map<std::string, int> sessions_;
@@ -222,13 +246,26 @@ TEST_F(NetTest, HelloIsMandatoryAndVersionChecked) {
   ASSERT_TRUE(net::ReadFrame(*socket_fd, response));
   EXPECT_EQ(net::DecodeResponseStatus(response).code(), ErrorCode::kFailedPrecondition);
 
-  // Bad protocol version.
+  // A version below the server's floor is refused outright.
   std::vector<uint8_t> hello{static_cast<uint8_t>(net::Command::kHello)};
-  net::PutU16(hello, 0xFFFF);
+  net::PutU16(hello, 0);
   net::PutString(hello, "alpha");
   ASSERT_TRUE(net::WriteFrame(*socket_fd, hello));
   ASSERT_TRUE(net::ReadFrame(*socket_fd, response));
   EXPECT_EQ(net::DecodeResponseStatus(response).code(), ErrorCode::kInvalidArgument);
+
+  // A version above the server's ceiling negotiates *down*: the response
+  // carries the agreed version after the tenant id.
+  std::vector<uint8_t> eager{static_cast<uint8_t>(net::Command::kHello)};
+  net::PutU16(eager, 0xFFFF);
+  net::PutString(eager, "alpha");
+  ASSERT_TRUE(net::WriteFrame(*socket_fd, eager));
+  ASSERT_TRUE(net::ReadFrame(*socket_fd, response));
+  ASSERT_TRUE(net::DecodeResponseStatus(response).ok());
+  net::WireReader hello_reader(response);
+  (void)*hello_reader.TakeU8();
+  (void)*hello_reader.TakeU32();  // tenant id
+  EXPECT_EQ(*hello_reader.TakeU16(), net::kProtocolVersion);
   ::close(*socket_fd);
 
   // Empty tenant tag is refused client-side already.
@@ -241,8 +278,10 @@ TEST_F(NetTest, SecondHelloIsRejected) {
   StartServer();
   auto socket_fd = net::ConnectUnix(socket_path_);
   ASSERT_TRUE(socket_fd.ok());
+  // Negotiate v1 so the follow-up frames stay id-less (and the old wire
+  // shape keeps its coverage against the pipelined server).
   std::vector<uint8_t> hello{static_cast<uint8_t>(net::Command::kHello)};
-  net::PutU16(hello, net::kProtocolVersion);
+  net::PutU16(hello, 1);
   net::PutString(hello, "alpha");
   std::vector<uint8_t> response;
   ASSERT_TRUE(net::WriteFrame(*socket_fd, hello));
@@ -252,7 +291,7 @@ TEST_F(NetTest, SecondHelloIsRejected) {
   // Re-badging as another tenant mid-session would let fd charges taken
   // as "alpha" be released against "beta"'s budget: refused.
   std::vector<uint8_t> rebadge{static_cast<uint8_t>(net::Command::kHello)};
-  net::PutU16(rebadge, net::kProtocolVersion);
+  net::PutU16(rebadge, 1);
   net::PutString(rebadge, "beta");
   ASSERT_TRUE(net::WriteFrame(*socket_fd, rebadge));
   ASSERT_TRUE(net::ReadFrame(*socket_fd, response));
@@ -298,7 +337,7 @@ TEST_F(NetTest, ClientVanishingMidResponseDoesNotKillServer) {
   auto socket_fd = net::ConnectUnix(socket_path_);
   ASSERT_TRUE(socket_fd.ok());
   std::vector<uint8_t> hello{static_cast<uint8_t>(net::Command::kHello)};
-  net::PutU16(hello, net::kProtocolVersion);
+  net::PutU16(hello, 1);  // v1 session: follow-up frames carry no ids
   net::PutString(hello, "alpha");
   std::vector<uint8_t> response;
   ASSERT_TRUE(net::WriteFrame(*socket_fd, hello));
@@ -603,6 +642,231 @@ TEST_F(NetTest, SchedulerCapHookReceivesQuotas) {
   std::lock_guard<std::mutex> lock(mutex);
   ASSERT_EQ(caps.size(), 1u);
   EXPECT_EQ(caps.begin()->second, 2);
+}
+
+TEST_F(NetTest, NegotiatesPipelinedVersionAndOldClientStillWorks) {
+  StartServer();
+  // A default client lands on the pipelined protocol...
+  auto modern = Connect("alpha");
+  ASSERT_NE(modern, nullptr);
+  EXPECT_EQ(modern->negotiated_version(), net::kProtocolVersion);
+
+  // ...while a client pinned to v1 (an old binary) negotiates the serial
+  // protocol against the same server and every verb still round-trips.
+  SandClient::Options old_options;
+  old_options.unix_path = socket_path_;
+  old_options.tenant = "beta";
+  old_options.protocol_version = 1;
+  auto old_client = SandClient::Connect(old_options);
+  ASSERT_TRUE(old_client.ok()) << old_client.status().ToString();
+  EXPECT_EQ((*old_client)->negotiated_version(), 1);
+  auto fd = (*old_client)->Open("/train/0/0/view");
+  ASSERT_TRUE(fd.ok());
+  auto bytes = (*old_client)->ReadAllShared(*fd);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ((*bytes)->size(), 8u);
+  EXPECT_TRUE((*old_client)->Close(*fd).ok());
+
+  // Both generations coexist: the modern client is unaffected.
+  auto modern_fd = modern->Open("/train/0/1/view");
+  ASSERT_TRUE(modern_fd.ok());
+  EXPECT_TRUE(modern->ReadAllShared(*modern_fd).ok());
+}
+
+TEST_F(NetTest, PipelinedReadsCompleteOutOfOrder) {
+  StartServer();
+  auto client = Connect("alpha");
+  ASSERT_NE(client, nullptr);
+  ASSERT_EQ(client->negotiated_version(), net::kProtocolVersion);
+  auto slow_fd = client->Open("/train/0/0/view");
+  auto fast_fd = client->Open("/train/0/1/view");
+  ASSERT_TRUE(slow_fd.ok());
+  ASSERT_TRUE(fast_fd.ok());
+
+  // Park the first request behind its object's gate, then issue a second
+  // on the same connection. Under the serial protocol the second could
+  // never finish first; under pipelining it overtakes.
+  provider_.SetPathGated("/train/0/0/view", true);
+  auto slow = client->ReadAllSharedAsync(*slow_fd);
+  provider_.WaitMaterializeStarted(1);
+  auto fast = client->ReadAllSharedAsync(*fast_fd);
+  auto fast_result = fast.Get();
+  ASSERT_TRUE(fast_result.ok()) << fast_result.status().ToString();
+  EXPECT_EQ(**fast_result, (std::vector<uint8_t>{9, 10, 11, 12}));
+  EXPECT_FALSE(slow.Ready())
+      << "gated request resolved before its materialization was released";
+
+  provider_.SetPathGated("/train/0/0/view", false);
+  auto slow_result = slow.Get();
+  ASSERT_TRUE(slow_result.ok()) << slow_result.status().ToString();
+  EXPECT_EQ(**slow_result, (std::vector<uint8_t>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST_F(NetTest, ResponseIdMismatchPoisonsClient) {
+  // A hand-rolled server that answers the HELLO correctly, then replies to
+  // the first request with an id nobody asked for. The client must treat
+  // the stream as desynchronized: fail the call, refuse everything after.
+  std::string path = ::testing::TempDir() + "sand_bogus_" +
+                     std::to_string(::getpid()) + ".sock";
+  auto listen_fd = net::ListenUnix(path, /*backlog=*/4);
+  ASSERT_TRUE(listen_fd.ok());
+  std::thread bogus_server([&listen_fd] {
+    int conn = ::accept(*listen_fd, nullptr, nullptr);
+    ASSERT_GE(conn, 0);
+    std::vector<uint8_t> frame;
+    ASSERT_TRUE(net::ReadFrame(conn, frame));  // HELLO
+    std::vector<uint8_t> ok = net::EncodeOkHead();
+    net::PutU32(ok, 7);                      // tenant id
+    net::PutU16(ok, net::kProtocolVersion);  // negotiate v2
+    ASSERT_TRUE(net::WriteFrame(conn, ok));
+    ASSERT_TRUE(net::ReadFrame(conn, frame));  // first real request
+    std::vector<uint8_t> response;
+    net::PutU64(response, 0xDEAD);  // an id the client never issued
+    response.push_back(0);          // ok status head
+    ASSERT_TRUE(net::WriteFrame(conn, response));
+    // The client hangs up once it spots the mismatch.
+    EXPECT_FALSE(net::ReadFrame(conn, frame));
+    ::close(conn);
+  });
+
+  SandClient::Options options;
+  options.unix_path = path;
+  options.tenant = "alpha";
+  auto client = SandClient::Connect(options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto first = (*client)->SizeOf(3);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), ErrorCode::kUnavailable);
+  // The poisoned connection refuses new work instead of guessing.
+  EXPECT_EQ((*client)->SizeOf(3).status().code(), ErrorCode::kUnavailable);
+
+  bogus_server.join();
+  ::close(*listen_fd);
+  ::unlink(path.c_str());
+}
+
+TEST_F(NetTest, ClientPoolSaturationReturnsResourceExhausted) {
+  StartServer();
+  ClientPool::Options options;
+  options.client.unix_path = socket_path_;
+  options.client.tenant = "alpha";
+  options.connections = 2;
+  options.max_inflight_per_conn = 1;
+  auto pool = ClientPool::Connect(options);
+  ASSERT_TRUE(pool.ok()) << pool.status().ToString();
+  EXPECT_EQ((*pool)->connections(), 2u);
+
+  auto fd = (*pool)->Open("/train/0/0/view");
+  ASSERT_TRUE(fd.ok());
+  provider_.SetPathGated("/train/0/0/view", true);
+  auto parked = (*pool)->ReadAllSharedAsync(*fd);
+  provider_.WaitMaterializeStarted(1);
+
+  // Fd verbs pin to the opening connection, which is now at its inflight
+  // cap: immediate client-side RESOURCE_EXHAUSTED, no bytes on the wire.
+  auto refused = (*pool)->ReadAllShared(*fd);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), ErrorCode::kResourceExhausted);
+
+  // The pool's other connection keeps serving: least-loaded routing sends
+  // new opens there.
+  auto other_fd = (*pool)->Open("/train/0/1/view");
+  ASSERT_TRUE(other_fd.ok()) << other_fd.status().ToString();
+  EXPECT_TRUE((*pool)->ReadAllShared(*other_fd).ok());
+
+  // A foreign fd is refused, matching the server's own contract.
+  EXPECT_EQ((*pool)->ReadAllShared(*fd + *other_fd + 100).status().code(),
+            ErrorCode::kInvalidArgument);
+
+  provider_.SetPathGated("/train/0/0/view", false);
+  auto parked_result = parked.Get();
+  ASSERT_TRUE(parked_result.ok()) << parked_result.status().ToString();
+  EXPECT_EQ((*parked_result)->size(), 8u);
+}
+
+TEST_F(NetTest, ClientDestructionWithInflightRequestsResolvesFutures) {
+  StartServer();
+  provider_.SetPathGated("/train/0/0/view", true);
+  Future<SharedBytes> orphan;
+  {
+    auto client = Connect("alpha");
+    ASSERT_NE(client, nullptr);
+    auto fd = client->Open("/train/0/0/view");
+    ASSERT_TRUE(fd.ok());
+    orphan = client->ReadAllSharedAsync(*fd);
+    provider_.WaitMaterializeStarted(1);
+    // Destroyed with the request still materializing server-side.
+  }
+  auto result = orphan.Get();
+  ASSERT_FALSE(result.ok()) << "future must resolve, not hang";
+  EXPECT_EQ(result.status().code(), ErrorCode::kUnavailable);
+
+  // The server finishes the stranded dispatch and tears the session down.
+  provider_.SetPathGated("/train/0/0/view", false);
+  for (int i = 0; i < 500 && server_->stats().active_connections != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(server_->stats().active_connections, 0);
+  std::vector<std::string> closed = provider_.ClosedViews();
+  EXPECT_NE(std::find(closed.begin(), closed.end(), "/train/0/0/view"),
+            closed.end());
+}
+
+TEST_F(NetTest, IdleConnectionsAreReaped) {
+  SandServer::Options options;
+  options.idle_timeout_ms = 50;
+  StartServer(options);
+  auto client = Connect("alpha");
+  ASSERT_NE(client, nullptr);
+  auto fd = client->Open("/train/0/0/view");
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(client->ReadAllShared(*fd).ok());
+
+  // Go quiet: the reaper shuts the connection down and the session's
+  // resources (views, budget charges) are released.
+  for (int i = 0; i < 500 && server_->stats().idle_reaped < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(server_->stats().idle_reaped, 1u);
+  for (int i = 0; i < 500 && server_->stats().active_connections != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(server_->stats().active_connections, 0);
+  std::vector<std::string> closed = provider_.ClosedViews();
+  EXPECT_NE(std::find(closed.begin(), closed.end(), "/train/0/0/view"),
+            closed.end());
+
+  // The client sees the severed stream as UNAVAILABLE and can redial.
+  auto dead = client->ReadAllShared(*fd);
+  ASSERT_FALSE(dead.ok());
+  EXPECT_EQ(dead.status().code(), ErrorCode::kUnavailable);
+  auto fresh = Connect("alpha");
+  ASSERT_NE(fresh, nullptr);
+  auto fresh_fd = fresh->Open("/train/0/0/view");
+  ASSERT_TRUE(fresh_fd.ok());
+  EXPECT_TRUE(fresh->ReadAllShared(*fresh_fd).ok());
+}
+
+TEST_F(NetTest, PeerCredAllowlistAdmitsMatchingUid) {
+  SandServer::Options options;
+  options.allowed_uids = {static_cast<uint32_t>(::getuid())};
+  StartServer(options);
+  auto client = Connect("alpha");
+  ASSERT_NE(client, nullptr);
+  auto fd = client->Open("/train/0/0/view");
+  EXPECT_TRUE(fd.ok()) << fd.status().ToString();
+}
+
+TEST_F(NetTest, PeerCredAllowlistRefusesForeignUid) {
+  SandServer::Options options;
+  options.allowed_uids = {static_cast<uint32_t>(::getuid()) + 1};
+  StartServer(options);
+  SandClient::Options client_options;
+  client_options.unix_path = socket_path_;
+  client_options.tenant = "alpha";
+  auto refused = SandClient::Connect(client_options);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), ErrorCode::kFailedPrecondition);
 }
 
 }  // namespace

@@ -8,7 +8,7 @@
 #   BUILD_DIR         override the default build tree (default: build)
 #   SKIP_TSAN=1       skip the ThreadSanitizer suite
 #   SKIP_ASAN=1       skip the AddressSanitizer suite
-#   MAKE_BENCH_JSON=1 also regenerate BENCH_PR8.json (slow: full benches
+#   MAKE_BENCH_JSON=1 also regenerate BENCH_PR9.json (slow: full benches
 #                     plus the tracing-overhead comparison)
 set -euo pipefail
 
@@ -74,13 +74,17 @@ SERVER_PID=$!
 trap 'kill "$SERVER_PID" 2>/dev/null || true; wait "$SERVER_PID" 2>/dev/null || true; rm -rf "$TRACE_TMP" "$SERVE_TMP"' EXIT
 for _ in $(seq 50); do [ -S "$SOCK" ] && break; sleep 0.1; done
 [ -S "$SOCK" ] || { cat "$SERVE_TMP/server.log"; echo "serving gate: server did not come up" >&2; exit 1; }
-# Two tenants train concurrently over the same socket...
+# Two tenants train concurrently over the same socket — one serial, one
+# with a pipelined read-ahead window (the v2 wire protocol under load)...
 "$BUILD_DIR/examples/remote_trainer" --socket "$SOCK" --tenant alpha >/dev/null &
 TRAINER_A=$!
-"$BUILD_DIR/examples/remote_trainer" --socket "$SOCK" --tenant beta >/dev/null &
+"$BUILD_DIR/examples/remote_trainer" --socket "$SOCK" --tenant beta --depth 4 \
+    > "$SERVE_TMP/trainer_b.log" &
 TRAINER_B=$!
 wait "$TRAINER_A"
 wait "$TRAINER_B"
+grep -q 'protocol v2, depth 4' "$SERVE_TMP/trainer_b.log" \
+    || { cat "$SERVE_TMP/trainer_b.log"; echo "serving gate: pipelined trainer did not negotiate v2" >&2; exit 1; }
 # ...and the gate: the control tree, read over the same wire, must show
 # both tenants with served requests.
 "$BUILD_DIR/tools/sand_stat" --remote "$SOCK" --tenants | tee "$SERVE_TMP/tenants.txt"
@@ -93,8 +97,8 @@ grep -q 'shutting down' "$SERVE_TMP/server.log" \
 echo "serving gate: 2 tenants served + clean shutdown"
 
 if [ "${MAKE_BENCH_JSON:-0}" = "1" ]; then
-  echo "==== bench report (tools/make_bench_json.sh -> BENCH_PR8.json) ===="
-  tools/make_bench_json.sh "$BUILD_DIR" BENCH_PR8.json
+  echo "==== bench report (tools/make_bench_json.sh -> BENCH_PR9.json) ===="
+  tools/make_bench_json.sh "$BUILD_DIR" BENCH_PR9.json
 fi
 
 if [ "${SKIP_TSAN:-0}" != "1" ]; then

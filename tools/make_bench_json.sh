@@ -1,26 +1,28 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_PR8.json — the committed structured-results report —
+# Regenerates BENCH_PR9.json — the committed structured-results report —
 # from the four --json-out instrumented benches, plus a tracing-overhead
 # measurement (fig11 smoke runs with the span ring on vs off). Run from
 # the repo root after a release build:
 #
 #   cmake -B build -S . && cmake --build build -j
-#   tools/make_bench_json.sh build BENCH_PR8.json
+#   tools/make_bench_json.sh build BENCH_PR9.json
 #
 # Each bench writes {"bench": ..., "results": [...]}; the report is the
 # JSON array of the four plus a "trace_overhead" object. The
-# net_multiclient rows carry the multi-tenant serving acceptance: the
+# net_multiclient rows carry two serving acceptances: the
 # "net_multiclient_fairshare" row must have fair_share_ok=true (a
 # scheduler-capped greedy tenant may not push another tenant's p99 batch
-# latency past 2x its solo baseline). The overhead
-# budget for always-on tracing is <3% on the fig11 demand bench; the
-# comparison uses avg iteration time (histogram quantiles are bucket
+# latency past 2x its solo baseline), and the "net_pipeline_speedup" row
+# must have pipeline_ok=true (a depth-16 pipelined client must move at
+# least 2x the serial-v1 throughput on small cache-resident reads). The
+# overhead budget for always-on tracing is <3% on the fig11 demand bench;
+# the comparison uses avg iteration time (histogram quantiles are bucket
 # midpoints — too coarse for a small delta), min over OVERHEAD_RUNS runs
 # of each configuration to cut scheduler noise.
 set -euo pipefail
 
 BUILD="${1:-build}"
-OUT="${2:-BENCH_PR8.json}"
+OUT="${2:-BENCH_PR9.json}"
 OVERHEAD_RUNS="${OVERHEAD_RUNS:-3}"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -43,6 +45,13 @@ if not rows:
 if rows[0]["params"]["fair_share_ok"] != "true":
     sys.exit(f"net bench: fair-share violated: {rows[0]['params']}")
 print(f"net bench: fair-share ok (ratio {rows[0]['params']['ratio']})", file=sys.stderr)
+rows = [r for r in doc["results"] if r["name"] == "net_pipeline_speedup"]
+if not rows:
+    sys.exit("net bench: no pipeline speedup row")
+if rows[0]["params"]["pipeline_ok"] != "true":
+    sys.exit(f"net bench: pipeline speedup below budget: {rows[0]['params']}")
+print(f"net bench: pipelining ok (depth-16 speedup {rows[0]['params']['speedup']}x)",
+      file=sys.stderr)
 EOF
 
 echo "make_bench_json: tracing overhead (fig11 --smoke, on vs off x$OVERHEAD_RUNS)..." >&2

@@ -46,6 +46,7 @@ int Usage(const char* argv0) {
                "usage: %s [--socket PATH] [--tcp PORT] [--threads N]\n"
                "          [--tenant TAG[:SCHED_CAP[:BUDGET_MIB]]]... \n"
                "          [--no-auto-tenants] [--isolate-tenants]\n"
+               "          [--idle-timeout-ms N] [--allow-uid UID]...\n"
                "          [--task NAME]... [--videos N] [--epochs N]\n",
                argv0);
   return 2;
@@ -64,6 +65,8 @@ int main(int argc, char** argv) {
   int threads = 4;
   bool auto_tenants = true;
   bool isolate = false;
+  int idle_timeout_ms = 0;
+  std::vector<uint32_t> allowed_uids;
   int videos = 8;
   int epochs = 4;
   std::vector<std::string> tasks;
@@ -89,6 +92,14 @@ int main(int argc, char** argv) {
       auto_tenants = false;
     } else if (arg == "--isolate-tenants") {
       isolate = true;
+    } else if (arg == "--idle-timeout-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      idle_timeout_ms = std::atoi(v);
+    } else if (arg == "--allow-uid") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      allowed_uids.push_back(static_cast<uint32_t>(std::atoll(v)));
     } else if (arg == "--videos") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -165,6 +176,8 @@ int main(int argc, char** argv) {
   options.request_threads = threads;
   options.auto_register_tenants = auto_tenants;
   options.isolate_tenant_tasks = isolate;
+  options.idle_timeout_ms = idle_timeout_ms;
+  options.allowed_uids = allowed_uids;
   options.sched_cap_hook = [&service](uint32_t tenant_id, int cap) {
     service.SetTenantRunningCap(tenant_id, cap);
   };
@@ -184,6 +197,13 @@ int main(int argc, char** argv) {
   }
   std::printf("sand_server: %zu task(s), %zu registered tenant(s), auto-register %s\n",
               tasks.size(), tenants.size(), auto_tenants ? "on" : "off");
+  if (idle_timeout_ms > 0) {
+    std::printf("sand_server: reaping connections idle > %d ms\n", idle_timeout_ms);
+  }
+  if (!allowed_uids.empty()) {
+    std::printf("sand_server: peer-cred allowlist with %zu uid(s) (unix socket only)\n",
+                allowed_uids.size());
+  }
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);
