@@ -3,10 +3,23 @@
 // Two ranks, dataset behind a bandwidth-throttled remote volume. Paper:
 // SAND 5.2x faster than on-demand CPU (from 5.2x higher utilization), with
 // network traffic ~3% of the baseline's.
+//
+// Plus the cluster extension (DESIGN.md §14): three ranks co-located with
+// three sharded store nodes, each rank's TieredCache probing the ring as
+// a third level. With peer reuse on, only the first rank to need a view
+// pays the WAN fetch; the other ranks pull it from the owning node over
+// the LAN. The "cluster_ok" acceptance requires peer reuse to cut WAN
+// traffic by at least 1.5x against the solo (no-peer) baseline.
+
+#include <unistd.h>
 
 #include "bench/bench_common.h"
 
+#include "src/cluster/cluster_store.h"
+#include "src/common/strings.h"
 #include "src/common/units.h"
+#include "src/net/sand_server.h"
+#include "src/vfs/sand_fs.h"
 
 using namespace sand;
 
@@ -79,6 +92,117 @@ DdpOutcome RunDistributed(const BenchEnv& env, const std::string& mode) {
   return outcome;
 }
 
+// --- Cluster view reuse ------------------------------------------------------
+
+// Store nodes serve only the object verbs; the view side is inert.
+class BenchNullProvider : public ViewProvider {
+ public:
+  Result<SharedBytes> Materialize(const ViewPath& path) override {
+    return NotFound("no view " + path.Format());
+  }
+  Result<std::string> GetMetadata(const ViewPath&, const std::string& name) override {
+    return NotFound("no xattr " + name);
+  }
+  Status OnSessionOpen(const std::string&) override { return Status::Ok(); }
+  Status OnSessionClose(const std::string&) override { return Status::Ok(); }
+};
+
+struct ClusterOutcome {
+  Nanos wall = 0;
+  uint64_t wan_traffic = 0;  // bytes fetched over the throttled links
+  uint64_t gets = 0;         // view reads served across all ranks
+};
+
+// Three ranks round-robin over a shared set of precomputed views behind
+// the WAN. A rank that misses its cache fetches over its own throttled
+// link and Puts the view back (which, with peers attached, publishes it
+// to the ring owner for the other ranks).
+ClusterOutcome RunClusterReuse(bool with_peer) {
+  const int kNodes = 3;
+  const int kViews = SmokeMode() ? 8 : 48;
+  const size_t kViewBytes = 256 * kKiB;
+
+  auto dataset = std::make_shared<MemoryStore>();
+  for (int v = 0; v < kViews; ++v) {
+    std::vector<uint8_t> bytes(kViewBytes, static_cast<uint8_t>(v));
+    if (!dataset->Put("view/" + std::to_string(v), bytes).ok()) {
+      std::abort();
+    }
+  }
+
+  // One store node per rank, co-located: rank r's ClusterStore short-
+  // circuits its own shard in-process and dials the other two.
+  std::vector<std::string> socket_paths;
+  std::vector<std::shared_ptr<MemoryStore>> shards;
+  std::vector<std::unique_ptr<BenchNullProvider>> providers;
+  std::vector<std::unique_ptr<SandFs>> filesystems;
+  std::vector<std::unique_ptr<net::SandServer>> servers;
+  std::vector<cluster::ClusterNodeOptions> members;
+  for (int n = 0; n < kNodes; ++n) {
+    socket_paths.push_back("/tmp/sand_fig14_" + std::to_string(::getpid()) + "_" +
+                           std::to_string(n) + ".sock");
+    shards.push_back(std::make_shared<MemoryStore>());
+    providers.push_back(std::make_unique<BenchNullProvider>());
+    filesystems.push_back(std::make_unique<SandFs>(providers.back().get()));
+    net::SandServer::Options options;
+    options.unix_path = socket_paths.back();
+    options.object_store = shards.back().get();
+    servers.push_back(std::make_unique<net::SandServer>(filesystems.back().get(), options));
+    if (!servers.back()->Start().ok()) {
+      std::abort();
+    }
+    members.push_back({"node-" + std::to_string(n), socket_paths.back()});
+  }
+
+  std::vector<std::shared_ptr<RemoteStore>> links;
+  std::vector<std::unique_ptr<TieredCache>> caches;
+  std::vector<std::shared_ptr<cluster::ClusterStore>> rings;
+  for (int r = 0; r < kNodes; ++r) {
+    links.push_back(std::make_shared<RemoteStore>(dataset, /*bandwidth=*/256.0 * kMiB,
+                                                  /*latency=*/FromMillis(0.5)));
+    caches.push_back(std::make_unique<TieredCache>(
+        std::make_shared<MemoryStore>(512ULL * kMiB), std::make_shared<MemoryStore>(2ULL * kGiB)));
+    if (with_peer) {
+      cluster::ClusterStoreOptions options;
+      options.nodes = members;
+      options.self_index = r;
+      rings.push_back(std::make_shared<cluster::ClusterStore>(shards[r], options));
+      caches.back()->SetPeerStore(rings.back());
+    }
+  }
+
+  ClusterOutcome outcome;
+  Stopwatch watch;
+  for (int v = 0; v < kViews; ++v) {
+    const std::string key = "view/" + std::to_string(v);
+    for (int r = 0; r < kNodes; ++r) {
+      auto view = caches[r]->GetShared(key);
+      if (!view.ok()) {
+        // Miss everywhere: pay the WAN and cache (publishing on put).
+        auto fetched = links[r]->GetShared(key);
+        if (!fetched.ok()) {
+          std::abort();
+        }
+        if (!caches[r]->PutShared(key, *fetched, Tier::kMemory).ok()) {
+          std::abort();
+        }
+      }
+      ++outcome.gets;
+    }
+  }
+  outcome.wall = watch.Elapsed();
+  for (const auto& link : links) {
+    outcome.wan_traffic += link->traffic().bytes_read;
+  }
+  for (auto& server : servers) {
+    server->Stop();
+  }
+  for (const std::string& path : socket_paths) {
+    ::unlink(path.c_str());
+  }
+  return outcome;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -117,5 +241,35 @@ int main(int argc, char** argv) {
               100.0 * sand_per_epoch / baseline_per_epoch);
   std::printf("\npaper shape: ~5.2x speedup from ~5.2x utilization; traffic ~3%% of "
               "baseline.\n");
-  return 0;
+
+  // Cluster extension: sharded store nodes with peer view reuse.
+  ClusterOutcome solo = RunClusterReuse(/*with_peer=*/false);
+  ClusterOutcome clustered = RunClusterReuse(/*with_peer=*/true);
+  double ratio = clustered.wan_traffic > 0
+                     ? static_cast<double>(solo.wan_traffic) /
+                           static_cast<double>(clustered.wan_traffic)
+                     : 0.0;
+  bool cluster_ok = ratio >= 1.5;
+  std::printf("\ncluster view reuse (3 ranks, 3 store nodes):\n");
+  std::printf("%-12s %-12s %-14s\n", "mode", "time(ms)", "wan traffic");
+  PrintRule();
+  std::printf("%-12s %-12.0f %s\n", "solo", ToMillis(solo.wall),
+              FormatBytes(solo.wan_traffic).c_str());
+  std::printf("%-12s %-12.0f %s\n", "cluster", ToMillis(clustered.wall),
+              FormatBytes(clustered.wan_traffic).c_str());
+  std::printf("peer reuse cuts WAN traffic %.1fx (>= 1.5x required): %s\n", ratio,
+              cluster_ok ? "ok" : "FAIL");
+
+  PipelineRun cluster_run;
+  cluster_run.metrics.batches = clustered.gets;
+  cluster_run.metrics.wall_ns = clustered.wall;
+  cluster_run.remote_bytes_read = clustered.wan_traffic;
+  RecordBenchResult("fig14_cluster_reuse",
+                    {{"nodes", "3"},
+                     {"solo_wan_bytes", std::to_string(solo.wan_traffic)},
+                     {"cluster_wan_bytes", std::to_string(clustered.wan_traffic)},
+                     {"ratio", StrFormat("%.2f", ratio)},
+                     {"cluster_ok", cluster_ok ? "true" : "false"}},
+                    cluster_run);
+  return cluster_ok ? 0 : 1;
 }

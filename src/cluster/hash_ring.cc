@@ -1,0 +1,74 @@
+#include "src/cluster/hash_ring.h"
+
+#include <algorithm>
+
+#include "src/obs/metrics.h"
+
+namespace sand {
+namespace cluster {
+
+uint64_t HashKey64(std::string_view data) {
+  // FNV-1a, 64-bit offset basis / prime.
+  uint64_t hash = 14695981039346656037ull;
+  for (char c : data) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 1099511628211ull;
+  }
+  // splitmix64 finalizer: raw FNV leaves sequential inputs ("node#0",
+  // "node#1", ...) correlated in the high bits, which skews the ring's
+  // point spacing badly; the avalanche pass restores balance.
+  hash ^= hash >> 30;
+  hash *= 0xbf58476d1ce4e5b9ull;
+  hash ^= hash >> 27;
+  hash *= 0x94d049bb133111ebull;
+  hash ^= hash >> 31;
+  return hash;
+}
+
+HashRing::HashRing(std::vector<std::string> nodes, int virtual_nodes)
+    : virtual_nodes_(std::max(1, virtual_nodes)),
+      rebuilds_(obs::Registry::Get().GetCounter("sand.cluster.ring_rebuilds")) {
+  SetMembership(std::move(nodes));
+}
+
+void HashRing::SetMembership(std::vector<std::string> nodes) {
+  nodes_ = std::move(nodes);
+  Rebuild();
+}
+
+void HashRing::Rebuild() {
+  points_.clear();
+  points_.reserve(nodes_.size() * static_cast<size_t>(virtual_nodes_));
+  for (size_t node = 0; node < nodes_.size(); ++node) {
+    for (int vnode = 0; vnode < virtual_nodes_; ++vnode) {
+      // The point label is "name#i": placement depends only on the node's
+      // name, never on its list position, so processes agree regardless of
+      // how the membership list was assembled.
+      const std::string label = nodes_[node] + "#" + std::to_string(vnode);
+      points_.emplace_back(HashKey64(label), static_cast<uint32_t>(node));
+    }
+  }
+  std::sort(points_.begin(), points_.end());
+  rebuilds_->Add(1);
+}
+
+Result<size_t> HashRing::OwnerOf(const std::string& key) const {
+  if (points_.empty()) {
+    return FailedPrecondition("hash ring has no nodes");
+  }
+  const uint64_t hash = HashKey64(key);
+  // First point at or clockwise after the key; wrap to the start when the
+  // key hashes past the last point.
+  auto it = std::lower_bound(
+      points_.begin(), points_.end(), hash,
+      [](const std::pair<uint64_t, uint32_t>& point, uint64_t h) {
+        return point.first < h;
+      });
+  if (it == points_.end()) {
+    it = points_.begin();
+  }
+  return static_cast<size_t>(it->second);
+}
+
+}  // namespace cluster
+}  // namespace sand

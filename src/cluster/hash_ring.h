@@ -1,0 +1,75 @@
+// HashRing: consistent hashing over an explicit store-node membership list
+// (DESIGN.md §14).
+//
+// The cluster shards the object namespace by key: every key has exactly one
+// owning node, and every process that shares the same membership list (same
+// names, any order of operations) computes the same owner — the hash is a
+// fixed FNV-1a, not std::hash, so separately built sand_server processes
+// agree on the ring.
+//
+// Each node contributes `virtual_nodes` points ("name#i") on a 64-bit ring;
+// a key is owned by the node whose point is the first at or clockwise after
+// the key's hash. Virtual nodes keep the shard sizes balanced, and removing
+// a node remaps only the keys it owned (they fall to the next point
+// clockwise); every other key keeps its owner — the property the failover
+// tests pin.
+//
+// Membership changes rebuild the point list and count on
+// sand.cluster.ring_rebuilds. The ring itself is not synchronized: readers
+// and SetMembership must be serialized by the owner (ClusterStore fixes
+// membership at construction; tests mutate single-threaded).
+
+#ifndef SAND_CLUSTER_HASH_RING_H_
+#define SAND_CLUSTER_HASH_RING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace sand {
+namespace obs {
+class Counter;
+}  // namespace obs
+
+namespace cluster {
+
+// 64-bit FNV-1a. Deterministic across builds and processes, unlike
+// std::hash; the ring's placement function.
+uint64_t HashKey64(std::string_view data);
+
+class HashRing {
+ public:
+  static constexpr int kDefaultVirtualNodes = 64;
+
+  explicit HashRing(std::vector<std::string> nodes = {},
+                    int virtual_nodes = kDefaultVirtualNodes);
+
+  // Replaces the membership list and rebuilds the ring (counted on
+  // sand.cluster.ring_rebuilds). Node names must be unique.
+  void SetMembership(std::vector<std::string> nodes);
+
+  // Index (into nodes()) of the node owning `key`; fails on an empty ring.
+  Result<size_t> OwnerOf(const std::string& key) const;
+
+  const std::vector<std::string>& nodes() const { return nodes_; }
+  size_t size() const { return nodes_.size(); }
+  int virtual_nodes() const { return virtual_nodes_; }
+
+ private:
+  void Rebuild();
+
+  std::vector<std::string> nodes_;
+  int virtual_nodes_;
+  // (point hash, node index), sorted by hash; lookup is one binary search.
+  std::vector<std::pair<uint64_t, uint32_t>> points_;
+  obs::Counter* rebuilds_;
+};
+
+}  // namespace cluster
+}  // namespace sand
+
+#endif  // SAND_CLUSTER_HASH_RING_H_

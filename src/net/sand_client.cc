@@ -50,10 +50,16 @@ Result<std::unique_ptr<SandClient>> SandClient::Connect(const Options& options) 
     if (!status.ok()) {
       ::close(*socket_fd);
       // A pre-pipelining server rejects version 2 outright; negotiate down
-      // once and redial rather than surfacing its refusal.
+      // once and redial rather than surfacing its refusal. The refusal is
+      // recognized structurally by the kVersionRefusedTag prefix tagged
+      // servers put on the message; the "protocol version" substring match
+      // stays only as a fallback for servers from before the tag existed,
+      // whose message wording is frozen.
+      bool version_refused =
+          status.message().rfind(kVersionRefusedTag, 0) == 0 ||
+          status.message().find("protocol version") != std::string::npos;
       if (status.code() == ErrorCode::kInvalidArgument &&
-          offer > kMinProtocolVersion &&
-          status.message().find("protocol version") != std::string::npos) {
+          offer > kMinProtocolVersion && version_refused) {
         offer = kMinProtocolVersion;
         continue;
       }
@@ -349,6 +355,45 @@ Result<std::vector<std::string>> SandClient::ListDir(const std::string& path) {
 Status SandClient::Close(int fd) {
   std::vector<uint8_t> request = RequestHead(Command::kClose);
   PutI32(request, fd);
+  std::vector<uint8_t> response;
+  return Call(std::move(request), response);
+}
+
+Status SandClient::PutObject(const std::string& key, std::span<const uint8_t> data) {
+  std::vector<uint8_t> request = RequestHead(Command::kPutObject);
+  PutString(request, key);
+  PutU32(request, static_cast<uint32_t>(data.size()));
+  request.insert(request.end(), data.begin(), data.end());
+  std::vector<uint8_t> response;
+  return Call(std::move(request), response);
+}
+
+Result<SharedBytes> SandClient::GetObjectShared(const std::string& key) {
+  std::vector<uint8_t> request = RequestHead(Command::kGetObject);
+  PutString(request, key);
+  std::vector<uint8_t> response;
+  SAND_RETURN_IF_ERROR(Call(std::move(request), response));
+  WireReader reader(response);
+  (void)reader.TakeU8();
+  SAND_ASSIGN_OR_RETURN(std::vector<uint8_t> data, reader.TakeBytes());
+  return std::make_shared<const std::vector<uint8_t>>(std::move(data));
+}
+
+Result<SandClient::ObjectStat> SandClient::StatObject(const std::string& key) {
+  std::vector<uint8_t> request = RequestHead(Command::kStatObject);
+  PutString(request, key);
+  std::vector<uint8_t> response;
+  SAND_RETURN_IF_ERROR(Call(std::move(request), response));
+  WireReader reader(response);
+  (void)reader.TakeU8();
+  SAND_ASSIGN_OR_RETURN(uint8_t exists, reader.TakeU8());
+  SAND_ASSIGN_OR_RETURN(uint64_t size, reader.TakeU64());
+  return ObjectStat{exists != 0, size};
+}
+
+Status SandClient::DeleteObject(const std::string& key) {
+  std::vector<uint8_t> request = RequestHead(Command::kDeleteObject);
+  PutString(request, key);
   std::vector<uint8_t> response;
   return Call(std::move(request), response);
 }

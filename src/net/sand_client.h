@@ -94,6 +94,21 @@ class SandClient : public SandApi {
   Result<std::vector<std::string>> ListDir(const std::string& path) override;
   Status Close(int fd) override;
 
+  // Object-store verbs (cluster traffic, not part of SandApi): served only
+  // by servers configured with an object-store backend. An object's
+  // existence is data on this path, so StatObject answers (exists, size)
+  // instead of failing on absence; a server without a backend answers
+  // FAILED_PRECONDITION, and a pre-cluster server answers INVALID_ARGUMENT
+  // ("unknown command") — callers treat both as "this node cannot serve".
+  struct ObjectStat {
+    bool exists = false;
+    uint64_t size = 0;
+  };
+  Status PutObject(const std::string& key, std::span<const uint8_t> data);
+  Result<SharedBytes> GetObjectShared(const std::string& key);
+  Result<ObjectStat> StatObject(const std::string& key);
+  Status DeleteObject(const std::string& key);
+
  private:
   SandClient(int socket_fd, uint16_t version)
       : socket_fd_(socket_fd), version_(version) {}

@@ -12,6 +12,7 @@
 #include "src/net/wire.h"
 #include "src/obs/attribution.h"
 #include "src/obs/metrics.h"
+#include "src/storage/object_store.h"
 
 namespace sand {
 namespace net {
@@ -216,20 +217,30 @@ void SandServer::ReaperLoop() {
       if (conn->done.load() || conn->reaped.load() || conn->socket_fd < 0) {
         continue;
       }
+      bool reap = false;
       {
         // A connection waiting on a slow materialize is busy, not idle.
+        // The activity stamp is re-checked and the shutdown issued under
+        // the same inflight_mutex the reader stamps at admission, so a
+        // frame admitted after the inflight check cannot land on a socket
+        // this pass decided to reap: either its stamp is visible here (we
+        // skip), or it is still before the stamp in the reader — in which
+        // case the reader sees the shutdown as EOF and tears down cleanly
+        // without ever dispatching onto a dead socket.
         std::lock_guard<std::mutex> inflight_lock(conn->inflight_mutex);
-        if (conn->inflight > 0) {
-          continue;
+        if (conn->inflight == 0 &&
+            now - conn->last_active_ns.load() >= timeout_ns) {
+          // Shutdown (not close) wakes the reader thread out of ReadFrame;
+          // the normal teardown path then releases the session's fds and
+          // budget charges.
+          conn->reaped.store(true);
+          ::shutdown(conn->socket_fd, SHUT_RDWR);
+          reap = true;
         }
       }
-      if (now - conn->last_active_ns.load() < timeout_ns) {
+      if (!reap) {
         continue;
       }
-      // Shutdown (not close) wakes the reader thread out of ReadFrame; the
-      // normal teardown path then releases the session's fds and charges.
-      conn->reaped.store(true);
-      ::shutdown(conn->socket_fd, SHUT_RDWR);
       idle_reaped_counter_->Add(1);
       std::lock_guard<std::mutex> stats_lock(stats_mutex_);
       ++stats_.idle_reaped;
@@ -240,7 +251,14 @@ void SandServer::ReaperLoop() {
 void SandServer::ServeConnection(Connection* conn) {
   std::vector<uint8_t> request;
   while (ReadFrame(conn->socket_fd, request)) {
-    conn->last_active_ns.store(static_cast<int64_t>(SinceProcessStart()));
+    {
+      // Stamp under inflight_mutex: the idle reaper re-checks this stamp
+      // under the same lock before shutting the socket down, closing the
+      // window where a frame admitted after its inflight check would be
+      // dispatched onto a reaped socket.
+      std::lock_guard<std::mutex> lock(conn->inflight_mutex);
+      conn->last_active_ns.store(static_cast<int64_t>(SinceProcessStart()));
+    }
     WireReader reader(request);
     // Request ids exist only after a v2 HELLO; the HELLO frame itself is
     // always v1-shaped so the version parses before negotiation.
@@ -355,11 +373,27 @@ void SandServer::ServeConnection(Connection* conn) {
             metrics->materialize_wait_ns->Record(
                 static_cast<uint64_t>(SinceProcessStart() - start));
             if (!response.head.empty() && response.head[0] == 0) {
-              uint64_t bytes = response.head.size() - 1;
-              if (response.body != nullptr) {
-                bytes += response.body->size();
+              // Only data-bearing reads count as tenant read traffic:
+              // charging every ok response (Open, ListDir, GetXattr...)
+              // inflated the tenant table and the fair-share bench.
+              uint64_t bytes = 0;
+              switch (command) {
+                case Command::kRead:
+                case Command::kPRead:
+                  // head = status byte | u32 length | payload
+                  bytes = response.head.size() > 5 ? response.head.size() - 5 : 0;
+                  break;
+                case Command::kReadAll:
+                case Command::kGetObject:
+                  // Bulk payload rides the scatter-gather body.
+                  bytes = response.body != nullptr ? response.body->size() : 0;
+                  break;
+                default:
+                  break;
               }
-              metrics->bytes_read->Add(static_cast<int64_t>(bytes));
+              if (bytes > 0) {
+                metrics->bytes_read->Add(static_cast<int64_t>(bytes));
+              }
             }
             metrics->inflight->Add(-1);
           }
@@ -479,7 +513,11 @@ std::vector<uint8_t> SandServer::HandleHello(Connection* conn, WireReader& reade
     return EncodeErrorResponse(version.status());
   }
   if (*version < kMinProtocolVersion) {
+    // The tag prefix is the machine-readable part: clients deciding
+    // whether to re-dial at another version match it structurally, so the
+    // human-readable text after it can be reworded freely.
     return EncodeErrorResponse(InvalidArgument(
+        std::string(kVersionRefusedTag) +
         "protocol version mismatch: server speaks " +
         std::to_string(kMinProtocolVersion) + ".." +
         std::to_string(kProtocolVersion) + ", client sent " +
@@ -799,6 +837,92 @@ SandServer::WireResponse SandServer::Dispatch(Connection* conn, Command command,
         PutString(response, entry);
       }
       return {std::move(response), nullptr};
+    }
+
+    case Command::kPutObject: {
+      auto key = reader.TakeString();
+      if (!key.ok()) {
+        return {EncodeErrorResponse(key.status()), nullptr};
+      }
+      auto data = reader.TakeBytes();
+      if (!data.ok()) {
+        return {EncodeErrorResponse(data.status()), nullptr};
+      }
+      if (options_.object_store == nullptr) {
+        return {EncodeErrorResponse(
+                    FailedPrecondition("server has no object-store backend")),
+                nullptr};
+      }
+      Status status = options_.object_store->PutShared(
+          *key, MakeSharedBytes(std::move(*data)));
+      if (!status.ok()) {
+        return {EncodeErrorResponse(status), nullptr};
+      }
+      return {EncodeOkHead(), nullptr};
+    }
+
+    case Command::kGetObject: {
+      auto key = reader.TakeString();
+      if (!key.ok()) {
+        return {EncodeErrorResponse(key.status()), nullptr};
+      }
+      if (options_.object_store == nullptr) {
+        return {EncodeErrorResponse(
+                    FailedPrecondition("server has no object-store backend")),
+                nullptr};
+      }
+      auto bytes = options_.object_store->GetShared(*key);
+      if (!bytes.ok()) {
+        return {EncodeErrorResponse(bytes.status()), nullptr};
+      }
+      if ((*bytes)->size() > kMaxFrameBytes - 16) {
+        return {EncodeErrorResponse(OutOfRange(
+                    "object is " + std::to_string((*bytes)->size()) +
+                    " bytes, larger than the " + std::to_string(kMaxFrameBytes) +
+                    "-byte frame cap")),
+                nullptr};
+      }
+      // Same shape as ReadAll: the payload rides the scatter-gather tail
+      // straight from the store's SharedBytes allocation.
+      std::vector<uint8_t> head = EncodeOkHead();
+      PutU32(head, static_cast<uint32_t>((*bytes)->size()));
+      return {std::move(head), *bytes};
+    }
+
+    case Command::kStatObject: {
+      auto key = reader.TakeString();
+      if (!key.ok()) {
+        return {EncodeErrorResponse(key.status()), nullptr};
+      }
+      if (options_.object_store == nullptr) {
+        return {EncodeErrorResponse(
+                    FailedPrecondition("server has no object-store backend")),
+                nullptr};
+      }
+      // One verb answers both Contains and SizeOf: absence is data, not an
+      // error, so a cluster probe costs a single round trip either way.
+      auto size = options_.object_store->SizeOf(*key);
+      std::vector<uint8_t> response = EncodeOkHead();
+      PutU8(response, size.ok() ? 1 : 0);
+      PutU64(response, size.ok() ? *size : 0);
+      return {std::move(response), nullptr};
+    }
+
+    case Command::kDeleteObject: {
+      auto key = reader.TakeString();
+      if (!key.ok()) {
+        return {EncodeErrorResponse(key.status()), nullptr};
+      }
+      if (options_.object_store == nullptr) {
+        return {EncodeErrorResponse(
+                    FailedPrecondition("server has no object-store backend")),
+                nullptr};
+      }
+      Status status = options_.object_store->Delete(*key);
+      if (!status.ok()) {
+        return {EncodeErrorResponse(status), nullptr};
+      }
+      return {EncodeOkHead(), nullptr};
     }
 
     case Command::kHello:

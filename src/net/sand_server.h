@@ -74,6 +74,8 @@ namespace obs {
 class Counter;
 }  // namespace obs
 
+class ObjectStore;
+
 namespace net {
 
 // Per-tenant resource limits. Defaults are permissive; RegisterTenant (or
@@ -137,6 +139,12 @@ class SandServer {
     // e.g. [&](uint32_t id, int cap) { sched.SetTenantRunningCap(id, cap); }.
     // Called under the server's tenant lock when quotas are (re)applied.
     std::function<void(uint32_t tenant_id, int max_running)> sched_cap_hook;
+
+    // Optional object-store backend for the cluster verbs (kPutObject,
+    // kGetObject, kStatObject, kDeleteObject): the shard of the object
+    // namespace this node owns. Must outlive the server. When null the
+    // store verbs answer FAILED_PRECONDITION — a plain serving node.
+    ObjectStore* object_store = nullptr;
   };
 
   // `backend` must outlive the server. The server never closes fds it did

@@ -51,7 +51,11 @@ inline constexpr uint16_t kProtocolVersion = 2;
 inline constexpr uint16_t kMinProtocolVersion = 1;
 
 // Request commands. Mirrors the SandApi verb set plus the HELLO
-// authentication handshake.
+// authentication handshake and the object-store verbs the cluster layer
+// uses to move materialized views between store nodes. The store verbs
+// are additive: they need no version bump because old clients never send
+// them and old servers answer "unknown command" (INVALID_ARGUMENT), which
+// the cluster client treats as a miss.
 enum class Command : uint8_t {
   kHello = 1,    // u16 version | string tenant
   kOpen = 2,     // string path | string open_options (OpenOptions wire form)
@@ -62,7 +66,20 @@ enum class Command : uint8_t {
   kGetXattr = 7,  // i32 fd | string name
   kListDir = 8,  // string path
   kClose = 9,    // i32 fd
+  // Object-store verbs (served only when the server has a store backend).
+  kPutObject = 10,     // string key | bytes data            -> ok
+  kGetObject = 11,     // string key                         -> ok | bytes data
+  kStatObject = 12,    // string key                         -> ok | u8 exists | u64 size
+  kDeleteObject = 13,  // string key                         -> ok
 };
+
+// Machine-readable prefix on the HELLO refusal message when the server
+// rejects the offered protocol version. The status code stays
+// INVALID_ARGUMENT (older v2 clients already key on it), but clients
+// deciding whether to re-dial at v1 match this tag structurally instead
+// of grepping the human-readable text, so rewording the message can no
+// longer break version negotiation.
+inline constexpr const char kVersionRefusedTag[] = "[version-refused] ";
 
 // --- scalar/string packing ---------------------------------------------------
 

@@ -722,6 +722,9 @@ TieredCache::TieredCache(std::shared_ptr<ObjectStore> memory, std::shared_ptr<Ob
       bytes_written_disk_(obs::Registry::Get().GetCounter("sand.cache.disk.bytes_written")),
       disk_retries_(obs::Registry::Get().GetCounter("sand.store.disk.retries")),
       demote_failures_(obs::Registry::Get().GetCounter("sand.cache.demote_failures")),
+      peer_hits_(obs::Registry::Get().GetCounter("sand.cluster.peer_hits")),
+      peer_misses_(obs::Registry::Get().GetCounter("sand.cluster.peer_misses")),
+      peer_bytes_(obs::Registry::Get().GetCounter("sand.cluster.peer_bytes")),
       memory_used_(obs::Registry::Get().GetGauge("sand.cache.memory.used_bytes")),
       disk_used_(obs::Registry::Get().GetGauge("sand.cache.disk.used_bytes")),
       pinned_keys_(obs::Registry::Get().GetGauge("sand.cache.pinned_keys")),
@@ -730,6 +733,64 @@ TieredCache::TieredCache(std::shared_ptr<ObjectStore> memory, std::shared_ptr<Ob
 void TieredCache::UpdateUsageGauges() {
   memory_used_->Set(static_cast<int64_t>(memory_->UsedBytes()));
   disk_used_->Set(static_cast<int64_t>(disk_->UsedBytes()));
+}
+
+void TieredCache::SetPeerStore(std::shared_ptr<ObjectStore> peer) {
+  std::lock_guard<std::mutex> lock(peer_mutex_);
+  peer_ = std::move(peer);
+}
+
+bool TieredCache::has_peer() const {
+  std::lock_guard<std::mutex> lock(peer_mutex_);
+  return peer_ != nullptr;
+}
+
+std::shared_ptr<ObjectStore> TieredCache::PeerStore() const {
+  std::lock_guard<std::mutex> lock(peer_mutex_);
+  return peer_;
+}
+
+Result<SharedBytes> TieredCache::PeerOrMiss(const std::string& key,
+                                            Result<SharedBytes> miss) {
+  std::shared_ptr<ObjectStore> peer = PeerStore();
+  if (peer == nullptr) {
+    misses_->Add(1);
+    return miss;
+  }
+  SAND_SPAN("peer_probe");
+  Result<SharedBytes> fetched = peer->GetShared(key);
+  if (fetched.ok()) {
+    // The peer normally holds raw bytes, but a node running compressed
+    // disk puts may have published an encoded container; undecodable
+    // bytes read as a miss, never as corrupt data.
+    Result<SharedBytes> decoded = MaybeDecode(*fetched);
+    if (decoded.ok()) {
+      peer_hits_->Add(1);
+      peer_bytes_->Add((*decoded)->size());
+      // Promote so the next read is a local memory hit (best-effort).
+      if (memory_->PutShared(key, *decoded).ok()) {
+        promotions_->Add(1);
+        UpdateUsageGauges();
+      }
+      return decoded;
+    }
+  }
+  // Peer miss, dead node (UNAVAILABLE via the ClusterStore's breaker), or
+  // undecodable bytes: all read as a plain cache miss so the caller
+  // recomputes locally instead of surfacing a cluster error to the job.
+  peer_misses_->Add(1);
+  misses_->Add(1);
+  return miss;
+}
+
+void TieredCache::PublishToPeer(const std::string& key, SharedBytes data) {
+  std::shared_ptr<ObjectStore> peer = PeerStore();
+  if (peer == nullptr || data == nullptr) {
+    return;
+  }
+  SAND_SPAN("peer_publish");
+  // Best-effort: a dead or full owner node must never fail the local put.
+  (void)peer->PutShared(key, std::move(data));
 }
 
 void TieredCache::SetCompression(const CompressionPolicy& policy, WorkerPool* pool) {
@@ -868,6 +929,31 @@ auto TieredCache::DiskOpWithRetry(Fn&& fn) -> decltype(fn()) {
 }
 
 Status TieredCache::Put(const std::string& key, std::span<const uint8_t> data, Tier tier) {
+  Status status = PutLocal(key, data, tier);
+  if (status.ok() && has_peer()) {
+    PublishToPeer(key, MakeSharedBytes(std::vector<uint8_t>(data.begin(), data.end())));
+  }
+  return status;
+}
+
+Status TieredCache::PutShared(const std::string& key, SharedBytes data, Tier tier) {
+  Status status = PutSharedLocal(key, data, tier);
+  if (status.ok()) {
+    PublishToPeer(key, std::move(data));
+  }
+  return status;
+}
+
+Result<bool> TieredCache::PutIfAbsent(const std::string& key, std::span<const uint8_t> data,
+                                      Tier tier) {
+  Result<bool> inserted = PutIfAbsentLocal(key, data, tier);
+  if (inserted.ok() && *inserted && has_peer()) {
+    PublishToPeer(key, MakeSharedBytes(std::vector<uint8_t>(data.begin(), data.end())));
+  }
+  return inserted;
+}
+
+Status TieredCache::PutLocal(const std::string& key, std::span<const uint8_t> data, Tier tier) {
   SAND_SPAN("store_put");
   const std::optional<std::vector<uint8_t>> encoded = MaybeEncodeForDisk(key, data, tier);
   const std::span<const uint8_t> disk_data =
@@ -906,7 +992,7 @@ Status TieredCache::Put(const std::string& key, std::span<const uint8_t> data, T
   return status;
 }
 
-Status TieredCache::PutShared(const std::string& key, SharedBytes data, Tier tier) {
+Status TieredCache::PutSharedLocal(const std::string& key, SharedBytes data, Tier tier) {
   SAND_SPAN("store_put");
   if (data == nullptr) {
     return InvalidArgument("PutShared: null buffer");
@@ -948,8 +1034,8 @@ Status TieredCache::PutShared(const std::string& key, SharedBytes data, Tier tie
   return status;
 }
 
-Result<bool> TieredCache::PutIfAbsent(const std::string& key, std::span<const uint8_t> data,
-                                      Tier tier) {
+Result<bool> TieredCache::PutIfAbsentLocal(const std::string& key,
+                                           std::span<const uint8_t> data, Tier tier) {
   SAND_SPAN("store_put");
   const std::optional<std::vector<uint8_t>> encoded = MaybeEncodeForDisk(key, data, tier);
   const std::span<const uint8_t> disk_data =
@@ -1019,8 +1105,7 @@ Result<SharedBytes> TieredCache::GetShared(const std::string& key) {
       // Undecodable container (corrupt, or its shared-basis base is gone):
       // drop it and report a miss so the caller rematerializes.
       (void)Delete(key);
-      misses_->Add(1);
-      return NotFound("compressed object unreadable: " + key);
+      return PeerOrMiss(key, NotFound("compressed object unreadable: " + key));
     }
     if (*decoded != *hot && memory_->PutShared(key, *decoded).ok()) {
       // Keep the hot tier raw so the next hit skips the decode.
@@ -1029,23 +1114,23 @@ Result<SharedBytes> TieredCache::GetShared(const std::string& key) {
     return decoded;
   }
   if (!DiskAvailable()) {
-    // Degraded: a cold object reads as a miss (the caller rematerializes),
-    // never as an error surfaced to the training loop.
-    misses_->Add(1);
-    return NotFound("disk tier offline: " + key);
+    // Degraded: a cold object reads as a miss after the peer probe (the
+    // caller rematerializes), never as an error surfaced to the training
+    // loop.
+    return PeerOrMiss(key, NotFound("disk tier offline: " + key));
   }
   Result<SharedBytes> cold = DiskOpWithRetry([&] { return disk_->GetShared(key); });
   if (!cold.ok()) {
-    misses_->Add(1);
-    return cold;
+    // Third probe level: memory missed, disk missed — maybe another node
+    // in the ring already materialized this object.
+    return PeerOrMiss(key, std::move(cold));
   }
   disk_hits_->Add(1);
   bytes_read_disk_->Add((*cold)->size());
   Result<SharedBytes> decoded = MaybeDecode(*cold);
   if (!decoded.ok()) {
     (void)Delete(key);
-    misses_->Add(1);
-    return NotFound("compressed object unreadable: " + key);
+    return PeerOrMiss(key, NotFound("compressed object unreadable: " + key));
   }
   // Best-effort promotion of the decoded bytes (the just-read buffer when
   // the object was stored raw); ignore failure (memory may be full).

@@ -346,6 +346,18 @@ class TieredCache {
   // offline.
   Status PutDisk(const std::string& key, std::span<const uint8_t> data);
 
+  // --- Peer probe (cluster reuse, DESIGN.md §14) --------------------------
+  // Attaches a peer store (typically a cluster::ClusterStore routing keys
+  // to their ring owners) probed as the third level after a memory AND disk
+  // miss. A peer hit counts on sand.cluster.peer_hits / peer_bytes and is
+  // promoted into memory; a peer miss or a dead peer reads as a plain cache
+  // miss (sand.cluster.peer_misses), so the caller recomputes locally and
+  // the job never fails on a vanished node. Successful puts are published
+  // to the peer store best-effort so other nodes can find the object.
+  // Call at startup, like SetCompression; pass nullptr to detach.
+  void SetPeerStore(std::shared_ptr<ObjectStore> peer);
+  bool has_peer() const;
+
   // True while the disk tier is marked offline (memory-only degradation).
   bool disk_degraded() const { return disk_offline_.load(std::memory_order_relaxed); }
 
@@ -359,6 +371,22 @@ class TieredCache {
 
  private:
   void UpdateUsageGauges();
+
+  // The local (memory/disk) halves of the puts; the public methods wrap
+  // them with the best-effort peer publish.
+  Status PutLocal(const std::string& key, std::span<const uint8_t> data, Tier tier);
+  Status PutSharedLocal(const std::string& key, SharedBytes data, Tier tier);
+  Result<bool> PutIfAbsentLocal(const std::string& key, std::span<const uint8_t> data,
+                                Tier tier);
+
+  // Snapshot of the attached peer store (null when detached).
+  std::shared_ptr<ObjectStore> PeerStore() const;
+  // The third probe level: tries the peer on a local miss, returning
+  // `miss` (counted on sand.cache.misses) when no peer is attached, the
+  // peer misses, or the fetched object fails to decode.
+  Result<SharedBytes> PeerOrMiss(const std::string& key, Result<SharedBytes> miss);
+  // Best-effort publish of a freshly stored object to the peer store.
+  void PublishToPeer(const std::string& key, SharedBytes data);
 
   // Snapshot of the codec engine (null when compression is disabled).
   std::shared_ptr<ObjectCodec> Codec() const;
@@ -394,6 +422,11 @@ class TieredCache {
   std::atomic<bool> disk_offline_{false};
   std::atomic<Nanos> disk_probe_at_{0};
 
+  // Peer store (cluster probe level). Published under peer_mutex_ (cold
+  // path: attach at startup, snapshot per miss/put).
+  mutable std::mutex peer_mutex_;
+  std::shared_ptr<ObjectStore> peer_;
+
   // key -> pin count; entries are erased at zero.
   std::mutex pin_mutex_;
   std::map<std::string, int> pins_;
@@ -420,6 +453,9 @@ class TieredCache {
   obs::Counter* bytes_written_disk_;
   obs::Counter* disk_retries_;
   obs::Counter* demote_failures_;
+  obs::Counter* peer_hits_;
+  obs::Counter* peer_misses_;
+  obs::Counter* peer_bytes_;
   obs::Gauge* memory_used_;
   obs::Gauge* disk_used_;
   obs::Gauge* pinned_keys_;

@@ -15,6 +15,41 @@
 
 namespace sand {
 
+namespace {
+
+// Registered extra control views ("/.sand/<name>"). Process-global like
+// the obs registry the built-in views render from; a mutex-guarded map is
+// fine because renderers only run on the cold control-open path.
+struct ControlViewRegistry {
+  std::mutex mutex;
+  std::map<std::string, SandFs::ControlRenderer> renderers;
+
+  static ControlViewRegistry& Get() {
+    static ControlViewRegistry* registry = new ControlViewRegistry();
+    return *registry;
+  }
+};
+
+bool IsBuiltinControlName(const std::string& name) {
+  return name == "health" || name == "history" || name == "jobs" ||
+         name == "metrics" || name == "tenants" || name == "trace";
+}
+
+}  // namespace
+
+void SandFs::RegisterControlView(const std::string& name, ControlRenderer renderer) {
+  if (name.empty() || IsBuiltinControlName(name)) {
+    return;
+  }
+  ControlViewRegistry& registry = ControlViewRegistry::Get();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  if (renderer) {
+    registry.renderers[name] = std::move(renderer);
+  } else {
+    registry.renderers.erase(name);
+  }
+}
+
 SandFs::SandFs(ViewProvider* provider, PrefetchOptions prefetch)
     : provider_(provider),
       prefetcher_(provider, prefetch),
@@ -71,11 +106,26 @@ Result<int> SandFs::OpenControl(const std::vector<std::string>& parts) {
     }
     body = obs::Registry::Get().ToJson("sand.tenant." + tag + ".", /*strip_prefix=*/true);
   } else {
-    std::string joined = parts[0];
-    for (size_t i = 1; i < parts.size(); ++i) {
-      joined += "/" + parts[i];
+    // Registered views last: built-in names always win, and the renderer
+    // runs outside the registry lock (it may be slow — e.g. the cluster
+    // layer probing peer health).
+    ControlRenderer renderer;
+    if (parts.size() == 1) {
+      ControlViewRegistry& registry = ControlViewRegistry::Get();
+      std::lock_guard<std::mutex> lock(registry.mutex);
+      auto it = registry.renderers.find(name);
+      if (it != registry.renderers.end()) {
+        renderer = it->second;
+      }
     }
-    return NotFound(std::string("no control view: ") + kControlRoot + "/" + joined);
+    if (!renderer) {
+      std::string joined = parts[0];
+      for (size_t i = 1; i < parts.size(); ++i) {
+        joined += "/" + parts[i];
+      }
+      return NotFound(std::string("no control view: ") + kControlRoot + "/" + joined);
+    }
+    body = renderer();
   }
   std::lock_guard<std::mutex> lock(mutex_);
   int fd = next_fd_++;
@@ -340,7 +390,17 @@ Result<std::vector<std::string>> SandFs::ListDir(const std::string& path) {
     return InvalidArgument("listdir: path must be absolute: " + path);
   }
   if (path == kControlRoot || path == std::string(kControlRoot) + "/") {
-    return std::vector<std::string>{"health", "history", "jobs", "metrics", "tenants", "trace"};
+    std::vector<std::string> entries{"health", "history", "jobs",
+                                     "metrics", "tenants", "trace"};
+    {
+      ControlViewRegistry& registry = ControlViewRegistry::Get();
+      std::lock_guard<std::mutex> lock(registry.mutex);
+      for (const auto& [name, renderer] : registry.renderers) {
+        entries.push_back(name);
+      }
+    }
+    std::sort(entries.begin(), entries.end());
+    return entries;
   }
   if (path == std::string(kControlRoot) + "/jobs") {
     return obs::JobRegistry::Get().Tags();  // already sorted

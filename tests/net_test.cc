@@ -24,6 +24,7 @@
 #include "src/net/client_pool.h"
 #include "src/net/sand_client.h"
 #include "src/net/sand_server.h"
+#include "src/obs/attribution.h"
 #include "src/vfs/sand_fs.h"
 
 namespace sand {
@@ -845,6 +846,144 @@ TEST_F(NetTest, IdleConnectionsAreReaped) {
   auto fresh_fd = fresh->Open("/train/0/0/view");
   ASSERT_TRUE(fresh_fd.ok());
   EXPECT_TRUE(fresh->ReadAllShared(*fresh_fd).ok());
+}
+
+TEST_F(NetTest, VersionRefusalTagNegotiatesDown) {
+  // A server refusing our v2 offer tags the refusal with
+  // kVersionRefusedTag; the client must recognize the tag structurally
+  // (regardless of the wording after it) and redial at the floor. A
+  // hand-rolled server stands in for a future build whose message text
+  // has drifted.
+  const std::string path = ::testing::TempDir() + "sand_refuse_" +
+                           std::to_string(::getpid()) + ".sock";
+  auto listen_fd = net::ListenUnix(path, 4);
+  ASSERT_TRUE(listen_fd.ok()) << listen_fd.status().ToString();
+  std::atomic<uint16_t> second_offer{0xFFFF};
+  std::thread fake_server([&] {
+    // Connection 1: tagged refusal, deliberately NOT containing the
+    // legacy "protocol version" wording.
+    int conn = ::accept(*listen_fd, nullptr, nullptr);
+    ASSERT_GE(conn, 0);
+    std::vector<uint8_t> frame;
+    ASSERT_TRUE(net::ReadFrame(conn, frame));
+    std::vector<uint8_t> refusal = net::EncodeErrorResponse(
+        InvalidArgument(std::string(net::kVersionRefusedTag) +
+                        "too new; speak the floor"));
+    ASSERT_TRUE(net::WriteFrame(conn, refusal));
+    ::close(conn);
+    // Connection 2: the redial; capture the downgraded offer and accept.
+    conn = ::accept(*listen_fd, nullptr, nullptr);
+    ASSERT_GE(conn, 0);
+    ASSERT_TRUE(net::ReadFrame(conn, frame));
+    net::WireReader reader(frame);
+    (void)*reader.TakeU8();  // kHello
+    second_offer.store(*reader.TakeU16());
+    std::vector<uint8_t> ok = net::EncodeOkHead();
+    net::PutU32(ok, 7);  // tenant id; no trailing version = plain v1 accept
+    ASSERT_TRUE(net::WriteFrame(conn, ok));
+    // Hold the connection open until the client tears down.
+    std::vector<uint8_t> rest;
+    (void)net::ReadFrame(conn, rest);
+    ::close(conn);
+  });
+
+  SandClient::Options options;
+  options.unix_path = path;
+  options.tenant = "alpha";
+  auto client = SandClient::Connect(options);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  EXPECT_EQ((*client)->negotiated_version(), net::kMinProtocolVersion);
+  EXPECT_EQ((*client)->tenant_id(), 7u);
+  EXPECT_EQ(second_offer.load(), net::kMinProtocolVersion);
+  client->reset();
+  fake_server.join();
+
+  // An untagged INVALID_ARGUMENT without the legacy wording is NOT a
+  // version refusal: it must surface verbatim, no downgrade redial.
+  std::thread refusing_server([&] {
+    int conn = ::accept(*listen_fd, nullptr, nullptr);
+    ASSERT_GE(conn, 0);
+    std::vector<uint8_t> frame;
+    ASSERT_TRUE(net::ReadFrame(conn, frame));
+    std::vector<uint8_t> refusal =
+        net::EncodeErrorResponse(InvalidArgument("malformed tenant tag"));
+    ASSERT_TRUE(net::WriteFrame(conn, refusal));
+    ::close(conn);
+  });
+  auto refused = SandClient::Connect(options);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(refused.status().message(), "malformed tenant tag");
+  refusing_server.join();
+  ::close(*listen_fd);
+  ::unlink(path.c_str());
+}
+
+TEST_F(NetTest, InflightRequestIsNotIdleReaped) {
+  // Regression for the reaper TOCTOU: a request whose materialization
+  // outlives the idle timeout used to race the reaper (stamp happened
+  // after admission checks; the reaper could sever the socket between
+  // frame arrival and the inflight increment). Admission now stamps
+  // under inflight_mutex and the reaper re-checks both under the same
+  // lock, so a connection with work in flight is never reaped.
+  SandServer::Options options;
+  options.idle_timeout_ms = 50;
+  StartServer(options);
+  provider_.SetPathGated("/train/0/0/view", true);
+  auto client = Connect("alpha");
+  ASSERT_NE(client, nullptr);
+  auto fd = client->Open("/train/0/0/view");
+  ASSERT_TRUE(fd.ok());
+
+  Result<SharedBytes> slow = NotFound("not started");
+  std::thread reader_thread([&] { slow = client->ReadAllShared(*fd); });
+  provider_.WaitMaterializeStarted(1);
+  // Sit well past the idle timeout with the request still in flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  EXPECT_EQ(server_->stats().idle_reaped, 0u);
+
+  provider_.SetPathGated("/train/0/0/view", false);
+  reader_thread.join();
+  ASSERT_TRUE(slow.ok()) << slow.status().ToString();
+  EXPECT_EQ(**slow, (std::vector<uint8_t>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST_F(NetTest, TenantBytesReadCountsOnlyReadPayloads) {
+  // Regression for the over-counting bug: every successful response's
+  // head+body used to be charged to the tenant's bytes_read, so opens,
+  // stats, xattrs, and directory listings inflated the gauge customers
+  // are billed on. Only Read/PRead/ReadAll(/GetObject) payload bytes
+  // count now.
+  StartServer();
+  auto client = Connect("bytesacct");
+  ASSERT_NE(client, nullptr);
+  obs::TenantMetrics* metrics = obs::TenantMetricsFor(client->tenant_id());
+  ASSERT_NE(metrics, nullptr);
+  const int64_t baseline = metrics->bytes_read->Value();
+
+  auto fd = client->Open("/train/0/0/view");
+  ASSERT_TRUE(fd.ok());
+  EXPECT_EQ(*client->SizeOf(*fd), 8u);
+  EXPECT_TRUE(client->GetXattr(*fd, "path").ok());
+  EXPECT_TRUE(client->ListDir("/.sand").ok());
+  // Metadata traffic: no payload, no charge. (Accounting happens on the
+  // worker after the response is written; poll briefly for quiescence.)
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(metrics->bytes_read->Value(), baseline);
+
+  std::vector<uint8_t> buffer(4);
+  ASSERT_TRUE(client->Read(*fd, buffer).ok());        // +4
+  ASSERT_TRUE(client->PRead(*fd, buffer, 2).ok());    // +4
+  ASSERT_TRUE(client->ReadAllShared(*fd).ok());       // +8
+  int64_t counted = 0;
+  for (int i = 0; i < 500; ++i) {
+    counted = metrics->bytes_read->Value() - baseline;
+    if (counted >= 16) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_EQ(counted, 16);
 }
 
 TEST_F(NetTest, PeerCredAllowlistAdmitsMatchingUid) {

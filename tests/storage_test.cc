@@ -315,6 +315,38 @@ TEST(RemoteStoreTest, MissesDoNotCount) {
   EXPECT_EQ(remote.traffic().read_ops, 0u);
 }
 
+TEST(RemoteStoreTest, FailedOpsDoNotCountTraffic) {
+  // Audit pin: billing/bench numbers ride on RemoteTraffic, so an op that
+  // fails must charge nothing — no phantom bytes for a Put the backing
+  // refused, a Get that missed, or a PutIfAbsent that inserted nothing.
+  auto backing = std::make_shared<MemoryStore>(/*capacity_bytes=*/10);
+  RemoteStore remote(backing, 0, 0);
+
+  // Put over capacity: refused by the backing, no write traffic.
+  EXPECT_FALSE(remote.Put("big", std::vector<uint8_t>(100)).ok());
+  EXPECT_EQ(remote.traffic().write_ops, 0u);
+  EXPECT_EQ(remote.traffic().bytes_written, 0u);
+
+  // Get of a missing key: no read traffic.
+  EXPECT_FALSE(remote.Get("absent").ok());
+  EXPECT_EQ(remote.traffic().read_ops, 0u);
+  EXPECT_EQ(remote.traffic().bytes_read, 0u);
+
+  // PutIfAbsent that loses to an existing object moves no bytes; only the
+  // inserting call is a write.
+  ASSERT_TRUE(remote.Put("k", std::vector<uint8_t>(4)).ok());
+  auto lost = remote.PutIfAbsent("k", std::vector<uint8_t>(4));
+  ASSERT_TRUE(lost.ok());
+  EXPECT_FALSE(*lost);
+  EXPECT_EQ(remote.traffic().write_ops, 1u);
+  EXPECT_EQ(remote.traffic().bytes_written, 4u);
+
+  // A failed PutIfAbsent (over capacity) charges nothing either.
+  EXPECT_FALSE(remote.PutIfAbsent("big2", std::vector<uint8_t>(100)).ok());
+  EXPECT_EQ(remote.traffic().write_ops, 1u);
+  EXPECT_EQ(remote.traffic().bytes_written, 4u);
+}
+
 TEST(RemoteStoreTest, BandwidthDelaysTransfers) {
   auto backing = std::make_shared<MemoryStore>();
   ASSERT_TRUE(backing->Put("k", std::vector<uint8_t>(100 * 1024)).ok());

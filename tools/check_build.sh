@@ -8,7 +8,7 @@
 #   BUILD_DIR         override the default build tree (default: build)
 #   SKIP_TSAN=1       skip the ThreadSanitizer suite
 #   SKIP_ASAN=1       skip the AddressSanitizer suite
-#   MAKE_BENCH_JSON=1 also regenerate BENCH_PR9.json (slow: full benches
+#   MAKE_BENCH_JSON=1 also regenerate BENCH_PR10.json (slow: full benches
 #                     plus the tracing-overhead comparison)
 set -euo pipefail
 
@@ -96,9 +96,60 @@ grep -q 'shutting down' "$SERVE_TMP/server.log" \
     || { cat "$SERVE_TMP/server.log"; echo "serving gate: no clean shutdown" >&2; exit 1; }
 echo "serving gate: 2 tenants served + clean shutdown"
 
+echo "==== cluster smoke (3 sharded store nodes + peer reuse + node kill) ===="
+CLUSTER_TMP="$(mktemp -d)"
+CL_PIDS=()
+trap 'kill "$SERVER_PID" "${CL_PIDS[@]}" 2>/dev/null || true; wait 2>/dev/null || true; rm -rf "$TRACE_TMP" "$SERVE_TMP" "$CLUSTER_TMP"' EXIT
+CL_PEERS=(--peer "$CLUSTER_TMP/n0.sock" --peer "$CLUSTER_TMP/n1.sock" --peer "$CLUSTER_TMP/n2.sock")
+for n in 0 1 2; do
+  "$BUILD_DIR/tools/sand_server" --socket "$CLUSTER_TMP/n$n.sock" \
+      "${CL_PEERS[@]}" --self "$n" > "$CLUSTER_TMP/n$n.log" 2>&1 &
+  CL_PIDS+=($!)
+done
+for n in 0 1 2; do
+  for _ in $(seq 50); do [ -S "$CLUSTER_TMP/n$n.sock" ] && break; sleep 0.1; done
+  [ -S "$CLUSTER_TMP/n$n.sock" ] \
+      || { cat "$CLUSTER_TMP/n$n.log"; echo "cluster gate: node $n did not come up" >&2; exit 1; }
+done
+# A trainer against node 1: across the cluster, at least one view some
+# node computed must be pulled over the ring instead of recomputed.
+# (peer_hits is per-process, so sum all three nodes: which node wins the
+# race to compute a view first is timing-dependent.)
+"$BUILD_DIR/examples/remote_trainer" --socket "$CLUSTER_TMP/n1.sock" --tenant alpha \
+    --epochs 2 > "$CLUSTER_TMP/trainer1.log" 2>&1 \
+    || { cat "$CLUSTER_TMP/trainer1.log"; echo "cluster gate: trainer failed" >&2; exit 1; }
+for n in 0 1 2; do
+  "$BUILD_DIR/tools/sand_stat" --cat /.sand/cluster --remote "$CLUSTER_TMP/n$n.sock" \
+      2>/dev/null > "$CLUSTER_TMP/cluster$n.json"
+done
+python3 - "$CLUSTER_TMP"/cluster0.json "$CLUSTER_TMP"/cluster1.json "$CLUSTER_TMP"/cluster2.json <<'EOF'
+import json, sys
+hits = bytes_reused = misses = 0
+for path in sys.argv[1:]:
+    with open(path) as f:
+        doc = json.load(f)
+    hits += doc["peer_hits"]
+    misses += doc["peer_misses"]
+    bytes_reused += doc["peer_bytes"]
+if hits < 1:
+    sys.exit(f"cluster gate: no peer hits anywhere (misses {misses}) — reuse never happened")
+print(f"cluster gate: {hits} peer hits, {bytes_reused} bytes reused across 3 nodes")
+EOF
+# Kill one node: the ring degrades its shard to local recompute and the
+# job must still complete.
+kill -9 "${CL_PIDS[2]}" 2>/dev/null || true
+"$BUILD_DIR/examples/remote_trainer" --socket "$CLUSTER_TMP/n1.sock" --tenant alpha \
+    --epochs 4 > "$CLUSTER_TMP/trainer2.log" 2>&1 \
+    || { cat "$CLUSTER_TMP/trainer2.log"; echo "cluster gate: trainer failed after node kill" >&2; exit 1; }
+grep -q 'trained on' "$CLUSTER_TMP/trainer2.log" \
+    || { cat "$CLUSTER_TMP/trainer2.log"; echo "cluster gate: no training output after node kill" >&2; exit 1; }
+kill -TERM "${CL_PIDS[0]}" "${CL_PIDS[1]}" 2>/dev/null || true
+wait "${CL_PIDS[0]}" "${CL_PIDS[1]}" 2>/dev/null || true
+echo "cluster gate: peer reuse observed + node-kill survived"
+
 if [ "${MAKE_BENCH_JSON:-0}" = "1" ]; then
-  echo "==== bench report (tools/make_bench_json.sh -> BENCH_PR9.json) ===="
-  tools/make_bench_json.sh "$BUILD_DIR" BENCH_PR9.json
+  echo "==== bench report (tools/make_bench_json.sh -> BENCH_PR10.json) ===="
+  tools/make_bench_json.sh "$BUILD_DIR" BENCH_PR10.json
 fi
 
 if [ "${SKIP_TSAN:-0}" != "1" ]; then
@@ -110,7 +161,7 @@ if [ "${SKIP_ASAN:-0}" != "1" ]; then
   echo "==== asan suite ===="
   ASAN_BUILD_DIR=${ASAN_BUILD_DIR:-build-asan}
   ASAN_TESTS=(vfs_test prefetch_test core_test codec_test fault_injection_test
-              compress_test compress_tier_test net_test)
+              compress_test compress_tier_test net_test cluster_test)
   cmake -B "$ASAN_BUILD_DIR" -S . -DSAND_ASAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
   cmake --build "$ASAN_BUILD_DIR" -j"$(nproc)" --target "${ASAN_TESTS[@]}"
   for test in "${ASAN_TESTS[@]}"; do

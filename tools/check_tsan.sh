@@ -8,14 +8,16 @@
 # the fault-injection / disk-degradation machinery
 # (fault_injection_test: retry + circuit-breaker state under chaos),
 # trace-context propagation across pool/future/scheduler hand-offs
-# (trace_context_test), and the socket front-end (net_test: concurrent
-# client connections, per-tenant admission, disconnect teardown).
+# (trace_context_test), the socket front-end (net_test: concurrent
+# client connections, per-tenant admission, disconnect teardown), and
+# the sharded store cluster (cluster_test: peer probe, breaker
+# transitions, node-kill failover).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=${BUILD_DIR:-build-tsan}
-TESTS=(storage_test object_path_test sched_test core_test obs_test prefetch_test codec_test fault_injection_test compress_tier_test trace_context_test net_test)
+TESTS=(storage_test object_path_test sched_test core_test obs_test prefetch_test codec_test fault_injection_test compress_tier_test trace_context_test net_test cluster_test)
 
 cmake -B "$BUILD_DIR" -S . -DSAND_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$BUILD_DIR" -j"$(nproc)" --target "${TESTS[@]}"

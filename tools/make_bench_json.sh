@@ -1,11 +1,11 @@
 #!/usr/bin/env bash
-# Regenerates BENCH_PR9.json — the committed structured-results report —
-# from the four --json-out instrumented benches, plus a tracing-overhead
+# Regenerates BENCH_PR10.json — the committed structured-results report —
+# from the five --json-out instrumented benches, plus a tracing-overhead
 # measurement (fig11 smoke runs with the span ring on vs off). Run from
 # the repo root after a release build:
 #
 #   cmake -B build -S . && cmake --build build -j
-#   tools/make_bench_json.sh build BENCH_PR9.json
+#   tools/make_bench_json.sh build BENCH_PR10.json
 #
 # Each bench writes {"bench": ..., "results": [...]}; the report is the
 # JSON array of the four plus a "trace_overhead" object. The
@@ -15,6 +15,9 @@
 # latency past 2x its solo baseline), and the "net_pipeline_speedup" row
 # must have pipeline_ok=true (a depth-16 pipelined client must move at
 # least 2x the serial-v1 throughput on small cache-resident reads). The
+# fig14 "fig14_cluster_reuse" row must have cluster_ok=true (peer view
+# reuse across a 3-node sharded store cluster must cut WAN traffic at
+# least 1.5x against the solo no-peer baseline). The
 # overhead budget for always-on tracing is <3% on the fig11 demand bench;
 # the comparison uses avg iteration time (histogram quantiles are bucket
 # midpoints — too coarse for a small delta), min over OVERHEAD_RUNS runs
@@ -22,7 +25,7 @@
 set -euo pipefail
 
 BUILD="${1:-build}"
-OUT="${2:-BENCH_PR9.json}"
+OUT="${2:-BENCH_PR10.json}"
 OVERHEAD_RUNS="${OVERHEAD_RUNS:-3}"
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -52,6 +55,22 @@ if rows[0]["params"]["pipeline_ok"] != "true":
     sys.exit(f"net bench: pipeline speedup below budget: {rows[0]['params']}")
 print(f"net bench: pipelining ok (depth-16 speedup {rows[0]['params']['speedup']}x)",
       file=sys.stderr)
+EOF
+
+echo "make_bench_json: fig14 (distributed remote + cluster reuse)..." >&2
+"$BUILD/bench/bench_fig14_distributed_remote" --json-out "$TMP/fig14.json" >/dev/null
+python3 - "$TMP/fig14.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+rows = [r for r in doc["results"] if r["name"] == "fig14_cluster_reuse"]
+if not rows:
+    sys.exit("fig14 bench: no cluster reuse row")
+p = rows[0]["params"]
+if p["cluster_ok"] != "true":
+    sys.exit(f"fig14 bench: cluster reuse below 1.5x: {p}")
+print(f"fig14 bench: cluster reuse ok (WAN traffic cut {p['ratio']}x, "
+      f"{p['solo_wan_bytes']} -> {p['cluster_wan_bytes']} bytes)", file=sys.stderr)
 EOF
 
 echo "make_bench_json: tracing overhead (fig11 --smoke, on vs off x$OVERHEAD_RUNS)..." >&2
@@ -100,6 +119,8 @@ EOF
   cat "$TMP/micro.json"
   printf ',\n'
   cat "$TMP/net.json"
+  printf ',\n'
+  cat "$TMP/fig14.json"
   printf ',\n'
   cat "$TMP/overhead.json"
   printf ']\n'

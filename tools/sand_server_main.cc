@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/cluster/cluster_store.h"
 #include "src/common/logging.h"
 #include "src/common/strings.h"
 #include "src/common/units.h"
@@ -47,7 +48,14 @@ int Usage(const char* argv0) {
                "          [--tenant TAG[:SCHED_CAP[:BUDGET_MIB]]]... \n"
                "          [--no-auto-tenants] [--isolate-tenants]\n"
                "          [--idle-timeout-ms N] [--allow-uid UID]...\n"
-               "          [--task NAME]... [--videos N] [--epochs N]\n",
+               "          [--task NAME]... [--videos N] [--epochs N]\n"
+               "          [--peer SOCKET]... [--self INDEX]\n"
+               "\n"
+               "cluster mode: pass the full ring membership as repeated --peer\n"
+               "flags (identical list, same order, on every node) and this\n"
+               "node's index as --self. The node serves its shard of the object\n"
+               "namespace to peers and probes the ring on cache misses; health\n"
+               "lands in /.sand/cluster.\n",
                argv0);
   return 2;
 }
@@ -69,6 +77,8 @@ int main(int argc, char** argv) {
   std::vector<uint32_t> allowed_uids;
   int videos = 8;
   int epochs = 4;
+  std::vector<std::string> peer_paths;
+  int self_index = -1;
   std::vector<std::string> tasks;
   // tag -> (sched cap, budget bytes)
   std::vector<std::pair<std::string, net::TenantQuotas>> tenants;
@@ -112,6 +122,14 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       tasks.push_back(v);
+    } else if (arg == "--peer") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      peer_paths.push_back(v);
+    } else if (arg == "--self") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      self_index = std::atoi(v);
     } else if (arg == "--tenant") {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
@@ -129,6 +147,11 @@ int main(int argc, char** argv) {
     }
   }
   if (socket_path.empty() && tcp_port < 0) {
+    return Usage(argv[0]);
+  }
+  if (!peer_paths.empty() &&
+      (self_index < 0 || self_index >= static_cast<int>(peer_paths.size()))) {
+    std::fprintf(stderr, "--peer requires --self INDEX within the peer list\n");
     return Usage(argv[0]);
   }
   if (tasks.empty()) {
@@ -159,6 +182,29 @@ int main(int argc, char** argv) {
   }
   auto cache = std::make_shared<TieredCache>(std::make_shared<MemoryStore>(128ULL * kMiB),
                                              std::make_shared<MemoryStore>(512ULL * kMiB));
+
+  // --- cluster mode: shard + ring peer ------------------------------------
+  // The shard must outlive both the SandService (whose cache probes the
+  // ring) and the SandServer (which serves the shard to peers).
+  std::shared_ptr<MemoryStore> cluster_shard;
+  std::shared_ptr<cluster::ClusterStore> cluster_store;
+  if (!peer_paths.empty()) {
+    cluster_shard = std::make_shared<MemoryStore>();
+    cluster::ClusterStoreOptions cluster_options;
+    for (size_t n = 0; n < peer_paths.size(); ++n) {
+      cluster::ClusterNodeOptions node;
+      // Ring names come from the list position, which every node passes
+      // identically; endpoints are how THIS node dials them.
+      node.name = "node-" + std::to_string(n);
+      node.unix_path = peer_paths[n];
+      cluster_options.nodes.push_back(node);
+    }
+    cluster_options.self_index = self_index;
+    cluster_store = std::make_shared<cluster::ClusterStore>(cluster_shard, cluster_options);
+    cluster_store->RegisterControlView();
+    cache->SetPeerStore(cluster_store);
+  }
+
   ServiceOptions service_options;
   service_options.k_epochs = 2;
   service_options.total_epochs = epochs;
@@ -181,6 +227,9 @@ int main(int argc, char** argv) {
   options.sched_cap_hook = [&service](uint32_t tenant_id, int cap) {
     service.SetTenantRunningCap(tenant_id, cap);
   };
+  if (cluster_shard != nullptr) {
+    options.object_store = cluster_shard.get();
+  }
   net::SandServer server(&service.fs(), options);
   for (const auto& [tag, quotas] : tenants) {
     server.RegisterTenant(tag, quotas);
@@ -203,6 +252,11 @@ int main(int argc, char** argv) {
   if (!allowed_uids.empty()) {
     std::printf("sand_server: peer-cred allowlist with %zu uid(s) (unix socket only)\n",
                 allowed_uids.size());
+  }
+  if (cluster_store != nullptr) {
+    std::printf("sand_server: cluster node %d of %zu (peer view reuse on, "
+                "health in /.sand/cluster)\n",
+                self_index, peer_paths.size());
   }
   std::fflush(stdout);
 

@@ -423,10 +423,11 @@ int PrintHealth(const FlatMetrics& flat, const FlatStrings& strings) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  enum class Mode { kMetrics, kJobs, kTenants, kHealth } mode = Mode::kMetrics;
+  enum class Mode { kMetrics, kJobs, kTenants, kHealth, kCat } mode = Mode::kMetrics;
   std::string path;
   std::string remote;
   std::string tenant = "sand_stat";
+  std::string cat_view;
   bool path_set = false;
   bool usage_error = false;
   for (int i = 1; i < argc; ++i) {
@@ -437,6 +438,9 @@ int main(int argc, char** argv) {
       mode = Mode::kTenants;
     } else if (arg == "--health") {
       mode = Mode::kHealth;
+    } else if (arg == "--cat" && i + 1 < argc) {
+      mode = Mode::kCat;
+      cat_view = argv[++i];
     } else if (arg == "--remote" && i + 1 < argc) {
       remote = argv[++i];
     } else if (arg == "--tenant" && i + 1 < argc) {
@@ -448,13 +452,26 @@ int main(int argc, char** argv) {
       usage_error = true;
     }
   }
-  if (usage_error || (path_set && !remote.empty())) {
+  if (usage_error || (path_set && !remote.empty()) ||
+      (mode == Mode::kCat && remote.empty())) {
     std::fprintf(stderr,
                  "usage: %s [--jobs|--tenants|--health] [snapshot.json|-]\n"
                  "       %s [--jobs|--tenants|--health] --remote ENDPOINT "
-                 "[--tenant TAG]\n",
-                 argv[0], argv[0]);
+                 "[--tenant TAG]\n"
+                 "       %s --cat /.sand/VIEW --remote ENDPOINT [--tenant TAG]\n",
+                 argv[0], argv[0], argv[0]);
     return 2;
+  }
+
+  // Raw control-view dump: fetch and print, no parsing. The escape hatch
+  // for views whose shape the tables don't know (e.g. /.sand/cluster).
+  if (mode == Mode::kCat) {
+    auto body = FetchRemote(remote, tenant, cat_view);
+    if (!body) {
+      return 1;
+    }
+    std::fwrite(body->data(), 1, body->size(), stdout);
+    return 0;
   }
 
   std::string input;
